@@ -1,0 +1,146 @@
+// Ablation: binary formats vs ASCII XML vs differential serialization
+// (paper Section 5 related work: base64/DIME "do achieve performance gains,
+// but reduce the simplicity and universality of SOAP"), plus gzip
+// compression (gSOAP's transport feature, complementary to differential
+// serialization).
+//
+// Series (double arrays, serialize + send to the drain server):
+//   AsciiXml           — conventional full serialization (the baseline)
+//   AsciiXml_Gzip      — full serialization + gzip, compressed bytes sent
+//   Base64Xml          — little-endian doubles base64-packed into one element
+//   Dime               — small XML envelope + raw binary DIME attachment
+//   Differential_MCM   — resend of the saved ASCII template (for reference)
+#include "bench/bench_common.hpp"
+#include "buffer/sinks.hpp"
+#include "compress/deflate.hpp"
+#include "core/client.hpp"
+#include "soap/base64.hpp"
+#include "soap/dime.hpp"
+#include "soap/envelope_writer.hpp"
+#include "soap/workload.hpp"
+
+namespace {
+
+using namespace bsoap;
+using namespace bsoap::bench;
+
+std::string xml_envelope(const std::vector<double>& values) {
+  buffer::StringSink sink;
+  soap::write_rpc_envelope(sink, soap::make_double_array_call(values));
+  return sink.take();
+}
+
+std::string base64_envelope(const std::vector<double>& values) {
+  // Schema replaces the item list with one base64 element (the binary-SOAP
+  // proposal's shape).
+  std::string out =
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?><SOAP-ENV:Envelope"
+      " xmlns:SOAP-ENV=\"http://schemas.xmlsoap.org/soap/envelope/\">"
+      "<SOAP-ENV:Body><ns1:sendData xmlns:ns1=\"urn:bsoap-bench\">"
+      "<data xsi:type=\"SOAP-ENC:base64\" count=\"";
+  out += std::to_string(values.size());
+  out += "\">";
+  out += soap::base64_pack_doubles(values);
+  out += "</data></ns1:sendData></SOAP-ENV:Body></SOAP-ENV:Envelope>";
+  return out;
+}
+
+Status send_body(net::Transport& transport, std::string_view body,
+                 const char* content_type) {
+  http::HttpRequest head;
+  head.headers.push_back(http::Header{"Host", "localhost"});
+  head.headers.push_back(http::Header{"Content-Type", content_type});
+  head.headers.push_back(
+      http::Header{"Content-Length", std::to_string(body.size())});
+  const std::string head_text = http::serialize_request_head(head);
+  const net::ConstSlice wire[] = {
+      net::ConstSlice{head_text.data(), head_text.size()},
+      net::ConstSlice{body.data(), body.size()}};
+  return transport.send_slices(wire);
+}
+
+void register_figure() {
+  register_series("AblationBinary/AsciiXml/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    BenchEnv env;
+                    const auto values = soap::random_doubles(n, 1);
+                    must_ok(send_body(*env.transport, xml_envelope(values),
+                                      "text/xml"));
+                    std::string body;
+                    for (auto _ : state) {
+                      body = xml_envelope(values);
+                      must_ok(send_body(*env.transport, body, "text/xml"));
+                    }
+                    state.counters["msg_bytes"] =
+                        static_cast<double>(body.size());
+                  });
+
+  register_series(
+      "AblationBinary/AsciiXml_Gzip/Double",
+      [](benchmark::State& state, std::size_t n) {
+        BenchEnv env;
+        const auto values = soap::random_doubles(n, 1);
+        must_ok(send_body(*env.transport, "warm", "text/xml"));
+        std::string compressed;
+        for (auto _ : state) {
+          compressed = compress::gzip_compress(xml_envelope(values));
+          must_ok(send_body(*env.transport, compressed, "text/xml"));
+        }
+        state.counters["msg_bytes"] = static_cast<double>(compressed.size());
+      });
+
+  register_series("AblationBinary/Base64Xml/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    BenchEnv env;
+                    const auto values = soap::random_doubles(n, 1);
+                    must_ok(send_body(*env.transport, "warm", "text/xml"));
+                    std::string body;
+                    for (auto _ : state) {
+                      body = base64_envelope(values);
+                      must_ok(send_body(*env.transport, body, "text/xml"));
+                    }
+                    state.counters["msg_bytes"] =
+                        static_cast<double>(body.size());
+                  });
+
+  register_series(
+      "AblationBinary/Dime/Double",
+      [](benchmark::State& state, std::size_t n) {
+        BenchEnv env;
+        const auto values = soap::random_doubles(n, 1);
+        must_ok(send_body(*env.transport, "warm", "application/dime"));
+        const std::string envelope =
+            "<?xml version=\"1.0\"?><SOAP-ENV:Envelope><SOAP-ENV:Body>"
+            "<ns1:sendData xmlns:ns1=\"urn:bsoap-bench\">"
+            "<data href=\"cid:array-1\"/>"
+            "</ns1:sendData></SOAP-ENV:Body></SOAP-ENV:Envelope>";
+        std::string body;
+        for (auto _ : state) {
+          soap::DimeRecord attachment;
+          attachment.id = "cid:array-1";
+          attachment.type = "application/octet-stream";
+          attachment.data.assign(
+              reinterpret_cast<const char*>(values.data()),
+              values.size() * sizeof(double));
+          body = soap::make_dime_message(envelope, {attachment});
+          must_ok(send_body(*env.transport, body, "application/dime"));
+        }
+        state.counters["msg_bytes"] = static_cast<double>(body.size());
+      });
+
+  register_series("AblationBinary/Differential_MCM/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    BenchEnv env;
+                    core::BsoapClient client(*env.transport);
+                    const soap::RpcCall call = soap::make_double_array_call(
+                        soap::random_doubles(n, 1));
+                    (void)must(client.send_call(call));
+                    for (auto _ : state) {
+                      benchmark::DoNotOptimize(must(client.send_call(call)));
+                    }
+                  });
+}
+
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

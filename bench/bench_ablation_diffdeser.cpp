@@ -1,0 +1,83 @@
+// Ablation: differential deserialization (paper Section 6 future work).
+//
+// Server-side receive cost for a stream of similar messages:
+//   * FullParse    — conventional envelope parse every message;
+//   * ContentHit   — identical message, one memcmp against the cache;
+//   * FastParse    — a few same-width values changed, only those regions
+//                    re-parsed.
+#include "bench/bench_common.hpp"
+#include "buffer/sinks.hpp"
+#include "core/diff_deserializer.hpp"
+#include "soap/envelope_reader.hpp"
+#include "soap/envelope_writer.hpp"
+#include "soap/workload.hpp"
+
+namespace {
+
+using namespace bsoap;
+using namespace bsoap::bench;
+
+std::string serialize(const soap::RpcCall& call) {
+  buffer::StringSink sink;
+  soap::write_rpc_envelope(sink, call);
+  return sink.take();
+}
+
+void register_figure() {
+  register_series("AblationDiffDeser/FullParse/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    const std::string doc = serialize(soap::make_double_array_call(
+                        soap::doubles_with_serialized_length(n, 18, 1)));
+                    for (auto _ : state) {
+                      Result<soap::RpcCall> call = soap::read_rpc_envelope(doc);
+                      BSOAP_ASSERT(call.ok());
+                      benchmark::DoNotOptimize(call.value().params.size());
+                    }
+                  });
+
+  register_series("AblationDiffDeser/ContentHit/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    const std::string doc = serialize(soap::make_double_array_call(
+                        soap::doubles_with_serialized_length(n, 18, 1)));
+                    core::DiffDeserializer deser;
+                    (void)deser.parse(doc);
+                    for (auto _ : state) {
+                      Result<const soap::RpcCall*> call = deser.parse(doc);
+                      BSOAP_ASSERT(call.ok());
+                      benchmark::DoNotOptimize(call.value());
+                    }
+                  });
+
+  register_series(
+      "AblationDiffDeser/FastParse_5pctChanged/Double",
+      [](benchmark::State& state, std::size_t n) {
+        auto values = soap::doubles_with_serialized_length(n, 18, 1);
+        core::DiffDeserializer deser;
+        (void)deser.parse(serialize(soap::make_double_array_call(values)));
+        // Pre-generate alternating documents with 5% same-width changes.
+        const auto pool = soap::doubles_with_serialized_length(n, 18, 2);
+        const std::size_t changes = n >= 20 ? n / 20 : 1;
+        std::vector<std::string> docs;
+        for (int variant = 0; variant < 2; ++variant) {
+          auto v = values;
+          for (std::size_t c = 0; c < changes && c < n; ++c) {
+            const std::size_t idx = (c * 19 + static_cast<std::size_t>(variant)) % n;
+            v[idx] = pool[idx];
+          }
+          docs.push_back(serialize(soap::make_double_array_call(v)));
+        }
+        bool flip = false;
+        for (auto _ : state) {
+          flip = !flip;
+          Result<const soap::RpcCall*> call = deser.parse(docs[flip ? 0 : 1]);
+          BSOAP_ASSERT(call.ok());
+          benchmark::DoNotOptimize(call.value());
+        }
+        state.counters["fast_parses"] =
+            static_cast<double>(deser.stats().fast_parses);
+      });
+}
+
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

@@ -1,0 +1,72 @@
+// Ablation: DUT table overhead.
+//
+// The content-match fast path must scan (or short-circuit) the dirty state.
+// Measures: the dirty-bit short circuit (BoundMessage clean send, minus
+// network: classification only), the comparison-based scan over an unchanged
+// call (update_template with zero rewrites), and the comparison scan cost as
+// a fraction of full serialization.
+#include "bench/bench_common.hpp"
+#include "core/diff_serializer.hpp"
+#include "core/template_builder.hpp"
+#include "soap/workload.hpp"
+
+namespace {
+
+using namespace bsoap;
+using namespace bsoap::bench;
+
+void register_figure() {
+  register_series("AblationDut/CompareScan_NoChanges/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    const soap::RpcCall call = soap::make_double_array_call(
+                        soap::random_doubles(n, 1));
+                    core::TemplateConfig config;
+                    auto tmpl = core::build_template(call, config);
+                    for (auto _ : state) {
+                      const core::UpdateResult result =
+                          core::update_template(*tmpl, call);
+                      benchmark::DoNotOptimize(result.values_rewritten);
+                    }
+                  });
+
+  register_series("AblationDut/DirtyScan_NoChanges/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    const soap::RpcCall call = soap::make_double_array_call(
+                        soap::random_doubles(n, 1));
+                    core::TemplateConfig config;
+                    auto tmpl = core::build_template(call, config);
+                    for (auto _ : state) {
+                      const core::UpdateResult result =
+                          core::update_dirty_fields(*tmpl, call);
+                      benchmark::DoNotOptimize(result.values_rewritten);
+                    }
+                  });
+
+  register_series("AblationDut/DirtyBitShortCircuit/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    const soap::RpcCall call = soap::make_double_array_call(
+                        soap::random_doubles(n, 1));
+                    core::TemplateConfig config;
+                    auto tmpl = core::build_template(call, config);
+                    for (auto _ : state) {
+                      // The client's clean-send path: one counter check.
+                      benchmark::DoNotOptimize(tmpl->dut().any_dirty());
+                    }
+                  });
+
+  register_series("AblationDut/FullBuild_Reference/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    const soap::RpcCall call = soap::make_double_array_call(
+                        soap::random_doubles(n, 1));
+                    core::TemplateConfig config;
+                    auto tmpl = core::build_template(call, config);
+                    for (auto _ : state) {
+                      core::rebuild_template(*tmpl, call);
+                      benchmark::DoNotOptimize(tmpl->buffer().total_size());
+                    }
+                  });
+}
+
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

@@ -1,0 +1,75 @@
+// Ablation: multi-ref accessors (SOAP 1.1 Section 5; paper related work).
+//
+// A call whose parameters repeat the same struct value serializes it once
+// under multi-ref encoding and references it elsewhere. Compares plain vs
+// multi-ref serialization cost and message size as the number of repeated
+// parameters grows (the array-size axis repurposed as the repeat count).
+#include "bench/bench_common.hpp"
+#include "buffer/sinks.hpp"
+#include "soap/envelope_writer.hpp"
+#include "soap/workload.hpp"
+
+namespace {
+
+using namespace bsoap;
+using namespace bsoap::bench;
+
+soap::RpcCall repeated_struct_call(std::size_t repeats) {
+  soap::Value shared = soap::Value::make_struct();
+  shared.add_member("host", soap::Value::from_string(
+                                "compute-node-17.grid.binghamton.edu"));
+  shared.add_member("cpus", soap::Value::from_int(8));
+  shared.add_member("memory", soap::Value::from_int(4096));
+  shared.add_member(
+      "annotation",
+      soap::Value::from_string("shared resource descriptor, repeated in "
+                               "every parameter of the call"));
+  soap::RpcCall call;
+  call.method = "registerResources";
+  call.service_namespace = "urn:bsoap-bench";
+  for (std::size_t i = 0; i < repeats; ++i) {
+    call.params.push_back(soap::Param{"res" + std::to_string(i), shared});
+  }
+  return call;
+}
+
+void register_figure() {
+  // Repurpose the size axis as a repeat count (capped: a call with 100K
+  // identical params is not meaningful).
+  for (const std::size_t repeats : {2, 8, 32, 128, 512}) {
+    benchmark::RegisterBenchmark(
+        ("AblationMultiRef/Plain/repeats:" + std::to_string(repeats)).c_str(),
+        [repeats](benchmark::State& state) {
+          const soap::RpcCall call = repeated_struct_call(repeats);
+          buffer::StringSink sink;
+          for (auto _ : state) {
+            sink.clear();
+            soap::write_rpc_envelope(sink, call);
+            benchmark::DoNotOptimize(sink.size());
+          }
+          state.counters["msg_bytes"] = static_cast<double>(sink.size());
+        })
+        ->Iterations(200)
+        ->Unit(benchmark::kMillisecond);
+
+    benchmark::RegisterBenchmark(
+        ("AblationMultiRef/MultiRef/repeats:" + std::to_string(repeats))
+            .c_str(),
+        [repeats](benchmark::State& state) {
+          const soap::RpcCall call = repeated_struct_call(repeats);
+          buffer::StringSink sink;
+          for (auto _ : state) {
+            sink.clear();
+            soap::write_rpc_envelope_multiref(sink, call);
+            benchmark::DoNotOptimize(sink.size());
+          }
+          state.counters["msg_bytes"] = static_cast<double>(sink.size());
+        })
+        ->Iterations(200)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

@@ -1,0 +1,92 @@
+// Ablation: serialization phase breakdown (paper Section 2).
+//
+// The paper attributes ~90% of SOAP end-to-end time to number->ASCII
+// conversion. This bench decomposes a full double-array serialization into:
+//   * Convert        — dtoa only, output discarded;
+//   * ConvertAndPack — full envelope into a NullSink (conversion + tag
+//                      emission, no buffer retention);
+//   * Serialize      — full envelope into the contiguous buffer;
+//   * SerializeSend  — serialize + HTTP frame + send to the drain server;
+//   * PackOnly       — memcpy of a preserialized envelope (no conversion).
+#include "bench/bench_common.hpp"
+#include "buffer/sinks.hpp"
+#include "soap/envelope_writer.hpp"
+#include "soap/workload.hpp"
+#include "textconv/dtoa.hpp"
+
+#include "baseline/gsoap_like.hpp"
+
+namespace {
+
+using namespace bsoap;
+using namespace bsoap::bench;
+
+void register_figure() {
+  register_series("AblationPhases/Convert/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    const auto values = soap::random_doubles(n, 1);
+                    char buf[textconv::kMaxDoubleChars];
+                    for (auto _ : state) {
+                      int total = 0;
+                      for (const double v : values) {
+                        total += textconv::write_double(buf, v);
+                      }
+                      benchmark::DoNotOptimize(total);
+                    }
+                  });
+
+  register_series("AblationPhases/ConvertAndPack/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    const soap::RpcCall call = soap::make_double_array_call(
+                        soap::random_doubles(n, 1));
+                    buffer::NullSink sink;
+                    for (auto _ : state) {
+                      sink.clear();
+                      soap::write_rpc_envelope(sink, call);
+                      benchmark::DoNotOptimize(sink.size());
+                    }
+                  });
+
+  register_series("AblationPhases/Serialize/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    const soap::RpcCall call = soap::make_double_array_call(
+                        soap::random_doubles(n, 1));
+                    buffer::StringSink sink;
+                    for (auto _ : state) {
+                      sink.clear();
+                      soap::write_rpc_envelope(sink, call);
+                      benchmark::DoNotOptimize(sink.size());
+                    }
+                  });
+
+  register_series("AblationPhases/SerializeSend/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    BenchEnv env;
+                    baseline::GSoapLikeClient client(*env.transport);
+                    const soap::RpcCall call = soap::make_double_array_call(
+                        soap::random_doubles(n, 1));
+                    (void)must(client.send_call(call));  // warm connection
+                    for (auto _ : state) {
+                      benchmark::DoNotOptimize(must(client.send_call(call)));
+                    }
+                  });
+
+  register_series("AblationPhases/PackOnly/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    buffer::StringSink prebuilt;
+                    soap::write_rpc_envelope(
+                        prebuilt,
+                        soap::make_double_array_call(soap::random_doubles(n, 1)));
+                    const std::string envelope = prebuilt.take();
+                    std::string target;
+                    target.reserve(envelope.size());
+                    for (auto _ : state) {
+                      target.assign(envelope);
+                      benchmark::DoNotOptimize(target.data());
+                    }
+                  });
+}
+
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

@@ -1,0 +1,64 @@
+// Ablation: pipelined send (companion paper [3]).
+//
+// Plain chunk overlaying alternates serialize/send; the pipelined variant
+// overlaps them with a second window and a sender thread. On a multi-core
+// host the pipelined line should sit below plain overlay for large arrays;
+// on a single core the two converge (no parallelism to exploit) — both
+// outcomes are informative and recorded in EXPERIMENTS.md.
+#include "bench/bench_common.hpp"
+#include "core/overlay.hpp"
+#include "core/pipelined_overlay.hpp"
+#include "soap/workload.hpp"
+
+namespace {
+
+using namespace bsoap;
+using namespace bsoap::bench;
+
+void register_figure() {
+  register_series("AblationPipeline/PlainOverlay/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    BenchEnv env;
+                    core::OverlaySender sender(*env.transport,
+                                               core::OverlayConfig{});
+                    const auto values = soap::random_doubles(n, 1);
+                    (void)must(sender.send_double_array(
+                        "sendData", "urn:bsoap-bench", "data", values));
+                    for (auto _ : state) {
+                      benchmark::DoNotOptimize(must(sender.send_double_array(
+                          "sendData", "urn:bsoap-bench", "data", values)));
+                    }
+                  });
+
+  register_series("AblationPipeline/PipelinedOverlay/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    BenchEnv env;
+                    core::PipelinedOverlaySender sender(
+                        *env.transport, core::PipelinedOverlayConfig{});
+                    const auto values = soap::random_doubles(n, 1);
+                    (void)must(sender.send_double_array(
+                        "sendData", "urn:bsoap-bench", "data", values));
+                    for (auto _ : state) {
+                      benchmark::DoNotOptimize(must(sender.send_double_array(
+                          "sendData", "urn:bsoap-bench", "data", values)));
+                    }
+                  });
+
+  register_series("AblationPipeline/PipelinedOverlay/MIO",
+                  [](benchmark::State& state, std::size_t n) {
+                    BenchEnv env;
+                    core::PipelinedOverlaySender sender(
+                        *env.transport, core::PipelinedOverlayConfig{});
+                    const auto values = soap::random_mios(n, 2);
+                    (void)must(sender.send_mio_array(
+                        "sendData", "urn:bsoap-bench", "data", values));
+                    for (auto _ : state) {
+                      benchmark::DoNotOptimize(must(sender.send_mio_array(
+                          "sendData", "urn:bsoap-bench", "data", values)));
+                    }
+                  });
+}
+
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

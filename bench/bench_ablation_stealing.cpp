@@ -1,0 +1,60 @@
+// Ablation: stealing vs shifting (paper Section 3.2, companion paper [4]).
+//
+// A sparse set of fields grows inside a message whose neighbours carry
+// padding. With stealing enabled the growth is absorbed by moving a few
+// bytes from the neighbour's padding; disabled, every growth shifts the
+// chunk tail. Measures both, plus the padding-free worst case where stealing
+// cannot help and falls back to shifting.
+#include "bench/bench_common.hpp"
+#include "common/timing.hpp"
+#include "core/client.hpp"
+#include "soap/workload.hpp"
+
+namespace {
+
+using namespace bsoap;
+using namespace bsoap::bench;
+
+void register_growth(const std::string& name, bool stealing,
+                     int initial_chars) {
+  register_series(
+      name,
+      [stealing, initial_chars](benchmark::State& state, std::size_t n) {
+        BenchEnv env;
+        core::BsoapClientConfig config;
+        // Fixed 18-char fields leave padding when values are small.
+        config.tmpl.stuffing.mode = core::StuffingPolicy::Mode::kFixed;
+        config.tmpl.stuffing.fixed_width = 18;
+        config.tmpl.enable_stealing = stealing;
+        core::BsoapClient client(*env.transport, config);
+
+        const auto small =
+            soap::doubles_with_serialized_length(n, static_cast<int>(initial_chars), 1);
+        const auto big = soap::doubles_with_serialized_length(n, 24, 2);
+        const soap::RpcCall base = soap::make_double_array_call(small);
+        for (auto _ : state) {
+          auto message = client.bind(base);  // untimed rebuild
+          StopWatch watch;
+          // Grow every 8th value to 24 chars: neighbours keep their padding
+          // and can donate it.
+          for (std::size_t i = 0; i < n; i += 8) {
+            message->set_double_element(0, i, big[i]);
+          }
+          (void)must(message->send());
+          state.SetIterationTime(static_cast<double>(watch.elapsed_ns()) / 1e9);
+        }
+      },
+      /*manual_time=*/true);
+}
+
+void register_figure() {
+  register_growth("AblationStealing/StealingEnabled/Double", true, 1);
+  register_growth("AblationStealing/StealingDisabled/Double", false, 1);
+  // 18-char initial values: fields are full, stealing finds no padding and
+  // falls back to shifting — measures the scan's overhead.
+  register_growth("AblationStealing/NoPaddingAvailable/Double", true, 18);
+}
+
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

@@ -1,0 +1,116 @@
+// Shared infrastructure for the figure benchmarks.
+//
+// Measurement protocol mirrors the paper (Section 4): the client connects to
+// a dummy drain server (reads and discards, never parses) over loopback TCP
+// with the paper's socket options; "Send Time" spans message preparation
+// through the final send() return. Each reported point is the mean over a
+// fixed number of iterations (the paper used 100; large sizes use fewer to
+// bound wall-clock time on CI machines).
+//
+// Array sizes are the paper's: 1, 100, 500, 1K, 10K, 50K, 100K. Override
+// with BSOAP_BENCH_MAX_N to cap (e.g. BSOAP_BENCH_MAX_N=10000 for quick
+// runs).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/drain_server.hpp"
+#include "net/simulated_wire.hpp"
+#include "net/tcp.hpp"
+#include "net/transport.hpp"
+
+namespace bsoap::bench {
+
+inline std::vector<std::size_t> paper_sizes() {
+  std::vector<std::size_t> sizes = {1, 100, 500, 1000, 10000, 50000, 100000};
+  if (const char* cap = std::getenv("BSOAP_BENCH_MAX_N")) {
+    const std::size_t max_n = static_cast<std::size_t>(std::atoll(cap));
+    std::vector<std::size_t> out;
+    for (const std::size_t n : sizes) {
+      if (n <= max_n) out.push_back(n);
+    }
+    if (out.empty()) out.push_back(1);
+    return out;
+  }
+  return sizes;
+}
+
+/// Iterations per point: 100 (as in the paper) for small arrays, fewer for
+/// the large ones to keep total runtime bounded.
+inline int iterations_for(std::size_t n) {
+  if (n <= 1000) return 100;
+  if (n <= 10000) return 50;
+  return 15;
+}
+
+/// Client-side environment: a drain server plus one connected transport.
+struct BenchEnv {
+  std::unique_ptr<net::DrainServer> server;
+  std::unique_ptr<net::Transport> transport;
+
+  /// wire_bps > 0 wraps the transport in a simulated-bandwidth link.
+  explicit BenchEnv(double wire_bps = 0.0) {
+    Result<std::unique_ptr<net::DrainServer>> srv = net::DrainServer::start();
+    srv.value_or_die();
+    server = std::move(srv.value());
+    Result<std::unique_ptr<net::Transport>> conn =
+        net::tcp_connect(server->port());
+    conn.value_or_die();
+    transport = std::move(conn.value());
+    if (wire_bps > 0) {
+      transport = std::make_unique<net::SimulatedWireTransport>(
+          std::move(transport), wire_bps);
+    }
+  }
+
+  ~BenchEnv() {
+    if (transport) transport->shutdown_send();
+    if (server) server->stop();
+  }
+};
+
+/// Registers `fn(state, n)` once per paper size under "name/n".
+template <typename Fn>
+void register_series(const std::string& name, Fn fn,
+                     bool manual_time = false) {
+  for (const std::size_t n : paper_sizes()) {
+    auto* b = benchmark::RegisterBenchmark(
+        (name + "/" + std::to_string(n)).c_str(),
+        [fn, n](benchmark::State& state) { fn(state, n); });
+    b->Iterations(iterations_for(n))->Unit(benchmark::kMillisecond);
+    if (manual_time) b->UseManualTime();
+  }
+}
+
+/// Unwraps a Result or aborts with its error.
+template <typename T>
+T must(Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench: fatal: %s\n",
+                 result.error().to_string().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline void must_ok(const Status& status) { status.check(); }
+
+}  // namespace bsoap::bench
+
+/// Each bench binary registers its series in `register_fn` then runs.
+#define BSOAP_BENCH_MAIN(register_fn)                       \
+  int main(int argc, char** argv) {                         \
+    register_fn();                                          \
+    benchmark::Initialize(&argc, argv);                     \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                             \
+    benchmark::RunSpecifiedBenchmarks();                    \
+    benchmark::Shutdown();                                  \
+    return 0;                                               \
+  }

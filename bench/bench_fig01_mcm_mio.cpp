@@ -1,0 +1,14 @@
+// Figure 1: Message Content Matches, arrays of MIOs.
+// Series: gSOAP, bSOAP Full Serialization, bSOAP Message Content Match.
+// Paper shape: content match ~7x faster than full serialization for large
+// arrays; bSOAP full ~ gSOAP.
+#include "bench/mcm_series.hpp"
+
+namespace {
+void register_figure() {
+  bsoap::bench::register_mcm_figure("Fig01_MCM", bsoap::bench::ElementKind::kMio,
+                                    /*with_xsoap=*/false);
+}
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

@@ -1,0 +1,15 @@
+// Figure 2: Message Content Matches, arrays of doubles (plus the XSOAP-like
+// managed-runtime baseline, as the paper plots for this figure).
+// Paper shape: XSOAP slowest; content match ~10x faster than full
+// serialization for large arrays.
+#include "bench/mcm_series.hpp"
+
+namespace {
+void register_figure() {
+  bsoap::bench::register_mcm_figure("Fig02_MCM",
+                                    bsoap::bench::ElementKind::kDouble,
+                                    /*with_xsoap=*/true);
+}
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

@@ -1,0 +1,14 @@
+// Figure 3: Message Content Matches, arrays of integers.
+// Paper shape: content match at least ~4x faster than full serialization for
+// large arrays (integers convert more cheaply than doubles, so the ratio is
+// smaller than Figure 2's).
+#include "bench/mcm_series.hpp"
+
+namespace {
+void register_figure() {
+  bsoap::bench::register_mcm_figure("Fig03_MCM", bsoap::bench::ElementKind::kInt,
+                                    /*with_xsoap=*/false);
+}
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

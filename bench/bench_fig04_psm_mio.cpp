@@ -1,0 +1,15 @@
+// Figure 4: Perfect Structural Matches, arrays of MIOs.
+// Series: bSOAP full serialization; 100/75/50/25% of the MIO doubles
+// re-serialized in place (integers and the rest unchanged); content match.
+// Paper shape: Send Time scales with the re-serialized percentage; the gap
+// between 100% and full serialization is the cost of generating and writing
+// the SOAP tags.
+#include "bench/psm_series.hpp"
+
+namespace {
+void register_figure() {
+  bsoap::bench::register_psm_mio_series("Fig04_PSM");
+}
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

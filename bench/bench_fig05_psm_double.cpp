@@ -1,0 +1,11 @@
+// Figure 5: Perfect Structural Matches, arrays of doubles.
+// Same series as Figure 4 for plain double arrays.
+#include "bench/psm_series.hpp"
+
+namespace {
+void register_figure() {
+  bsoap::bench::register_psm_double_series("Fig05_PSM");
+}
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

@@ -1,0 +1,20 @@
+// Figure 6: Worst-case shifting, arrays of MIOs.
+// Every MIO expands from the smallest possible (3 characters) to the largest
+// possible (46 characters), with 8K and 32K chunk configurations, against
+// the no-shifting 100% re-serialization reference.
+// Paper shape: worst-case shifting ~4-5x slower than re-serialization
+// without shifting.
+#include "bench/shift_series.hpp"
+
+namespace {
+void register_figure() {
+  using namespace bsoap::bench;
+  register_shift_mio("Fig06_WorstShift/Shift100pct_32KChunks/MIO", 3, 46, 100,
+                     32 * 1024);
+  register_shift_mio("Fig06_WorstShift/Shift100pct_8KChunks/MIO", 3, 46, 100,
+                     8 * 1024);
+  register_noshift_mio("Fig06_WorstShift/NoShift_Reserialize100pct/MIO", 46);
+}
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

@@ -1,0 +1,18 @@
+// Figure 7: Worst-case shifting, arrays of doubles.
+// Every double expands from the smallest (1 character) to the largest (24
+// characters), with 8K and 32K chunks, vs the no-shifting reference.
+#include "bench/shift_series.hpp"
+
+namespace {
+void register_figure() {
+  using namespace bsoap::bench;
+  register_shift_double("Fig07_WorstShift/Shift100pct_32KChunks/Double", 1, 24,
+                        100, 32 * 1024);
+  register_shift_double("Fig07_WorstShift/Shift100pct_8KChunks/Double", 1, 24,
+                        100, 8 * 1024);
+  register_noshift_double("Fig07_WorstShift/NoShift_Reserialize100pct/Double",
+                          24);
+}
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

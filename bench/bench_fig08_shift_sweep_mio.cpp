@@ -1,0 +1,20 @@
+// Figure 8: Shifting sweep, arrays of MIOs.
+// 25/50/75/100% of the array expands from a 36-character MIO to the
+// 46-character maximum; reference is 100% re-serialization with no shifting.
+// Paper shape: performance approaches the no-shift line as the shifted
+// percentage drops.
+#include "bench/shift_series.hpp"
+
+namespace {
+void register_figure() {
+  using namespace bsoap::bench;
+  for (const int pct : {100, 75, 50, 25}) {
+    register_shift_mio("Fig08_ShiftSweep/Shift" + std::to_string(pct) +
+                           "pct/MIO",
+                       36, 46, pct, 32 * 1024);
+  }
+  register_noshift_mio("Fig08_ShiftSweep/NoShift_Reserialize100pct/MIO", 46);
+}
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

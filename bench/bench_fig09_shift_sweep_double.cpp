@@ -1,0 +1,19 @@
+// Figure 9: Shifting sweep, arrays of doubles.
+// 25/50/75/100% of the array expands from an 18-character double to the
+// 24-character maximum; reference is 100% re-serialization with no shifting.
+#include "bench/shift_series.hpp"
+
+namespace {
+void register_figure() {
+  using namespace bsoap::bench;
+  for (const int pct : {100, 75, 50, 25}) {
+    register_shift_double("Fig09_ShiftSweep/Shift" + std::to_string(pct) +
+                              "pct/Double",
+                          18, 24, pct, 32 * 1024);
+  }
+  register_noshift_double("Fig09_ShiftSweep/NoShift_Reserialize100pct/Double",
+                          24);
+}
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

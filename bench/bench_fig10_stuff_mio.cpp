@@ -1,0 +1,28 @@
+// Figure 10: Stuffing, arrays of MIOs.
+// Minimum (3-char) MIOs sent inside minimum, intermediate (12-char leaves,
+// ~36 total) and maximum (46-char) field widths; plus the worst case of
+// writing 3-char MIOs over 46-char MIOs (full closing-tag shift). Gigabit
+// wire variants expose the larger-message cost at the paper's link speed.
+// Paper shape: the dominant stuffing penalty is the closing-tag shift, not
+// the larger message.
+#include "bench/stuff_series.hpp"
+
+namespace {
+void register_figure() {
+  using namespace bsoap::bench;
+  using Mode = bsoap::core::StuffingPolicy::Mode;
+  register_stuff_mio("Fig10_Stuffing/MinWidth_NoTagShift/MIO", Mode::kExact, 0,
+                     0.0);
+  register_stuff_mio("Fig10_Stuffing/IntermediateWidth_NoTagShift/MIO",
+                     Mode::kFixed, 12, 0.0);
+  register_stuff_mio("Fig10_Stuffing/MaxWidth_NoTagShift/MIO", Mode::kTypeMax,
+                     0, 0.0);
+  register_stuff_mio_tagshift("Fig10_Stuffing/MaxWidth_FullTagShift/MIO");
+  register_stuff_mio("Fig10_Stuffing/MinWidth_NoTagShift_Gigabit/MIO",
+                     Mode::kExact, 0, 1e9);
+  register_stuff_mio("Fig10_Stuffing/MaxWidth_NoTagShift_Gigabit/MIO",
+                     Mode::kTypeMax, 0, 1e9);
+}
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

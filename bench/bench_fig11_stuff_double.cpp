@@ -1,0 +1,23 @@
+// Figure 11: Stuffing, arrays of doubles.
+// One-character doubles sent inside minimum, intermediate (18-char) and
+// maximum (24-char) field widths; plus single-character doubles written over
+// 24-character doubles (full closing-tag shift), and gigabit-wire variants.
+#include "bench/stuff_series.hpp"
+
+namespace {
+void register_figure() {
+  using namespace bsoap::bench;
+  register_stuff_double("Fig11_Stuffing/MinWidth_NoTagShift/Double", 0, 0.0);
+  register_stuff_double("Fig11_Stuffing/IntermediateWidth_NoTagShift/Double",
+                        18, 0.0);
+  register_stuff_double("Fig11_Stuffing/MaxWidth_NoTagShift/Double", 24, 0.0);
+  register_stuff_double_tagshift(
+      "Fig11_Stuffing/MaxWidth_FullTagShift/Double");
+  register_stuff_double("Fig11_Stuffing/MinWidth_NoTagShift_Gigabit/Double", 0,
+                        1e9);
+  register_stuff_double("Fig11_Stuffing/MaxWidth_NoTagShift_Gigabit/Double",
+                        24, 1e9);
+}
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

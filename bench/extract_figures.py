@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Extract per-figure CSV series from a recorded bench_output.txt.
+
+Usage:
+    python3 bench/extract_figures.py bench_output.txt [outdir]
+
+Writes one CSV per figure/ablation (rows: series, N, wall_ms) into `outdir`
+(default: figures/), ready for gnuplot/matplotlib — the paper plots Send
+Time vs array size on log-log axes. Also prints a compact ASCII summary of
+each figure at its largest common size.
+"""
+import os
+import re
+import sys
+from collections import defaultdict
+
+LINE = re.compile(
+    r"^(?P<name>[A-Za-z0-9_]+/[^ ]*?)/(?P<n>\d+)/iterations:\d+"
+    r"(?:/manual_time)?\s+(?P<wall>[0-9.]+) ms\s+(?P<cpu>[0-9.]+) ms")
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    path = sys.argv[1]
+    outdir = sys.argv[2] if len(sys.argv) > 2 else "figures"
+    os.makedirs(outdir, exist_ok=True)
+
+    # figure -> series -> {n: wall_ms}
+    figures = defaultdict(lambda: defaultdict(dict))
+    with open(path) as f:
+        for line in f:
+            m = LINE.match(line.strip())
+            if not m:
+                continue
+            full = m.group("name")
+            figure, _, series = full.partition("/")
+            figures[figure][series][int(m.group("n"))] = float(m.group("wall"))
+
+    for figure, series_map in sorted(figures.items()):
+        csv_path = os.path.join(outdir, f"{figure}.csv")
+        with open(csv_path, "w") as out:
+            out.write("series,n,wall_ms\n")
+            for series, points in sorted(series_map.items()):
+                for n, wall in sorted(points.items()):
+                    out.write(f"{series},{n},{wall}\n")
+
+        sizes = set()
+        for points in series_map.values():
+            sizes.update(points)
+        if not sizes:
+            continue
+        top = max(s for s in sizes
+                  if all(s in p for p in series_map.values())) \
+            if all(series_map.values()) else max(sizes)
+        print(f"\n{figure}  (N = {top})")
+        width = max(len(s) for s in series_map)
+        peak = max(p.get(top, 0.0) for p in series_map.values()) or 1.0
+        for series, points in sorted(series_map.items(),
+                                     key=lambda kv: kv[1].get(top, 0.0)):
+            wall = points.get(top)
+            if wall is None:
+                continue
+            bar = "#" * max(1, int(40 * wall / peak))
+            print(f"  {series:<{width}}  {wall:>10.3f} ms  {bar}")
+        print(f"  -> {csv_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+// Shared registration for the message-content-match figures (paper Figures
+// 1, 2, 3): gSOAP-like baseline vs bSOAP full serialization vs bSOAP content
+// match, over the paper's array sizes, for a given element type.
+#pragma once
+
+#include "baseline/gsoap_like.hpp"
+#include "baseline/xsoap_like.hpp"
+#include "bench/bench_common.hpp"
+#include "core/client.hpp"
+#include "soap/workload.hpp"
+
+namespace bsoap::bench {
+
+enum class ElementKind { kMio, kDouble, kInt };
+
+inline soap::RpcCall make_bench_call(ElementKind kind, std::size_t n,
+                                     std::uint64_t seed) {
+  switch (kind) {
+    case ElementKind::kMio:
+      return soap::make_mio_array_call(soap::random_mios(n, seed));
+    case ElementKind::kDouble:
+      return soap::make_double_array_call(soap::random_doubles(n, seed));
+    case ElementKind::kInt:
+      return soap::make_int_array_call(soap::random_ints(n, seed));
+  }
+  return {};
+}
+
+inline const char* element_name(ElementKind kind) {
+  switch (kind) {
+    case ElementKind::kMio: return "MIO";
+    case ElementKind::kDouble: return "Double";
+    case ElementKind::kInt: return "Int";
+  }
+  return "?";
+}
+
+/// Registers the figure's series. `with_xsoap` adds the Java-toolkit
+/// emulation (the paper plots it for doubles, Figure 2).
+inline void register_mcm_figure(const std::string& figure, ElementKind kind,
+                                bool with_xsoap) {
+  const std::string elem = element_name(kind);
+
+  if (with_xsoap) {
+    register_series(figure + "/XSOAP_FullSerialization/" + elem,
+                    [kind](benchmark::State& state, std::size_t n) {
+                      BenchEnv env;
+                      baseline::XSoapLikeClient client(*env.transport);
+                      const soap::RpcCall call = make_bench_call(kind, n, 42);
+                      (void)must(client.send_call(call));  // warm connection
+                      for (auto _ : state) {
+                        benchmark::DoNotOptimize(must(client.send_call(call)));
+                      }
+                      state.counters["msg_bytes"] =
+                          static_cast<double>(client.last_envelope_size());
+                    });
+  }
+
+  register_series(figure + "/gSOAP_FullSerialization/" + elem,
+                  [kind](benchmark::State& state, std::size_t n) {
+                    BenchEnv env;
+                    baseline::GSoapLikeClient client(*env.transport);
+                    const soap::RpcCall call = make_bench_call(kind, n, 42);
+                    (void)must(client.send_call(call));  // warm connection
+                    for (auto _ : state) {
+                      benchmark::DoNotOptimize(must(client.send_call(call)));
+                    }
+                    state.counters["msg_bytes"] =
+                        static_cast<double>(client.last_envelope_size());
+                  });
+
+  register_series(figure + "/bSOAP_FullSerialization/" + elem,
+                  [kind](benchmark::State& state, std::size_t n) {
+                    BenchEnv env;
+                    core::BsoapClientConfig config;
+                    config.differential = false;
+                    core::BsoapClient client(*env.transport, config);
+                    const soap::RpcCall call = make_bench_call(kind, n, 42);
+                    (void)must(client.send_call(call));  // warm connection
+                    for (auto _ : state) {
+                      benchmark::DoNotOptimize(must(client.send_call(call)));
+                    }
+                  });
+
+  register_series(figure + "/bSOAP_ContentMatch/" + elem,
+                  [kind](benchmark::State& state, std::size_t n) {
+                    BenchEnv env;
+                    core::BsoapClient client(*env.transport);
+                    const soap::RpcCall call = make_bench_call(kind, n, 42);
+                    (void)must(client.send_call(call));  // prime the template
+                    for (auto _ : state) {
+                      const core::SendReport report =
+                          must(client.send_call(call));
+                      BSOAP_ASSERT(report.match ==
+                                   core::MatchKind::kContentMatch);
+                    }
+                  });
+}
+
+}  // namespace bsoap::bench

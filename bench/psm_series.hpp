@@ -1,0 +1,137 @@
+// Shared registration for the perfect-structural-match figures (paper
+// Figures 4 and 5): a saved template is updated in place with new values of
+// the SAME serialized size ("the size of the array, and each of its
+// elements, are the same in the template as they are in the new outgoing
+// message, so shifting and stealing are unnecessary").
+//
+// Updates go through the explicit dirty-tracking API (BoundMessage setters),
+// the paper's DUT get/set design: the send rewrites exactly the dirty fields
+// with no comparisons.
+#pragma once
+
+#include "bench/bench_common.hpp"
+#include "core/client.hpp"
+#include "soap/workload.hpp"
+
+namespace bsoap::bench {
+
+/// Fixed serialized width used for all PSM doubles (any width works as long
+/// as replacements match; 18 is the paper's "intermediate" double).
+inline constexpr int kPsmDoubleChars = 18;
+
+inline void register_psm_double_series(const std::string& figure) {
+  // Reference lines re-plotted from the MCM figure.
+  register_series(figure + "/bSOAP_FullSerialization/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    BenchEnv env;
+                    core::BsoapClientConfig config;
+                    config.differential = false;
+                    core::BsoapClient client(*env.transport, config);
+                    const soap::RpcCall call = soap::make_double_array_call(
+                        soap::doubles_with_serialized_length(n, kPsmDoubleChars, 1));
+                    (void)must(client.send_call(call));  // warm connection
+                    for (auto _ : state) {
+                      benchmark::DoNotOptimize(must(client.send_call(call)));
+                    }
+                  });
+
+  for (const int pct : {100, 75, 50, 25}) {
+    register_series(
+        figure + "/ValueReserialization_" + std::to_string(pct) + "pct/Double",
+        [pct](benchmark::State& state, std::size_t n) {
+          BenchEnv env;
+          core::BsoapClient client(*env.transport);
+          auto message = client.bind(soap::make_double_array_call(
+              soap::doubles_with_serialized_length(n, kPsmDoubleChars, 1)));
+          (void)must(message->send());  // first-time send primes everything
+          // Two same-width replacement pools, alternated so every send
+          // writes genuinely different bytes.
+          const auto pool_a =
+              soap::doubles_with_serialized_length(n, kPsmDoubleChars, 2);
+          const auto pool_b =
+              soap::doubles_with_serialized_length(n, kPsmDoubleChars, 3);
+          const std::size_t rewrite = n * static_cast<std::size_t>(pct) / 100;
+          bool flip = false;
+          for (auto _ : state) {
+            const auto& pool = flip ? pool_a : pool_b;
+            flip = !flip;
+            for (std::size_t i = 0; i < rewrite; ++i) {
+              message->set_double_element(0, i, pool[i]);
+            }
+            const core::SendReport report = must(message->send());
+            BSOAP_ASSERT(report.update.expansions == 0);
+          }
+        });
+  }
+
+  register_series(figure + "/ContentMatch/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    BenchEnv env;
+                    core::BsoapClient client(*env.transport);
+                    auto message = client.bind(soap::make_double_array_call(
+                        soap::doubles_with_serialized_length(n, kPsmDoubleChars, 1)));
+                    (void)must(message->send());
+                    for (auto _ : state) {
+                      benchmark::DoNotOptimize(must(message->send()));
+                    }
+                  });
+}
+
+inline void register_psm_mio_series(const std::string& figure) {
+  // MIOs whose double field is the 24-char maximum so same-width
+  // replacements are plentiful; integers stay untouched, as in the paper.
+  constexpr int kMioChars = 36;  // 6 + 6 + 24
+
+  register_series(figure + "/bSOAP_FullSerialization/MIO",
+                  [](benchmark::State& state, std::size_t n) {
+                    BenchEnv env;
+                    core::BsoapClientConfig config;
+                    config.differential = false;
+                    core::BsoapClient client(*env.transport, config);
+                    const soap::RpcCall call = soap::make_mio_array_call(
+                        soap::mios_with_serialized_length(n, kMioChars, 1));
+                    (void)must(client.send_call(call));  // warm connection
+                    for (auto _ : state) {
+                      benchmark::DoNotOptimize(must(client.send_call(call)));
+                    }
+                  });
+
+  for (const int pct : {100, 75, 50, 25}) {
+    register_series(
+        figure + "/ValueReserialization_" + std::to_string(pct) + "pct/MIO",
+        [pct](benchmark::State& state, std::size_t n) {
+          BenchEnv env;
+          core::BsoapClient client(*env.transport);
+          auto message = client.bind(soap::make_mio_array_call(
+              soap::mios_with_serialized_length(n, kMioChars, 1)));
+          (void)must(message->send());
+          const auto pool_a = soap::doubles_with_serialized_length(n, 24, 2);
+          const auto pool_b = soap::doubles_with_serialized_length(n, 24, 3);
+          const std::size_t rewrite = n * static_cast<std::size_t>(pct) / 100;
+          bool flip = false;
+          for (auto _ : state) {
+            const auto& pool = flip ? pool_a : pool_b;
+            flip = !flip;
+            for (std::size_t i = 0; i < rewrite; ++i) {
+              message->set_mio_field_value(0, i, pool[i]);
+            }
+            const core::SendReport report = must(message->send());
+            BSOAP_ASSERT(report.update.expansions == 0);
+          }
+        });
+  }
+
+  register_series(figure + "/ContentMatch/MIO",
+                  [](benchmark::State& state, std::size_t n) {
+                    BenchEnv env;
+                    core::BsoapClient client(*env.transport);
+                    auto message = client.bind(soap::make_mio_array_call(
+                        soap::mios_with_serialized_length(n, kMioChars, 1)));
+                    (void)must(message->send());
+                    for (auto _ : state) {
+                      benchmark::DoNotOptimize(must(message->send()));
+                    }
+                  });
+}
+
+}  // namespace bsoap::bench

@@ -1,0 +1,144 @@
+// Shared registration for the shifting figures (paper Figures 6-9).
+//
+// Shifting is on-the-fly message expansion: a new value outgrows its field
+// and the chunk tail must move. Steady state would hide it (fields stay wide
+// after the first expansion), so these benches rebuild the template from the
+// small values before every timed iteration (manual timing; the rebuild is
+// excluded, the grow-and-send is measured), exactly the paper's
+// worst-case protocol.
+#pragma once
+
+#include "bench/bench_common.hpp"
+#include "common/timing.hpp"
+#include "core/client.hpp"
+#include "soap/workload.hpp"
+#include "textconv/widths.hpp"
+
+namespace bsoap::bench {
+
+inline core::BsoapClientConfig shift_config(std::size_t chunk_bytes) {
+  core::BsoapClientConfig config;
+  config.tmpl.chunk.chunk_size = chunk_bytes;
+  config.tmpl.chunk.split_threshold = chunk_bytes * 2;
+  config.tmpl.stuffing.mode = core::StuffingPolicy::Mode::kExact;
+  config.tmpl.enable_stealing = false;  // isolate pure shifting
+  return config;
+}
+
+/// Doubles: grow pct% of the array from `from_chars` to `to_chars` per send.
+inline void register_shift_double(const std::string& name, int from_chars,
+                                  int to_chars, int pct,
+                                  std::size_t chunk_bytes) {
+  register_series(
+      name,
+      [from_chars, to_chars, pct, chunk_bytes](benchmark::State& state,
+                                               std::size_t n) {
+        BenchEnv env;
+        core::BsoapClient client(*env.transport, shift_config(chunk_bytes));
+        const auto small =
+            soap::doubles_with_serialized_length(n, from_chars, 1);
+        const auto big = soap::doubles_with_serialized_length(n, to_chars, 2);
+        const soap::RpcCall base = soap::make_double_array_call(small);
+        for (auto _ : state) {
+          auto message = client.bind(base);  // untimed template rebuild
+          StopWatch watch;
+          // Spread the grown values evenly over the array (Bresenham-style)
+          // so chunk-split dynamics match a uniform update pattern.
+          for (std::size_t i = 0; i < n; ++i) {
+            if ((i * static_cast<std::size_t>(pct)) % 100 <
+                static_cast<std::size_t>(pct)) {
+              message->set_double_element(0, i, big[i]);
+            }
+          }
+          (void)must(message->send());
+          state.SetIterationTime(static_cast<double>(watch.elapsed_ns()) / 1e9);
+        }
+      },
+      /*manual_time=*/true);
+}
+
+/// MIOs: grow pct% of the MIO doubles so the MIO expands from `from_total`
+/// to `to_total` characters.
+inline void register_shift_mio(const std::string& name, int from_total,
+                               int to_total, int pct,
+                               std::size_t chunk_bytes) {
+  register_series(
+      name,
+      [from_total, to_total, pct, chunk_bytes](benchmark::State& state,
+                                               std::size_t n) {
+        BenchEnv env;
+        core::BsoapClient client(*env.transport, shift_config(chunk_bytes));
+        const auto small = soap::mios_with_serialized_length(n, from_total, 1);
+        const auto big = soap::mios_with_serialized_length(n, to_total, 2);
+        const soap::RpcCall base = soap::make_mio_array_call(small);
+        for (auto _ : state) {
+          auto message = client.bind(base);
+          StopWatch watch;
+          for (std::size_t i = 0; i < n; ++i) {
+            if ((i * static_cast<std::size_t>(pct)) % 100 <
+                static_cast<std::size_t>(pct)) {
+              message->set_mio_element(0, i, big[i]);
+            }
+          }
+          (void)must(message->send());
+          state.SetIterationTime(static_cast<double>(watch.elapsed_ns()) / 1e9);
+        }
+      },
+      /*manual_time=*/true);
+}
+
+/// Reference line: 100% value re-serialization with no shifting (all widths
+/// already at to_chars). Manual timing for comparability.
+inline void register_noshift_double(const std::string& name, int chars) {
+  register_series(
+      name,
+      [chars](benchmark::State& state, std::size_t n) {
+        BenchEnv env;
+        core::BsoapClient client(*env.transport, shift_config(32 * 1024));
+        auto message = client.bind(soap::make_double_array_call(
+            soap::doubles_with_serialized_length(n, chars, 1)));
+        (void)must(message->send());
+        const auto pool_a = soap::doubles_with_serialized_length(n, chars, 2);
+        const auto pool_b = soap::doubles_with_serialized_length(n, chars, 3);
+        bool flip = false;
+        for (auto _ : state) {
+          const auto& pool = flip ? pool_a : pool_b;
+          flip = !flip;
+          StopWatch watch;
+          for (std::size_t i = 0; i < n; ++i) {
+            message->set_double_element(0, i, pool[i]);
+          }
+          (void)must(message->send());
+          state.SetIterationTime(static_cast<double>(watch.elapsed_ns()) / 1e9);
+        }
+      },
+      /*manual_time=*/true);
+}
+
+inline void register_noshift_mio(const std::string& name, int total_chars) {
+  register_series(
+      name,
+      [total_chars](benchmark::State& state, std::size_t n) {
+        BenchEnv env;
+        core::BsoapClient client(*env.transport, shift_config(32 * 1024));
+        auto message = client.bind(soap::make_mio_array_call(
+            soap::mios_with_serialized_length(n, total_chars, 1)));
+        (void)must(message->send());
+        const auto pool_a = soap::mios_with_serialized_length(n, total_chars, 2);
+        const auto pool_b = soap::mios_with_serialized_length(n, total_chars, 3);
+        bool flip = false;
+        for (auto _ : state) {
+          const auto& pool = flip ? pool_a : pool_b;
+          flip = !flip;
+          StopWatch watch;
+          for (std::size_t i = 0; i < n; ++i) {
+            message->set_mio_element(0, i, pool[i]);
+          }
+          (void)must(message->send());
+          state.SetIterationTime(static_cast<double>(watch.elapsed_ns()) / 1e9);
+        }
+      },
+      /*manual_time=*/true);
+}
+
+}  // namespace bsoap::bench

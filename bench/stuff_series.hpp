@@ -1,0 +1,151 @@
+// Shared registration for the stuffing figures (paper Figures 10 and 11).
+//
+// Stuffing pads fields with whitespace up to a chosen width so updates never
+// shift. Its two costs, measured separately as in the paper:
+//  * larger messages on the wire — minimum values sent inside minimum /
+//    intermediate / maximum field widths (no closing-tag shift: every
+//    rewrite has the same serialized size);
+//  * closing-tag shifts — minimum values written on top of maximum-size
+//    values, moving the closing tag as far as possible every send.
+// A simulated 1 Gb/s wire variant makes the message-size cost visible at the
+// paper's link speed (loopback alone underweights bytes on the wire).
+#pragma once
+
+#include "bench/bench_common.hpp"
+#include "common/timing.hpp"
+#include "core/client.hpp"
+#include "soap/workload.hpp"
+#include "textconv/widths.hpp"
+
+namespace bsoap::bench {
+
+inline core::BsoapClientConfig stuffed_config(core::StuffingPolicy::Mode mode,
+                                              std::uint32_t fixed_width) {
+  core::BsoapClientConfig config;
+  config.tmpl.stuffing.mode = mode;
+  config.tmpl.stuffing.fixed_width = fixed_width;
+  return config;
+}
+
+/// Minimum-size doubles rewritten in place inside fields of `width` chars
+/// (width 0 = exact). Steady state, no tag shifts after the first send.
+inline void register_stuff_double(const std::string& name, std::uint32_t width,
+                                  double wire_bps) {
+  register_series(name, [width, wire_bps](benchmark::State& state,
+                                          std::size_t n) {
+    BenchEnv env(wire_bps);
+    const auto config =
+        width == 0
+            ? stuffed_config(core::StuffingPolicy::Mode::kExact, 0)
+            : stuffed_config(core::StuffingPolicy::Mode::kFixed, width);
+    core::BsoapClient client(*env.transport, config);
+    auto message = client.bind(soap::make_double_array_call(
+        soap::doubles_with_serialized_length(n, 1, 1)));
+    (void)must(message->send());
+    const auto pool_a = soap::doubles_with_serialized_length(n, 1, 2);
+    const auto pool_b = soap::doubles_with_serialized_length(n, 1, 3);
+    bool flip = false;
+    for (auto _ : state) {
+      const auto& pool = flip ? pool_a : pool_b;
+      flip = !flip;
+      for (std::size_t i = 0; i < n; ++i) {
+        message->set_double_element(0, i, pool[i]);
+      }
+      benchmark::DoNotOptimize(must(message->send()));
+    }
+    state.counters["msg_bytes"] =
+        static_cast<double>(message->tmpl().buffer().total_size());
+  });
+}
+
+/// Full closing-tag shift: write minimum values over maximum values inside
+/// maximum-width fields. Per manual iteration the template is refilled with
+/// maxima (untimed), then the minima write+send is timed.
+inline void register_stuff_double_tagshift(const std::string& name) {
+  register_series(
+      name,
+      [](benchmark::State& state, std::size_t n) {
+        BenchEnv env;
+        core::BsoapClient client(
+            *env.transport,
+            stuffed_config(core::StuffingPolicy::Mode::kTypeMax, 0));
+        auto message = client.bind(soap::make_double_array_call(
+            soap::doubles_with_serialized_length(n, 24, 1)));
+        (void)must(message->send());
+        const auto maxima = soap::doubles_with_serialized_length(n, 24, 2);
+        const auto minima = soap::doubles_with_serialized_length(n, 1, 3);
+        for (auto _ : state) {
+          for (std::size_t i = 0; i < n; ++i) {
+            message->set_double_element(0, i, maxima[i]);
+          }
+          (void)must(message->send());  // untimed refill with maxima
+          StopWatch watch;
+          for (std::size_t i = 0; i < n; ++i) {
+            message->set_double_element(0, i, minima[i]);
+          }
+          (void)must(message->send());
+          state.SetIterationTime(static_cast<double>(watch.elapsed_ns()) / 1e9);
+        }
+      },
+      /*manual_time=*/true);
+}
+
+/// MIO variants. Field widths are per leaf: exact for the minimum, fixed
+/// `leaf_width` for intermediate, TypeMax (11/11/24 = 46 total) for maximum.
+inline void register_stuff_mio(const std::string& name,
+                               core::StuffingPolicy::Mode mode,
+                               std::uint32_t leaf_width, double wire_bps) {
+  register_series(name, [mode, leaf_width, wire_bps](benchmark::State& state,
+                                                     std::size_t n) {
+    BenchEnv env(wire_bps);
+    core::BsoapClient client(*env.transport,
+                             stuffed_config(mode, leaf_width));
+    auto message = client.bind(
+        soap::make_mio_array_call(soap::mios_with_serialized_length(n, 3, 1)));
+    (void)must(message->send());
+    const auto pool_a = soap::mios_with_serialized_length(n, 3, 2);
+    const auto pool_b = soap::mios_with_serialized_length(n, 3, 3);
+    bool flip = false;
+    for (auto _ : state) {
+      const auto& pool = flip ? pool_a : pool_b;
+      flip = !flip;
+      for (std::size_t i = 0; i < n; ++i) {
+        message->set_mio_element(0, i, pool[i]);
+      }
+      benchmark::DoNotOptimize(must(message->send()));
+    }
+    state.counters["msg_bytes"] =
+        static_cast<double>(message->tmpl().buffer().total_size());
+  });
+}
+
+inline void register_stuff_mio_tagshift(const std::string& name) {
+  register_series(
+      name,
+      [](benchmark::State& state, std::size_t n) {
+        BenchEnv env;
+        core::BsoapClient client(
+            *env.transport,
+            stuffed_config(core::StuffingPolicy::Mode::kTypeMax, 0));
+        auto message = client.bind(soap::make_mio_array_call(
+            soap::mios_with_serialized_length(n, 46, 1)));
+        (void)must(message->send());
+        const auto maxima = soap::mios_with_serialized_length(n, 46, 2);
+        const auto minima = soap::mios_with_serialized_length(n, 3, 3);
+        for (auto _ : state) {
+          for (std::size_t i = 0; i < n; ++i) {
+            message->set_mio_element(0, i, maxima[i]);
+          }
+          (void)must(message->send());
+          StopWatch watch;
+          for (std::size_t i = 0; i < n; ++i) {
+            message->set_mio_element(0, i, minima[i]);
+          }
+          (void)must(message->send());
+          state.SetIterationTime(static_cast<double>(watch.elapsed_ns()) / 1e9);
+        }
+      },
+      /*manual_time=*/true);
+}
+
+}  // namespace bsoap::bench

@@ -1,0 +1,45 @@
+#include "baseline/gsoap_like.hpp"
+
+#include "soap/envelope_reader.hpp"
+#include "soap/envelope_writer.hpp"
+#include "soap/soap_server.hpp"
+
+namespace bsoap::baseline {
+
+Status GSoapLikeClient::send_envelope(const soap::RpcCall& call) {
+  sink_.clear();
+  soap::write_rpc_envelope(sink_, call);
+  last_envelope_size_ = sink_.size();
+
+  http::HttpRequest head;
+  head.method = "POST";
+  head.target = endpoint_path_;
+  head.headers.push_back(http::Header{"Host", "localhost"});
+  head.headers.push_back(
+      http::Header{"Content-Type", "text/xml; charset=utf-8"});
+  head.headers.push_back(http::Header{"SOAPAction", "\"" + call.method + "\""});
+  const net::ConstSlice body[] = {
+      net::ConstSlice{sink_.str().data(), sink_.str().size()}};
+  return connection_.send_request(std::move(head), body);
+}
+
+Result<std::size_t> GSoapLikeClient::send_call(const soap::RpcCall& call) {
+  BSOAP_RETURN_IF_ERROR(send_envelope(call));
+  return last_envelope_size_;
+}
+
+Result<soap::Value> GSoapLikeClient::invoke(const soap::RpcCall& call) {
+  BSOAP_RETURN_IF_ERROR(send_envelope(call));
+  Result<http::HttpResponse> response = connection_.read_response();
+  if (!response.ok()) return response.error();
+  if (response.value().status != 200) {
+    return Error{ErrorCode::kProtocolError,
+                 "HTTP status " + std::to_string(response.value().status)};
+  }
+  Result<soap::RpcCall> envelope =
+      soap::read_rpc_envelope(response.value().body);
+  if (!envelope.ok()) return envelope.error();
+  return soap::extract_rpc_result(envelope.value(), call.method);
+}
+
+}  // namespace bsoap::baseline

@@ -1,0 +1,50 @@
+// gSOAP-like baseline client: full serialization on every send.
+//
+// Stands in for the gSOAP 2.x comparator from the paper's evaluation (see
+// DESIGN.md, substitutions). Architecture mirrors gSOAP: one contiguous
+// auto-growing send buffer that is reused across calls (capacity persists),
+// tight per-type conversion loops, serialization from scratch on every
+// invocation, HTTP POST framing with Content-Length or HTTP/1.1 chunking.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "buffer/sinks.hpp"
+#include "common/error.hpp"
+#include "http/connection.hpp"
+#include "net/transport.hpp"
+#include "soap/value.hpp"
+
+namespace bsoap::baseline {
+
+class GSoapLikeClient {
+ public:
+  /// The transport must outlive the client.
+  explicit GSoapLikeClient(net::Transport& transport,
+                           std::string endpoint_path = "/")
+      : transport_(transport),
+        connection_(transport),
+        endpoint_path_(std::move(endpoint_path)) {}
+
+  /// Serializes `call` from scratch and sends it; does not read a response
+  /// (the paper's Send Time protocol). Returns bytes put on the wire.
+  Result<std::size_t> send_call(const soap::RpcCall& call);
+
+  /// Full RPC: send, then read and parse the response envelope.
+  Result<soap::Value> invoke(const soap::RpcCall& call);
+
+  /// Bytes of the last serialized envelope (excluding HTTP framing).
+  std::size_t last_envelope_size() const { return last_envelope_size_; }
+
+ private:
+  Status send_envelope(const soap::RpcCall& call);
+
+  net::Transport& transport_;
+  http::HttpConnection connection_;
+  std::string endpoint_path_;
+  buffer::StringSink sink_;  // reused: capacity persists across calls
+  std::size_t last_envelope_size_ = 0;
+};
+
+}  // namespace bsoap::baseline

@@ -1,0 +1,170 @@
+#include "baseline/xsoap_like.hpp"
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "soap/constants.hpp"
+#include "xml/escape.hpp"
+
+namespace bsoap::baseline {
+namespace {
+
+using soap::Value;
+using soap::ValueKind;
+
+/// Boxed scalar: one heap allocation per value, like java.lang.Double /
+/// java.lang.Integer in pre-autoboxing-era Java SOAP stacks.
+template <typename T>
+struct Box {
+  explicit Box(T v) : value(v) {}
+  T value;
+};
+
+std::string convert_double(double v) {
+  // ostringstream: locale-aware stream formatting, the cost analogue of
+  // Double.toString(); precision 17 guarantees round-trip.
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+std::string convert_int(std::int32_t v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string element(const std::string& name, const std::string& attrs,
+                    const std::string& content) {
+  std::string out;
+  out += "<";
+  out += name;
+  out += attrs;
+  out += ">";
+  out += content;
+  out += "</";
+  out += name;
+  out += ">";
+  return out;
+}
+
+std::string serialize_value(const std::string& name, const Value& value);
+
+std::string serialize_array_items(const Value& value) {
+  std::string items;
+  switch (value.kind()) {
+    case ValueKind::kDoubleArray:
+      for (const double v : value.doubles()) {
+        auto boxed = std::make_unique<Box<double>>(v);
+        items += element("item", "", convert_double(boxed->value));
+      }
+      break;
+    case ValueKind::kIntArray:
+      for (const std::int32_t v : value.ints()) {
+        auto boxed = std::make_unique<Box<std::int32_t>>(v);
+        items += element("item", "", convert_int(boxed->value));
+      }
+      break;
+    case ValueKind::kMioArray:
+      for (const soap::Mio& m : value.mios()) {
+        std::string mio;
+        mio += element("x", "", convert_int(m.x));
+        mio += element("y", "", convert_int(m.y));
+        mio += element("v", "", convert_double(m.value));
+        items += element("item", "", mio);
+      }
+      break;
+    default:
+      break;
+  }
+  return items;
+}
+
+std::string array_type(std::string_view elem, std::size_t n) {
+  std::ostringstream os;
+  os << " xsi:type=\"SOAP-ENC:Array\" SOAP-ENC:arrayType=\"" << elem << "["
+     << n << "]\"";
+  return os.str();
+}
+
+std::string serialize_value(const std::string& name, const Value& value) {
+  switch (value.kind()) {
+    case ValueKind::kInt32:
+      return element(name, " xsi:type=\"xsd:int\"", convert_int(value.as_int()));
+    case ValueKind::kInt64: {
+      std::ostringstream os;
+      os << value.as_int64();
+      return element(name, " xsi:type=\"xsd:long\"", os.str());
+    }
+    case ValueKind::kDouble:
+      return element(name, " xsi:type=\"xsd:double\"",
+                     convert_double(value.as_double()));
+    case ValueKind::kBool:
+      return element(name, " xsi:type=\"xsd:boolean\"",
+                     value.as_bool() ? "true" : "false");
+    case ValueKind::kString: {
+      std::string escaped;
+      xml::escape_append(escaped, value.as_string());
+      return element(name, " xsi:type=\"xsd:string\"", escaped);
+    }
+    case ValueKind::kDoubleArray:
+      return element(name, array_type("xsd:double", value.doubles().size()),
+                     serialize_array_items(value));
+    case ValueKind::kIntArray:
+      return element(name, array_type("xsd:int", value.ints().size()),
+                     serialize_array_items(value));
+    case ValueKind::kMioArray:
+      return element(name, array_type("ns1:MIO", value.mios().size()),
+                     serialize_array_items(value));
+    case ValueKind::kStruct: {
+      std::string members;
+      for (const Value::Member& m : value.members()) {
+        members += serialize_value(m.name, m.value);
+      }
+      return element(name, "", members);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Result<std::size_t> XSoapLikeClient::send_call(const soap::RpcCall& call) {
+  std::string params;
+  for (const soap::Param& p : call.params) {
+    params += serialize_value(p.name, p.value);
+  }
+  const std::string method_tag = "ns1:" + call.method;
+  std::string body = element(
+      method_tag, " xmlns:ns1=\"" + call.service_namespace + "\"", params);
+
+  std::string envelope = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+  std::string envelope_attrs;
+  envelope_attrs += " xmlns:SOAP-ENV=\"";
+  envelope_attrs += soap::kSoapEnvelopeNs;
+  envelope_attrs += "\" xmlns:SOAP-ENC=\"";
+  envelope_attrs += soap::kSoapEncodingNs;
+  envelope_attrs += "\" xmlns:xsi=\"";
+  envelope_attrs += soap::kXsiNs;
+  envelope_attrs += "\" xmlns:xsd=\"";
+  envelope_attrs += soap::kXsdNs;
+  envelope_attrs += "\"";
+  envelope += element("SOAP-ENV:Envelope", envelope_attrs,
+                      element("SOAP-ENV:Body", "", body));
+  last_envelope_size_ = envelope.size();
+
+  http::HttpRequest head;
+  head.target = endpoint_path_;
+  head.headers.push_back(http::Header{"Host", "localhost"});
+  head.headers.push_back(
+      http::Header{"Content-Type", "text/xml; charset=utf-8"});
+  head.headers.push_back(http::Header{"SOAPAction", "\"" + call.method + "\""});
+  const net::ConstSlice slices[] = {
+      net::ConstSlice{envelope.data(), envelope.size()}};
+  BSOAP_RETURN_IF_ERROR(connection_.send_request(std::move(head), slices));
+  return last_envelope_size_;
+}
+
+}  // namespace bsoap::baseline

@@ -1,0 +1,210 @@
+#include "buffer/chunked_buffer.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bsoap::buffer {
+
+ChunkedBuffer::ChunkedBuffer(ChunkConfig config) : config_(config) {
+  BSOAP_ASSERT(config_.chunk_size > 0);
+  BSOAP_ASSERT(config_.payload_limit() > 0);
+}
+
+ChunkedBuffer::Chunk ChunkedBuffer::make_chunk(std::size_t capacity) const {
+  Chunk c;
+  c.data = std::make_unique<char[]>(capacity);
+  c.capacity = capacity;
+  c.size = 0;
+  return c;
+}
+
+void ChunkedBuffer::append(const char* data, std::size_t n) {
+  BSOAP_ASSERT(reserved_ == 0);
+  while (n > 0) {
+    if (chunks_.empty() || last().size >= config_.payload_limit()) {
+      chunks_.push_back(make_chunk(config_.chunk_size));
+    }
+    Chunk& c = last();
+    const std::size_t room = config_.payload_limit() - c.size;
+    const std::size_t take = std::min(room, n);
+    std::memcpy(c.data.get() + c.size, data, take);
+    c.size += take;
+    total_size_ += take;
+    data += take;
+    n -= take;
+  }
+}
+
+char* ChunkedBuffer::reserve_contiguous(std::size_t n) {
+  BSOAP_ASSERT(reserved_ == 0);
+  BSOAP_ASSERT(n <= config_.payload_limit());
+  if (chunks_.empty() || config_.payload_limit() - last().size < n) {
+    chunks_.push_back(make_chunk(config_.chunk_size));
+  }
+  reserved_ = n;
+  return last().data.get() + last().size;
+}
+
+void ChunkedBuffer::commit(std::size_t written) {
+  BSOAP_ASSERT(written <= reserved_);
+  last().size += written;
+  total_size_ += written;
+  reserved_ = 0;
+}
+
+BufPos ChunkedBuffer::end_pos() const {
+  if (chunks_.empty()) return BufPos{0, 0};
+  return BufPos{static_cast<std::uint32_t>(chunks_.size() - 1),
+                static_cast<std::uint32_t>(chunks_.back().size)};
+}
+
+std::string_view ChunkedBuffer::chunk_view(std::size_t i) const {
+  BSOAP_ASSERT(i < chunks_.size());
+  return std::string_view(chunks_[i].data.get(), chunks_[i].size);
+}
+
+std::size_t ChunkedBuffer::chunk_capacity(std::size_t i) const {
+  BSOAP_ASSERT(i < chunks_.size());
+  return chunks_[i].capacity;
+}
+
+char* ChunkedBuffer::at(BufPos pos) {
+  BSOAP_ASSERT(pos.chunk < chunks_.size());
+  Chunk& c = chunks_[pos.chunk];
+  BSOAP_ASSERT(pos.offset <= c.size);
+  return c.data.get() + pos.offset;
+}
+
+const char* ChunkedBuffer::at(BufPos pos) const {
+  return const_cast<ChunkedBuffer*>(this)->at(pos);
+}
+
+std::string ChunkedBuffer::linearize() const {
+  std::string out;
+  out.reserve(total_size_);
+  for (const Chunk& c : chunks_) out.append(c.data.get(), c.size);
+  return out;
+}
+
+void ChunkedBuffer::read_at(BufPos pos, char* out, std::size_t n) const {
+  std::size_t chunk = pos.chunk;
+  std::size_t offset = pos.offset;
+  while (n > 0) {
+    BSOAP_ASSERT(chunk < chunks_.size());
+    const Chunk& c = chunks_[chunk];
+    const std::size_t take = std::min(n, c.size - offset);
+    std::memcpy(out, c.data.get() + offset, take);
+    out += take;
+    n -= take;
+    ++chunk;
+    offset = 0;
+  }
+}
+
+void ChunkedBuffer::write_at(BufPos pos, const char* data, std::size_t n) {
+  BSOAP_ASSERT(pos.chunk < chunks_.size());
+  Chunk& c = chunks_[pos.chunk];
+  BSOAP_ASSERT(pos.offset + n <= c.size);
+  std::memcpy(c.data.get() + pos.offset, data, n);
+}
+
+ExpandResult ChunkedBuffer::expand_at(BufPos pos, std::size_t old_len,
+                                      std::size_t new_len) {
+  BSOAP_ASSERT(new_len >= old_len);
+  BSOAP_ASSERT(pos.chunk < chunks_.size());
+  ExpandResult result;
+  const std::size_t delta = new_len - old_len;
+  if (delta == 0) return result;
+
+  Chunk* c = &chunks_[pos.chunk];
+  const std::size_t region_end = pos.offset + old_len;
+  BSOAP_ASSERT(region_end <= c->size);
+  const std::size_t tail_len = c->size - region_end;
+
+  if (c->size + delta <= c->capacity) {
+    // Fast path: enough slack at the end of the chunk; shift the tail.
+    result.outcome = ExpandOutcome::kSlack;
+  } else if (c->size + delta <= config_.split_threshold) {
+    // Reallocate this chunk into a larger memory region.
+    const std::size_t new_capacity =
+        std::max(c->size + delta + config_.tail_reserve, c->capacity * 2);
+    Chunk bigger = make_chunk(new_capacity);
+    std::memcpy(bigger.data.get(), c->data.get(), c->size);
+    bigger.size = c->size;
+    *c = std::move(bigger);
+    result.outcome = ExpandOutcome::kRealloc;
+  } else {
+    // Split: the tail after the expanded region moves to a new chunk
+    // inserted right after this one.
+    const std::size_t new_capacity =
+        std::max(config_.chunk_size, tail_len + config_.tail_reserve);
+    Chunk tail_chunk = make_chunk(new_capacity);
+    std::memcpy(tail_chunk.data.get(), c->data.get() + region_end, tail_len);
+    tail_chunk.size = tail_len;
+    c->size = region_end;
+    chunks_.insert(chunks_.begin() + pos.chunk + 1, std::move(tail_chunk));
+    c = &chunks_[pos.chunk];  // vector may have reallocated
+    result.outcome = ExpandOutcome::kSplit;
+    result.split_offset = region_end;
+    // If even the region alone no longer fits, grow this chunk too.
+    if (pos.offset + new_len > c->capacity) {
+      Chunk bigger = make_chunk(pos.offset + new_len + config_.tail_reserve);
+      std::memcpy(bigger.data.get(), c->data.get(), c->size);
+      bigger.size = c->size;
+      *c = std::move(bigger);
+    }
+    c->size = pos.offset + new_len;
+    total_size_ += delta;
+    return result;
+  }
+
+  // kSlack / kRealloc: shift the tail right by delta.
+  char* base = c->data.get();
+  std::memmove(base + region_end + delta, base + region_end, tail_len);
+  c->size += delta;
+  total_size_ += delta;
+  return result;
+}
+
+void ChunkedBuffer::contract_at(BufPos pos, std::size_t old_len,
+                                std::size_t new_len) {
+  BSOAP_ASSERT(new_len <= old_len);
+  BSOAP_ASSERT(pos.chunk < chunks_.size());
+  Chunk& c = chunks_[pos.chunk];
+  const std::size_t region_end = pos.offset + old_len;
+  BSOAP_ASSERT(region_end <= c.size);
+  const std::size_t delta = old_len - new_len;
+  if (delta == 0) return;
+  char* base = c.data.get();
+  std::memmove(base + region_end - delta, base + region_end,
+               c.size - region_end);
+  c.size -= delta;
+  total_size_ -= delta;
+}
+
+std::vector<ChunkedBuffer::Slice> ChunkedBuffer::slices() const {
+  std::vector<Slice> out;
+  out.reserve(chunks_.size());
+  for (const Chunk& c : chunks_) {
+    if (c.size > 0) out.push_back(Slice{c.data.get(), c.size});
+  }
+  return out;
+}
+
+void ChunkedBuffer::clear() {
+  chunks_.clear();
+  total_size_ = 0;
+  reserved_ = 0;
+}
+
+bool ChunkedBuffer::check_invariants() const {
+  std::size_t sum = 0;
+  for (const Chunk& c : chunks_) {
+    if (c.size > c.capacity) return false;
+    if (c.capacity == 0 || c.data == nullptr) return false;
+    sum += c.size;
+  }
+  return sum == total_size_ && reserved_ == 0;
+}
+
+}  // namespace bsoap::buffer

@@ -1,0 +1,171 @@
+// Chunked message storage (paper Section 3.2).
+//
+// Serialized SOAP templates are not stored contiguously: the message lives in
+// variable-sized, potentially noncontiguous chunks so that on-the-fly
+// expansion ("shifting") moves at most one chunk's tail instead of the whole
+// message. Three configurable parameters — mirrored from the paper — govern
+// behaviour: the default chunk size, the threshold above which a chunk is
+// split in two rather than reallocated, and the slack left empty at the end
+// of each chunk so small shifts need no allocation at all.
+//
+// Positions into the store are (chunk index, offset) pairs rather than raw
+// pointers: a shift then only renumbers offsets within a single chunk, and a
+// split renumbers chunk indices after the split point (see DutTable).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bsoap::buffer {
+
+/// Tuning knobs from the paper: "Configurable parameters determine the
+/// default initial chunk size, the threshold at which chunks are split into
+/// two, and the space that is initially left empty at the end of a chunk."
+struct ChunkConfig {
+  std::size_t chunk_size = 32 * 1024;   ///< capacity of newly created chunks
+  std::size_t split_threshold = 64 * 1024;  ///< grow past this => split
+  std::size_t tail_reserve = 512;       ///< slack kept empty while building
+
+  /// Bytes of a fresh chunk usable during initial serialization.
+  std::size_t payload_limit() const {
+    return tail_reserve < chunk_size ? chunk_size - tail_reserve : chunk_size;
+  }
+};
+
+/// A stable position in a ChunkedBuffer.
+struct BufPos {
+  std::uint32_t chunk = 0;
+  std::uint32_t offset = 0;
+
+  bool operator==(const BufPos&) const = default;
+  /// Document order: chunk first, then offset.
+  bool operator<(const BufPos& rhs) const {
+    return chunk != rhs.chunk ? chunk < rhs.chunk : offset < rhs.offset;
+  }
+};
+
+/// How an expand_at call made room for the larger field.
+enum class ExpandOutcome {
+  kSlack,    ///< tail moved right within existing capacity
+  kRealloc,  ///< chunk reallocated to a larger capacity, then tail moved
+  kSplit,    ///< tail split off into a freshly inserted chunk
+};
+
+struct ExpandResult {
+  ExpandOutcome outcome = ExpandOutcome::kSlack;
+  /// Valid for kSplit: bytes at offsets >= split_offset in the original
+  /// chunk moved to the inserted chunk (same relative order, rebased to 0).
+  std::size_t split_offset = 0;
+};
+
+/// Append-plus-in-place-edit byte store backed by a list of chunks.
+class ChunkedBuffer {
+ public:
+  explicit ChunkedBuffer(ChunkConfig config = {});
+
+  ChunkedBuffer(ChunkedBuffer&&) noexcept = default;
+  ChunkedBuffer& operator=(ChunkedBuffer&&) noexcept = default;
+
+  const ChunkConfig& config() const { return config_; }
+
+  // --- building ---------------------------------------------------------
+
+  /// Appends bytes at the end, opening new chunks as needed. The data may be
+  /// split across chunk boundaries (used for tags and literal markup).
+  void append(const char* data, std::size_t n);
+  void append(std::string_view text) { append(text.data(), text.size()); }
+
+  /// Reserves `n` contiguous bytes at the end for direct writing and returns
+  /// the pointer; a new chunk is opened if the current one cannot fit them.
+  /// Caller writes up to `n` bytes then calls commit(written).
+  /// n must not exceed the chunk payload size.
+  char* reserve_contiguous(std::size_t n);
+  void commit(std::size_t written);
+
+  /// Position of the bytes handed out by the last reserve_contiguous call.
+  /// Valid between reserve_contiguous and commit.
+  BufPos reserved_pos() const {
+    BSOAP_ASSERT(!chunks_.empty());
+    return BufPos{static_cast<std::uint32_t>(chunks_.size() - 1),
+                  static_cast<std::uint32_t>(chunks_.back().size)};
+  }
+
+  /// Position one past the last byte (where the next append lands is not
+  /// guaranteed to be this position if a new chunk is opened).
+  BufPos end_pos() const;
+
+  // --- reading ----------------------------------------------------------
+
+  std::size_t total_size() const { return total_size_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  std::string_view chunk_view(std::size_t i) const;
+  std::size_t chunk_capacity(std::size_t i) const;
+
+  /// Pointer to the byte at `pos`. pos.offset may equal the chunk size only
+  /// for the final chunk (end position).
+  char* at(BufPos pos);
+  const char* at(BufPos pos) const;
+
+  /// Copies the whole message into one string (tests, linearized sends).
+  std::string linearize() const;
+
+  /// Read `n` bytes starting at `pos`, possibly across chunks.
+  void read_at(BufPos pos, char* out, std::size_t n) const;
+
+  // --- in-place editing (differential serialization) ---------------------
+
+  /// Overwrites `n` bytes at `pos`. The region must lie within one chunk —
+  /// serialized fields are always stored contiguously.
+  void write_at(BufPos pos, const char* data, std::size_t n);
+
+  /// Grows the region [pos, pos+old_len) to new_len bytes, moving the tail
+  /// of the chunk right. Bytes of the region itself are preserved (the
+  /// caller rewrites them); new bytes are uninitialized. Returns how room
+  /// was made so the caller can renumber its positions:
+  ///   kSlack/kRealloc: offsets > pos.offset+old_len in this chunk move
+  ///                    right by (new_len - old_len);
+  ///   kSplit: offsets >= split_offset move to chunk pos.chunk+1 at
+  ///           (offset - split_offset); later chunk indices shift by +1;
+  ///           then the in-chunk rule applies to what remained.
+  ExpandResult expand_at(BufPos pos, std::size_t old_len, std::size_t new_len);
+
+  /// Shrinks the region [pos, pos+old_len) to new_len, moving the chunk tail
+  /// left. Offsets > pos.offset+old_len move left by (old_len - new_len).
+  void contract_at(BufPos pos, std::size_t old_len, std::size_t new_len);
+
+  /// Gathers all chunks as (pointer, length) slices for scatter-gather IO.
+  struct Slice {
+    const char* data;
+    std::size_t len;
+  };
+  std::vector<Slice> slices() const;
+
+  /// Removes all content but keeps the configuration.
+  void clear();
+
+  /// Internal consistency check (tests): sizes/capacities are coherent.
+  bool check_invariants() const;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+  };
+
+  Chunk make_chunk(std::size_t capacity) const;
+  Chunk& last() { return chunks_.back(); }
+
+  ChunkConfig config_;
+  std::vector<Chunk> chunks_;
+  std::size_t total_size_ = 0;
+  std::size_t reserved_ = 0;  // outstanding reserve_contiguous amount
+};
+
+}  // namespace bsoap::buffer

@@ -1,0 +1,67 @@
+// Byte sinks used by the XML writer and the serializers.
+//
+// The writer is templated on a Sink so that the same emission code serves
+// the chunked template store (bSOAP), a plain contiguous buffer (the
+// gSOAP-like baseline) and a counting null sink (phase-breakdown ablation).
+//
+// Sink concept:
+//   void append(const char* data, std::size_t n);
+//   void append(std::string_view text);
+//   char* reserve_contiguous(std::size_t n);   // scratch for direct writes
+//   void commit(std::size_t written);
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "buffer/chunked_buffer.hpp"
+
+namespace bsoap::buffer {
+
+/// Contiguous auto-growing sink (the conventional-toolkit layout).
+class StringSink {
+ public:
+  void append(const char* data, std::size_t n) { out_.append(data, n); }
+  void append(std::string_view text) { out_.append(text); }
+
+  char* reserve_contiguous(std::size_t n) {
+    base_size_ = out_.size();
+    out_.resize(base_size_ + n);
+    return out_.data() + base_size_;
+  }
+  void commit(std::size_t written) { out_.resize(base_size_ + written); }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+  void clear() { out_.clear(); }
+
+ private:
+  std::string out_;
+  std::size_t base_size_ = 0;
+};
+
+/// Discards bytes but counts them; isolates conversion cost from copy cost.
+class NullSink {
+ public:
+  void append(const char*, std::size_t n) { count_ += n; }
+  void append(std::string_view text) { count_ += text.size(); }
+  char* reserve_contiguous(std::size_t n) {
+    if (scratch_.size() < n) scratch_.resize(n);
+    return scratch_.data();
+  }
+  void commit(std::size_t written) { count_ += written; }
+
+  std::size_t size() const { return count_; }
+  void clear() { count_ = 0; }
+
+ private:
+  std::size_t count_ = 0;
+  std::string scratch_;
+};
+
+// ChunkedBuffer already models the Sink concept directly.
+static_assert(sizeof(ChunkedBuffer) > 0);
+
+}  // namespace bsoap::buffer

@@ -1,0 +1,37 @@
+#include "common/error.hpp"
+
+namespace bsoap {
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "kOk";
+    case ErrorCode::kInvalidArgument: return "kInvalidArgument";
+    case ErrorCode::kOutOfRange: return "kOutOfRange";
+    case ErrorCode::kParseError: return "kParseError";
+    case ErrorCode::kIoError: return "kIoError";
+    case ErrorCode::kClosed: return "kClosed";
+    case ErrorCode::kProtocolError: return "kProtocolError";
+    case ErrorCode::kNotFound: return "kNotFound";
+    case ErrorCode::kUnsupported: return "kUnsupported";
+    case ErrorCode::kInternal: return "kInternal";
+  }
+  return "kUnknown";
+}
+
+std::string Error::to_string() const {
+  std::string out = error_code_name(code);
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "bsoap: assertion failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace bsoap

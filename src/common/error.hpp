@@ -1,0 +1,132 @@
+// Lightweight error handling for the bsoap libraries.
+//
+// We deliberately avoid exceptions on hot paths (serialization runs per
+// message); fallible setup/IO functions return Result<T>, hot paths use
+// preconditions enforced with BSOAP_ASSERT.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bsoap {
+
+/// Coarse error categories used across the library.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kParseError,
+  kIoError,
+  kClosed,
+  kProtocolError,
+  kNotFound,
+  kUnsupported,
+  kInternal,
+};
+
+/// Human-readable name for an ErrorCode.
+const char* error_code_name(ErrorCode code) noexcept;
+
+/// An error: a category plus a free-form message.
+struct Error {
+  ErrorCode code = ErrorCode::kOk;
+  std::string message;
+
+  Error() = default;
+  Error(ErrorCode c, std::string msg) : code(c), message(std::move(msg)) {}
+
+  bool ok() const noexcept { return code == ErrorCode::kOk; }
+
+  /// "kParseError: unexpected '<' at offset 12"
+  std::string to_string() const;
+
+  static Error success() { return Error{}; }
+};
+
+/// Minimal expected-like result type: either a value or an Error.
+///
+/// Usage:
+///   Result<int> r = parse(...);
+///   if (!r.ok()) return r.error();
+///   use(r.value());
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}                // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}            // NOLINT(google-explicit-constructor)
+  Result(ErrorCode code, std::string msg) : storage_(Error{code, std::move(msg)}) {}
+
+  bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  T& value() & { return std::get<T>(storage_); }
+  const T& value() const& { return std::get<T>(storage_); }
+  T&& value() && { return std::get<T>(std::move(storage_)); }
+
+  const Error& error() const& { return std::get<Error>(storage_); }
+  Error&& error() && { return std::get<Error>(std::move(storage_)); }
+
+  /// Returns the value or aborts with the error message (tests/examples).
+  T& value_or_die() & {
+    if (!ok()) {
+      std::fprintf(stderr, "bsoap: fatal: %s\n", error().to_string().c_str());
+      std::abort();
+    }
+    return value();
+  }
+  T value_or_die() && {
+    if (!ok()) {
+      std::fprintf(stderr, "bsoap: fatal: %s\n", error().to_string().c_str());
+      std::abort();
+    }
+    return std::move(*this).value();
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+  Status(ErrorCode code, std::string msg) : error_(code, std::move(msg)) {}
+
+  bool ok() const noexcept { return error_.ok(); }
+  explicit operator bool() const noexcept { return ok(); }
+  const Error& error() const& { return error_; }
+
+  void check() const {
+    if (!ok()) {
+      std::fprintf(stderr, "bsoap: fatal: %s\n", error_.to_string().c_str());
+      std::abort();
+    }
+  }
+
+ private:
+  Error error_;
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace bsoap
+
+/// Precondition check that stays on in release builds: serialization templates
+/// are stateful and silent corruption is worse than a crash.
+#define BSOAP_ASSERT(expr)                                          \
+  do {                                                              \
+    if (!(expr)) ::bsoap::detail::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+/// Propagate an error from an expression yielding Status.
+#define BSOAP_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::bsoap::Status _st = (expr);                \
+    if (!_st.ok()) return _st.error();           \
+  } while (0)

@@ -1,0 +1,3 @@
+#include "common/timing.hpp"
+
+// Header-only for now; this translation unit anchors the library target.

@@ -1,0 +1,56 @@
+// Wall-clock timing used by the benchmark harness. The paper measures "Send
+// Time": timer started before message preparation, stopped right after the
+// final send() system call returns.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace bsoap {
+
+/// Monotonic stopwatch with nanosecond resolution.
+class StopWatch {
+ public:
+  StopWatch() { reset(); }
+
+  void reset() { start_ = clock::now(); }
+
+  /// Nanoseconds since construction or the last reset().
+  std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double elapsed_ms() const {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Simple running statistics (mean/min/max) over timing samples.
+class TimingStats {
+ public:
+  void add(double sample_ms) {
+    count_ += 1;
+    sum_ += sample_ms;
+    if (sample_ms < min_) min_ = sample_ms;
+    if (sample_ms > max_) max_ = sample_ms;
+  }
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+}  // namespace bsoap

@@ -1,0 +1,41 @@
+// DEFLATE (RFC 1951) and gzip (RFC 1952), from scratch.
+//
+// gSOAP ships transport compression and the paper lists it among the
+// complementary optimizations ("they can be used when an RPC call must be
+// serialized the first time; differential serialization can then be used for
+// subsequent calls"). This module provides the substrate: an LZ77 +
+// fixed-Huffman DEFLATE compressor (valid RFC 1951 output any inflater can
+// read) and a full inflater (stored, fixed and dynamic Huffman blocks, so it
+// can decode third-party streams too), plus the gzip framing with CRC-32.
+//
+// The ablation bench compares gzip-compressed full serialization against
+// differential serialization — quantifying the paper's claim that the two
+// compose rather than compete.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bsoap::compress {
+
+/// Raw DEFLATE stream (no zlib/gzip wrapper).
+std::string deflate(std::string_view input);
+
+/// Inflates a raw DEFLATE stream. `max_output` bounds decompression bombs.
+Result<std::string> inflate(std::string_view input,
+                            std::size_t max_output = 1u << 30);
+
+/// CRC-32 (IEEE 802.3, as used by gzip).
+std::uint32_t crc32(std::string_view data,
+                    std::uint32_t seed = 0) noexcept;
+
+/// gzip member: header + deflate body + CRC32 + ISIZE.
+std::string gzip_compress(std::string_view input);
+Result<std::string> gzip_decompress(std::string_view input,
+                                    std::size_t max_output = 1u << 30);
+
+}  // namespace bsoap::compress

@@ -1,0 +1,182 @@
+#include "core/client.hpp"
+
+#include "core/template_builder.hpp"
+#include "soap/envelope_reader.hpp"
+#include "soap/soap_server.hpp"
+
+namespace bsoap::core {
+
+BsoapClient::BsoapClient(net::Transport& transport, BsoapClientConfig config)
+    : transport_(transport),
+      connection_(transport),
+      config_(std::move(config)),
+      store_(config_.max_templates) {}
+
+Result<std::size_t> BsoapClient::send_template(MessageTemplate& tmpl,
+                                               const std::string& method) {
+  http::HttpRequest head;
+  head.method = "POST";
+  head.target = config_.endpoint_path;
+  head.version = config_.http_chunked ? "HTTP/1.1" : "HTTP/1.1";
+  head.headers.push_back(http::Header{"Host", "localhost"});
+  head.headers.push_back(
+      http::Header{"Content-Type", "text/xml; charset=utf-8"});
+  head.headers.push_back(http::Header{"SOAPAction", "\"" + method + "\""});
+
+  const auto buffer_slices = tmpl.buffer().slices();
+  std::vector<net::ConstSlice> body;
+  body.reserve(buffer_slices.size());
+  for (const auto& s : buffer_slices) {
+    body.push_back(net::ConstSlice{s.data, s.len});
+  }
+  BSOAP_RETURN_IF_ERROR(
+      connection_.send_request(std::move(head), body, config_.http_chunked));
+  return tmpl.buffer().total_size();
+}
+
+Result<SendReport> BsoapClient::send_call(const soap::RpcCall& call) {
+  SendReport report;
+
+  if (!config_.differential) {
+    // "bSOAP Full Serialization": serialize from scratch each send, reusing
+    // the template object so chunk allocations stay warm (like gSOAP's
+    // reusable send buffer).
+    if (full_mode_scratch_ == nullptr) {
+      full_mode_scratch_ = build_template(call, config_.tmpl);
+    } else {
+      rebuild_template(*full_mode_scratch_, call);
+    }
+    report.match = MatchKind::kFirstTime;
+    Result<std::size_t> sent = send_template(*full_mode_scratch_, call.method);
+    if (!sent.ok()) return sent.error();
+    report.envelope_bytes = sent.value();
+    report.wire_bytes = sent.value();
+    return report;
+  }
+
+  const std::uint64_t signature = call.structure_signature();
+  MessageTemplate* tmpl = store_.find(signature);
+  if (tmpl == nullptr) {
+    tmpl = store_.insert(build_template(call, config_.tmpl));
+    report.match = MatchKind::kFirstTime;
+  } else {
+    report.update = update_template(*tmpl, call);
+    report.match = report.update.match;
+  }
+
+  Result<std::size_t> sent = send_template(*tmpl, call.method);
+  if (!sent.ok()) return sent.error();
+  report.envelope_bytes = sent.value();
+  report.wire_bytes = sent.value();
+  return report;
+}
+
+Result<soap::Value> BsoapClient::invoke(const soap::RpcCall& call) {
+  Result<SendReport> report = send_call(call);
+  if (!report.ok()) return report.error();
+  Result<http::HttpResponse> response = connection_.read_response();
+  if (!response.ok()) return response.error();
+  if (response.value().status != 200) {
+    return Error{ErrorCode::kProtocolError,
+                 "HTTP status " + std::to_string(response.value().status)};
+  }
+  Result<soap::RpcCall> envelope =
+      soap::read_rpc_envelope(response.value().body);
+  if (!envelope.ok()) return envelope.error();
+  return soap::extract_rpc_result(envelope.value(), call.method);
+}
+
+std::unique_ptr<BoundMessage> BsoapClient::bind(soap::RpcCall call) {
+  return std::unique_ptr<BoundMessage>(
+      new BoundMessage(*this, std::move(call)));
+}
+
+BoundMessage::BoundMessage(BsoapClient& client, soap::RpcCall call)
+    : client_(client), call_(std::move(call)) {
+  tmpl_ = build_template(call_, client_.config().tmpl);
+  leaf_base_.reserve(call_.params.size() + 1);
+  std::size_t base = 0;
+  for (const soap::Param& p : call_.params) {
+    leaf_base_.push_back(base);
+    base += p.value.leaf_count();
+  }
+  leaf_base_.push_back(base);
+  BSOAP_ASSERT(base == tmpl_->dut().size());
+}
+
+void BoundMessage::set_double(std::size_t param, double v) {
+  soap::Value& value = param_value(param);
+  BSOAP_ASSERT(value.kind() == soap::ValueKind::kDouble);
+  value = soap::Value::from_double(v);
+  tmpl_->dut().mark_dirty(leaf_base_[param]);
+}
+
+void BoundMessage::set_int(std::size_t param, std::int32_t v) {
+  soap::Value& value = param_value(param);
+  BSOAP_ASSERT(value.kind() == soap::ValueKind::kInt32);
+  value = soap::Value::from_int(v);
+  tmpl_->dut().mark_dirty(leaf_base_[param]);
+}
+
+void BoundMessage::set_string(std::size_t param, std::string v) {
+  soap::Value& value = param_value(param);
+  BSOAP_ASSERT(value.kind() == soap::ValueKind::kString);
+  value = soap::Value::from_string(std::move(v));
+  tmpl_->dut().mark_dirty(leaf_base_[param]);
+}
+
+void BoundMessage::set_double_element(std::size_t param, std::size_t index,
+                                      double v) {
+  soap::Value& value = param_value(param);
+  value.doubles()[index] = v;
+  tmpl_->dut().mark_dirty(leaf_base_[param] + index);
+}
+
+void BoundMessage::set_int_element(std::size_t param, std::size_t index,
+                                   std::int32_t v) {
+  soap::Value& value = param_value(param);
+  value.ints()[index] = v;
+  tmpl_->dut().mark_dirty(leaf_base_[param] + index);
+}
+
+void BoundMessage::set_mio_element(std::size_t param, std::size_t index,
+                                   const soap::Mio& v) {
+  soap::Value& value = param_value(param);
+  value.mios()[index] = v;
+  const std::size_t base = leaf_base_[param] + index * 3;
+  tmpl_->dut().mark_dirty(base);
+  tmpl_->dut().mark_dirty(base + 1);
+  tmpl_->dut().mark_dirty(base + 2);
+}
+
+void BoundMessage::set_mio_field_value(std::size_t param, std::size_t index,
+                                       double v) {
+  soap::Value& value = param_value(param);
+  value.mios()[index].value = v;
+  tmpl_->dut().mark_dirty(leaf_base_[param] + index * 3 + 2);
+}
+
+double BoundMessage::get_double_element(std::size_t param,
+                                        std::size_t index) const {
+  const soap::Value& value = call_.params[param].value;
+  return value.doubles()[index];
+}
+
+Result<SendReport> BoundMessage::send() {
+  SendReport report;
+  if (!tmpl_->dut().any_dirty()) {
+    // Paper Section 3.1: "If none of the dirty bits are set, the message
+    // has not changed and can be resent as is."
+    report.match = MatchKind::kContentMatch;
+  } else {
+    report.update = update_dirty_fields(*tmpl_, call_);
+    report.match = report.update.match;
+  }
+  Result<std::size_t> sent = client_.send_template(*tmpl_, call_.method);
+  if (!sent.ok()) return sent.error();
+  report.envelope_bytes = sent.value();
+  report.wire_bytes = sent.value();
+  return report;
+}
+
+}  // namespace bsoap::core

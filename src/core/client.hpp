@@ -1,0 +1,143 @@
+// bSOAP client stub: the user-facing API of differential serialization.
+//
+// Two usage styles:
+//
+//  1. Transparent (`send_call`) — pass a plain RpcCall every time; the stub
+//     finds the saved template for the call's structure and rewrites only
+//     the fields whose values differ from the previous send (detected by
+//     comparing against the DUT shadow copies).
+//
+//  2. Tracked (`bind` + BoundMessage setters) — the paper's envisioned
+//     "get/set methods whose implementation will update the DUT table
+//     transparently": setters mark dirty bits, send() rewrites exactly the
+//     dirty fields with no comparisons, and an unchanged message short-
+//     circuits to a resend of the stored bytes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/diff_serializer.hpp"
+#include "core/template_store.hpp"
+#include "http/connection.hpp"
+#include "net/transport.hpp"
+#include "soap/value.hpp"
+
+namespace bsoap::core {
+
+struct BsoapClientConfig {
+  TemplateConfig tmpl;
+  /// false = "bSOAP Full Serialization" from the paper's figures: the
+  /// template machinery runs, but every send re-serializes from scratch.
+  bool differential = true;
+  /// Saved templates retained across call structures (LRU; the paper keeps
+  /// one per call type, Section 6 proposes several).
+  std::size_t max_templates = 8;
+  /// Stream the template's chunks as HTTP/1.1 chunked transfer encoding
+  /// instead of Content-Length framing.
+  bool http_chunked = false;
+  std::string endpoint_path = "/";
+};
+
+/// What a send did — which of the paper's four cases applied and how much
+/// work the differential path performed.
+struct SendReport {
+  MatchKind match = MatchKind::kFirstTime;
+  UpdateResult update;
+  std::size_t envelope_bytes = 0;  ///< serialized SOAP envelope size
+  std::size_t wire_bytes = 0;      ///< envelope + HTTP framing
+};
+
+class BoundMessage;
+
+class BsoapClient {
+ public:
+  /// The transport must outlive the client.
+  explicit BsoapClient(net::Transport& transport, BsoapClientConfig config);
+  explicit BsoapClient(net::Transport& transport)
+      : BsoapClient(transport, BsoapClientConfig{}) {}
+
+  /// Sends `call`, reusing a saved template when one matches. Does not read
+  /// a response (the paper's Send Time protocol).
+  Result<SendReport> send_call(const soap::RpcCall& call);
+
+  /// Full RPC: send_call, then read and decode the response envelope.
+  Result<soap::Value> invoke(const soap::RpcCall& call);
+
+  /// Creates a tracked message bound to this client. The template is built
+  /// (first-time send happens on the first send()).
+  std::unique_ptr<BoundMessage> bind(soap::RpcCall call);
+
+  const BsoapClientConfig& config() const { return config_; }
+  TemplateStore& store() { return store_; }
+
+ private:
+  friend class BoundMessage;
+
+  /// HTTP-frames and sends a serialized template.
+  Result<std::size_t> send_template(MessageTemplate& tmpl,
+                                    const std::string& method);
+
+  net::Transport& transport_;
+  http::HttpConnection connection_;
+  BsoapClientConfig config_;
+  TemplateStore store_;
+  /// Recycled template for non-differential (full-serialization) mode.
+  std::unique_ptr<MessageTemplate> full_mode_scratch_;
+};
+
+/// A message with explicit update tracking. Mutations go through setters
+/// that update the in-memory value and set the matching DUT dirty bit.
+class BoundMessage {
+ public:
+  const soap::RpcCall& call() const { return call_; }
+  MessageTemplate& tmpl() { return *tmpl_; }
+
+  /// Leaf index of the first leaf of parameter `param` (document order).
+  std::size_t param_leaf_base(std::size_t param) const {
+    return leaf_base_[param];
+  }
+
+  // --- scalar parameters -------------------------------------------------
+  void set_double(std::size_t param, double v);
+  void set_int(std::size_t param, std::int32_t v);
+  void set_string(std::size_t param, std::string v);
+
+  // --- array parameters --------------------------------------------------
+  void set_double_element(std::size_t param, std::size_t index, double v);
+  void set_int_element(std::size_t param, std::size_t index, std::int32_t v);
+  void set_mio_element(std::size_t param, std::size_t index,
+                       const soap::Mio& v);
+  /// Updates only the field value (the double) of an MIO element.
+  void set_mio_field_value(std::size_t param, std::size_t index, double v);
+
+  double get_double_element(std::size_t param, std::size_t index) const;
+
+  /// Marks an arbitrary leaf dirty (escape hatch for struct members).
+  void mark_leaf_dirty(std::size_t leaf_index) {
+    tmpl_->dut().mark_dirty(leaf_index);
+  }
+
+  std::size_t dirty_count() const { return tmpl_->dut().dirty_count(); }
+
+  /// Sends the message: a clean DUT resends the stored bytes (content
+  /// match); otherwise only dirty fields are rewritten first.
+  Result<SendReport> send();
+
+ private:
+  friend class BsoapClient;
+  BoundMessage(BsoapClient& client, soap::RpcCall call);
+
+  soap::Value& param_value(std::size_t param) {
+    BSOAP_ASSERT(param < call_.params.size());
+    return call_.params[param].value;
+  }
+
+  BsoapClient& client_;
+  soap::RpcCall call_;
+  std::unique_ptr<MessageTemplate> tmpl_;
+  std::vector<std::size_t> leaf_base_;
+};
+
+}  // namespace bsoap::core

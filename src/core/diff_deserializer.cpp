@@ -1,0 +1,236 @@
+#include "core/diff_deserializer.hpp"
+
+#include <cstring>
+
+#include "soap/envelope_reader.hpp"
+#include "textconv/parse.hpp"
+#include "xml/escape.hpp"
+#include "xml/pull_parser.hpp"
+
+namespace bsoap::core {
+namespace {
+
+bool is_ws(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && is_ws(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_ws(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+void DiffDeserializer::reset() {
+  cache_valid_ = false;
+  fast_path_usable_ = false;
+  cached_doc_.clear();
+  regions_.clear();
+  slots_.clear();
+}
+
+Result<const soap::RpcCall*> DiffDeserializer::parse(
+    std::string_view document) {
+  if (cache_valid_ && document == cached_doc_) {
+    ++stats_.content_hits;
+    return &cached_call_;
+  }
+  if (cache_valid_ && fast_path_usable_ &&
+      document.size() == cached_doc_.size() && skeleton_matches(document)) {
+    const Status st = reparse_changed_regions(document);
+    if (st.ok()) {
+      ++stats_.fast_parses;
+      cached_doc_.assign(document);
+      return &cached_call_;
+    }
+    // A region failed to re-parse (should not happen for well-formed input);
+    // fall through to the full parse.
+  }
+  BSOAP_RETURN_IF_ERROR(full_parse(document));
+  return &cached_call_;
+}
+
+bool DiffDeserializer::skeleton_matches(std::string_view document) const {
+  // Compare every byte outside the value regions.
+  std::size_t cursor = 0;
+  for (const LeafRegion& r : regions_) {
+    if (std::memcmp(document.data() + cursor, cached_doc_.data() + cursor,
+                    r.begin - cursor) != 0) {
+      return false;
+    }
+    cursor = r.end;
+  }
+  return std::memcmp(document.data() + cursor, cached_doc_.data() + cursor,
+                     document.size() - cursor) == 0;
+}
+
+Status DiffDeserializer::reparse_changed_regions(std::string_view document) {
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    const LeafRegion& r = regions_[i];
+    const std::string_view fresh = document.substr(r.begin, r.end - r.begin);
+    const std::string_view old =
+        std::string_view(cached_doc_).substr(r.begin, r.end - r.begin);
+    if (fresh == old) continue;
+    ++stats_.regions_reparsed;
+
+    const LeafSlot& slot = slots_[i];
+    const std::string_view lexical = trim(fresh);
+    switch (slot.kind) {
+      case LeafSlot::Kind::kInt32: {
+        Result<std::int32_t> v = textconv::parse_i32(lexical);
+        if (!v.ok()) return v.error();
+        *static_cast<std::int32_t*>(slot.target) = v.value();
+        break;
+      }
+      case LeafSlot::Kind::kInt64: {
+        Result<std::int64_t> v = textconv::parse_i64(lexical);
+        if (!v.ok()) return v.error();
+        *static_cast<std::int64_t*>(slot.target) = v.value();
+        break;
+      }
+      case LeafSlot::Kind::kDouble: {
+        Result<double> v = textconv::parse_double(lexical);
+        if (!v.ok()) return v.error();
+        *static_cast<double*>(slot.target) = v.value();
+        break;
+      }
+      case LeafSlot::Kind::kBool: {
+        if (lexical == "true" || lexical == "1") {
+          *static_cast<bool*>(slot.target) = true;
+        } else if (lexical == "false" || lexical == "0") {
+          *static_cast<bool*>(slot.target) = false;
+        } else {
+          return Error{ErrorCode::kParseError, "bad boolean region"};
+        }
+        break;
+      }
+      case LeafSlot::Kind::kString: {
+        std::string decoded;
+        if (!xml::unescape(fresh, &decoded)) {
+          return Error{ErrorCode::kParseError, "bad string region"};
+        }
+        *static_cast<std::string*>(slot.target) = std::move(decoded);
+        break;
+      }
+    }
+  }
+  return Status{};
+}
+
+namespace {
+
+/// Collects mutable leaf pointers of a Value in document order.
+struct SlotCollector {
+  template <typename PushFn>
+  static void collect(soap::Value& value, const PushFn& push) {
+    using soap::ValueKind;
+    switch (value.kind()) {
+      case ValueKind::kDoubleArray:
+        for (double& d : value.doubles()) push(&d, 'd');
+        break;
+      case ValueKind::kIntArray:
+        for (std::int32_t& i : value.ints()) push(&i, 'i');
+        break;
+      case ValueKind::kMioArray:
+        for (soap::Mio& m : value.mios()) {
+          push(&m.x, 'i');
+          push(&m.y, 'i');
+          push(&m.value, 'd');
+        }
+        break;
+      case ValueKind::kStruct:
+        for (soap::Value::Member& m : value.members()) collect(m.value, push);
+        break;
+      default:
+        // Scalars: Value keeps its payload private; scalar leaves disable
+        // the fast path (push with null target handles this).
+        push(nullptr, 's');
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+void DiffDeserializer::collect_slots() {
+  slots_.clear();
+  bool all_supported = true;
+  const auto push = [&](void* target, char kind) {
+    if (target == nullptr) {
+      all_supported = false;
+      return;
+    }
+    LeafSlot slot;
+    slot.kind = kind == 'd' ? LeafSlot::Kind::kDouble : LeafSlot::Kind::kInt32;
+    slot.target = target;
+    slots_.push_back(slot);
+  };
+  for (soap::Param& p : cached_call_.params) {
+    SlotCollector::collect(p.value, push);
+  }
+  if (!all_supported || slots_.size() != regions_.size()) {
+    fast_path_usable_ = false;
+  }
+}
+
+Status DiffDeserializer::full_parse(std::string_view document) {
+  ++stats_.full_parses;
+  Result<soap::RpcCall> call = soap::read_rpc_envelope(document);
+  if (!call.ok()) return call.error();
+  cached_call_ = std::move(call.value());
+  cached_doc_.assign(document);
+  cache_valid_ = true;
+  fast_path_usable_ = true;
+
+  // Record the byte regions of scalar-content text: a text event whose
+  // element has no element children is a candidate leaf region.
+  regions_.clear();
+  xml::XmlPullParser parser(cached_doc_);
+  struct Frame {
+    bool has_children = false;
+    std::size_t text_begin = 0;
+    std::size_t text_end = 0;
+    int text_events = 0;
+  };
+  std::vector<Frame> stack;
+  for (;;) {
+    Result<xml::XmlEvent> event = parser.next();
+    if (!event.ok()) return event.error();
+    if (event.value() == xml::XmlEvent::kEof) break;
+    switch (event.value()) {
+      case xml::XmlEvent::kStartElement:
+        if (!stack.empty()) stack.back().has_children = true;
+        stack.push_back(Frame{});
+        break;
+      case xml::XmlEvent::kText:
+        if (!stack.empty()) {
+          Frame& f = stack.back();
+          f.text_begin = parser.event_begin();
+          f.text_end = parser.event_end();
+          ++f.text_events;
+        }
+        break;
+      case xml::XmlEvent::kEndElement: {
+        const Frame f = stack.back();
+        stack.pop_back();
+        if (!f.has_children && f.text_events == 1) {
+          regions_.push_back(LeafRegion{f.text_begin, f.text_end});
+        } else if (!f.has_children && f.text_events > 1) {
+          fast_path_usable_ = false;  // split text (CDATA/entity mix)
+        } else if (!f.has_children && f.text_events == 0 &&
+                   stack.size() > 2) {
+          // Empty leaf (e.g. empty string): region bookkeeping would
+          // misalign with the leaf walk, so disable the fast path.
+          fast_path_usable_ = false;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  collect_slots();
+  return Status{};
+}
+
+}  // namespace bsoap::core

@@ -1,0 +1,70 @@
+// Differential DEserialization — the paper's Section 6 (future work),
+// implemented here as an extension.
+//
+// A server receiving a stream of similar messages can cache the parse of the
+// previous message: if a new document differs from the cached one only
+// inside value regions (and each region's length is unchanged, so the
+// surrounding "skeleton" bytes line up), the server re-parses just the
+// changed lexicals instead of the whole envelope. An identical document is a
+// content hit and costs one memcmp.
+//
+// The fast path degrades gracefully: any skeleton mismatch, length change or
+// unsupported shape falls back to a full parse (and re-primes the cache).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "soap/value.hpp"
+
+namespace bsoap::core {
+
+class DiffDeserializer {
+ public:
+  struct Stats {
+    std::uint64_t full_parses = 0;
+    std::uint64_t content_hits = 0;   ///< document identical to cached
+    std::uint64_t fast_parses = 0;    ///< skeleton matched, regions re-parsed
+    std::uint64_t regions_reparsed = 0;
+  };
+
+  /// Parses `document`, reusing the cached parse when possible. The returned
+  /// pointer stays valid until the next parse() call.
+  Result<const soap::RpcCall*> parse(std::string_view document);
+
+  const Stats& stats() const { return stats_; }
+
+  /// Forgets the cached message.
+  void reset();
+
+ private:
+  /// Typed mutable locator of one leaf inside cached_call_.
+  struct LeafSlot {
+    enum class Kind : std::uint8_t { kInt32, kInt64, kDouble, kBool, kString };
+    Kind kind;
+    void* target;  ///< pointer into cached_call_ (stable storage)
+  };
+
+  struct LeafRegion {
+    std::size_t begin;
+    std::size_t end;
+  };
+
+  Status full_parse(std::string_view document);
+  bool skeleton_matches(std::string_view document) const;
+  Status reparse_changed_regions(std::string_view document);
+  void collect_slots();
+
+  std::string cached_doc_;
+  soap::RpcCall cached_call_;
+  std::vector<LeafRegion> regions_;
+  std::vector<LeafSlot> slots_;
+  bool cache_valid_ = false;
+  bool fast_path_usable_ = false;
+  Stats stats_;
+};
+
+}  // namespace bsoap::core

@@ -1,0 +1,191 @@
+#include "core/diff_serializer.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "core/leaf_walk.hpp"
+#include "textconv/dtoa.hpp"
+#include "textconv/itoa.hpp"
+#include "xml/escape.hpp"
+
+namespace bsoap::core {
+namespace {
+
+/// Shared field-rewrite plumbing for both visitors.
+struct RewriteContext {
+  explicit RewriteContext(MessageTemplate& t) : tmpl(t) {}
+
+  MessageTemplate& tmpl;
+  std::size_t idx = 0;
+  char scratch[textconv::kMaxDoubleChars] = {};
+  std::string string_scratch;
+
+  void rewrite_int(std::int32_t v) {
+    const int len = textconv::write_i32(scratch, v);
+    tmpl.rewrite_value(idx, scratch, static_cast<std::uint32_t>(len));
+  }
+  void rewrite_int64(std::int64_t v) {
+    const int len = textconv::write_i64(scratch, v);
+    tmpl.rewrite_value(idx, scratch, static_cast<std::uint32_t>(len));
+  }
+  void rewrite_double(double v) {
+    const int len = textconv::write_double(scratch, v);
+    tmpl.rewrite_value(idx, scratch, static_cast<std::uint32_t>(len));
+  }
+  void rewrite_bool(bool v) {
+    const std::string_view text = v ? "true" : "false";
+    tmpl.rewrite_value(idx, text.data(),
+                       static_cast<std::uint32_t>(text.size()));
+  }
+  void rewrite_string(const std::string& v) {
+    string_scratch.clear();
+    xml::escape_append(string_scratch, v);
+    tmpl.rewrite_value(idx, string_scratch.data(),
+                       static_cast<std::uint32_t>(string_scratch.size()));
+  }
+};
+
+/// Compare-against-shadow visitor: rewrites on change, refreshes the shadow.
+struct CompareVisitor : RewriteContext {
+  explicit CompareVisitor(MessageTemplate& t) : RewriteContext(t) {}
+
+  void on_int(std::int32_t v) {
+    DutEntry& e = tmpl.dut()[idx];
+    if (e.shadow.i != v) {
+      rewrite_int(v);
+      e.shadow.i = v;
+    }
+    ++idx;
+  }
+  void on_int64(std::int64_t v) {
+    DutEntry& e = tmpl.dut()[idx];
+    if (e.shadow.i != v) {
+      rewrite_int64(v);
+      e.shadow.i = v;
+    }
+    ++idx;
+  }
+  void on_double(double v) {
+    DutEntry& e = tmpl.dut()[idx];
+    // Bitwise comparison: distinguishes -0.0 from 0.0 and handles NaN.
+    if (std::bit_cast<std::uint64_t>(e.shadow.d) !=
+        std::bit_cast<std::uint64_t>(v)) {
+      rewrite_double(v);
+      e.shadow.d = v;
+    }
+    ++idx;
+  }
+  void on_bool(bool v) {
+    DutEntry& e = tmpl.dut()[idx];
+    if ((e.shadow.i != 0) != v) {
+      rewrite_bool(v);
+      e.shadow.i = v ? 1 : 0;
+    }
+    ++idx;
+  }
+  void on_string(const std::string& v) {
+    DutEntry& e = tmpl.dut()[idx];
+    if (tmpl.dut().shadow_string(e.shadow_string) != v) {
+      rewrite_string(v);
+      tmpl.dut().shadow_string(e.shadow_string) = v;
+    }
+    ++idx;
+  }
+};
+
+/// Dirty-bit visitor: rewrites entries whose bit is set, no comparisons.
+struct DirtyVisitor : RewriteContext {
+  explicit DirtyVisitor(MessageTemplate& t) : RewriteContext(t) {}
+
+  bool take_dirty() {
+    if (!tmpl.dut()[idx].dirty) return false;
+    tmpl.dut().clear_dirty(idx);
+    return true;
+  }
+
+  void on_int(std::int32_t v) {
+    if (take_dirty()) {
+      rewrite_int(v);
+      tmpl.dut()[idx].shadow.i = v;
+    }
+    ++idx;
+  }
+  void on_int64(std::int64_t v) {
+    if (take_dirty()) {
+      rewrite_int64(v);
+      tmpl.dut()[idx].shadow.i = v;
+    }
+    ++idx;
+  }
+  void on_double(double v) {
+    if (take_dirty()) {
+      rewrite_double(v);
+      tmpl.dut()[idx].shadow.d = v;
+    }
+    ++idx;
+  }
+  void on_bool(bool v) {
+    if (take_dirty()) {
+      rewrite_bool(v);
+      tmpl.dut()[idx].shadow.i = v ? 1 : 0;
+    }
+    ++idx;
+  }
+  void on_string(const std::string& v) {
+    if (take_dirty()) {
+      rewrite_string(v);
+      tmpl.dut().shadow_string(tmpl.dut()[idx].shadow_string) = v;
+    }
+    ++idx;
+  }
+};
+
+UpdateResult finish(MessageTemplate& tmpl, const TemplateStats& before) {
+  const TemplateStats& after = tmpl.stats();
+  UpdateResult result;
+  result.values_rewritten = after.value_rewrites - before.value_rewrites;
+  result.tag_shifts = after.tag_shifts - before.tag_shifts;
+  result.expansions = after.expansions - before.expansions;
+  result.steals = after.steals - before.steals;
+  if (result.values_rewritten == 0) {
+    result.match = MatchKind::kContentMatch;
+  } else if (result.expansions == 0) {
+    result.match = MatchKind::kPerfectStructural;
+  } else {
+    result.match = MatchKind::kPartialStructural;
+  }
+  return result;
+}
+
+}  // namespace
+
+const char* match_kind_name(MatchKind kind) noexcept {
+  switch (kind) {
+    case MatchKind::kFirstTime: return "first-time send";
+    case MatchKind::kContentMatch: return "message content match";
+    case MatchKind::kPerfectStructural: return "perfect structural match";
+    case MatchKind::kPartialStructural: return "partial structural match";
+  }
+  return "unknown";
+}
+
+UpdateResult update_template(MessageTemplate& tmpl, const soap::RpcCall& call) {
+  BSOAP_ASSERT(tmpl.signature == call.structure_signature());
+  const TemplateStats before = tmpl.stats();
+  CompareVisitor visitor(tmpl);
+  for_each_leaf(call, visitor);
+  BSOAP_ASSERT(visitor.idx == tmpl.dut().size());
+  return finish(tmpl, before);
+}
+
+UpdateResult update_dirty_fields(MessageTemplate& tmpl,
+                                 const soap::RpcCall& call) {
+  BSOAP_ASSERT(tmpl.signature == call.structure_signature());
+  const TemplateStats before = tmpl.stats();
+  DirtyVisitor visitor(tmpl);
+  for_each_leaf(call, visitor);
+  BSOAP_ASSERT(visitor.idx == tmpl.dut().size());
+  return finish(tmpl, before);
+}
+
+}  // namespace bsoap::core

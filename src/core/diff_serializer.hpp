@@ -1,0 +1,49 @@
+// Differential update of a saved message template (paper Section 3).
+//
+// Given a template built from an earlier send and a new outgoing call with
+// the same structure, rewrite only the fields whose values changed and
+// report which of the paper's four matching cases applied:
+//
+//   Message Content Match     — nothing changed; resend stored bytes as-is.
+//   Perfect Structural Match  — values changed but every new serialization
+//                               fit its field; message size unchanged.
+//   Partial Structural Match  — some field outgrew its width and the message
+//                               had to be expanded (steal/shift/split).
+//   First-Time Send           — no usable template existed (reported by the
+//                               client, not by update_template).
+#pragma once
+
+#include "core/message_template.hpp"
+#include "soap/value.hpp"
+
+namespace bsoap::core {
+
+enum class MatchKind {
+  kFirstTime,
+  kContentMatch,
+  kPerfectStructural,
+  kPartialStructural,
+};
+
+const char* match_kind_name(MatchKind kind) noexcept;
+
+struct UpdateResult {
+  MatchKind match = MatchKind::kContentMatch;
+  std::uint64_t values_rewritten = 0;
+  std::uint64_t tag_shifts = 0;
+  std::uint64_t expansions = 0;
+  std::uint64_t steals = 0;
+};
+
+/// Rewrites changed fields by comparing each leaf of `call` against the
+/// template's shadow copies (bitwise for doubles, so NaNs and -0.0 behave).
+/// Precondition: call.structure_signature() == tmpl.signature.
+UpdateResult update_template(MessageTemplate& tmpl, const soap::RpcCall& call);
+
+/// Rewrites exactly the entries whose dirty bits are set, taking values from
+/// `call` (the paper's get/set accessor path: no comparisons at send time).
+/// Clears the dirty bits it serviced.
+UpdateResult update_dirty_fields(MessageTemplate& tmpl,
+                                 const soap::RpcCall& call);
+
+}  // namespace bsoap::core

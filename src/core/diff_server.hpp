@@ -1,0 +1,63 @@
+// Differential-deserialization options for the SOAP server (Section 6).
+//
+// Wires core::DiffDeserializer into soap::SoapHttpServer: each connection
+// gets its own deserializer whose cache persists across the connection's
+// requests, and the shared collector aggregates hit statistics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/diff_deserializer.hpp"
+#include "soap/soap_server.hpp"
+
+namespace bsoap::core {
+
+/// Thread-safe aggregate of per-connection DiffDeserializer stats.
+class DiffDeserCollector {
+ public:
+  void record(const DiffDeserializer::Stats& stats) {
+    full_parses_.fetch_add(stats.full_parses, std::memory_order_relaxed);
+    content_hits_.fetch_add(stats.content_hits, std::memory_order_relaxed);
+    fast_parses_.fetch_add(stats.fast_parses, std::memory_order_relaxed);
+  }
+
+  std::uint64_t full_parses() const { return full_parses_.load(); }
+  std::uint64_t content_hits() const { return content_hits_.load(); }
+  std::uint64_t fast_parses() const { return fast_parses_.load(); }
+
+ private:
+  std::atomic<std::uint64_t> full_parses_{0};
+  std::atomic<std::uint64_t> content_hits_{0};
+  std::atomic<std::uint64_t> fast_parses_{0};
+};
+
+/// Server options that parse request envelopes differentially. The collector
+/// (optional) receives each connection's statistics incrementally.
+inline soap::SoapServerOptions make_diff_deserializing_options(
+    std::shared_ptr<DiffDeserCollector> collector = nullptr) {
+  soap::SoapServerOptions options;
+  options.make_parser = [collector]() -> soap::EnvelopeParser {
+    auto deser = std::make_shared<DiffDeserializer>();
+    auto last_reported = std::make_shared<DiffDeserializer::Stats>();
+    return [deser, collector, last_reported](
+               std::string_view body) -> Result<const soap::RpcCall*> {
+      Result<const soap::RpcCall*> call = deser->parse(body);
+      if (collector != nullptr) {
+        // Report the delta since the previous request.
+        const DiffDeserializer::Stats& now = deser->stats();
+        DiffDeserializer::Stats delta;
+        delta.full_parses = now.full_parses - last_reported->full_parses;
+        delta.content_hits = now.content_hits - last_reported->content_hits;
+        delta.fast_parses = now.fast_parses - last_reported->fast_parses;
+        *last_reported = now;
+        collector->record(delta);
+      }
+      return call;
+    };
+  };
+  return options;
+}
+
+}  // namespace bsoap::core

@@ -1,0 +1,76 @@
+#include "core/dut_table.hpp"
+
+#include <algorithm>
+
+#include "textconv/widths.hpp"
+
+namespace bsoap::core {
+
+const LeafTypeInfo& leaf_type_info(LeafType type) noexcept {
+  static const LeafTypeInfo kInt32Info{
+      LeafType::kInt32, textconv::kMaxInt32Chars, "xsd:int"};
+  static const LeafTypeInfo kInt64Info{
+      LeafType::kInt64, textconv::kMaxInt64Chars, "xsd:long"};
+  static const LeafTypeInfo kDoubleInfo{
+      LeafType::kDouble, textconv::kMaxDoubleChars, "xsd:double"};
+  static const LeafTypeInfo kBoolInfo{LeafType::kBool, 5, "xsd:boolean"};
+  static const LeafTypeInfo kStringInfo{LeafType::kString, 0, "xsd:string"};
+  switch (type) {
+    case LeafType::kInt32: return kInt32Info;
+    case LeafType::kInt64: return kInt64Info;
+    case LeafType::kDouble: return kDoubleInfo;
+    case LeafType::kBool: return kBoolInfo;
+    case LeafType::kString: return kStringInfo;
+  }
+  return kStringInfo;
+}
+
+std::size_t DutTable::first_entry_at_or_after(buffer::BufPos pos) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), pos,
+      [](const DutEntry& e, buffer::BufPos p) { return e.pos < p; });
+  return static_cast<std::size_t>(it - entries_.begin());
+}
+
+void DutTable::apply_shift(std::uint32_t chunk, std::uint32_t from_offset,
+                           std::uint32_t delta) {
+  for (std::size_t i =
+           first_entry_at_or_after(buffer::BufPos{chunk, from_offset});
+       i < entries_.size() && entries_[i].pos.chunk == chunk; ++i) {
+    entries_[i].pos.offset += delta;
+  }
+}
+
+void DutTable::apply_split(std::uint32_t chunk, std::uint32_t split_offset) {
+  for (std::size_t i =
+           first_entry_at_or_after(buffer::BufPos{chunk, split_offset});
+       i < entries_.size(); ++i) {
+    DutEntry& e = entries_[i];
+    if (e.pos.chunk == chunk) {
+      e.pos.chunk = chunk + 1;
+      e.pos.offset -= split_offset;
+    } else {
+      e.pos.chunk += 1;
+    }
+  }
+}
+
+bool DutTable::check_invariants() const {
+  std::size_t dirty = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const DutEntry& e = entries_[i];
+    if (e.type == nullptr) return false;
+    if (e.field_width < e.serialized_len) return false;
+    if (e.dirty) ++dirty;
+    if (i > 0 && !(entries_[i - 1].pos < e.pos)) return false;
+    if (e.type->type == LeafType::kString) {
+      if (e.shadow_string == DutEntry::kNoString ||
+          e.shadow_string >= shadow_strings_.size()) {
+        return false;
+      }
+    }
+  }
+  return dirty == dirty_count_;
+}
+
+}  // namespace bsoap::core

@@ -1,0 +1,143 @@
+// Data Update Tracking (DUT) table — paper Section 3.1.
+//
+// Each saved message template owns a DUT table with one entry per data item
+// in the message. An entry holds exactly the fields the paper lists:
+//   * a pointer to type information, including the maximum serialized size,
+//   * a dirty bit (changed since last written into the serialized message),
+//   * the item's current location in the serialized message,
+//   * its serialized length (characters used by the most recent value), and
+//   * its field width (characters currently allocated; >= serialized length).
+//
+// Locations are (chunk, offset) pairs instead of raw pointers so that a
+// shift renumbers offsets within one chunk and a chunk split renumbers chunk
+// indices — no pointer rewriting over the whole table.
+//
+// Entries additionally carry a shadow copy of the last serialized value,
+// which lets the stub detect changes by comparison when the application does
+// not use the explicit set-API (the paper's envisioned get/set accessors).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "buffer/chunked_buffer.hpp"
+#include "common/error.hpp"
+
+namespace bsoap::core {
+
+enum class LeafType : std::uint8_t {
+  kInt32,
+  kInt64,
+  kDouble,
+  kBool,
+  kString,
+};
+
+/// Static per-type information (the paper's "pointer to a data structure
+/// that contains information about the data item's type").
+struct LeafTypeInfo {
+  LeafType type;
+  /// Maximum characters any serialized value of this type can occupy;
+  /// 0 = unbounded (strings cannot be stuffed — paper footnote 2).
+  std::uint16_t max_chars;
+  std::string_view xsd_name;
+};
+
+const LeafTypeInfo& leaf_type_info(LeafType type) noexcept;
+
+struct DutEntry {
+  const LeafTypeInfo* type = nullptr;
+  bool dirty = false;
+  buffer::BufPos pos;                 ///< first byte of the serialized value
+  std::uint32_t serialized_len = 0;   ///< chars of the current value
+  std::uint32_t field_width = 0;      ///< chars allocated (>= serialized_len)
+  std::uint32_t close_tag_len = 0;    ///< bytes of the closing tag after the value
+
+  /// Shadow copy of the last serialized value (for comparison-based dirty
+  /// detection). Strings live in DutTable::shadow_strings_.
+  union Shadow {
+    std::int64_t i;
+    double d;
+  } shadow{0};
+  std::uint32_t shadow_string = kNoString;
+
+  static constexpr std::uint32_t kNoString = 0xffffffffu;
+
+  /// Whitespace currently padding this field (after the closing tag).
+  std::uint32_t padding() const { return field_width - serialized_len; }
+};
+
+class DutTable {
+ public:
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  std::uint32_t add_entry(DutEntry entry) {
+    entries_.push_back(entry);
+    if (entry.dirty) ++dirty_count_;
+    return static_cast<std::uint32_t>(entries_.size() - 1);
+  }
+
+  std::uint32_t add_string_shadow(std::string value) {
+    shadow_strings_.push_back(std::move(value));
+    return static_cast<std::uint32_t>(shadow_strings_.size() - 1);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  DutEntry& operator[](std::size_t i) { return entries_[i]; }
+  const DutEntry& operator[](std::size_t i) const { return entries_[i]; }
+
+  std::string& shadow_string(std::uint32_t index) {
+    return shadow_strings_[index];
+  }
+
+  /// Dirty-bit bookkeeping. "If none of the dirty bits are set, the message
+  /// has not changed and can be resent as is."
+  void mark_dirty(std::size_t i) {
+    if (!entries_[i].dirty) {
+      entries_[i].dirty = true;
+      ++dirty_count_;
+    }
+  }
+  void clear_dirty(std::size_t i) {
+    if (entries_[i].dirty) {
+      entries_[i].dirty = false;
+      --dirty_count_;
+    }
+  }
+  bool any_dirty() const { return dirty_count_ > 0; }
+  std::size_t dirty_count() const { return dirty_count_; }
+
+  /// Renumbers after an in-chunk shift: entries in `chunk` whose offset is
+  /// >= from_offset move right by `delta` bytes. Entries are in document
+  /// order, so the affected ones form a contiguous suffix range.
+  void apply_shift(std::uint32_t chunk, std::uint32_t from_offset,
+                   std::uint32_t delta);
+
+  /// Renumbers after ChunkedBuffer::expand_at reported a split of `chunk` at
+  /// `split_offset`: entries at >= split_offset move to chunk+1 rebased to
+  /// offset - split_offset; entries in later chunks get chunk index +1.
+  void apply_split(std::uint32_t chunk, std::uint32_t split_offset);
+
+  /// Index of the first entry at or after the given position (document
+  /// order). Returns size() if none.
+  std::size_t first_entry_at_or_after(buffer::BufPos pos) const;
+
+  /// Verifies document-ordering and width invariants (tests).
+  bool check_invariants() const;
+
+  /// Removes all entries and shadow strings (template rebuild).
+  void clear() {
+    entries_.clear();
+    shadow_strings_.clear();
+    dirty_count_ = 0;
+  }
+
+ private:
+  std::vector<DutEntry> entries_;
+  std::vector<std::string> shadow_strings_;
+  std::size_t dirty_count_ = 0;
+};
+
+}  // namespace bsoap::core

@@ -1,0 +1,66 @@
+// Shared envelope prologue/epilogue fragments for the streaming senders.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "http/http_message.hpp"
+#include "soap/constants.hpp"
+
+namespace bsoap::core {
+
+/// Envelope head through the open tag of a single array parameter.
+inline std::string array_envelope_prologue(const std::string& method,
+                                           const std::string& service_namespace,
+                                           const std::string& param,
+                                           std::string_view element_type,
+                                           std::size_t count) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+  out += "<SOAP-ENV:Envelope xmlns:SOAP-ENV=\"";
+  out += soap::kSoapEnvelopeNs;
+  out += "\" xmlns:SOAP-ENC=\"";
+  out += soap::kSoapEncodingNs;
+  out += "\" xmlns:xsi=\"";
+  out += soap::kXsiNs;
+  out += "\" xmlns:xsd=\"";
+  out += soap::kXsdNs;
+  out += "\" SOAP-ENV:encodingStyle=\"";
+  out += soap::kSoapEncodingNs;
+  out += "\"><SOAP-ENV:Body><ns1:";
+  out += method;
+  out += " xmlns:ns1=\"";
+  out += service_namespace;
+  out += "\"><";
+  out += param;
+  out += " xsi:type=\"SOAP-ENC:Array\" SOAP-ENC:arrayType=\"";
+  out += element_type;
+  out += "[";
+  out += std::to_string(count);
+  out += "]\">";
+  return out;
+}
+
+inline std::string array_envelope_epilogue(const std::string& method,
+                                           const std::string& param) {
+  std::string out = "</";
+  out += param;
+  out += "></ns1:";
+  out += method;
+  out += "></SOAP-ENV:Body></SOAP-ENV:Envelope>";
+  return out;
+}
+
+/// POST head with chunked transfer encoding for a streamed array send.
+inline std::string array_request_head(const std::string& method,
+                                      const std::string& path) {
+  http::HttpRequest head;
+  head.target = path;
+  head.headers.push_back(http::Header{"Host", "localhost"});
+  head.headers.push_back(
+      http::Header{"Content-Type", "text/xml; charset=utf-8"});
+  head.headers.push_back(http::Header{"SOAPAction", "\"" + method + "\""});
+  head.headers.push_back(http::Header{"Transfer-Encoding", "chunked"});
+  return http::serialize_request_head(head);
+}
+
+}  // namespace bsoap::core

@@ -1,0 +1,66 @@
+// Leaf iteration over an RpcCall in document order.
+//
+// The DUT table has one entry per leaf in exactly this order (arrays
+// contribute one entry per element, MIOs three), so walking a new call with
+// the same structure visits entry i at step i. Templated on the visitor so
+// the per-element dispatch inlines in the hot array loops.
+#pragma once
+
+#include "soap/value.hpp"
+
+namespace bsoap::core {
+
+/// Visitor concept:
+///   void on_int(std::int32_t);
+///   void on_int64(std::int64_t);
+///   void on_double(double);
+///   void on_bool(bool);
+///   void on_string(const std::string&);
+template <typename Visitor>
+void for_each_leaf(const soap::Value& value, Visitor& visitor) {
+  using soap::ValueKind;
+  switch (value.kind()) {
+    case ValueKind::kInt32:
+      visitor.on_int(value.as_int());
+      break;
+    case ValueKind::kInt64:
+      visitor.on_int64(value.as_int64());
+      break;
+    case ValueKind::kDouble:
+      visitor.on_double(value.as_double());
+      break;
+    case ValueKind::kBool:
+      visitor.on_bool(value.as_bool());
+      break;
+    case ValueKind::kString:
+      visitor.on_string(value.as_string());
+      break;
+    case ValueKind::kDoubleArray:
+      for (const double v : value.doubles()) visitor.on_double(v);
+      break;
+    case ValueKind::kIntArray:
+      for (const std::int32_t v : value.ints()) visitor.on_int(v);
+      break;
+    case ValueKind::kMioArray:
+      for (const soap::Mio& m : value.mios()) {
+        visitor.on_int(m.x);
+        visitor.on_int(m.y);
+        visitor.on_double(m.value);
+      }
+      break;
+    case ValueKind::kStruct:
+      for (const soap::Value::Member& m : value.members()) {
+        for_each_leaf(m.value, visitor);
+      }
+      break;
+  }
+}
+
+template <typename Visitor>
+void for_each_leaf(const soap::RpcCall& call, Visitor& visitor) {
+  for (const soap::Param& p : call.params) {
+    for_each_leaf(p.value, visitor);
+  }
+}
+
+}  // namespace bsoap::core

@@ -1,0 +1,140 @@
+#include "core/message_template.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bsoap::core {
+namespace {
+
+constexpr std::uint32_t kMaxCloseTag = 32;
+
+}  // namespace
+
+void MessageTemplate::rewrite_value(std::size_t idx, const char* text,
+                                    std::uint32_t len) {
+  DutEntry& entry = dut_[idx];
+  ++stats_.value_rewrites;
+
+  if (len == entry.serialized_len) {
+    // Same serialized size: overwrite the value bytes only; tag and padding
+    // are already in place.
+    buffer_.write_at(entry.pos, text, len);
+    stats_.bytes_rewritten += len;
+    return;
+  }
+
+  if (len > entry.field_width) {
+    // The value no longer fits: widen the field, by stealing a neighbour's
+    // padding when allowed, else by shifting the chunk tail.
+    ++stats_.expansions;
+    std::uint32_t new_width = len;
+    if (config_.stuffing.stuff_on_expand && entry.type->max_chars > 0) {
+      new_width = std::max<std::uint32_t>(len, entry.type->max_chars);
+    }
+    if (!(config_.enable_stealing && try_steal(idx, new_width))) {
+      expand_by_shifting(idx, new_width);
+    }
+  }
+
+  // Write value, closing tag (shifted to sit right after the value), and
+  // whitespace padding up to the field width.
+  DutEntry& e = dut_[idx];  // re-read: expansion may have renumbered
+  char tag[kMaxCloseTag];
+  BSOAP_ASSERT(e.close_tag_len <= kMaxCloseTag);
+  buffer_.read_at(buffer::BufPos{e.pos.chunk, e.pos.offset + e.serialized_len},
+                  tag, e.close_tag_len);
+  char* base = buffer_.at(e.pos);
+  std::memcpy(base, text, len);
+  std::memcpy(base + len, tag, e.close_tag_len);
+  std::memset(base + len + e.close_tag_len, ' ', e.field_width - len);
+  ++stats_.tag_shifts;
+  stats_.bytes_rewritten += e.field_width + e.close_tag_len;
+  e.serialized_len = len;
+}
+
+bool MessageTemplate::try_steal(std::size_t idx, std::uint32_t new_width) {
+  DutEntry& entry = dut_[idx];
+  const std::uint32_t delta = new_width - entry.field_width;
+  const std::uint32_t chunk = entry.pos.chunk;
+
+  for (std::size_t j = idx + 1;
+       j < dut_.size() && j <= idx + config_.steal_scan_limit; ++j) {
+    DutEntry& donor = dut_[j];
+    if (donor.pos.chunk != chunk) return false;  // stealing stays in-chunk
+    if (donor.padding() < delta) continue;
+
+    // Move everything between the end of our region and the end of the
+    // donor's value+tag right by delta; the donor's padding absorbs it.
+    const std::uint32_t move_begin =
+        entry.pos.offset + entry.field_width + entry.close_tag_len;
+    const std::uint32_t move_end =
+        donor.pos.offset + donor.serialized_len + donor.close_tag_len;
+    char* base = buffer_.at(buffer::BufPos{chunk, 0});
+    std::memmove(base + move_begin + delta, base + move_begin,
+                 move_end - move_begin);
+    for (std::size_t k = idx + 1; k <= j; ++k) {
+      dut_[k].pos.offset += delta;
+    }
+    donor.field_width -= delta;
+    entry.field_width = new_width;
+    ++stats_.steals;
+    return true;
+  }
+  return false;
+}
+
+void MessageTemplate::expand_by_shifting(std::size_t idx,
+                                         std::uint32_t new_width) {
+  DutEntry& entry = dut_[idx];
+  const std::uint32_t old_region = entry.field_width + entry.close_tag_len;
+  const std::uint32_t new_region = new_width + entry.close_tag_len;
+  const std::uint32_t chunk = entry.pos.chunk;
+  const std::uint32_t region_end = entry.pos.offset + old_region;
+
+  // The closing tag (inside the region) survives expand_at in place; the
+  // caller rewrites value+tag+padding afterwards via rewrite_value.
+  const buffer::ExpandResult result =
+      buffer_.expand_at(entry.pos, old_region, new_region);
+  const std::uint32_t delta = new_region - old_region;
+  switch (result.outcome) {
+    case buffer::ExpandOutcome::kSlack:
+      ++stats_.chunk_shifts;
+      dut_.apply_shift(chunk, region_end, delta);
+      break;
+    case buffer::ExpandOutcome::kRealloc:
+      ++stats_.chunk_reallocs;
+      dut_.apply_shift(chunk, region_end, delta);
+      break;
+    case buffer::ExpandOutcome::kSplit:
+      ++stats_.chunk_splits;
+      dut_.apply_split(chunk, static_cast<std::uint32_t>(result.split_offset));
+      break;
+  }
+  dut_[idx].field_width = new_width;
+}
+
+bool MessageTemplate::check_invariants() const {
+  if (!buffer_.check_invariants()) return false;
+  if (!dut_.check_invariants()) return false;
+  for (std::size_t i = 0; i < dut_.size(); ++i) {
+    const DutEntry& e = dut_[i];
+    if (e.pos.chunk >= buffer_.chunk_count()) return false;
+    const std::string_view chunk = buffer_.chunk_view(e.pos.chunk);
+    const std::size_t region_end =
+        static_cast<std::size_t>(e.pos.offset) + e.field_width + e.close_tag_len;
+    if (region_end > chunk.size()) return false;
+    // Padding bytes must be whitespace.
+    for (std::size_t p = e.pos.offset + e.serialized_len + e.close_tag_len;
+         p < region_end; ++p) {
+      if (chunk[p] != ' ') return false;
+    }
+    // The closing tag must start with '<'.
+    if (e.close_tag_len > 0 &&
+        chunk[e.pos.offset + e.serialized_len] != '<') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace bsoap::core

@@ -1,0 +1,120 @@
+// Saved message templates and the in-place field rewrite engine.
+//
+// A MessageTemplate is the serialized form of one previously sent SOAP
+// message (stored in noncontiguous chunks) plus its DUT table. Field layout
+// within the message (paper Section 3.2):
+//
+//     <item>VALUE</item>·····<item>...
+//           ^value     ^padding (whitespace, legal in XML)
+//
+// field_width is the character budget for VALUE; when a new value is shorter
+// the closing tag is rewritten further left and the remainder padded with
+// whitespace ("closing tag shift"); when it no longer fits, space is first
+// stolen from a neighbouring field's padding, and failing that the message
+// is expanded on the fly ("shifting") — bounded by the chunk, which may
+// grow, be reallocated, or split per the ChunkConfig thresholds.
+#pragma once
+
+#include <cstdint>
+
+#include "buffer/chunked_buffer.hpp"
+#include "core/dut_table.hpp"
+
+namespace bsoap::core {
+
+/// Field width assignment at template-build time (paper Section 3.2 /
+/// Section 4.4 "stuffing").
+struct StuffingPolicy {
+  enum class Mode {
+    kExact,    ///< width = current value length (no stuffing)
+    kTypeMax,  ///< width = the type's maximum serialized size
+    kFixed,    ///< width = fixed_width (clamped up to the value length)
+  };
+
+  Mode mode = Mode::kExact;
+  std::uint32_t fixed_width = 0;
+  /// When a field must be expanded anyway, widen it straight to its type's
+  /// maximum serialized size so it never shifts again (pay the shift once).
+  bool stuff_on_expand = false;
+
+  std::uint32_t width_for(const LeafTypeInfo& type,
+                          std::uint32_t value_len) const {
+    switch (mode) {
+      case Mode::kExact:
+        return value_len;
+      case Mode::kTypeMax:
+        return type.max_chars == 0 ? value_len
+                                   : std::max<std::uint32_t>(type.max_chars,
+                                                             value_len);
+      case Mode::kFixed:
+        return std::max(fixed_width, value_len);
+    }
+    return value_len;
+  }
+};
+
+struct TemplateConfig {
+  buffer::ChunkConfig chunk;
+  StuffingPolicy stuffing;
+  /// Take space from neighbouring fields before shifting the chunk tail
+  /// (paper Section 3.2, explored in companion paper [4]).
+  bool enable_stealing = true;
+  /// How many following entries to scan for a padding donor.
+  std::uint32_t steal_scan_limit = 4;
+};
+
+/// Counters exposed for tests, benchmarks and the classifier.
+struct TemplateStats {
+  std::uint64_t value_rewrites = 0;   ///< fields whose value text was rewritten
+  std::uint64_t tag_shifts = 0;       ///< closing tag moved within the field
+  std::uint64_t expansions = 0;       ///< fields that outgrew their width
+  std::uint64_t steals = 0;           ///< expansions absorbed by a neighbour
+  std::uint64_t chunk_shifts = 0;     ///< chunk tail memmoves (slack)
+  std::uint64_t chunk_reallocs = 0;   ///< chunk grown into a new region
+  std::uint64_t chunk_splits = 0;     ///< chunk split in two
+  std::uint64_t bytes_rewritten = 0;  ///< value+tag+pad bytes written
+};
+
+class MessageTemplate {
+ public:
+  explicit MessageTemplate(const TemplateConfig& config)
+      : config_(config), buffer_(config.chunk) {}
+
+  buffer::ChunkedBuffer& buffer() { return buffer_; }
+  const buffer::ChunkedBuffer& buffer() const { return buffer_; }
+  DutTable& dut() { return dut_; }
+  const DutTable& dut() const { return dut_; }
+  const TemplateConfig& config() const { return config_; }
+  TemplateStats& stats() { return stats_; }
+  const TemplateStats& stats() const { return stats_; }
+
+  /// Structure signature of the call this template serializes.
+  std::uint64_t signature = 0;
+
+  /// Rewrites the value of DUT entry `idx` with `text` (already in lexical
+  /// form, escaped if a string). Performs whatever combination of padding,
+  /// closing-tag shifting, stealing and chunk expansion is needed; updates
+  /// the entry's serialized_len/field_width and clears nothing (dirty bits
+  /// are the caller's concern).
+  void rewrite_value(std::size_t idx, const char* text, std::uint32_t len);
+
+  /// Internal consistency: buffer and DUT agree (every entry's region is in
+  /// range, value+tag+padding bytes are coherent). Test hook.
+  bool check_invariants() const;
+
+ private:
+  /// Attempts to widen entry `idx` to `new_width` by taking padding from a
+  /// following entry in the same chunk. Returns true on success.
+  bool try_steal(std::size_t idx, std::uint32_t new_width);
+
+  /// Widens entry `idx` to `new_width` by expanding the chunk (slack /
+  /// realloc / split), renumbering the DUT accordingly.
+  void expand_by_shifting(std::size_t idx, std::uint32_t new_width);
+
+  TemplateConfig config_;
+  buffer::ChunkedBuffer buffer_;
+  DutTable dut_;
+  TemplateStats stats_;
+};
+
+}  // namespace bsoap::core

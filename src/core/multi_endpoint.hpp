@@ -1,0 +1,113 @@
+// Template sharing across endpoints (paper Section 6, future work).
+//
+// "For applications that send the same (or similar) data to different remote
+// services, we plan to investigate the extent to which it would be
+// beneficial for them to share message chunks across templates. This would
+// allow serialization cost to be amortized across multiple sends to
+// different Web Services."
+//
+// A MultiEndpointClient owns one shared TemplateStore and any number of
+// transports: updating a template for endpoint A and then sending the same
+// call to endpoint B reuses the already-serialized bytes (a content match on
+// B even though B never saw the message before). Only the HTTP head — which
+// is per-endpoint anyway — is rebuilt.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/client.hpp"
+#include "core/diff_serializer.hpp"
+#include "core/template_builder.hpp"
+#include "core/template_store.hpp"
+#include "http/connection.hpp"
+#include "net/transport.hpp"
+#include "soap/value.hpp"
+
+namespace bsoap::core {
+
+class MultiEndpointClient {
+ public:
+  struct Config {
+    TemplateConfig tmpl;
+    std::size_t max_templates = 8;
+  };
+
+  explicit MultiEndpointClient(Config config)
+      : config_(std::move(config)), store_(config_.max_templates) {}
+  MultiEndpointClient() : MultiEndpointClient(Config{}) {}
+
+  /// Registers an endpoint; returns its index. The transport must outlive
+  /// the client.
+  std::size_t add_endpoint(net::Transport& transport,
+                           std::string path = "/") {
+    endpoints_.push_back(Endpoint{&transport, std::move(path)});
+    return endpoints_.size() - 1;
+  }
+
+  std::size_t endpoint_count() const { return endpoints_.size(); }
+
+  /// Sends `call` to one endpoint, reusing the SHARED template: the first
+  /// send to any endpoint serializes; subsequent sends of the same content
+  /// to any other endpoint are content matches.
+  Result<SendReport> send_to(std::size_t endpoint, const soap::RpcCall& call) {
+    BSOAP_ASSERT(endpoint < endpoints_.size());
+    SendReport report;
+
+    const std::uint64_t signature = call.structure_signature();
+    MessageTemplate* tmpl = store_.find(signature);
+    if (tmpl == nullptr) {
+      tmpl = store_.insert(build_template(call, config_.tmpl));
+      report.match = MatchKind::kFirstTime;
+    } else {
+      report.update = update_template(*tmpl, call);
+      report.match = report.update.match;
+    }
+
+    http::HttpRequest head;
+    head.target = endpoints_[endpoint].path;
+    head.headers.push_back(http::Header{"Host", "localhost"});
+    head.headers.push_back(
+        http::Header{"Content-Type", "text/xml; charset=utf-8"});
+    head.headers.push_back(
+        http::Header{"SOAPAction", "\"" + call.method + "\""});
+
+    std::vector<net::ConstSlice> body;
+    for (const auto& s : tmpl->buffer().slices()) {
+      body.push_back(net::ConstSlice{s.data, s.len});
+    }
+    http::HttpConnection connection(*endpoints_[endpoint].transport);
+    BSOAP_RETURN_IF_ERROR(connection.send_request(std::move(head), body));
+    report.envelope_bytes = tmpl->buffer().total_size();
+    report.wire_bytes = report.envelope_bytes;
+    return report;
+  }
+
+  /// Broadcasts `call` to every endpoint: one serialization/update, N sends.
+  Result<std::vector<SendReport>> broadcast(const soap::RpcCall& call) {
+    std::vector<SendReport> reports;
+    reports.reserve(endpoints_.size());
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      Result<SendReport> report = send_to(i, call);
+      if (!report.ok()) return report.error();
+      reports.push_back(report.value());
+    }
+    return reports;
+  }
+
+  TemplateStore& store() { return store_; }
+
+ private:
+  struct Endpoint {
+    net::Transport* transport;
+    std::string path;
+  };
+
+  Config config_;
+  TemplateStore store_;
+  std::vector<Endpoint> endpoints_;
+};
+
+}  // namespace bsoap::core

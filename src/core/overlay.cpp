@@ -1,0 +1,93 @@
+#include "core/overlay.hpp"
+
+#include <cstring>
+
+#include "core/envelope_fragments.hpp"
+#include "http/chunked_coding.hpp"
+
+namespace bsoap::core {
+
+Result<std::size_t> OverlaySender::send_streamed(
+    const std::string& method, const std::string& service_namespace,
+    const std::string& param, std::string_view element_type,
+    std::size_t total_items, OverlayWindow& window,
+    const ItemFiller& fill_item) {
+  const std::string prologue = array_envelope_prologue(
+      method, service_namespace, param, element_type, total_items);
+  const std::string epilogue = array_envelope_epilogue(method, param);
+  const std::size_t envelope_bytes =
+      prologue.size() + epilogue.size() + total_items * window.item_stride;
+
+  // HTTP head: chunked transfer, since the total is streamed window by
+  // window (HTTP/1.1 chunking is what makes overlaying transport-feasible).
+  const std::string head_text =
+      array_request_head(method, config_.endpoint_path);
+
+  std::vector<std::string> scratch;
+  {
+    const net::ConstSlice first[] = {
+        net::ConstSlice{head_text.data(), head_text.size()}};
+    BSOAP_RETURN_IF_ERROR(transport_.send_slices(first));
+  }
+  {
+    const net::ConstSlice body[] = {
+        net::ConstSlice{prologue.data(), prologue.size()}};
+    std::vector<net::ConstSlice> wire = http::encode_chunked(body, &scratch);
+    wire.pop_back();  // keep the stream open
+    BSOAP_RETURN_IF_ERROR(transport_.send_slices(wire));
+  }
+
+  // Overlay loop: fill the window with the next portion, send it, repeat.
+  std::size_t sent_items = 0;
+  while (sent_items < total_items) {
+    const std::size_t batch = std::min(window.items, total_items - sent_items);
+    for (std::size_t i = 0; i < batch; ++i) {
+      fill_item(sent_items + i, i);
+    }
+    const net::ConstSlice body[] = {
+        net::ConstSlice{window.buffer.data(), batch * window.item_stride}};
+    scratch.clear();
+    std::vector<net::ConstSlice> wire = http::encode_chunked(body, &scratch);
+    wire.pop_back();
+    BSOAP_RETURN_IF_ERROR(transport_.send_slices(wire));
+    sent_items += batch;
+  }
+
+  {
+    const net::ConstSlice body[] = {
+        net::ConstSlice{epilogue.data(), epilogue.size()}};
+    scratch.clear();
+    // Final chunk plus the chunked-body terminator.
+    std::vector<net::ConstSlice> wire = http::encode_chunked(body, &scratch);
+    BSOAP_RETURN_IF_ERROR(transport_.send_slices(wire));
+  }
+  return envelope_bytes;
+}
+
+Result<std::size_t> OverlaySender::send_double_array(
+    const std::string& method, const std::string& service_namespace,
+    const std::string& param, std::span<const double> values) {
+  if (!double_window_.ready()) {
+    double_window_ = make_double_window(config_.chunk_bytes);
+  }
+  auto fill = [&](std::size_t global, std::size_t local) {
+    double_window_.fill_double_item(local, values[global]);
+  };
+  return send_streamed(method, service_namespace, param, "xsd:double",
+                       values.size(), double_window_, fill);
+}
+
+Result<std::size_t> OverlaySender::send_mio_array(
+    const std::string& method, const std::string& service_namespace,
+    const std::string& param, std::span<const soap::Mio> values) {
+  if (!mio_window_.ready()) {
+    mio_window_ = make_mio_window(config_.chunk_bytes);
+  }
+  auto fill = [&](std::size_t global, std::size_t local) {
+    mio_window_.fill_mio_item(local, values[global]);
+  };
+  return send_streamed(method, service_namespace, param, "ns1:MIO",
+                       values.size(), mio_window_, fill);
+}
+
+}  // namespace bsoap::core

@@ -1,0 +1,121 @@
+// Stuffed fixed-width window layouts shared by the overlay senders.
+//
+// A window is a flat byte buffer holding N serialized array items whose
+// fields are stuffed to their type maxima: tags are written once when the
+// window is built and never move; rewriting an item touches only its value
+// bytes, closing tags and padding.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "soap/value.hpp"
+#include "textconv/dtoa.hpp"
+#include "textconv/itoa.hpp"
+#include "textconv/widths.hpp"
+
+namespace bsoap::core {
+
+/// One rewritable field inside an item: value area + closing tag.
+struct FieldSlot {
+  std::size_t offset;   ///< value start, relative to the item start
+  std::uint32_t width;  ///< fixed field width
+  std::string close_tag;
+};
+
+struct OverlayWindow {
+  std::string buffer;            ///< window bytes (tags persist)
+  std::size_t item_stride = 0;   ///< bytes per item
+  std::size_t items = 0;         ///< items per window
+  std::vector<FieldSlot> slots;  ///< field slots of one item
+
+  bool ready() const { return items > 0; }
+
+  /// Rewrites one field: value text + shifted closing tag + padding.
+  void write_field(std::size_t item, std::size_t slot_index, const char* text,
+                   std::uint32_t len) {
+    const FieldSlot& slot = slots[slot_index];
+    char* base = buffer.data() + item * item_stride + slot.offset;
+    BSOAP_ASSERT(len <= slot.width);
+    std::memcpy(base, text, len);
+    std::memcpy(base + len, slot.close_tag.data(), slot.close_tag.size());
+    std::memset(base + len + slot.close_tag.size(), ' ', slot.width - len);
+  }
+
+  void fill_double_item(std::size_t item, double value) {
+    char text[textconv::kMaxDoubleChars];
+    const int len = textconv::write_double(text, value);
+    write_field(item, 0, text, static_cast<std::uint32_t>(len));
+  }
+
+  void fill_mio_item(std::size_t item, const soap::Mio& mio) {
+    char text[textconv::kMaxDoubleChars];
+    int len = textconv::write_i32(text, mio.x);
+    write_field(item, 0, text, static_cast<std::uint32_t>(len));
+    len = textconv::write_i32(text, mio.y);
+    write_field(item, 1, text, static_cast<std::uint32_t>(len));
+    len = textconv::write_double(text, mio.value);
+    write_field(item, 2, text, static_cast<std::uint32_t>(len));
+  }
+};
+
+/// Bytes per stuffed double item: "<item>" + 24 + "</item>".
+inline std::size_t double_item_stride() {
+  return 6 + textconv::kMaxDoubleChars + 7;
+}
+
+/// Bytes per stuffed MIO item.
+inline std::size_t mio_item_stride() {
+  return 9 + textconv::kMaxInt32Chars + 4 + 3 + textconv::kMaxInt32Chars + 4 +
+         3 + textconv::kMaxDoubleChars + 4 + 7;
+}
+
+/// Builds a window of stuffed <item> double slots.
+inline OverlayWindow make_double_window(std::size_t chunk_bytes) {
+  OverlayWindow window;
+  window.item_stride = double_item_stride();
+  window.items = std::max<std::size_t>(1, chunk_bytes / window.item_stride);
+  window.slots = {FieldSlot{6, textconv::kMaxDoubleChars, "</item>"}};
+  window.buffer.resize(window.items * window.item_stride);
+  for (std::size_t i = 0; i < window.items; ++i) {
+    char* base = window.buffer.data() + i * window.item_stride;
+    std::memcpy(base, "<item>", 6);
+    std::memset(base + 6, ' ', window.item_stride - 6);
+    window.write_field(i, 0, "0", 1);
+  }
+  return window;
+}
+
+/// Builds a window of stuffed <item><x/><y/><v/> MIO slots.
+inline OverlayWindow make_mio_window(std::size_t chunk_bytes) {
+  OverlayWindow window;
+  const std::uint32_t iw = textconv::kMaxInt32Chars;
+  const std::uint32_t dw = textconv::kMaxDoubleChars;
+  window.item_stride = mio_item_stride();
+  window.items = std::max<std::size_t>(1, chunk_bytes / window.item_stride);
+  window.slots = {
+      FieldSlot{9, iw, "</x>"},
+      FieldSlot{9 + iw + 4 + 3, iw, "</y>"},
+      FieldSlot{9 + iw + 4 + 3 + iw + 4 + 3, dw, "</v></item>"},
+  };
+  window.buffer.resize(window.items * window.item_stride);
+  for (std::size_t i = 0; i < window.items; ++i) {
+    char* base = window.buffer.data() + i * window.item_stride;
+    std::memcpy(base, "<item><x>", 9);
+    std::memset(base + 9, ' ', iw + 4);
+    std::memcpy(base + 9 + iw + 4, "<y>", 3);
+    std::memset(base + 9 + iw + 4 + 3, ' ', iw + 4);
+    std::memcpy(base + 9 + iw + 4 + 3 + iw + 4, "<v>", 3);
+    std::memset(base + 9 + iw + 4 + 3 + iw + 4 + 3, ' ', dw + 4 + 7);
+    window.write_field(i, 0, "0", 1);
+    window.write_field(i, 1, "0", 1);
+    window.write_field(i, 2, "0", 1);
+  }
+  return window;
+}
+
+}  // namespace bsoap::core

@@ -1,0 +1,183 @@
+#include "core/pipelined_overlay.hpp"
+
+#include <cstdio>
+
+#include "core/envelope_fragments.hpp"
+
+namespace bsoap::core {
+
+PipelinedOverlaySender::PipelinedOverlaySender(net::Transport& transport,
+                                               PipelinedOverlayConfig config)
+    : transport_(transport), config_(std::move(config)) {
+  sender_thread_ = std::thread([this] { sender_loop(); });
+}
+
+PipelinedOverlaySender::~PipelinedOverlaySender() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (sender_thread_.joinable()) sender_thread_.join();
+}
+
+void PipelinedOverlaySender::enqueue(SendTask task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (task.window >= 0) window_busy_[task.window] = true;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_all();
+}
+
+void PipelinedOverlaySender::wait_window_free(int w) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !window_busy_[w] || stop_; });
+}
+
+Status PipelinedOverlaySender::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return (queue_.empty() && !sending_) || stop_;
+  });
+  if (!first_error_.ok()) {
+    Error err = first_error_;
+    first_error_ = Error{};
+    return err;
+  }
+  return Status{};
+}
+
+void PipelinedOverlaySender::sender_loop() {
+  for (;;) {
+    SendTask task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.erase(queue_.begin());
+      sending_ = true;
+    }
+
+    Status status;
+    {
+      const char* data = task.owned.empty() ? task.data : task.owned.data();
+      const std::size_t len =
+          task.owned.empty() ? task.len : task.owned.size();
+      bool skip = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        skip = !first_error_.ok();  // fast-fail after the first error
+      }
+      if (!skip) {
+        if (task.raw) {
+          status = transport_.send(data, len);
+        } else {
+          // Chunked framing: size line + payload + CRLF (+ terminator).
+          char size_line[20];
+          const int header_len =
+              std::snprintf(size_line, sizeof(size_line), "%zx\r\n", len);
+          std::vector<net::ConstSlice> wire;
+          wire.push_back(net::ConstSlice{size_line,
+                                         static_cast<std::size_t>(header_len)});
+          wire.push_back(net::ConstSlice{data, len});
+          wire.push_back(net::ConstSlice{"\r\n", 2});
+          if (task.last_chunk) {
+            wire.push_back(net::ConstSlice{"0\r\n\r\n", 5});
+          }
+          status = transport_.send_slices(wire);
+        }
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!status.ok() && first_error_.ok()) first_error_ = status.error();
+      if (task.window >= 0) window_busy_[task.window] = false;
+      sending_ = false;
+    }
+    cv_.notify_all();
+  }
+}
+
+template <typename T, typename FillFn>
+Result<std::size_t> PipelinedOverlaySender::send_array(
+    const std::string& method, const std::string& service_namespace,
+    const std::string& param, std::string_view element_type,
+    std::span<const T> values, OverlayWindow* windows, FillFn fill) {
+  const std::size_t total = values.size();
+  const std::size_t envelope_bytes_base =
+      windows[0].item_stride * total;
+
+  SendTask head;
+  head.owned = array_request_head(method, config_.endpoint_path);
+  head.raw = true;
+  const std::size_t head_len = head.owned.size();
+  (void)head_len;
+  enqueue(std::move(head));
+
+  SendTask prologue;
+  prologue.owned = array_envelope_prologue(method, service_namespace, param,
+                                           element_type, total);
+  const std::size_t prologue_len = prologue.owned.size();
+  enqueue(std::move(prologue));
+
+  // Double-buffered overlay: fill one window while the other is on the wire.
+  int slot = 0;
+  std::size_t sent = 0;
+  while (sent < total) {
+    wait_window_free(slot);
+    OverlayWindow& window = windows[slot];
+    const std::size_t batch = std::min(window.items, total - sent);
+    for (std::size_t i = 0; i < batch; ++i) fill(window, i, sent + i);
+    SendTask task;
+    task.data = window.buffer.data();
+    task.len = batch * window.item_stride;
+    task.window = slot;
+    enqueue(std::move(task));
+    slot = 1 - slot;
+    sent += batch;
+  }
+
+  SendTask epilogue;
+  epilogue.owned = array_envelope_epilogue(method, param);
+  epilogue.last_chunk = true;
+  const std::size_t epilogue_len = epilogue.owned.size();
+  enqueue(std::move(epilogue));
+
+  BSOAP_RETURN_IF_ERROR(drain());
+  return prologue_len + envelope_bytes_base + epilogue_len;
+}
+
+Result<std::size_t> PipelinedOverlaySender::send_double_array(
+    const std::string& method, const std::string& service_namespace,
+    const std::string& param, std::span<const double> values) {
+  if (!double_windows_[0].ready()) {
+    double_windows_[0] = make_double_window(config_.chunk_bytes);
+    double_windows_[1] = make_double_window(config_.chunk_bytes);
+  }
+  return send_array<double>(
+      method, service_namespace, param, "xsd:double", values, double_windows_,
+      [&values](OverlayWindow& window, std::size_t local,
+                std::size_t global_idx) {
+        window.fill_double_item(local, values[global_idx]);
+      });
+}
+
+Result<std::size_t> PipelinedOverlaySender::send_mio_array(
+    const std::string& method, const std::string& service_namespace,
+    const std::string& param, std::span<const soap::Mio> values) {
+  if (!mio_windows_[0].ready()) {
+    mio_windows_[0] = make_mio_window(config_.chunk_bytes);
+    mio_windows_[1] = make_mio_window(config_.chunk_bytes);
+  }
+  return send_array<soap::Mio>(
+      method, service_namespace, param, "ns1:MIO", values, mio_windows_,
+      [&values](OverlayWindow& window, std::size_t local,
+                std::size_t global_idx) {
+        window.fill_mio_item(local, values[global_idx]);
+      });
+}
+
+}  // namespace bsoap::core

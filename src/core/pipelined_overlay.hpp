@@ -1,0 +1,89 @@
+// Pipelined chunk overlaying (companion paper [3]: "Optimizing Performance
+// of Web Services with Chunk-Overlaying and Pipelined-Send").
+//
+// Plain overlaying alternates serialize-window / send-window. The pipelined
+// variant double-buffers: a background sender thread pushes window k onto
+// the socket while the caller serializes window k+1 into the other buffer,
+// overlapping conversion cost with wire time.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+#include "core/overlay_window.hpp"
+#include "net/transport.hpp"
+#include "soap/value.hpp"
+
+namespace bsoap::core {
+
+struct PipelinedOverlayConfig {
+  std::size_t chunk_bytes = 32 * 1024;
+  std::string endpoint_path = "/";
+};
+
+class PipelinedOverlaySender {
+ public:
+  /// The transport must outlive the sender.
+  PipelinedOverlaySender(net::Transport& transport,
+                         PipelinedOverlayConfig config);
+  ~PipelinedOverlaySender();
+
+  Result<std::size_t> send_double_array(const std::string& method,
+                                        const std::string& service_namespace,
+                                        const std::string& param,
+                                        std::span<const double> values);
+
+  Result<std::size_t> send_mio_array(const std::string& method,
+                                     const std::string& service_namespace,
+                                     const std::string& param,
+                                     std::span<const soap::Mio> values);
+
+ private:
+  struct SendTask {
+    std::string owned;     ///< non-empty: payload owned by the task
+    const char* data = nullptr;  ///< otherwise: borrowed window bytes
+    std::size_t len = 0;
+    int window = -1;       ///< which double-buffer slot to release, -1 = none
+    bool raw = false;      ///< send without HTTP chunk framing (the head)
+    bool last_chunk = false;  ///< append the chunked-body terminator
+  };
+
+  /// Queues one HTTP chunk for the sender thread.
+  void enqueue(SendTask task);
+  /// Blocks until window slot `w` has been sent and may be refilled.
+  void wait_window_free(int w);
+  /// Blocks until the queue fully drains; returns the first send error.
+  Status drain();
+
+  void sender_loop();
+
+  template <typename T, typename FillFn>
+  Result<std::size_t> send_array(const std::string& method,
+                                 const std::string& service_namespace,
+                                 const std::string& param,
+                                 std::string_view element_type,
+                                 std::span<const T> values,
+                                 OverlayWindow* windows, FillFn fill);
+
+  net::Transport& transport_;
+  PipelinedOverlayConfig config_;
+
+  OverlayWindow double_windows_[2];
+  OverlayWindow mio_windows_[2];
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<SendTask> queue_;
+  bool window_busy_[2] = {false, false};
+  bool sending_ = false;
+  bool stop_ = false;
+  Error first_error_;
+  std::thread sender_thread_;
+};
+
+}  // namespace bsoap::core

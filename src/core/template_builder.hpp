@@ -1,0 +1,29 @@
+// First-time serialization: builds a MessageTemplate from an RpcCall.
+//
+// Produces the same SOAP 1.1 markup as soap::write_rpc_envelope, but writes
+// into the template's chunked store, records a DUT entry per data item, and
+// applies the stuffing policy (allocating each field its policy width and
+// padding the unused part with whitespace). With StuffingPolicy::kExact the
+// output bytes are identical to the conventional serializer's — a property
+// the test suite checks.
+#pragma once
+
+#include <memory>
+
+#include "core/message_template.hpp"
+#include "soap/value.hpp"
+
+namespace bsoap::core {
+
+/// Serializes `call` from scratch into a fresh template. This is the paper's
+/// "First-Time Send" path: full serialization plus the negligible cost of
+/// recording DUT entries.
+std::unique_ptr<MessageTemplate> build_template(const soap::RpcCall& call,
+                                                const TemplateConfig& config);
+
+/// Re-serializes `call` into an existing template in place (clears it
+/// first). Used when a structural mismatch forces a rebuild but the chunk
+/// storage should be recycled.
+void rebuild_template(MessageTemplate& tmpl, const soap::RpcCall& call);
+
+}  // namespace bsoap::core

@@ -1,0 +1,70 @@
+// Saved-template store.
+//
+// The paper keeps one saved template per remote service per call type;
+// Section 6 (future work) suggests storing several. This store generalizes
+// both: templates are keyed by structure signature with an LRU bound on the
+// total number retained (capacity 1 reproduces the paper's behaviour).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "core/message_template.hpp"
+
+namespace bsoap::core {
+
+class TemplateStore {
+ public:
+  explicit TemplateStore(std::size_t capacity = 8) : capacity_(capacity) {
+    BSOAP_ASSERT(capacity_ >= 1);
+  }
+
+  /// Returns the template for `signature` (refreshing its LRU position), or
+  /// nullptr if none is stored.
+  MessageTemplate* find(std::uint64_t signature) {
+    const auto it = index_.find(signature);
+    if (it == index_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return it->second->get();
+  }
+
+  /// Stores a template (keyed by its signature), evicting the least
+  /// recently used one if over capacity. Returns the stored pointer.
+  MessageTemplate* insert(std::unique_ptr<MessageTemplate> tmpl) {
+    const std::uint64_t signature = tmpl->signature;
+    if (MessageTemplate* existing = find(signature)) {
+      *lru_.begin() = std::move(tmpl);
+      (void)existing;
+      return lru_.begin()->get();
+    }
+    lru_.push_front(std::move(tmpl));
+    index_[signature] = lru_.begin();
+    while (lru_.size() > capacity_) {
+      index_.erase(lru_.back()->signature);
+      lru_.pop_back();
+      ++evictions_;
+    }
+    return lru_.begin()->get();
+  }
+
+  std::size_t size() const { return lru_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+  void clear() {
+    lru_.clear();
+    index_.clear();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::unique_ptr<MessageTemplate>> lru_;
+  std::unordered_map<std::uint64_t,
+                     std::list<std::unique_ptr<MessageTemplate>>::iterator>
+      index_;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace bsoap::core

@@ -1,0 +1,143 @@
+#include "http/chunked_coding.hpp"
+
+namespace bsoap::http {
+namespace {
+
+std::string hex_size_line(std::size_t n) {
+  char buf[20];
+  int len = 0;
+  if (n == 0) {
+    buf[len++] = '0';
+  } else {
+    char tmp[16];
+    int t = 0;
+    while (n > 0) {
+      const std::size_t digit = n & 0xF;
+      tmp[t++] = static_cast<char>(digit < 10 ? '0' + digit : 'a' + digit - 10);
+      n >>= 4;
+    }
+    while (t > 0) buf[len++] = tmp[--t];
+  }
+  buf[len++] = '\r';
+  buf[len++] = '\n';
+  return std::string(buf, static_cast<std::size_t>(len));
+}
+
+Result<std::size_t> parse_hex_size(std::string_view line) {
+  // Chunk extensions (";ext=...") are permitted and ignored.
+  std::size_t value = 0;
+  std::size_t i = 0;
+  bool any = false;
+  for (; i < line.size(); ++i) {
+    const char c = line[i];
+    std::size_t digit;
+    if (c >= '0' && c <= '9') digit = static_cast<std::size_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<std::size_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') digit = static_cast<std::size_t>(c - 'A' + 10);
+    else break;
+    if (value > (~std::size_t{0}) >> 4) {
+      return Error{ErrorCode::kProtocolError, "chunk size overflow"};
+    }
+    value = (value << 4) | digit;
+    any = true;
+  }
+  if (!any) {
+    return Error{ErrorCode::kProtocolError,
+                 "bad chunk size line: " + std::string(line)};
+  }
+  return value;
+}
+
+}  // namespace
+
+std::vector<net::ConstSlice> encode_chunked(
+    std::span<const net::ConstSlice> body, std::vector<std::string>* scratch) {
+  scratch->clear();
+  // The returned slices point into scratch's strings: reserve the final
+  // element count up front so push_back never reallocates the vector and
+  // invalidates earlier data() pointers.
+  scratch->reserve(body.size() + 1);
+  std::vector<net::ConstSlice> out;
+  out.reserve(body.size() * 3 + 1);
+  static constexpr std::string_view kCrlf = "\r\n";
+  for (const net::ConstSlice& s : body) {
+    if (s.len == 0) continue;
+    scratch->push_back(hex_size_line(s.len));
+    out.push_back(net::ConstSlice{scratch->back().data(), scratch->back().size()});
+    out.push_back(s);
+    out.push_back(net::ConstSlice{kCrlf.data(), kCrlf.size()});
+  }
+  scratch->push_back("0\r\n\r\n");
+  out.push_back(net::ConstSlice{scratch->back().data(), scratch->back().size()});
+  return out;
+}
+
+Status ChunkedDecoder::feed(std::string_view data, std::string* out,
+                            std::size_t* consumed) {
+  std::size_t i = 0;
+  while (i < data.size() && state_ != State::kDone) {
+    switch (state_) {
+      case State::kSizeLine: {
+        const char c = data[i++];
+        if (c == '\n') {
+          if (!size_line_.empty() && size_line_.back() == '\r') {
+            size_line_.pop_back();
+          }
+          Result<std::size_t> size = parse_hex_size(size_line_);
+          if (!size.ok()) return size.error();
+          size_line_.clear();
+          if (size.value() == 0) {
+            state_ = State::kTrailer;
+          } else {
+            remaining_ = size.value();
+            state_ = State::kData;
+          }
+        } else {
+          if (size_line_.size() > 64) {
+            return Error{ErrorCode::kProtocolError, "chunk size line too long"};
+          }
+          size_line_ += c;
+        }
+        break;
+      }
+      case State::kData: {
+        const std::size_t take = std::min(remaining_, data.size() - i);
+        out->append(data.data() + i, take);
+        i += take;
+        remaining_ -= take;
+        if (remaining_ == 0) state_ = State::kDataCrlf;
+        break;
+      }
+      case State::kDataCrlf: {
+        const char c = data[i++];
+        if (c == '\n') state_ = State::kSizeLine;
+        else if (c != '\r') {
+          return Error{ErrorCode::kProtocolError, "missing CRLF after chunk"};
+        }
+        break;
+      }
+      case State::kTrailer: {
+        // Trailer section: lines until an empty line terminates the body.
+        const char c = data[i++];
+        if (c == '\n') {
+          if (!trailer_line_.empty() && trailer_line_.back() == '\r') {
+            trailer_line_.pop_back();
+          }
+          if (trailer_line_.empty()) {
+            state_ = State::kDone;
+          }
+          trailer_line_.clear();
+        } else {
+          trailer_line_ += c;
+        }
+        break;
+      }
+      case State::kDone:
+        break;
+    }
+  }
+  *consumed = i;
+  return Status{};
+}
+
+}  // namespace bsoap::http

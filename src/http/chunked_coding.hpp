@@ -1,0 +1,43 @@
+// HTTP/1.1 chunked transfer encoding (RFC 2616 Section 3.6.1).
+//
+// Encoding is zero-copy: the body slices are interleaved with small
+// framing slices (hex size lines, CRLFs) so the whole message still goes out
+// through one writev. Decoding is incremental, suitable for a streaming
+// reader.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/socket.hpp"
+
+namespace bsoap::http {
+
+/// Wraps `body` slices in chunked framing. `scratch` owns the framing bytes
+/// and must outlive the returned slices. Each body slice becomes one HTTP
+/// chunk; the terminating zero chunk is appended.
+std::vector<net::ConstSlice> encode_chunked(
+    std::span<const net::ConstSlice> body, std::vector<std::string>* scratch);
+
+/// Incremental chunked-body decoder. Feed bytes; it appends decoded payload
+/// to `out` and reports when the terminating chunk has been consumed.
+class ChunkedDecoder {
+ public:
+  /// Consumes as much of `data` as possible. On return, *consumed is the
+  /// number of bytes eaten (the rest belongs to the next message).
+  Status feed(std::string_view data, std::string* out, std::size_t* consumed);
+
+  bool done() const { return state_ == State::kDone; }
+
+ private:
+  enum class State { kSizeLine, kData, kDataCrlf, kTrailer, kDone };
+
+  State state_ = State::kSizeLine;
+  std::string size_line_;
+  std::size_t remaining_ = 0;
+  std::string trailer_line_;
+};
+
+}  // namespace bsoap::http

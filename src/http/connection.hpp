@@ -1,0 +1,56 @@
+// Buffered HTTP connection: request/response exchange over a Transport.
+//
+// Supports keep-alive (many exchanges per connection — the paper's clients
+// reuse one connection for all sends), Content-Length and chunked framing in
+// both directions, and zero-copy scatter-gather sends of chunked bodies.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/error.hpp"
+#include "http/http_message.hpp"
+#include "net/transport.hpp"
+
+namespace bsoap::http {
+
+class HttpConnection {
+ public:
+  explicit HttpConnection(net::Transport& transport) : transport_(transport) {}
+
+  /// Sends `head` with `body` slices. Framing headers (Content-Length or
+  /// Transfer-Encoding) are added automatically: HTTP/1.1 + `chunked=true`
+  /// streams each slice as one HTTP chunk, otherwise Content-Length is used.
+  Status send_request(HttpRequest head, std::span<const net::ConstSlice> body,
+                      bool chunked = false);
+
+  /// Sends `head` with a gzip-compressed body (Content-Encoding: gzip) —
+  /// gSOAP's transport compression, complementary to differential
+  /// serialization (paper Section 5).
+  Status send_request_gzip(HttpRequest head, std::string_view body);
+
+  Status send_response(HttpResponse head, std::string_view body);
+
+  /// Reads one request. Error code kClosed indicates the peer closed the
+  /// connection cleanly between requests (keep-alive end).
+  Result<HttpRequest> read_request();
+
+  Result<HttpResponse> read_response();
+
+ private:
+  /// Reads and strips one head (through the blank line) from the stream.
+  Result<std::string> read_head();
+  /// Fills `body` according to the framing headers; transparently inflates
+  /// a gzip Content-Encoding.
+  Status read_body(const std::vector<Header>& headers, bool is_request,
+                   std::string* body);
+  Status read_body_raw(const std::vector<Header>& headers, bool is_request,
+                       std::string* body);
+  /// Ensures at least `n` bytes are buffered.
+  Status buffer_at_least(std::size_t n);
+
+  net::Transport& transport_;
+  std::string inbuf_;
+};
+
+}  // namespace bsoap::http

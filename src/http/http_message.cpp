@@ -1,0 +1,162 @@
+#include "http/http_message.hpp"
+
+#include <cctype>
+
+#include "textconv/parse.hpp"
+
+namespace bsoap::http {
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+/// Splits head text into lines on CRLF (tolerating bare LF) and parses
+/// header fields after the first line.
+Status parse_headers(std::string_view text, std::size_t first_line_end,
+                     std::vector<Header>* headers) {
+  std::size_t pos = first_line_end;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = eol + 1;
+    if (line.empty()) break;  // blank line: end of headers
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Error{ErrorCode::kProtocolError,
+                   "header line without ':': " + std::string(line)};
+    }
+    Header h;
+    h.name = std::string(trim(line.substr(0, colon)));
+    h.value = std::string(trim(line.substr(colon + 1)));
+    if (h.name.empty()) {
+      return Error{ErrorCode::kProtocolError, "empty header name"};
+    }
+    headers->push_back(std::move(h));
+  }
+  return Status{};
+}
+
+}  // namespace
+
+const Header* find_header(const std::vector<Header>& headers,
+                          std::string_view name) {
+  for (const Header& h : headers) {
+    if (iequals(h.name, name)) return &h;
+  }
+  return nullptr;
+}
+
+std::string serialize_request_head(const HttpRequest& request) {
+  std::string out;
+  out.reserve(128 + request.headers.size() * 32);
+  out += request.method;
+  out += ' ';
+  out += request.target;
+  out += ' ';
+  out += request.version;
+  out += "\r\n";
+  for (const Header& h : request.headers) {
+    out += h.name;
+    out += ": ";
+    out += h.value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  return out;
+}
+
+std::string serialize_response_head(const HttpResponse& response) {
+  std::string out;
+  out += response.version;
+  out += ' ';
+  out += std::to_string(response.status);
+  out += ' ';
+  out += response.reason;
+  out += "\r\n";
+  for (const Header& h : response.headers) {
+    out += h.name;
+    out += ": ";
+    out += h.value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  return out;
+}
+
+Result<HttpRequest> parse_request_head(std::string_view text) {
+  std::size_t eol = text.find('\n');
+  if (eol == std::string_view::npos) {
+    return Error{ErrorCode::kProtocolError, "missing request line"};
+  }
+  std::string_view line = text.substr(0, eol);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos
+                              ? std::string_view::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Error{ErrorCode::kProtocolError,
+                 "malformed request line: " + std::string(line)};
+  }
+  HttpRequest request;
+  request.method = std::string(line.substr(0, sp1));
+  request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request.version = std::string(line.substr(sp2 + 1));
+  if (request.version != "HTTP/1.0" && request.version != "HTTP/1.1") {
+    return Error{ErrorCode::kProtocolError,
+                 "unsupported HTTP version: " + request.version};
+  }
+  BSOAP_RETURN_IF_ERROR(parse_headers(text, eol + 1, &request.headers));
+  return request;
+}
+
+Result<HttpResponse> parse_response_head(std::string_view text) {
+  std::size_t eol = text.find('\n');
+  if (eol == std::string_view::npos) {
+    return Error{ErrorCode::kProtocolError, "missing status line"};
+  }
+  std::string_view line = text.substr(0, eol);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return Error{ErrorCode::kProtocolError,
+                 "malformed status line: " + std::string(line)};
+  }
+  HttpResponse response;
+  response.version = std::string(line.substr(0, sp1));
+  std::string_view rest = line.substr(sp1 + 1);
+  const std::size_t sp2 = rest.find(' ');
+  const std::string_view code_text =
+      sp2 == std::string_view::npos ? rest : rest.substr(0, sp2);
+  Result<std::int32_t> code = textconv::parse_i32(code_text);
+  if (!code.ok()) {
+    return Error{ErrorCode::kProtocolError,
+                 "bad status code: " + std::string(code_text)};
+  }
+  response.status = code.value();
+  response.reason = sp2 == std::string_view::npos
+                        ? std::string()
+                        : std::string(rest.substr(sp2 + 1));
+  BSOAP_RETURN_IF_ERROR(parse_headers(text, eol + 1, &response.headers));
+  return response;
+}
+
+}  // namespace bsoap::http

@@ -1,0 +1,58 @@
+// HTTP/1.0 and HTTP/1.1 message model and head (de)serialization.
+//
+// SOAP rides on HTTP POST. HTTP/1.1 with chunked transfer encoding lets a
+// sender stream message chunks as they are serialized — the transport-level
+// counterpart of bSOAP's internal message chunking (paper Section 2).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bsoap::http {
+
+struct Header {
+  std::string name;
+  std::string value;
+};
+
+/// Case-insensitive header lookup (HTTP header names are case-insensitive).
+const Header* find_header(const std::vector<Header>& headers,
+                          std::string_view name);
+
+struct HttpRequest {
+  std::string method = "POST";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  std::vector<Header> headers;
+  std::string body;
+
+  const Header* find(std::string_view name) const {
+    return find_header(headers, name);
+  }
+};
+
+struct HttpResponse {
+  std::string version = "HTTP/1.1";
+  int status = 200;
+  std::string reason = "OK";
+  std::vector<Header> headers;
+  std::string body;
+
+  const Header* find(std::string_view name) const {
+    return find_header(headers, name);
+  }
+};
+
+/// Request line + headers + blank line.
+std::string serialize_request_head(const HttpRequest& request);
+std::string serialize_response_head(const HttpResponse& response);
+
+/// Parses a head (everything before the body). `text` must end at the blank
+/// line (exclusive of body bytes).
+Result<HttpRequest> parse_request_head(std::string_view text);
+Result<HttpResponse> parse_response_head(std::string_view text);
+
+}  // namespace bsoap::http

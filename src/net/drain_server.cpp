@@ -1,0 +1,45 @@
+#include "net/drain_server.hpp"
+
+namespace bsoap::net {
+
+Result<std::unique_ptr<DrainServer>> DrainServer::start() {
+  Result<TcpListener> listener = TcpListener::bind();
+  if (!listener.ok()) return listener.error();
+
+  auto server = std::unique_ptr<DrainServer>(new DrainServer());
+  server->port_ = listener.value().port();
+  server->accept_thread_ = std::thread(
+      [srv = server.get(), l = std::make_shared<TcpListener>(
+                               std::move(listener.value()))]() mutable {
+        for (;;) {
+          Result<std::unique_ptr<Transport>> conn = l->accept();
+          if (!conn.ok()) return;
+          if (srv->stopping_.load()) return;
+          std::lock_guard<std::mutex> lock(srv->workers_mu_);
+          srv->workers_.push_back(
+              std::make_unique<DrainWorker>(std::move(conn.value())));
+        }
+      });
+  return server;
+}
+
+DrainServer::~DrainServer() { stop(); }
+
+void DrainServer::stop() {
+  if (stopping_.exchange(true)) return;
+  // Unblock the accept() call with a throwaway connection.
+  (void)tcp_connect(port_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  for (auto& w : workers_) w->abort();
+  for (auto& w : workers_) w->join();
+}
+
+std::uint64_t DrainServer::bytes_drained() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  for (const auto& w : workers_) total += w->bytes_drained();
+  return total;
+}
+
+}  // namespace bsoap::net

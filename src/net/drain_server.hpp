@@ -1,0 +1,74 @@
+// The paper's "dummy SOAP server": accepts bytes and discards them without
+// deserializing or parsing, so that the client-side Send Time is isolated.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "net/transport.hpp"
+
+namespace bsoap::net {
+
+/// Drains a single transport on a background thread until end-of-stream.
+class DrainWorker {
+ public:
+  explicit DrainWorker(std::unique_ptr<Transport> transport)
+      : transport_(std::move(transport)), thread_([this] { run(); }) {}
+
+  ~DrainWorker() { join(); }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Aborts the transport so a blocked recv() wakes with end-of-stream.
+  void abort() { transport_->shutdown_both(); }
+
+  std::uint64_t bytes_drained() const { return bytes_.load(); }
+
+ private:
+  void run() {
+    char buf[64 * 1024];
+    const int fd = transport_->native_handle();
+    for (;;) {
+      if (fd >= 0) arm_quickack(fd);  // Linux clears it after each use
+      Result<std::size_t> got = transport_->recv(buf, sizeof(buf));
+      if (!got.ok() || got.value() == 0) return;
+      bytes_.fetch_add(got.value(), std::memory_order_relaxed);
+    }
+  }
+
+  std::unique_ptr<Transport> transport_;
+  std::atomic<std::uint64_t> bytes_{0};
+  std::thread thread_;
+};
+
+/// TCP drain server: accepts connections on a loopback port and drains each
+/// on its own thread.
+class DrainServer {
+ public:
+  static Result<std::unique_ptr<DrainServer>> start();
+  ~DrainServer();
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t bytes_drained() const;
+
+  /// Stops accepting; existing connections drain until their peers close.
+  void stop();
+
+ private:
+  DrainServer() = default;
+
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::vector<std::unique_ptr<DrainWorker>> workers_;
+  mutable std::mutex workers_mu_;
+};
+
+}  // namespace bsoap::net

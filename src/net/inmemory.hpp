@@ -1,0 +1,103 @@
+// In-memory transport pair: a thread-safe byte pipe.
+//
+// Used by unit tests for deterministic, port-free client/server runs, and by
+// the phase-breakdown ablation where the "network" must cost (almost)
+// nothing.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "net/transport.hpp"
+
+namespace bsoap::net {
+
+namespace detail {
+
+/// One direction of the pipe.
+struct PipeChannel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<char> bytes;
+  bool closed = false;
+
+  void write(const char* data, std::size_t n) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      bytes.insert(bytes.end(), data, data + n);
+    }
+    cv.notify_all();
+  }
+
+  std::size_t read(char* out, std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return !bytes.empty() || closed; });
+    const std::size_t take = std::min(n, bytes.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      out[i] = bytes.front();
+      bytes.pop_front();
+    }
+    return take;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      closed = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+class InMemoryTransport final : public Transport {
+ public:
+  using Transport::send;
+  InMemoryTransport(std::shared_ptr<detail::PipeChannel> out,
+                    std::shared_ptr<detail::PipeChannel> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  ~InMemoryTransport() override { shutdown_send(); }
+
+  Status send(const char* data, std::size_t n) override {
+    if (out_->closed) return Error{ErrorCode::kClosed, "pipe closed"};
+    out_->write(data, n);
+    return Status{};
+  }
+
+  Status send_slices(std::span<const ConstSlice> slices) override {
+    for (const ConstSlice& s : slices) {
+      BSOAP_RETURN_IF_ERROR(send(s.data, s.len));
+    }
+    return Status{};
+  }
+
+  Result<std::size_t> recv(char* out, std::size_t n) override {
+    return in_->read(out, n);
+  }
+
+  void shutdown_send() override { out_->close(); }
+
+  void shutdown_both() override {
+    out_->close();
+    in_->close();
+  }
+
+ private:
+  std::shared_ptr<detail::PipeChannel> out_;
+  std::shared_ptr<detail::PipeChannel> in_;
+};
+
+/// Creates the two connected endpoints of an in-memory pipe.
+inline std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_inmemory_transports() {
+  auto a_to_b = std::make_shared<detail::PipeChannel>();
+  auto b_to_a = std::make_shared<detail::PipeChannel>();
+  return {std::make_unique<InMemoryTransport>(a_to_b, b_to_a),
+          std::make_unique<InMemoryTransport>(b_to_a, a_to_b)};
+}
+
+}  // namespace bsoap::net

@@ -1,0 +1,68 @@
+// Simulated-bandwidth transport wrapper.
+//
+// The paper's clients send over Gigabit Ethernet, so message *size* carries a
+// wire cost that loopback hides (loopback is memory-bandwidth limited). This
+// wrapper adds the analytic serialization delay of a link: time = bytes * 8 /
+// bandwidth, busy-waiting so that the added latency is included in the Send
+// Time measurement exactly where the real wire would put it. Used by the
+// stuffing benchmarks, where larger padded messages must cost more on the
+// wire (paper Figures 10 and 11).
+#pragma once
+
+#include <memory>
+
+#include "common/timing.hpp"
+#include "net/transport.hpp"
+
+namespace bsoap::net {
+
+class SimulatedWireTransport final : public Transport {
+ public:
+  using Transport::send;
+  /// Wraps `inner`, modelling a link of `bits_per_second`.
+  SimulatedWireTransport(std::unique_ptr<Transport> inner,
+                         double bits_per_second)
+      : inner_(std::move(inner)), bits_per_second_(bits_per_second) {}
+
+  Status send(const char* data, std::size_t n) override {
+    const Status st = inner_->send(data, n);
+    if (st.ok()) delay_for_bytes(n);
+    return st;
+  }
+
+  Status send_slices(std::span<const ConstSlice> slices) override {
+    std::size_t total = 0;
+    for (const ConstSlice& s : slices) total += s.len;
+    const Status st = inner_->send_slices(slices);
+    if (st.ok()) delay_for_bytes(total);
+    return st;
+  }
+
+  Result<std::size_t> recv(char* out, std::size_t n) override {
+    return inner_->recv(out, n);
+  }
+
+  void shutdown_send() override { inner_->shutdown_send(); }
+  void shutdown_both() override { inner_->shutdown_both(); }
+
+ private:
+  void delay_for_bytes(std::size_t n) {
+    const double seconds = static_cast<double>(n) * 8.0 / bits_per_second_;
+    const auto target_ns = static_cast<std::int64_t>(seconds * 1e9);
+    StopWatch watch;
+    while (watch.elapsed_ns() < target_ns) {
+      // Busy-wait: the modelled time is short (microseconds to a few
+      // milliseconds) and must be attributed to the caller's Send Time.
+    }
+  }
+
+  std::unique_ptr<Transport> inner_;
+  double bits_per_second_;
+};
+
+inline std::unique_ptr<Transport> simulate_gigabit(
+    std::unique_ptr<Transport> inner) {
+  return std::make_unique<SimulatedWireTransport>(std::move(inner), 1e9);
+}
+
+}  // namespace bsoap::net

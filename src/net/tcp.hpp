@@ -1,0 +1,37 @@
+// Loopback TCP listener/connector used by the benchmark harness and the
+// example servers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/error.hpp"
+#include "net/transport.hpp"
+
+namespace bsoap::net {
+
+class TcpListener {
+ public:
+  /// Binds 127.0.0.1 on `port` (0 = ephemeral) and listens.
+  static Result<TcpListener> bind(std::uint16_t port = 0);
+
+  /// The actual bound port.
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until a client connects; paper socket options are applied.
+  Result<std::unique_ptr<Transport>> accept();
+
+  TcpListener(TcpListener&&) noexcept = default;
+  TcpListener& operator=(TcpListener&&) noexcept = default;
+
+ private:
+  TcpListener(Fd fd, std::uint16_t port) : fd_(std::move(fd)), port_(port) {}
+
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:port with the paper socket options applied.
+Result<std::unique_ptr<Transport>> tcp_connect(std::uint16_t port);
+
+}  // namespace bsoap::net

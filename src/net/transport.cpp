@@ -1,0 +1,33 @@
+#include "net/transport.hpp"
+
+#include <sys/socket.h>
+
+#include <cstring>
+
+namespace bsoap::net {
+
+void SocketTransport::shutdown_send() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_WR);
+}
+
+void SocketTransport::shutdown_both() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+Result<std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>>
+make_socketpair_transports() {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) < 0) {
+    return Error{ErrorCode::kIoError,
+                 std::string("socketpair: ") + std::strerror(errno)};
+  }
+  Fd a(sv[0]);
+  Fd b(sv[1]);
+  (void)apply_paper_socket_options(a.get());
+  (void)apply_paper_socket_options(b.get());
+  return std::make_pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>(
+      std::make_unique<SocketTransport>(std::move(a)),
+      std::make_unique<SocketTransport>(std::move(b)));
+}
+
+}  // namespace bsoap::net

@@ -1,0 +1,68 @@
+// Transport abstraction over which SOAP messages travel.
+//
+// The benchmark harness mirrors the paper's setup — a client sending to a
+// dummy server that drains bytes without parsing — but lets the medium vary:
+// loopback TCP (default), a Unix socketpair, an in-memory pipe for
+// deterministic unit tests, or a simulated-bandwidth wrapper that adds the
+// size-proportional wire cost of the paper's Gigabit Ethernet link.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "common/error.hpp"
+#include "net/socket.hpp"
+
+namespace bsoap::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual Status send(const char* data, std::size_t n) = 0;
+  virtual Status send_slices(std::span<const ConstSlice> slices) = 0;
+  virtual Result<std::size_t> recv(char* out, std::size_t n) = 0;
+
+  /// Closes the write side so the peer sees end-of-stream.
+  virtual void shutdown_send() = 0;
+
+  /// Aborts both directions: a thread blocked in recv() on this transport
+  /// wakes with end-of-stream. Used to stop server workers.
+  virtual void shutdown_both() { shutdown_send(); }
+
+  /// Underlying socket descriptor, or -1 for non-socket transports.
+  virtual int native_handle() const { return -1; }
+
+  Status send(std::string_view text) { return send(text.data(), text.size()); }
+};
+
+/// Transport backed by a connected socket (TCP or Unix).
+class SocketTransport final : public Transport {
+ public:
+  using Transport::send;
+  explicit SocketTransport(Fd fd) : fd_(std::move(fd)) {}
+
+  Status send(const char* data, std::size_t n) override {
+    return write_all(fd_.get(), data, n);
+  }
+  Status send_slices(std::span<const ConstSlice> slices) override {
+    return writev_all(fd_.get(), slices);
+  }
+  Result<std::size_t> recv(char* out, std::size_t n) override {
+    return read_some(fd_.get(), out, n);
+  }
+  void shutdown_send() override;
+  void shutdown_both() override;
+  int native_handle() const override { return fd_.get(); }
+
+  int fd() const { return fd_.get(); }
+
+ private:
+  Fd fd_;
+};
+
+/// Creates a connected AF_UNIX socketpair with the paper's socket options.
+Result<std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>>
+make_socketpair_transports();
+
+}  // namespace bsoap::net

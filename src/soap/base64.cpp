@@ -1,0 +1,129 @@
+#include "soap/base64.hpp"
+
+#include <cstring>
+
+namespace bsoap::soap {
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::int8_t kInvalid = -1;
+constexpr std::int8_t kPad = -2;
+constexpr std::int8_t kSpace = -3;
+
+const std::int8_t* decode_table() {
+  static const std::int8_t* table = [] {
+    static std::int8_t t[256];
+    std::memset(t, kInvalid, sizeof(t));
+    for (int i = 0; i < 64; ++i) {
+      t[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+    }
+    t[static_cast<unsigned char>('=')] = kPad;
+    for (const char ws : {' ', '\t', '\r', '\n'}) {
+      t[static_cast<unsigned char>(ws)] = kSpace;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::string base64_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            data[i + 2];
+    out += kAlphabet[(v >> 18) & 0x3F];
+    out += kAlphabet[(v >> 12) & 0x3F];
+    out += kAlphabet[(v >> 6) & 0x3F];
+    out += kAlphabet[v & 0x3F];
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out += kAlphabet[(v >> 18) & 0x3F];
+    out += kAlphabet[(v >> 12) & 0x3F];
+    out += "==";
+  } else if (rest == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out += kAlphabet[(v >> 18) & 0x3F];
+    out += kAlphabet[(v >> 12) & 0x3F];
+    out += kAlphabet[(v >> 6) & 0x3F];
+    out += '=';
+  }
+  return out;
+}
+
+std::string base64_encode(std::string_view data) {
+  return base64_encode(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+Result<std::vector<std::uint8_t>> base64_decode(std::string_view text) {
+  const std::int8_t* table = decode_table();
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  std::uint32_t accum = 0;
+  int pending = 0;
+  int pads = 0;
+  for (const char c : text) {
+    const std::int8_t v = table[static_cast<unsigned char>(c)];
+    if (v == kSpace) continue;
+    if (v == kInvalid) {
+      return Error{ErrorCode::kParseError,
+                   std::string("base64: invalid character '") + c + "'"};
+    }
+    if (v == kPad) {
+      ++pads;
+      continue;
+    }
+    if (pads > 0) {
+      return Error{ErrorCode::kParseError, "base64: data after padding"};
+    }
+    accum = (accum << 6) | static_cast<std::uint32_t>(v);
+    if (++pending == 4) {
+      out.push_back(static_cast<std::uint8_t>((accum >> 16) & 0xFF));
+      out.push_back(static_cast<std::uint8_t>((accum >> 8) & 0xFF));
+      out.push_back(static_cast<std::uint8_t>(accum & 0xFF));
+      accum = 0;
+      pending = 0;
+    }
+  }
+  if (pending == 1 || pending + pads > 4 ||
+      (pending > 0 && pending + pads != 4)) {
+    return Error{ErrorCode::kParseError, "base64: bad final quantum"};
+  }
+  if (pending == 3) {
+    out.push_back(static_cast<std::uint8_t>((accum >> 10) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((accum >> 2) & 0xFF));
+  } else if (pending == 2) {
+    out.push_back(static_cast<std::uint8_t>((accum >> 4) & 0xFF));
+  }
+  return out;
+}
+
+std::string base64_pack_doubles(std::span<const double> values) {
+  std::vector<std::uint8_t> bytes(values.size() * sizeof(double));
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return base64_encode(bytes);
+}
+
+Result<std::vector<double>> base64_unpack_doubles(std::string_view text) {
+  Result<std::vector<std::uint8_t>> bytes = base64_decode(text);
+  if (!bytes.ok()) return bytes.error();
+  if (bytes.value().size() % sizeof(double) != 0) {
+    return Error{ErrorCode::kParseError,
+                 "base64 payload is not a whole number of doubles"};
+  }
+  std::vector<double> out(bytes.value().size() / sizeof(double));
+  std::memcpy(out.data(), bytes.value().data(), bytes.value().size());
+  return out;
+}
+
+}  // namespace bsoap::soap

@@ -1,0 +1,31 @@
+// Base64 (RFC 4648) encode/decode.
+//
+// The paper's related work (Section 5) lists base64-encoded binary payloads
+// among the proposed SOAP binary formats: faster than ASCII conversion but
+// at the cost of the simplicity and universality that make SOAP attractive.
+// The binary-format ablation quantifies the trade-off.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bsoap::soap {
+
+std::string base64_encode(std::span<const std::uint8_t> data);
+std::string base64_encode(std::string_view data);
+
+/// Decodes; tolerates embedded whitespace (base64 inside XML is often
+/// line-wrapped). Fails on other non-alphabet characters or bad padding.
+Result<std::vector<std::uint8_t>> base64_decode(std::string_view text);
+
+/// Convenience: pack a double array as little-endian bytes and base64 it —
+/// the payload shape a binary-SOAP encoding would ship.
+std::string base64_pack_doubles(std::span<const double> values);
+Result<std::vector<double>> base64_unpack_doubles(std::string_view text);
+
+}  // namespace bsoap::soap

@@ -1,0 +1,31 @@
+// SOAP 1.1 namespace URIs, prefixes and fixed markup fragments.
+#pragma once
+
+#include <string_view>
+
+namespace bsoap::soap {
+
+inline constexpr std::string_view kSoapEnvelopeNs =
+    "http://schemas.xmlsoap.org/soap/envelope/";
+inline constexpr std::string_view kSoapEncodingNs =
+    "http://schemas.xmlsoap.org/soap/encoding/";
+inline constexpr std::string_view kXsiNs =
+    "http://www.w3.org/2001/XMLSchema-instance";
+inline constexpr std::string_view kXsdNs = "http://www.w3.org/2001/XMLSchema";
+
+inline constexpr std::string_view kEnvelopeTag = "SOAP-ENV:Envelope";
+inline constexpr std::string_view kBodyTag = "SOAP-ENV:Body";
+inline constexpr std::string_view kHeaderTag = "SOAP-ENV:Header";
+inline constexpr std::string_view kFaultTag = "SOAP-ENV:Fault";
+
+/// Element name used for array members in SOAP encoding.
+inline constexpr std::string_view kArrayItemTag = "item";
+
+/// xsd type names.
+inline constexpr std::string_view kXsdInt = "xsd:int";
+inline constexpr std::string_view kXsdLong = "xsd:long";
+inline constexpr std::string_view kXsdDouble = "xsd:double";
+inline constexpr std::string_view kXsdString = "xsd:string";
+inline constexpr std::string_view kXsdBoolean = "xsd:boolean";
+
+}  // namespace bsoap::soap

@@ -1,0 +1,140 @@
+#include "soap/dime.hpp"
+
+#include <cstring>
+
+namespace bsoap::soap {
+namespace {
+
+constexpr std::uint8_t kVersion = 1;
+
+std::size_t padded4(std::size_t n) { return (n + 3) & ~std::size_t{3}; }
+
+void put_u16(std::string* out, std::uint16_t v) {
+  *out += static_cast<char>((v >> 8) & 0xFF);
+  *out += static_cast<char>(v & 0xFF);
+}
+
+void put_u32(std::string* out, std::uint32_t v) {
+  *out += static_cast<char>((v >> 24) & 0xFF);
+  *out += static_cast<char>((v >> 16) & 0xFF);
+  *out += static_cast<char>((v >> 8) & 0xFF);
+  *out += static_cast<char>(v & 0xFF);
+}
+
+void put_padded(std::string* out, std::string_view field) {
+  out->append(field);
+  out->append(padded4(field.size()) - field.size(), '\0');
+}
+
+std::uint16_t get_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+}  // namespace
+
+std::string write_dime(const std::vector<DimeRecord>& records) {
+  std::string out;
+  for (const DimeRecord& r : records) {
+    BSOAP_ASSERT(r.id.size() <= 0xFFFF);
+    BSOAP_ASSERT(r.type.size() <= 0xFFFF);
+    BSOAP_ASSERT(r.data.size() <= 0xFFFFFFFFull);
+    std::uint8_t byte0 = static_cast<std::uint8_t>(kVersion << 3);
+    if (r.message_begin) byte0 |= 0x4;
+    if (r.message_end) byte0 |= 0x2;
+    if (r.chunked) byte0 |= 0x1;
+    out += static_cast<char>(byte0);
+    out += static_cast<char>(static_cast<std::uint8_t>(r.type_format) << 4);
+    put_u16(&out, 0);  // no options
+    put_u16(&out, static_cast<std::uint16_t>(r.id.size()));
+    put_u16(&out, static_cast<std::uint16_t>(r.type.size()));
+    put_u32(&out, static_cast<std::uint32_t>(r.data.size()));
+    put_padded(&out, r.id);
+    put_padded(&out, r.type);
+    put_padded(&out, r.data);
+  }
+  return out;
+}
+
+std::string make_dime_message(std::string_view envelope,
+                              const std::vector<DimeRecord>& attachments) {
+  std::vector<DimeRecord> records;
+  DimeRecord first;
+  first.message_begin = true;
+  first.type = "text/xml";
+  first.type_format = DimeTypeFormat::kMediaType;
+  first.data = std::string(envelope);
+  records.push_back(std::move(first));
+  for (const DimeRecord& attachment : attachments) {
+    records.push_back(attachment);
+    records.back().message_begin = false;
+    records.back().message_end = false;
+  }
+  records.back().message_end = true;
+  return write_dime(records);
+}
+
+Result<std::vector<DimeRecord>> parse_dime(std::string_view message) {
+  std::vector<DimeRecord> records;
+  const auto* p = reinterpret_cast<const unsigned char*>(message.data());
+  std::size_t offset = 0;
+  bool saw_end = false;
+  while (offset < message.size()) {
+    if (saw_end) {
+      return Error{ErrorCode::kParseError, "DIME: data after ME record"};
+    }
+    if (message.size() - offset < 12) {
+      return Error{ErrorCode::kParseError, "DIME: truncated record header"};
+    }
+    const std::uint8_t byte0 = p[offset];
+    if ((byte0 >> 3) != kVersion) {
+      return Error{ErrorCode::kParseError, "DIME: unsupported version"};
+    }
+    DimeRecord record;
+    record.message_begin = (byte0 & 0x4) != 0;
+    record.message_end = (byte0 & 0x2) != 0;
+    record.chunked = (byte0 & 0x1) != 0;
+    record.type_format = static_cast<DimeTypeFormat>(p[offset + 1] >> 4);
+    const std::uint16_t options_length = get_u16(p + offset + 2);
+    const std::uint16_t id_length = get_u16(p + offset + 4);
+    const std::uint16_t type_length = get_u16(p + offset + 6);
+    const std::uint32_t data_length = get_u32(p + offset + 8);
+    offset += 12;
+
+    const std::size_t need = padded4(options_length) + padded4(id_length) +
+                             padded4(type_length) + padded4(data_length);
+    if (message.size() - offset < need) {
+      return Error{ErrorCode::kParseError, "DIME: truncated record body"};
+    }
+    offset += padded4(options_length);  // options ignored
+    record.id.assign(message.data() + offset, id_length);
+    offset += padded4(id_length);
+    record.type.assign(message.data() + offset, type_length);
+    offset += padded4(type_length);
+    record.data.assign(message.data() + offset, data_length);
+    offset += padded4(data_length);
+
+    if (records.empty() && !record.message_begin) {
+      return Error{ErrorCode::kParseError, "DIME: first record lacks MB"};
+    }
+    if (!records.empty() && record.message_begin) {
+      return Error{ErrorCode::kParseError, "DIME: duplicate MB"};
+    }
+    saw_end = record.message_end;
+    records.push_back(std::move(record));
+  }
+  if (records.empty()) {
+    return Error{ErrorCode::kParseError, "DIME: empty message"};
+  }
+  if (!saw_end) {
+    return Error{ErrorCode::kParseError, "DIME: missing ME record"};
+  }
+  return records;
+}
+
+}  // namespace bsoap::soap

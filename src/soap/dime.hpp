@@ -1,0 +1,57 @@
+// DIME — Direct Internet Message Encapsulation (IBM/Microsoft draft,
+// paper reference [16]).
+//
+// DIME frames a SOAP envelope plus binary attachments as a sequence of
+// length-prefixed records, avoiding both ASCII conversion and base64
+// expansion — the most aggressive of the binary-format proposals the paper's
+// related work weighs against differential serialization.
+//
+// Record layout (draft-nielsen-dime-02):
+//   byte 0 : VERSION(5) | MB | ME | CF
+//   byte 1 : TYPE_T(4)  | RESERVED(4)
+//   u16    : OPTIONS_LENGTH          u16 : ID_LENGTH
+//   u16    : TYPE_LENGTH             u32 : DATA_LENGTH
+//   then OPTIONS, ID, TYPE, DATA — each padded to a 4-byte boundary.
+// All integers big-endian.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bsoap::soap {
+
+enum class DimeTypeFormat : std::uint8_t {
+  kUnchanged = 0x0,
+  kMediaType = 0x1,  ///< TYPE holds a MIME media type
+  kUri = 0x2,        ///< TYPE holds a URI
+  kUnknown = 0x3,
+  kNone = 0x4,
+};
+
+struct DimeRecord {
+  bool message_begin = false;  ///< MB
+  bool message_end = false;    ///< ME
+  bool chunked = false;        ///< CF
+  DimeTypeFormat type_format = DimeTypeFormat::kMediaType;
+  std::string id;
+  std::string type;  ///< e.g. "text/xml" or "application/octet-stream"
+  std::string data;
+};
+
+/// Serializes records into a DIME message. Callers set MB/ME or use
+/// make_dime_message which sets them automatically.
+std::string write_dime(const std::vector<DimeRecord>& records);
+
+/// Builds a message: first record the SOAP envelope (text/xml), remaining
+/// records attachments; MB/ME flags are assigned.
+std::string make_dime_message(std::string_view envelope,
+                              const std::vector<DimeRecord>& attachments);
+
+/// Parses a complete DIME message into its records.
+Result<std::vector<DimeRecord>> parse_dime(std::string_view message);
+
+}  // namespace bsoap::soap

@@ -1,0 +1,408 @@
+#include "soap/envelope_reader.hpp"
+
+#include <map>
+#include <string>
+
+#include "soap/constants.hpp"
+#include "textconv/parse.hpp"
+#include "xml/pull_parser.hpp"
+#include "xml/qname.hpp"
+#include "xml/tag_trie.hpp"
+
+namespace bsoap::soap {
+namespace {
+
+using xml::XmlEvent;
+using xml::XmlPullParser;
+
+bool is_ws(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && is_ws(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_ws(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+Error type_error(std::string_view what, std::string_view text) {
+  return Error{ErrorCode::kParseError,
+               std::string("bad ") + std::string(what) + " lexical: '" +
+                   std::string(text) + "'"};
+}
+
+/// Collects the text content of the current element (parser just consumed
+/// its start tag) and consumes the matching end tag. Fails if child
+/// elements appear.
+Result<std::string> read_text_content(XmlPullParser* parser) {
+  std::string content;
+  for (;;) {
+    Result<XmlEvent> event = parser->next();
+    if (!event.ok()) return event.error();
+    switch (event.value()) {
+      case XmlEvent::kText:
+        content += parser->text();
+        break;
+      case XmlEvent::kEndElement:
+        return content;
+      case XmlEvent::kStartElement:
+        return Error{ErrorCode::kParseError,
+                     "unexpected child element <" + std::string(parser->name()) +
+                         "> in scalar content"};
+      case XmlEvent::kEof:
+        return Error{ErrorCode::kParseError, "EOF inside element"};
+    }
+  }
+}
+
+using MultiRefMap = std::map<std::string, Value>;
+
+Result<Value> read_value(XmlPullParser* parser, const MultiRefMap* multirefs);
+
+/// Consumes events to the end of the current element.
+Status skip_subtree(XmlPullParser* parser) {
+  std::size_t depth = 1;
+  while (depth > 0) {
+    Result<XmlEvent> event = parser->next();
+    if (!event.ok()) return event.error();
+    if (event.value() == XmlEvent::kStartElement) ++depth;
+    else if (event.value() == XmlEvent::kEndElement) --depth;
+    else if (event.value() == XmlEvent::kEof) {
+      return Error{ErrorCode::kParseError, "EOF inside element"};
+    }
+  }
+  return Status{};
+}
+
+/// Reads one MIO: <item><x>..</x><y>..</y><v>..</v></item>; the start tag of
+/// <item> has been consumed.
+Result<Mio> read_mio(XmlPullParser* parser) {
+  Mio mio;
+  int field = 0;
+  for (;;) {
+    Result<XmlEvent> event = parser->next();
+    if (!event.ok()) return event.error();
+    if (event.value() == XmlEvent::kEndElement) {
+      if (field != 3) {
+        return Error{ErrorCode::kParseError, "MIO with missing fields"};
+      }
+      return mio;
+    }
+    if (event.value() == XmlEvent::kText) continue;  // inter-element space
+    if (event.value() != XmlEvent::kStartElement) {
+      return Error{ErrorCode::kParseError, "EOF inside MIO"};
+    }
+    // Trie-based tag dispatch (Chiu et al. [6]): member names resolve to
+    // slot ids in one pass instead of repeated string compares.
+    static const xml::TagTrie& mio_trie = *[] {
+      auto* trie = new xml::TagTrie();
+      trie->add("x");
+      trie->add("y");
+      trie->add("v");
+      return trie;
+    }();
+    const int slot = mio_trie.match(parser->name());
+    if (slot < 0) {
+      return Error{ErrorCode::kParseError,
+                   "unknown MIO member: " + std::string(parser->name())};
+    }
+    Result<std::string> text = read_text_content(parser);
+    if (!text.ok()) return text.error();
+    const std::string_view lexical = trim(text.value());
+    if (slot == 2) {
+      Result<double> v = textconv::parse_double(lexical);
+      if (!v.ok()) return type_error("MIO double", lexical);
+      mio.value = v.value();
+    } else {
+      Result<std::int32_t> v = textconv::parse_i32(lexical);
+      if (!v.ok()) return type_error("MIO int", lexical);
+      (slot == 0 ? mio.x : mio.y) = v.value();
+    }
+    ++field;
+  }
+}
+
+/// Reads a SOAP-ENC:Array given the arrayType attribute value; the array's
+/// start tag has been consumed.
+Result<Value> read_array(XmlPullParser* parser, std::string_view array_type) {
+  const std::size_t bracket = array_type.find('[');
+  const std::string_view element_type =
+      bracket == std::string_view::npos ? array_type
+                                        : array_type.substr(0, bracket);
+  const std::string_view local = xml::split_qname(element_type).local;
+
+  enum class Elem { kDouble, kInt, kMio } elem;
+  if (local == "double" || local == "float") elem = Elem::kDouble;
+  else if (local == "int" || local == "long") elem = Elem::kInt;
+  else if (local == "MIO") elem = Elem::kMio;
+  else {
+    return Error{ErrorCode::kUnsupported,
+                 "unsupported arrayType: " + std::string(array_type)};
+  }
+
+  std::vector<double> doubles;
+  std::vector<std::int32_t> ints;
+  std::vector<Mio> mios;
+  for (;;) {
+    Result<XmlEvent> event = parser->next();
+    if (!event.ok()) return event.error();
+    if (event.value() == XmlEvent::kEndElement) break;
+    if (event.value() == XmlEvent::kText) continue;  // whitespace between items
+    if (event.value() != XmlEvent::kStartElement) {
+      return Error{ErrorCode::kParseError, "EOF inside array"};
+    }
+    if (elem == Elem::kMio) {
+      Result<Mio> mio = read_mio(parser);
+      if (!mio.ok()) return mio.error();
+      mios.push_back(mio.value());
+      continue;
+    }
+    Result<std::string> text = read_text_content(parser);
+    if (!text.ok()) return text.error();
+    const std::string_view lexical = trim(text.value());
+    if (elem == Elem::kDouble) {
+      Result<double> v = textconv::parse_double(lexical);
+      if (!v.ok()) return type_error("double", lexical);
+      doubles.push_back(v.value());
+    } else {
+      Result<std::int32_t> v = textconv::parse_i32(lexical);
+      if (!v.ok()) return type_error("int", lexical);
+      ints.push_back(v.value());
+    }
+  }
+  switch (elem) {
+    case Elem::kDouble: return Value::from_double_array(std::move(doubles));
+    case Elem::kInt: return Value::from_int_array(std::move(ints));
+    case Elem::kMio: return Value::from_mio_array(std::move(mios));
+  }
+  return Error{ErrorCode::kInternal, "unreachable"};
+}
+
+/// Reads the value whose start tag the parser just consumed.
+Result<Value> read_value(XmlPullParser* parser, const MultiRefMap* multirefs) {
+  // Multi-ref accessor: <name href="#ref-N"/> refers to an independent
+  // element serialized once elsewhere in the Body (SOAP 1.1 Section 5).
+  if (const xml::XmlAttribute* href = parser->find_attribute("href")) {
+    std::string id = href->value;
+    if (!id.empty() && id.front() == '#') id.erase(0, 1);
+    BSOAP_RETURN_IF_ERROR(skip_subtree(parser));  // consume the empty element
+    if (multirefs != nullptr) {
+      const auto it = multirefs->find(id);
+      if (it != multirefs->end()) return it->second;
+    }
+    return Error{ErrorCode::kParseError, "unresolved multiRef '#" + id + "'"};
+  }
+
+  std::string xsi_type;
+  std::string array_type;
+  if (const xml::XmlAttribute* attr = parser->find_attribute("xsi:type")) {
+    xsi_type = attr->value;
+  }
+  if (const xml::XmlAttribute* attr =
+          parser->find_attribute("SOAP-ENC:arrayType")) {
+    array_type = attr->value;
+  }
+
+  if (xsi_type == "SOAP-ENC:Array" || !array_type.empty()) {
+    if (array_type.empty()) {
+      return Error{ErrorCode::kParseError, "Array without arrayType"};
+    }
+    return read_array(parser, array_type);
+  }
+
+  const std::string_view local = xml::split_qname(xsi_type).local;
+  if (local == "int" || local == "long" || local == "double" ||
+      local == "float" || local == "boolean" || local == "string") {
+    Result<std::string> text = read_text_content(parser);
+    if (!text.ok()) return text.error();
+    if (local == "string") return Value::from_string(std::move(text.value()));
+    const std::string_view lexical = trim(text.value());
+    if (local == "int") {
+      Result<std::int32_t> v = textconv::parse_i32(lexical);
+      if (!v.ok()) return type_error("int", lexical);
+      return Value::from_int(v.value());
+    }
+    if (local == "long") {
+      Result<std::int64_t> v = textconv::parse_i64(lexical);
+      if (!v.ok()) return type_error("long", lexical);
+      return Value::from_int64(v.value());
+    }
+    if (local == "boolean") {
+      if (lexical == "true" || lexical == "1") return Value::from_bool(true);
+      if (lexical == "false" || lexical == "0") return Value::from_bool(false);
+      return type_error("boolean", lexical);
+    }
+    Result<double> v = textconv::parse_double(lexical);
+    if (!v.ok()) return type_error("double", lexical);
+    return Value::from_double(v.value());
+  }
+
+  // No recognized xsi:type: struct if children follow, else string.
+  Value structure = Value::make_struct();
+  std::string text_content;
+  bool has_children = false;
+  for (;;) {
+    Result<XmlEvent> event = parser->next();
+    if (!event.ok()) return event.error();
+    if (event.value() == XmlEvent::kEndElement) break;
+    if (event.value() == XmlEvent::kText) {
+      text_content += parser->text();
+      continue;
+    }
+    if (event.value() != XmlEvent::kStartElement) {
+      return Error{ErrorCode::kParseError, "EOF inside value"};
+    }
+    has_children = true;
+    std::string member_name(parser->name());
+    Result<Value> member = read_value(parser, multirefs);
+    if (!member.ok()) return member.error();
+    structure.add_member(std::move(member_name), std::move(member.value()));
+  }
+  if (has_children) return structure;
+  return Value::from_string(std::move(text_content));
+}
+
+}  // namespace
+
+
+namespace {
+
+/// Pre-pass for multi-ref documents: parses every id-bearing element in the
+/// Body into a value, keyed by id. Nested multi-refs are not supported.
+Result<std::map<std::string, Value>> collect_multirefs(
+    std::string_view document) {
+  std::map<std::string, Value> out;
+  XmlPullParser scanner(document);
+  for (;;) {
+    Result<XmlEvent> event = scanner.next();
+    if (!event.ok()) return event.error();
+    if (event.value() == XmlEvent::kEof) return out;
+    if (event.value() != XmlEvent::kStartElement) continue;
+    const xml::XmlAttribute* id = scanner.find_attribute("id");
+    if (id == nullptr) continue;
+    const std::string key = id->value;
+    // Parse this element's subtree with a sub-parser over its byte range.
+    const std::size_t begin = scanner.event_begin();
+    BSOAP_RETURN_IF_ERROR(skip_subtree(&scanner));
+    const std::size_t end = scanner.event_end();
+    XmlPullParser sub(document.substr(begin, end - begin));
+    Result<XmlEvent> sub_event = sub.next();
+    if (!sub_event.ok()) return sub_event.error();
+    Result<Value> value = read_value(&sub, nullptr);
+    if (!value.ok()) return value.error();
+    out.emplace(key, std::move(value.value()));
+  }
+}
+
+}  // namespace
+
+Result<RpcCall> read_rpc_envelope(std::string_view document) {
+  XmlPullParser parser(document);
+
+  // Multi-ref pre-pass (only when href accessors are present).
+  std::map<std::string, Value> multirefs;
+  if (document.find("href=\"#") != std::string_view::npos) {
+    Result<std::map<std::string, Value>> collected =
+        collect_multirefs(document);
+    if (!collected.ok()) return collected.error();
+    multirefs = std::move(collected.value());
+  }
+
+  // Envelope.
+  Result<XmlEvent> event = parser.next();
+  if (!event.ok()) return event.error();
+  if (event.value() != XmlEvent::kStartElement ||
+      xml::split_qname(parser.name()).local != "Envelope") {
+    return Error{ErrorCode::kParseError, "expected SOAP Envelope"};
+  }
+
+  // Optional Header, then Body.
+  for (;;) {
+    event = parser.next();
+    if (!event.ok()) return event.error();
+    if (event.value() == XmlEvent::kText) continue;
+    if (event.value() != XmlEvent::kStartElement) {
+      return Error{ErrorCode::kParseError, "expected SOAP Body"};
+    }
+    const std::string_view local = xml::split_qname(parser.name()).local;
+    if (local == "Header") {
+      // Skip the header subtree.
+      std::size_t depth = 1;
+      while (depth > 0) {
+        event = parser.next();
+        if (!event.ok()) return event.error();
+        if (event.value() == XmlEvent::kStartElement) ++depth;
+        else if (event.value() == XmlEvent::kEndElement) --depth;
+        else if (event.value() == XmlEvent::kEof) {
+          return Error{ErrorCode::kParseError, "EOF in Header"};
+        }
+      }
+      continue;
+    }
+    if (local == "Body") break;
+    return Error{ErrorCode::kParseError,
+                 "unexpected element <" + std::string(parser.name()) + ">"};
+  }
+
+  // Method element. Independent id-bearing elements (multiRef definitions)
+  // may legally precede it; they were collected in the pre-pass.
+  for (;;) {
+    event = parser.next();
+    if (!event.ok()) return event.error();
+    if (event.value() == XmlEvent::kText) continue;
+    if (event.value() != XmlEvent::kStartElement) {
+      return Error{ErrorCode::kParseError, "expected method element in Body"};
+    }
+    if (parser.find_attribute("id") != nullptr) {
+      BSOAP_RETURN_IF_ERROR(skip_subtree(&parser));
+      continue;
+    }
+    break;
+  }
+
+  RpcCall call;
+  const xml::QName method = xml::split_qname(parser.name());
+  call.method = std::string(method.local);
+  std::string xmlns_attr = "xmlns";
+  if (!method.prefix.empty()) {
+    xmlns_attr += ':';
+    xmlns_attr += method.prefix;
+  }
+  if (const xml::XmlAttribute* ns = parser.find_attribute(xmlns_attr)) {
+    call.service_namespace = ns->value;
+  }
+
+  // Parameters.
+  for (;;) {
+    event = parser.next();
+    if (!event.ok()) return event.error();
+    if (event.value() == XmlEvent::kEndElement) break;  // method end
+    if (event.value() == XmlEvent::kText) continue;
+    if (event.value() != XmlEvent::kStartElement) {
+      return Error{ErrorCode::kParseError, "EOF inside method element"};
+    }
+    Param param;
+    param.name = std::string(parser.name());
+    Result<Value> value = read_value(&parser, &multirefs);
+    if (!value.ok()) return value.error();
+    param.value = std::move(value.value());
+    call.params.push_back(std::move(param));
+  }
+
+  // Close Body and Envelope, skipping any independent body-level elements
+  // (multiRef definitions were collected in the pre-pass).
+  for (int closes = 0; closes < 2;) {
+    event = parser.next();
+    if (!event.ok()) return event.error();
+    if (event.value() == XmlEvent::kText) continue;
+    if (event.value() == XmlEvent::kStartElement) {
+      BSOAP_RETURN_IF_ERROR(skip_subtree(&parser));
+      continue;
+    }
+    if (event.value() != XmlEvent::kEndElement) {
+      return Error{ErrorCode::kParseError, "expected envelope close"};
+    }
+    ++closes;
+  }
+  return call;
+}
+
+}  // namespace bsoap::soap

@@ -1,0 +1,22 @@
+// SOAP 1.1 envelope deserialization into an RpcCall.
+//
+// Used by the validating server, the round-trip test suite, and the
+// differential-deserialization extension. Typing rules: xsi:type attributes
+// drive scalar/array decoding; elements without xsi:type decode as structs
+// (children) or strings (text only). Whitespace around scalar lexicals is
+// trimmed — stuffing (paper Section 3.2) pads fields with whitespace that is
+// explicitly legal in XML.
+#pragma once
+
+#include <string_view>
+
+#include "common/error.hpp"
+#include "soap/value.hpp"
+
+namespace bsoap::soap {
+
+/// Parses a complete SOAP request envelope. Fails on malformed XML, a
+/// missing Envelope/Body, or type errors in value lexicals.
+Result<RpcCall> read_rpc_envelope(std::string_view document);
+
+}  // namespace bsoap::soap

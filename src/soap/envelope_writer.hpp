@@ -1,0 +1,274 @@
+// Conventional (full) SOAP 1.1 envelope serialization.
+//
+// This is the classic serialize-everything-per-send path: the gSOAP-like
+// baseline uses it with a contiguous StringSink, bSOAP uses it (with a
+// ChunkedBuffer sink) for first-time sends, and the phase ablation uses it
+// with a NullSink. Array element loops are hand-rolled — one tag append, one
+// in-place number conversion, one closing tag — matching how generated stubs
+// of the era serialized dense scientific arrays.
+#pragma once
+
+#include <string>
+
+#include "soap/constants.hpp"
+#include "soap/value.hpp"
+#include "textconv/dtoa.hpp"
+#include "textconv/itoa.hpp"
+#include "xml/writer.hpp"
+
+namespace bsoap::soap {
+
+namespace detail {
+
+/// <item>NUMBER</item> loops for dense arrays.
+template <typename Sink>
+void write_double_array_items(Sink& sink, const std::vector<double>& values) {
+  for (const double v : values) {
+    sink.append(std::string_view("<item>"));
+    char* p = sink.reserve_contiguous(textconv::kMaxDoubleChars);
+    sink.commit(static_cast<std::size_t>(textconv::write_double(p, v)));
+    sink.append(std::string_view("</item>"));
+  }
+}
+
+template <typename Sink>
+void write_int_array_items(Sink& sink, const std::vector<std::int32_t>& values) {
+  for (const std::int32_t v : values) {
+    sink.append(std::string_view("<item>"));
+    char* p = sink.reserve_contiguous(textconv::kMaxInt32Chars);
+    sink.commit(static_cast<std::size_t>(textconv::write_i32(p, v)));
+    sink.append(std::string_view("</item>"));
+  }
+}
+
+template <typename Sink>
+void write_mio_array_items(Sink& sink, const std::vector<Mio>& values) {
+  for (const Mio& m : values) {
+    sink.append(std::string_view("<item><x>"));
+    char* p = sink.reserve_contiguous(textconv::kMaxInt32Chars);
+    sink.commit(static_cast<std::size_t>(textconv::write_i32(p, m.x)));
+    sink.append(std::string_view("</x><y>"));
+    p = sink.reserve_contiguous(textconv::kMaxInt32Chars);
+    sink.commit(static_cast<std::size_t>(textconv::write_i32(p, m.y)));
+    sink.append(std::string_view("</y><v>"));
+    p = sink.reserve_contiguous(textconv::kMaxDoubleChars);
+    sink.commit(static_cast<std::size_t>(textconv::write_double(p, m.value)));
+    sink.append(std::string_view("</v></item>"));
+  }
+}
+
+/// arrayType attribute value, e.g. "xsd:double[4096]".
+inline std::string array_type_attr(std::string_view element_type, std::size_t n) {
+  std::string out(element_type);
+  out += '[';
+  out += std::to_string(n);
+  out += ']';
+  return out;
+}
+
+template <typename Sink>
+void write_value(xml::XmlWriter<Sink>& writer, std::string_view element_name,
+                 const Value& value, std::string_view id = {}) {
+  Sink& sink = writer.sink();
+  switch (value.kind()) {
+    case ValueKind::kInt32:
+      writer.start_element(element_name);
+      if (!id.empty()) writer.attribute("id", id);
+      writer.attribute("xsi:type", kXsdInt);
+      writer.int_text(value.as_int());
+      writer.end_element();
+      break;
+    case ValueKind::kInt64:
+      writer.start_element(element_name);
+      if (!id.empty()) writer.attribute("id", id);
+      writer.attribute("xsi:type", kXsdLong);
+      writer.int64_text(value.as_int64());
+      writer.end_element();
+      break;
+    case ValueKind::kDouble:
+      writer.start_element(element_name);
+      if (!id.empty()) writer.attribute("id", id);
+      writer.attribute("xsi:type", kXsdDouble);
+      writer.double_text(value.as_double());
+      writer.end_element();
+      break;
+    case ValueKind::kBool:
+      writer.start_element(element_name);
+      if (!id.empty()) writer.attribute("id", id);
+      writer.attribute("xsi:type", kXsdBoolean);
+      writer.text(value.as_bool() ? "true" : "false");
+      writer.end_element();
+      break;
+    case ValueKind::kString:
+      writer.start_element(element_name);
+      if (!id.empty()) writer.attribute("id", id);
+      writer.attribute("xsi:type", kXsdString);
+      writer.text(value.as_string());
+      writer.end_element();
+      break;
+    case ValueKind::kDoubleArray:
+      writer.start_element(element_name);
+      if (!id.empty()) writer.attribute("id", id);
+      writer.attribute("xsi:type", "SOAP-ENC:Array");
+      writer.attribute("SOAP-ENC:arrayType",
+                       array_type_attr(kXsdDouble, value.doubles().size()));
+      writer.raw("");  // close the start tag before the raw item loop
+      write_double_array_items(sink, value.doubles());
+      writer.end_element();
+      break;
+    case ValueKind::kIntArray:
+      writer.start_element(element_name);
+      if (!id.empty()) writer.attribute("id", id);
+      writer.attribute("xsi:type", "SOAP-ENC:Array");
+      writer.attribute("SOAP-ENC:arrayType",
+                       array_type_attr(kXsdInt, value.ints().size()));
+      writer.raw("");
+      write_int_array_items(sink, value.ints());
+      writer.end_element();
+      break;
+    case ValueKind::kMioArray:
+      writer.start_element(element_name);
+      if (!id.empty()) writer.attribute("id", id);
+      writer.attribute("xsi:type", "SOAP-ENC:Array");
+      writer.attribute("SOAP-ENC:arrayType",
+                       array_type_attr("ns1:MIO", value.mios().size()));
+      writer.raw("");
+      write_mio_array_items(sink, value.mios());
+      writer.end_element();
+      break;
+    case ValueKind::kStruct:
+      writer.start_element(element_name);
+      if (!id.empty()) writer.attribute("id", id);
+      for (const Value::Member& m : value.members()) {
+        write_value(writer, m.name, m.value);
+      }
+      // An empty struct still needs its start tag closed.
+      if (value.members().empty()) writer.raw("");
+      writer.end_element();
+      break;
+  }
+}
+
+}  // namespace detail
+
+/// Serializes a complete SOAP 1.1 RPC request envelope for `call`.
+template <typename Sink>
+void write_rpc_envelope(Sink& sink, const RpcCall& call) {
+  xml::XmlWriter<Sink> writer(sink);
+  writer.declaration();
+  writer.start_element(kEnvelopeTag);
+  writer.attribute("xmlns:SOAP-ENV", kSoapEnvelopeNs);
+  writer.attribute("xmlns:SOAP-ENC", kSoapEncodingNs);
+  writer.attribute("xmlns:xsi", kXsiNs);
+  writer.attribute("xmlns:xsd", kXsdNs);
+  writer.attribute("SOAP-ENV:encodingStyle", kSoapEncodingNs);
+  writer.start_element(kBodyTag);
+
+  std::string method_tag = "ns1:" + call.method;
+  writer.start_element(method_tag);
+  writer.attribute("xmlns:ns1", call.service_namespace);
+  for (const Param& p : call.params) {
+    detail::write_value(writer, p.name, p.value);
+  }
+  if (call.params.empty()) writer.raw("");
+  writer.end_element();  // method
+  writer.end_element();  // Body
+  writer.end_element();  // Envelope
+  writer.finish();
+}
+
+
+/// Multi-reference encoding options (SOAP 1.1 Section 5 "multi-ref
+/// accessors", paper Section 5 related work).
+struct MultiRefOptions {
+  /// Values eligible for deduplication: strings at least this long, and any
+  /// struct. Scalars are never worth a reference.
+  std::size_t min_string_length = 8;
+};
+
+/// Serializes `call` with multi-ref encoding: parameter values that appear
+/// more than once (equal strings/structs) are serialized a single time as an
+/// independent <multiRef id="ref-N"> element and referenced from each use
+/// via href="#ref-N" — shrinking the message and the serialization work.
+template <typename Sink>
+void write_rpc_envelope_multiref(Sink& sink, const RpcCall& call,
+                                 const MultiRefOptions& options = {}) {
+  // Group eligible parameter values by equality.
+  struct Group {
+    const Value* value;
+    std::string ref_id;
+    std::vector<std::size_t> params;
+  };
+  std::vector<Group> groups;
+  std::vector<int> param_group(call.params.size(), -1);
+  for (std::size_t i = 0; i < call.params.size(); ++i) {
+    const Value& v = call.params[i].value;
+    const bool eligible =
+        v.kind() == ValueKind::kStruct ||
+        (v.kind() == ValueKind::kString &&
+         v.as_string().size() >= options.min_string_length);
+    if (!eligible) continue;
+    bool placed = false;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (*groups[g].value == v) {
+        groups[g].params.push_back(i);
+        param_group[i] = static_cast<int>(g);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      Group group;
+      group.value = &v;
+      group.params.push_back(i);
+      param_group[i] = static_cast<int>(groups.size());
+      groups.push_back(std::move(group));
+    }
+  }
+  // Only groups with two or more uses become references.
+  std::size_t next_ref = 1;
+  for (Group& group : groups) {
+    if (group.params.size() >= 2) {
+      group.ref_id = "ref-" + std::to_string(next_ref++);
+    }
+  }
+
+  xml::XmlWriter<Sink> writer(sink);
+  writer.declaration();
+  writer.start_element(kEnvelopeTag);
+  writer.attribute("xmlns:SOAP-ENV", kSoapEnvelopeNs);
+  writer.attribute("xmlns:SOAP-ENC", kSoapEncodingNs);
+  writer.attribute("xmlns:xsi", kXsiNs);
+  writer.attribute("xmlns:xsd", kXsdNs);
+  writer.attribute("SOAP-ENV:encodingStyle", kSoapEncodingNs);
+  writer.start_element(kBodyTag);
+
+  std::string method_tag = "ns1:" + call.method;
+  writer.start_element(method_tag);
+  writer.attribute("xmlns:ns1", call.service_namespace);
+  for (std::size_t i = 0; i < call.params.size(); ++i) {
+    const int g = param_group[i];
+    if (g >= 0 && !groups[static_cast<std::size_t>(g)].ref_id.empty()) {
+      writer.start_element(call.params[i].name);
+      writer.attribute("href",
+                       "#" + groups[static_cast<std::size_t>(g)].ref_id);
+      writer.end_element();
+    } else {
+      detail::write_value(writer, call.params[i].name, call.params[i].value);
+    }
+  }
+  if (call.params.empty()) writer.raw("");
+  writer.end_element();  // method
+
+  // Independent multiRef elements, one per shared value.
+  for (const Group& group : groups) {
+    if (group.ref_id.empty()) continue;
+    detail::write_value(writer, "multiRef", *group.value, group.ref_id);
+  }
+
+  writer.end_element();  // Body
+  writer.end_element();  // Envelope
+  writer.finish();
+}
+
+}  // namespace bsoap::soap

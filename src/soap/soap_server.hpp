@@ -1,0 +1,92 @@
+// SOAP-over-HTTP server.
+//
+// Two modes mirror the paper's setups:
+//  * a handler-driven service that parses each request envelope and returns
+//    a response envelope (used by the examples and integration tests), and
+//  * access to a raw drain endpoint lives in net/drain_server.hpp (the
+//    paper's dummy server that reads and discards bytes without parsing).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/transport.hpp"
+#include "soap/value.hpp"
+
+namespace bsoap::soap {
+
+/// Computes the response value for a parsed RPC request.
+using RpcHandler = std::function<Result<Value>(const RpcCall&)>;
+
+/// Per-connection envelope parser: body bytes -> parsed call. The returned
+/// pointer must stay valid until the next invocation (connections are
+/// served sequentially). The default implementation runs a full
+/// read_rpc_envelope; bsoap::core supplies a differential-deserialization
+/// variant (paper Section 6) via make_diff_deserializing_options().
+using EnvelopeParser =
+    std::function<Result<const RpcCall*>(std::string_view body)>;
+
+struct SoapServerOptions {
+  /// Creates one EnvelopeParser per connection; null uses the default full
+  /// parser.
+  std::function<EnvelopeParser()> make_parser;
+};
+
+class SoapHttpServer {
+ public:
+  /// Starts listening on an ephemeral loopback port.
+  static Result<std::unique_ptr<SoapHttpServer>> start(RpcHandler handler);
+  static Result<std::unique_ptr<SoapHttpServer>> start(
+      RpcHandler handler, SoapServerOptions options);
+
+  ~SoapHttpServer();
+
+  std::uint16_t port() const { return port_; }
+
+  /// Requests served successfully so far.
+  std::uint64_t requests_served() const { return served_.load(); }
+  /// Requests that produced a SOAP fault.
+  std::uint64_t faults_returned() const { return faults_.load(); }
+
+  void stop();
+
+ private:
+  SoapHttpServer() = default;
+  void serve_connection(net::Transport& transport);
+
+  struct ConnectionSlot {
+    std::thread thread;
+    std::shared_ptr<net::Transport> transport;
+  };
+
+  RpcHandler handler_;
+  SoapServerOptions options_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> faults_{0};
+  std::thread accept_thread_;
+  std::vector<ConnectionSlot> workers_;
+  std::mutex workers_mu_;
+};
+
+/// Serializes a response envelope: <methodResponse><return>value</return>.
+std::string serialize_rpc_response(const std::string& method,
+                                   const std::string& service_namespace,
+                                   const Value& result);
+
+/// Serializes a SOAP 1.1 Fault envelope.
+std::string serialize_rpc_fault(std::string_view fault_code,
+                                std::string_view fault_string);
+
+/// Extracts the <return> value from a parsed response call; checks that the
+/// method name is `method` + "Response".
+Result<Value> extract_rpc_result(const RpcCall& response,
+                                 std::string_view method);
+
+}  // namespace bsoap::soap

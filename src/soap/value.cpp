@@ -1,0 +1,219 @@
+#include "soap/value.hpp"
+
+namespace bsoap::soap {
+
+Value Value::from_int(std::int32_t v) {
+  Value out;
+  out.kind_ = ValueKind::kInt32;
+  out.i_ = v;
+  return out;
+}
+
+Value Value::from_int64(std::int64_t v) {
+  Value out;
+  out.kind_ = ValueKind::kInt64;
+  out.i_ = v;
+  return out;
+}
+
+Value Value::from_double(double v) {
+  Value out;
+  out.kind_ = ValueKind::kDouble;
+  out.d_ = v;
+  return out;
+}
+
+Value Value::from_bool(bool v) {
+  Value out;
+  out.kind_ = ValueKind::kBool;
+  out.i_ = v ? 1 : 0;
+  return out;
+}
+
+Value Value::from_string(std::string v) {
+  Value out;
+  out.kind_ = ValueKind::kString;
+  out.s_ = std::move(v);
+  return out;
+}
+
+Value Value::from_double_array(std::vector<double> v) {
+  Value out;
+  out.kind_ = ValueKind::kDoubleArray;
+  out.doubles_ = std::move(v);
+  return out;
+}
+
+Value Value::from_int_array(std::vector<std::int32_t> v) {
+  Value out;
+  out.kind_ = ValueKind::kIntArray;
+  out.ints_ = std::move(v);
+  return out;
+}
+
+Value Value::from_mio_array(std::vector<Mio> v) {
+  Value out;
+  out.kind_ = ValueKind::kMioArray;
+  out.mios_ = std::move(v);
+  return out;
+}
+
+Value Value::make_struct() {
+  Value out;
+  out.kind_ = ValueKind::kStruct;
+  return out;
+}
+
+std::vector<Value::Member>& Value::members() {
+  BSOAP_ASSERT(kind_ == ValueKind::kStruct);
+  return members_;
+}
+
+const std::vector<Value::Member>& Value::members() const {
+  BSOAP_ASSERT(kind_ == ValueKind::kStruct);
+  return members_;
+}
+
+Value& Value::add_member(std::string name, Value value) {
+  BSOAP_ASSERT(kind_ == ValueKind::kStruct);
+  members_.push_back(Member{std::move(name), std::move(value)});
+  return members_.back().value;
+}
+
+std::size_t Value::leaf_count() const {
+  switch (kind_) {
+    case ValueKind::kInt32:
+    case ValueKind::kInt64:
+    case ValueKind::kDouble:
+    case ValueKind::kBool:
+    case ValueKind::kString:
+      return 1;
+    case ValueKind::kDoubleArray:
+      return doubles_.size();
+    case ValueKind::kIntArray:
+      return ints_.size();
+    case ValueKind::kMioArray:
+      return mios_.size() * 3;
+    case ValueKind::kStruct: {
+      std::size_t total = 0;
+      for (const Member& m : members_) total += m.value.leaf_count();
+      return total;
+    }
+  }
+  return 0;
+}
+
+bool Value::operator==(const Value& rhs) const {
+  if (kind_ != rhs.kind_) return false;
+  switch (kind_) {
+    case ValueKind::kInt32:
+    case ValueKind::kInt64:
+    case ValueKind::kBool:
+      return i_ == rhs.i_;
+    case ValueKind::kDouble:
+      return d_ == rhs.d_;
+    case ValueKind::kString:
+      return s_ == rhs.s_;
+    case ValueKind::kDoubleArray:
+      return doubles_ == rhs.doubles_;
+    case ValueKind::kIntArray:
+      return ints_ == rhs.ints_;
+    case ValueKind::kMioArray:
+      return mios_ == rhs.mios_;
+    case ValueKind::kStruct:
+      return members_ == rhs.members_;
+  }
+  return false;
+}
+
+bool Value::same_structure(const Value& rhs) const {
+  if (kind_ != rhs.kind_) return false;
+  switch (kind_) {
+    case ValueKind::kInt32:
+    case ValueKind::kInt64:
+    case ValueKind::kBool:
+    case ValueKind::kDouble:
+    case ValueKind::kString:
+      return true;
+    case ValueKind::kDoubleArray:
+      return doubles_.size() == rhs.doubles_.size();
+    case ValueKind::kIntArray:
+      return ints_.size() == rhs.ints_.size();
+    case ValueKind::kMioArray:
+      return mios_.size() == rhs.mios_.size();
+    case ValueKind::kStruct: {
+      if (members_.size() != rhs.members_.size()) return false;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (members_[i].name != rhs.members_[i].name) return false;
+        if (!members_[i].value.same_structure(rhs.members_[i].value)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  // 64-bit mix in the boost::hash_combine tradition.
+  return seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 12) + (seed >> 4));
+}
+
+std::uint64_t hash_string(std::uint64_t seed, std::string_view s) {
+  // FNV-1a folded into the running seed.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  }
+  return hash_combine(seed, h);
+}
+
+std::uint64_t hash_structure(std::uint64_t seed, const Value& v) {
+  seed = hash_combine(seed, static_cast<std::uint64_t>(v.kind()));
+  switch (v.kind()) {
+    case ValueKind::kDoubleArray:
+      return hash_combine(seed, v.doubles().size());
+    case ValueKind::kIntArray:
+      return hash_combine(seed, v.ints().size());
+    case ValueKind::kMioArray:
+      return hash_combine(seed, v.mios().size());
+    case ValueKind::kStruct: {
+      for (const Value::Member& m : v.members()) {
+        seed = hash_string(seed, m.name);
+        seed = hash_structure(seed, m.value);
+      }
+      return seed;
+    }
+    default:
+      return seed;
+  }
+}
+
+}  // namespace
+
+std::uint64_t RpcCall::structure_signature() const {
+  std::uint64_t seed = hash_string(0, method);
+  seed = hash_string(seed, service_namespace);
+  for (const Param& p : params) {
+    seed = hash_string(seed, p.name);
+    seed = hash_structure(seed, p.value);
+  }
+  return seed;
+}
+
+bool RpcCall::same_structure(const RpcCall& rhs) const {
+  if (method != rhs.method || service_namespace != rhs.service_namespace) {
+    return false;
+  }
+  if (params.size() != rhs.params.size()) return false;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name != rhs.params[i].name) return false;
+    if (!params[i].value.same_structure(rhs.params[i].value)) return false;
+  }
+  return true;
+}
+
+}  // namespace bsoap::soap

@@ -1,0 +1,129 @@
+// The in-memory data model serialized into SOAP messages.
+//
+// Scientific payloads are dominated by large homogeneous arrays, so arrays
+// of double, int and MIO get dedicated dense representations (matching how
+// generated gSOAP stubs hold `double*` + length); the generic tree covers
+// structs, strings and mixed content for the metadata-style workloads.
+//
+// A MIO ("mesh interface object", paper Section 4.1) is the struct
+// [int, int, double]: two mesh coordinates and a field value, as exchanged
+// between coupled PDE solvers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bsoap::soap {
+
+struct Mio {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  double value = 0.0;
+
+  bool operator==(const Mio&) const = default;
+};
+
+enum class ValueKind {
+  kInt32,
+  kInt64,
+  kDouble,
+  kBool,
+  kString,
+  kStruct,
+  kDoubleArray,
+  kIntArray,
+  kMioArray,
+};
+
+/// Tagged value. Only the member selected by `kind` is meaningful; the dense
+/// array members avoid per-element allocation on the hot paths.
+class Value {
+ public:
+  Value() : kind_(ValueKind::kInt32) {}
+
+  static Value from_int(std::int32_t v);
+  static Value from_int64(std::int64_t v);
+  static Value from_double(double v);
+  static Value from_bool(bool v);
+  static Value from_string(std::string v);
+  static Value from_double_array(std::vector<double> v);
+  static Value from_int_array(std::vector<std::int32_t> v);
+  static Value from_mio_array(std::vector<Mio> v);
+  static Value make_struct();
+
+  ValueKind kind() const { return kind_; }
+
+  std::int32_t as_int() const { BSOAP_ASSERT(kind_ == ValueKind::kInt32); return static_cast<std::int32_t>(i_); }
+  std::int64_t as_int64() const { BSOAP_ASSERT(kind_ == ValueKind::kInt64); return i_; }
+  double as_double() const { BSOAP_ASSERT(kind_ == ValueKind::kDouble); return d_; }
+  bool as_bool() const { BSOAP_ASSERT(kind_ == ValueKind::kBool); return i_ != 0; }
+  const std::string& as_string() const { BSOAP_ASSERT(kind_ == ValueKind::kString); return s_; }
+
+  std::vector<double>& doubles() { BSOAP_ASSERT(kind_ == ValueKind::kDoubleArray); return doubles_; }
+  const std::vector<double>& doubles() const { BSOAP_ASSERT(kind_ == ValueKind::kDoubleArray); return doubles_; }
+  std::vector<std::int32_t>& ints() { BSOAP_ASSERT(kind_ == ValueKind::kIntArray); return ints_; }
+  const std::vector<std::int32_t>& ints() const { BSOAP_ASSERT(kind_ == ValueKind::kIntArray); return ints_; }
+  std::vector<Mio>& mios() { BSOAP_ASSERT(kind_ == ValueKind::kMioArray); return mios_; }
+  const std::vector<Mio>& mios() const { BSOAP_ASSERT(kind_ == ValueKind::kMioArray); return mios_; }
+
+  /// Struct members (name, value) in document order.
+  struct Member;
+  std::vector<Member>& members();
+  const std::vector<Member>& members() const;
+  Value& add_member(std::string name, Value value);
+
+  /// Number of scalar leaves (ints/doubles/strings) in this value; an MIO
+  /// counts as three. Used to size DUT tables.
+  std::size_t leaf_count() const;
+
+  /// Deep structural equality including contents.
+  bool operator==(const Value& rhs) const;
+
+  /// True if same shape (kind, array lengths, member names) regardless of
+  /// scalar contents — the precondition for a structural match.
+  bool same_structure(const Value& rhs) const;
+
+ private:
+  ValueKind kind_;
+  std::int64_t i_ = 0;
+  double d_ = 0.0;
+  std::string s_;
+  std::vector<double> doubles_;
+  std::vector<std::int32_t> ints_;
+  std::vector<Mio> mios_;
+  std::vector<Member> members_;
+};
+
+struct Value::Member {
+  std::string name;
+  Value value;
+
+  bool operator==(const Member& rhs) const {
+    return name == rhs.name && value == rhs.value;
+  }
+};
+
+/// One named RPC parameter.
+struct Param {
+  std::string name;
+  Value value;
+};
+
+/// An RPC invocation: method + namespace + parameters.
+struct RpcCall {
+  std::string method;
+  std::string service_namespace;  ///< e.g. "urn:lsa-service"
+  std::vector<Param> params;
+
+  /// Structure signature: equal signatures mean a saved template of this
+  /// call can be reused (possibly with value rewrites). Covers method,
+  /// namespace, parameter names/kinds and array lengths.
+  std::uint64_t structure_signature() const;
+
+  bool same_structure(const RpcCall& rhs) const;
+};
+
+}  // namespace bsoap::soap

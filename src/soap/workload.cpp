@@ -1,0 +1,176 @@
+#include "soap/workload.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "textconv/dtoa.hpp"
+#include "textconv/itoa.hpp"
+#include "textconv/parse.hpp"
+
+namespace bsoap::soap {
+
+std::vector<double> random_doubles(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.next_finite_double();
+  return out;
+}
+
+std::vector<double> random_unit_doubles(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.next_unit_double();
+  return out;
+}
+
+std::vector<std::int32_t> random_ints(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int32_t> out(n);
+  for (std::int32_t& v : out) v = rng.next_i32();
+  return out;
+}
+
+std::vector<Mio> random_mios(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Mio> out(n);
+  for (Mio& m : out) {
+    m.x = static_cast<std::int32_t>(rng.next_in(0, 4095));
+    m.y = static_cast<std::int32_t>(rng.next_in(0, 4095));
+    m.value = rng.next_finite_double();
+  }
+  return out;
+}
+
+std::int32_t int_with_serialized_length(Rng& rng, int chars) {
+  BSOAP_ASSERT(chars >= 1 && chars <= 11);
+  for (;;) {
+    std::int32_t candidate;
+    if (chars == 1) {
+      candidate = static_cast<std::int32_t>(rng.next_in(1, 9));
+    } else if (chars <= 10) {
+      // `chars`-digit positive integer with a nonzero leading digit.
+      std::int64_t v = rng.next_in(1, 9);
+      for (int i = 1; i < chars; ++i) v = v * 10 + rng.next_in(0, 9);
+      if (v > 2147483647) continue;
+      candidate = static_cast<std::int32_t>(v);
+    } else {
+      // 11 chars: sign + 10 digits.
+      std::int64_t v = rng.next_in(1, 2);  // keep below 2^31
+      for (int i = 1; i < 10; ++i) v = v * 10 + rng.next_in(0, 9);
+      if (v > 2147483648ll) continue;
+      candidate = static_cast<std::int32_t>(-v);
+    }
+    if (textconv::serialized_length_i32(candidate) == chars) return candidate;
+  }
+}
+
+double double_with_serialized_length(Rng& rng, int chars) {
+  BSOAP_ASSERT(chars >= 1 && chars <= textconv::kMaxDoubleChars);
+  for (;;) {
+    double candidate = 0.0;
+    if (chars == 1) {
+      candidate = static_cast<double>(rng.next_in(1, 9));
+    } else if (chars <= 16) {
+      // `chars`-digit integer with nonzero first and last digits: exactly
+      // representable (< 2^53) and its own shortest decimal.
+      double v = static_cast<double>(rng.next_in(1, 9));
+      for (int i = 1; i < chars - 1; ++i) {
+        v = v * 10 + static_cast<double>(rng.next_in(0, 9));
+      }
+      v = v * 10 + static_cast<double>(rng.next_in(1, 9));
+      candidate = v;
+    } else {
+      // 17..24 chars: scientific notation d.<k-1 digits>e-300 has
+      // k + 6 characters (k >= 2); negate for the 24-character maximum.
+      const bool negative = chars == 24;
+      const int k = negative ? 17 : chars - 6;
+      std::string text;
+      text += static_cast<char>('1' + rng.next_below(9));
+      text += '.';
+      for (int i = 1; i < k; ++i) {
+        text += static_cast<char>('0' + rng.next_below(10));
+      }
+      // Nonzero final digit so the lexical has no shorter equivalent.
+      text.back() = static_cast<char>('1' + rng.next_below(9));
+      text += "e-300";
+      Result<double> parsed = textconv::parse_double(text);
+      if (!parsed.ok()) continue;
+      candidate = negative ? -parsed.value() : parsed.value();
+    }
+    if (textconv::serialized_length_double(candidate) == chars) {
+      return candidate;
+    }
+  }
+}
+
+std::vector<double> doubles_with_serialized_length(std::size_t n, int chars,
+                                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = double_with_serialized_length(rng, chars);
+  return out;
+}
+
+std::vector<std::int32_t> ints_with_serialized_length(std::size_t n, int chars,
+                                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int32_t> out(n);
+  for (std::int32_t& v : out) v = int_with_serialized_length(rng, chars);
+  return out;
+}
+
+std::vector<Mio> mios_with_serialized_length(std::size_t n, int chars,
+                                             std::uint64_t seed) {
+  // Split the total across (x, y, value). Prefer maxing the double first —
+  // matching the paper's 46 = 11 + 11 + 24 and 36-character intermediates.
+  int double_chars = chars - 2;
+  int int_chars = 1;
+  if (double_chars > textconv::kMaxDoubleChars) {
+    double_chars = textconv::kMaxDoubleChars;
+    const int rest = chars - double_chars;
+    BSOAP_ASSERT(rest >= 2 && rest <= 22);
+    int_chars = rest / 2;
+    // When the remainder is odd, x gets the extra character.
+  }
+  const int x_chars = chars - double_chars - int_chars;
+  BSOAP_ASSERT(x_chars >= 1 && x_chars <= 11);
+  BSOAP_ASSERT(int_chars >= 1 && int_chars <= 11);
+  BSOAP_ASSERT(double_chars >= 1);
+
+  Rng rng(seed);
+  std::vector<Mio> out(n);
+  for (Mio& m : out) {
+    m.x = int_with_serialized_length(rng, x_chars);
+    m.y = int_with_serialized_length(rng, int_chars);
+    m.value = double_with_serialized_length(rng, double_chars);
+  }
+  return out;
+}
+
+namespace {
+
+RpcCall make_call(Value value) {
+  RpcCall call;
+  call.method = "sendData";
+  call.service_namespace = "urn:bsoap-bench";
+  call.params.push_back(Param{"data", std::move(value)});
+  return call;
+}
+
+}  // namespace
+
+RpcCall make_double_array_call(std::vector<double> values) {
+  return make_call(Value::from_double_array(std::move(values)));
+}
+
+RpcCall make_int_array_call(std::vector<std::int32_t> values) {
+  return make_call(Value::from_int_array(std::move(values)));
+}
+
+RpcCall make_mio_array_call(std::vector<Mio> values) {
+  return make_call(Value::from_mio_array(std::move(values)));
+}
+
+}  // namespace bsoap::soap

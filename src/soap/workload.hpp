@@ -1,0 +1,52 @@
+// Deterministic workload generation for tests, benchmarks and examples.
+//
+// The paper's experiments control the *serialized width* of values (e.g.
+// expand a 1-character double to the 24-character maximum, or stuff MIOs to
+// 36 of their 46 maximum characters); these helpers construct values with an
+// exact serialized length so the benches can reproduce each figure's setup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "soap/value.hpp"
+
+namespace bsoap::soap {
+
+/// Uniformly random finite doubles over the full bit range (serialized
+/// lengths mostly 17-24 characters — hard mode for the converter).
+std::vector<double> random_doubles(std::size_t n, std::uint64_t seed);
+
+/// Random doubles in [0, 1) — the common scientific-payload shape.
+std::vector<double> random_unit_doubles(std::size_t n, std::uint64_t seed);
+
+std::vector<std::int32_t> random_ints(std::size_t n, std::uint64_t seed);
+
+std::vector<Mio> random_mios(std::size_t n, std::uint64_t seed);
+
+/// A double whose write_double() length is exactly `chars` (1..24).
+double double_with_serialized_length(bsoap::Rng& rng, int chars);
+
+/// An int whose serialized length is exactly `chars` (1..11).
+std::int32_t int_with_serialized_length(bsoap::Rng& rng, int chars);
+
+std::vector<double> doubles_with_serialized_length(std::size_t n, int chars,
+                                                   std::uint64_t seed);
+std::vector<std::int32_t> ints_with_serialized_length(std::size_t n, int chars,
+                                                      std::uint64_t seed);
+
+/// MIOs whose total serialized length (x+y+value) is exactly `chars`.
+/// Supported totals: 3 (minimum: 1+1+1), any total expressible as
+/// int_chars*2 + double_chars with 1<=int_chars<=11, 1<=double_chars<=24;
+/// the helper picks a split. The paper uses 3, 36 and 46.
+std::vector<Mio> mios_with_serialized_length(std::size_t n, int chars,
+                                             std::uint64_t seed);
+
+/// Standard benchmark calls: method "sendData" in "urn:bsoap-bench" with a
+/// single array parameter "data".
+RpcCall make_double_array_call(std::vector<double> values);
+RpcCall make_int_array_call(std::vector<std::int32_t> values);
+RpcCall make_mio_array_call(std::vector<Mio> values);
+
+}  // namespace bsoap::soap

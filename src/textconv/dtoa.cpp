@@ -1,0 +1,249 @@
+#include "textconv/dtoa.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "textconv/itoa.hpp"
+#include "textconv/pow10cache.hpp"
+
+namespace bsoap::textconv {
+namespace {
+
+constexpr std::uint64_t kHiddenBit = 1ull << 52;
+constexpr std::uint64_t kSignificandMask = kHiddenBit - 1;
+constexpr int kExponentBias = 1075;  // so that value = f * 2^e exactly
+
+// Grisu works with the scaled product in a fixed exponent window; this range
+// keeps p1 within 32 bits and guarantees delta*10 cannot overflow 64 bits.
+constexpr int kAlpha = -60;
+constexpr int kGamma = -34;
+
+DiyFp diyfp_from_double(double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const std::uint64_t raw_exponent = (bits >> 52) & 0x7ff;
+  const std::uint64_t significand = bits & kSignificandMask;
+  if (raw_exponent == 0) {  // subnormal
+    return DiyFp{significand, 1 - kExponentBias};
+  }
+  return DiyFp{significand + kHiddenBit,
+               static_cast<int>(raw_exponent) - kExponentBias};
+}
+
+DiyFp normalize(DiyFp v) {
+  while ((v.f & (1ull << 63)) == 0) {
+    v.f <<= 1;
+    --v.e;
+  }
+  return v;
+}
+
+/// Computes the normalized boundaries m- and m+ of the rounding interval
+/// around `v`: every real in (m-, m+) rounds to this double.
+void normalized_boundaries(DiyFp v, DiyFp* minus, DiyFp* plus) {
+  DiyFp pl{(v.f << 1) + 1, v.e - 1};
+  pl = normalize(pl);
+  DiyFp mi;
+  if (v.f == kHiddenBit && v.e != 1 - kExponentBias) {
+    // Lower neighbour is in the next binade: the interval is asymmetric.
+    mi = DiyFp{(v.f << 2) - 1, v.e - 2};
+  } else {
+    mi = DiyFp{(v.f << 1) - 1, v.e - 1};
+  }
+  mi.f <<= mi.e - pl.e;
+  mi.e = pl.e;
+  *minus = mi;
+  *plus = pl;
+}
+
+int count_decimal_digits_u32(std::uint32_t n) {
+  return decimal_digits_u32(n);
+}
+
+constexpr std::uint32_t kPow10U32[] = {1u,       10u,       100u,     1000u,
+                                       10000u,   100000u,   1000000u, 10000000u,
+                                       100000000u, 1000000000u};
+
+constexpr std::uint64_t kPow10U64[] = {
+    1ull,
+    10ull,
+    100ull,
+    1000ull,
+    10000ull,
+    100000ull,
+    1000000ull,
+    10000000ull,
+    100000000ull,
+    1000000000ull,
+    10000000000ull,
+    100000000000ull,
+    1000000000000ull,
+    10000000000000ull,
+    100000000000000ull,
+    1000000000000000ull,
+    10000000000000000ull,
+    100000000000000000ull,
+    1000000000000000000ull,
+    10000000000000000000ull};
+
+/// Nudges the last generated digit towards w (the exact scaled value) while
+/// remaining inside the rounding interval — this is what makes the output
+/// usually-shortest and always round-trippable.
+void grisu_round(char* buffer, int len, std::uint64_t delta,
+                 std::uint64_t rest, std::uint64_t ten_kappa,
+                 std::uint64_t wp_w) {
+  while (rest < wp_w && delta - rest >= ten_kappa &&
+         (rest + ten_kappa < wp_w || wp_w - rest > rest + ten_kappa - wp_w)) {
+    --buffer[len - 1];
+    rest += ten_kappa;
+  }
+}
+
+void digit_gen(DiyFp w, DiyFp mp, std::uint64_t delta, DecimalDigits* out) {
+  const DiyFp one{1ull << -mp.e, mp.e};
+  const std::uint64_t wp_w = mp.sub(w).f;
+  std::uint32_t p1 = static_cast<std::uint32_t>(mp.f >> -one.e);
+  std::uint64_t p2 = mp.f & (one.f - 1);
+  int kappa = count_decimal_digits_u32(p1);
+  int len = 0;
+
+  while (kappa > 0) {
+    const std::uint32_t div = kPow10U32[kappa - 1];
+    const std::uint32_t d = p1 / div;
+    p1 %= div;
+    if (d != 0 || len != 0) out->digits[len++] = static_cast<char>('0' + d);
+    --kappa;
+    const std::uint64_t rest = (static_cast<std::uint64_t>(p1) << -one.e) + p2;
+    if (rest <= delta) {
+      out->k += kappa;
+      out->length = len;
+      grisu_round(out->digits, len, delta, rest,
+                  static_cast<std::uint64_t>(div) << -one.e, wp_w);
+      return;
+    }
+  }
+
+  for (;;) {
+    p2 *= 10;
+    delta *= 10;
+    const int d = static_cast<int>(p2 >> -one.e);
+    if (d != 0 || len != 0) out->digits[len++] = static_cast<char>('0' + d);
+    p2 &= one.f - 1;
+    --kappa;
+    if (p2 < delta) {
+      out->k += kappa;
+      out->length = len;
+      grisu_round(out->digits, len, delta, p2, one.f,
+                  wp_w * kPow10U64[-kappa]);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void grisu2(double value, DecimalDigits* out) noexcept {
+  BSOAP_ASSERT(value > 0.0);
+  const DiyFp v = diyfp_from_double(value);
+  DiyFp w_minus, w_plus;
+  normalized_boundaries(v, &w_minus, &w_plus);
+  const DiyFp w = normalize(v);
+
+  // Pick q so that the scaled product exponent lands in [kAlpha, kGamma]:
+  // we need w_plus.e + c.e + 64 in that window and c.e ~ q*log2(10) - 63.
+  int q = static_cast<int>(((kAlpha + kGamma) / 2 - 64 + 63 - w_plus.e) /
+                           3.3219280948873623);
+  DiyFp c = cached_pow10(q);
+  while (w_plus.e + c.e + 64 < kAlpha) c = cached_pow10(++q);
+  while (w_plus.e + c.e + 64 > kGamma) c = cached_pow10(--q);
+
+  const DiyFp W = w.mul(c);
+  DiyFp Wp = w_plus.mul(c);
+  DiyFp Wm = w_minus.mul(c);
+  // Shrink the interval by one unit on each side to absorb the (<1 ulp)
+  // error introduced by the cached power multiplication.
+  ++Wm.f;
+  --Wp.f;
+
+  out->k = -q;
+  out->length = 0;
+  digit_gen(W, Wp, Wp.f - Wm.f, out);
+}
+
+int format_decimal(char* out, const char* digits, int length, int k) noexcept {
+  char* p = out;
+  const int point = length + k;  // value = 0.digits * 10^point
+
+  if (length <= point && point <= 17) {
+    // 1234000 — digits followed by trailing zeros.
+    std::memcpy(p, digits, static_cast<std::size_t>(length));
+    p += length;
+    for (int i = length; i < point; ++i) *p++ = '0';
+  } else if (0 < point && point < length) {
+    // 12.34 — decimal point inside the digit string.
+    std::memcpy(p, digits, static_cast<std::size_t>(point));
+    p += point;
+    *p++ = '.';
+    std::memcpy(p, digits + point, static_cast<std::size_t>(length - point));
+    p += length - point;
+  } else if (-4 < point && point <= 0) {
+    // 0.0001234 — leading zeros after the decimal point.
+    *p++ = '0';
+    *p++ = '.';
+    for (int i = 0; i < -point; ++i) *p++ = '0';
+    std::memcpy(p, digits, static_cast<std::size_t>(length));
+    p += length;
+  } else {
+    // 1.234e-308 — scientific notation.
+    *p++ = digits[0];
+    if (length > 1) {
+      *p++ = '.';
+      std::memcpy(p, digits + 1, static_cast<std::size_t>(length - 1));
+      p += length - 1;
+    }
+    *p++ = 'e';
+    p += write_i32(p, point - 1);
+  }
+  return static_cast<int>(p - out);
+}
+
+int write_double(char* out, double value) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const bool negative = (bits >> 63) != 0;
+  const std::uint64_t magnitude_bits = bits & ~(1ull << 63);
+
+  char* p = out;
+  if (negative) *p++ = '-';
+
+  if (magnitude_bits == 0) {  // +0.0 / -0.0
+    *p++ = '0';
+    return static_cast<int>(p - out);
+  }
+  const std::uint64_t raw_exponent = (magnitude_bits >> 52);
+  if (raw_exponent == 0x7ff) {
+    if ((magnitude_bits & kSignificandMask) != 0) {
+      // NaN: sign is not significant in the lexical form.
+      std::memcpy(out, "NaN", 3);
+      return 3;
+    }
+    std::memcpy(p, "INF", 3);
+    return static_cast<int>(p - out) + 3;
+  }
+
+  double magnitude = value;
+  if (negative) magnitude = -magnitude;
+  DecimalDigits dec;
+  grisu2(magnitude, &dec);
+  p += format_decimal(p, dec.digits, dec.length, dec.k);
+  const int total = static_cast<int>(p - out);
+  BSOAP_ASSERT(total <= kMaxDoubleChars);
+  return total;
+}
+
+int serialized_length_double(double value) noexcept {
+  char scratch[kMaxDoubleChars];
+  return write_double(scratch, value);
+}
+
+}  // namespace bsoap::textconv

@@ -1,0 +1,172 @@
+#include "textconv/parse.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+
+namespace bsoap::textconv {
+namespace {
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+// Powers of ten exactly representable as doubles (10^0 .. 10^22).
+constexpr double kExactPow10[] = {1e0,  1e1,  1e2,  1e3,  1e4,  1e5,
+                                  1e6,  1e7,  1e8,  1e9,  1e10, 1e11,
+                                  1e12, 1e13, 1e14, 1e15, 1e16, 1e17,
+                                  1e18, 1e19, 1e20, 1e21, 1e22};
+constexpr int kMaxExactPow10 = 22;
+
+template <typename U>
+Result<U> parse_unsigned_body(std::string_view text, U max_value) {
+  if (text.empty()) return Error{ErrorCode::kParseError, "empty integer"};
+  U value = 0;
+  for (const char c : text) {
+    if (!is_digit(c)) {
+      return Error{ErrorCode::kParseError,
+                   std::string("invalid digit '") + c + "'"};
+    }
+    const U digit = static_cast<U>(c - '0');
+    if (value > (max_value - digit) / 10) {
+      return Error{ErrorCode::kOutOfRange, "integer overflow"};
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+template <typename S, typename U>
+Result<S> parse_signed(std::string_view text) {
+  bool negative = false;
+  if (!text.empty() && (text.front() == '-' || text.front() == '+')) {
+    negative = text.front() == '-';
+    text.remove_prefix(1);
+  }
+  const U max_magnitude =
+      negative ? static_cast<U>(std::numeric_limits<S>::max()) + 1
+               : static_cast<U>(std::numeric_limits<S>::max());
+  Result<U> magnitude = parse_unsigned_body<U>(text, max_magnitude);
+  if (!magnitude.ok()) return magnitude.error();
+  const U m = magnitude.value();
+  return negative ? static_cast<S>(0 - m) : static_cast<S>(m);
+}
+
+}  // namespace
+
+Result<std::int32_t> parse_i32(std::string_view text) {
+  return parse_signed<std::int32_t, std::uint32_t>(text);
+}
+
+Result<std::int64_t> parse_i64(std::string_view text) {
+  return parse_signed<std::int64_t, std::uint64_t>(text);
+}
+
+Result<std::uint64_t> parse_u64(std::string_view text) {
+  if (!text.empty() && text.front() == '+') text.remove_prefix(1);
+  return parse_unsigned_body<std::uint64_t>(
+      text, std::numeric_limits<std::uint64_t>::max());
+}
+
+ParseDoubleCounters& parse_double_counters() {
+  static ParseDoubleCounters counters;
+  return counters;
+}
+
+Result<double> parse_double(std::string_view text) {
+  if (text.empty()) return Error{ErrorCode::kParseError, "empty double"};
+
+  // xsd:double special lexicals.
+  if (text == "INF" || text == "+INF") {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (text == "-INF") return -std::numeric_limits<double>::infinity();
+  if (text == "NaN") return std::numeric_limits<double>::quiet_NaN();
+
+  std::string_view rest = text;
+  bool negative = false;
+  if (rest.front() == '-' || rest.front() == '+') {
+    negative = rest.front() == '-';
+    rest.remove_prefix(1);
+  }
+  if (rest.empty()) return Error{ErrorCode::kParseError, "sign only"};
+
+  // Scan mantissa: digits [ '.' digits ].
+  std::uint64_t mantissa = 0;
+  int mantissa_digits = 0;
+  int truncated_digits = 0;  // digits dropped because mantissa would overflow
+  int fraction_digits = 0;
+  bool seen_digit = false;
+  bool seen_point = false;
+  std::size_t i = 0;
+  for (; i < rest.size(); ++i) {
+    const char c = rest[i];
+    if (is_digit(c)) {
+      seen_digit = true;
+      if (mantissa_digits < 19) {
+        mantissa = mantissa * 10 + static_cast<std::uint64_t>(c - '0');
+        if (mantissa != 0) ++mantissa_digits;
+        if (seen_point) ++fraction_digits;
+      } else {
+        ++truncated_digits;
+        if (seen_point) ++fraction_digits;  // position still counts
+      }
+    } else if (c == '.') {
+      if (seen_point) return Error{ErrorCode::kParseError, "double '.'"};
+      seen_point = true;
+    } else {
+      break;
+    }
+  }
+  if (!seen_digit) return Error{ErrorCode::kParseError, "no digits"};
+
+  int exp10 = 0;
+  if (i < rest.size() && (rest[i] == 'e' || rest[i] == 'E')) {
+    ++i;
+    bool exp_negative = false;
+    if (i < rest.size() && (rest[i] == '-' || rest[i] == '+')) {
+      exp_negative = rest[i] == '-';
+      ++i;
+    }
+    if (i >= rest.size() || !is_digit(rest[i])) {
+      return Error{ErrorCode::kParseError, "bad exponent"};
+    }
+    int e = 0;
+    for (; i < rest.size() && is_digit(rest[i]); ++i) {
+      if (e < 100000) e = e * 10 + (rest[i] - '0');
+    }
+    exp10 = exp_negative ? -e : e;
+  }
+  if (i != rest.size()) {
+    return Error{ErrorCode::kParseError, "trailing characters in double"};
+  }
+
+  const int effective_exp = exp10 - fraction_digits + truncated_digits;
+
+  // Clinger fast path: both the mantissa and 10^|exp| are exactly
+  // representable, so one multiply/divide is correctly rounded.
+  if (truncated_digits == 0 && mantissa < (1ull << 53)) {
+    if (effective_exp >= 0 && effective_exp <= kMaxExactPow10) {
+      ++parse_double_counters().fast_path;
+      const double v = static_cast<double>(mantissa) * kExactPow10[effective_exp];
+      return negative ? -v : v;
+    }
+    if (effective_exp < 0 && effective_exp >= -kMaxExactPow10) {
+      ++parse_double_counters().fast_path;
+      const double v = static_cast<double>(mantissa) / kExactPow10[-effective_exp];
+      return negative ? -v : v;
+    }
+  }
+
+  // Slow path: delegate to strtod on a NUL-terminated copy.
+  ++parse_double_counters().slow_path;
+  const std::string copy(text);
+  char* end = nullptr;
+  const double v = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) {
+    return Error{ErrorCode::kParseError, "strtod rejected input"};
+  }
+  return v;
+}
+
+}  // namespace bsoap::textconv

@@ -1,0 +1,35 @@
+// ASCII -> number parsing for SOAP deserialization and the XML parser.
+//
+// Integer parsing is exact with overflow detection. Double parsing uses the
+// Clinger fast path (exact when the decimal mantissa fits in 53 bits and the
+// power of ten is exactly representable) and falls back to strtod for the
+// hard cases — deserialization is not the paper's bottleneck, serialization
+// is, so we optimize the common scientific-data shapes and keep the fallback
+// simple and correct.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace bsoap::textconv {
+
+/// Parses a full string as a decimal integer (optional leading '-'/'+').
+/// Fails on empty input, trailing junk, or overflow.
+Result<std::int32_t> parse_i32(std::string_view text);
+Result<std::int64_t> parse_i64(std::string_view text);
+Result<std::uint64_t> parse_u64(std::string_view text);
+
+/// Parses a full string as an xsd:double lexical (decimal or scientific
+/// notation, plus "INF", "-INF", "NaN"). Fails on empty input or junk.
+Result<double> parse_double(std::string_view text);
+
+/// Statistics for tests: how often the exact fast path was taken.
+struct ParseDoubleCounters {
+  std::uint64_t fast_path = 0;
+  std::uint64_t slow_path = 0;
+};
+ParseDoubleCounters& parse_double_counters();
+
+}  // namespace bsoap::textconv

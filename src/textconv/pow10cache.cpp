@@ -1,0 +1,165 @@
+#include "textconv/pow10cache.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bsoap::textconv {
+namespace {
+
+// Minimal little-endian bignum, just enough for exact 10^q.
+class BigNum {
+ public:
+  explicit BigNum(std::uint64_t v) { words_.push_back(v); }
+
+  void mul_small(std::uint64_t m) {
+    unsigned __int128 carry = 0;
+    for (auto& w : words_) {
+      const unsigned __int128 p = static_cast<unsigned __int128>(w) * m + carry;
+      w = static_cast<std::uint64_t>(p);
+      carry = p >> 64;
+    }
+    if (carry != 0) words_.push_back(static_cast<std::uint64_t>(carry));
+  }
+
+  /// Index of the most significant set bit (0-based). Value must be nonzero.
+  int top_bit() const {
+    std::size_t i = words_.size();
+    while (i > 0 && words_[i - 1] == 0) --i;
+    BSOAP_ASSERT(i > 0);
+    const int word_bits = 63 - __builtin_clzll(words_[i - 1]);
+    return static_cast<int>(i - 1) * 64 + word_bits;
+  }
+
+  /// Bit at index idx, with indices below zero reading as zero.
+  std::uint64_t get_bit(int idx) const {
+    if (idx < 0) return 0;
+    const std::size_t word = static_cast<std::size_t>(idx) / 64;
+    const int bit = idx % 64;
+    if (word >= words_.size()) return 0;
+    return (words_[word] >> bit) & 1;
+  }
+
+  /// Extracts the 64 bits below and including the top bit, plus the guard
+  /// bit used for round-to-nearest.
+  void top64(std::uint64_t* out_f, bool* out_round_up) const {
+    const int top = top_bit();
+    const int low = top - 63;
+    std::uint64_t f = 0;
+    for (int bit = top; bit >= low; --bit) f = (f << 1) | get_bit(bit);
+    *out_f = f;
+    *out_round_up = get_bit(low - 1) != 0;
+  }
+
+  bool greater_equal(const BigNum& rhs) const {
+    const std::size_t n = std::max(words_.size(), rhs.words_.size());
+    for (std::size_t i = n; i-- > 0;) {
+      const std::uint64_t a = i < words_.size() ? words_[i] : 0;
+      const std::uint64_t b = i < rhs.words_.size() ? rhs.words_[i] : 0;
+      if (a != b) return a > b;
+    }
+    return true;  // equal
+  }
+
+  /// Schoolbook subtraction. Precondition: *this >= rhs.
+  void subtract(const BigNum& rhs) {
+    std::uint64_t borrow = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t r = i < rhs.words_.size() ? rhs.words_[i] : 0;
+      const std::uint64_t sub = r + borrow;
+      const std::uint64_t before = words_[i];
+      std::uint64_t next_borrow = (sub < r) ? 1u : 0u;  // r + borrow wrapped
+      if (before < sub) next_borrow = 1;
+      words_[i] = before - sub;
+      borrow = next_borrow;
+    }
+    BSOAP_ASSERT(borrow == 0);
+  }
+
+  void shift_left_1() {
+    std::uint64_t carry = 0;
+    for (auto& w : words_) {
+      const std::uint64_t next_carry = w >> 63;
+      w = (w << 1) | carry;
+      carry = next_carry;
+    }
+    if (carry) words_.push_back(carry);
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+DiyFp round_and_normalize(std::uint64_t f, int e, bool round_up) {
+  if (round_up) {
+    if (f == ~0ull) {  // carry out of the significand: renormalize
+      f = 1ull << 63;
+      ++e;
+    } else {
+      ++f;
+    }
+  }
+  return DiyFp{f, e};
+}
+
+DiyFp compute_pow10_nonneg(int q) {
+  // Exact integer 10^q, then the top 64 bits rounded to nearest.
+  BigNum n(1);
+  for (int i = 0; i < q; ++i) n.mul_small(10);
+  std::uint64_t f = 0;
+  bool round_up = false;
+  n.top64(&f, &round_up);
+  return round_and_normalize(f, n.top_bit() - 63, round_up);
+}
+
+DiyFp compute_pow10_negative(int q) {
+  // 10^q = 1 / 10^(-q) via binary long division, emitting normalized bits.
+  BigNum divisor(1);
+  for (int i = 0; i < -q; ++i) divisor.mul_small(10);
+
+  BigNum remainder(1);
+  int exponent = 0;  // weight (power of two) of the next quotient bit
+  while (!remainder.greater_equal(divisor)) {
+    remainder.shift_left_1();
+    --exponent;
+  }
+  std::uint64_t f = 0;
+  bool guard = false;
+  for (int produced = 0; produced < 65; ++produced) {
+    int bit = 0;
+    if (remainder.greater_equal(divisor)) {
+      bit = 1;
+      remainder.subtract(divisor);
+    }
+    if (produced < 64) {
+      f = (f << 1) | static_cast<std::uint64_t>(bit);
+    } else {
+      guard = bit != 0;
+    }
+    remainder.shift_left_1();
+  }
+  return round_and_normalize(f, exponent - 63, guard);
+}
+
+struct Pow10Table {
+  std::array<DiyFp, kPow10CacheMax - kPow10CacheMin + 1> entries;
+
+  Pow10Table() {
+    for (int q = kPow10CacheMin; q <= kPow10CacheMax; ++q) {
+      entries[static_cast<std::size_t>(q - kPow10CacheMin)] =
+          q >= 0 ? compute_pow10_nonneg(q) : compute_pow10_negative(q);
+    }
+  }
+};
+
+}  // namespace
+
+DiyFp cached_pow10(int q) noexcept {
+  static const Pow10Table table;  // thread-safe magic static
+  BSOAP_ASSERT(q >= kPow10CacheMin && q <= kPow10CacheMax);
+  return table.entries[static_cast<std::size_t>(q - kPow10CacheMin)];
+}
+
+}  // namespace bsoap::textconv

@@ -1,0 +1,48 @@
+// Exactly-rounded cached powers of ten for the Grisu2 algorithm.
+//
+// Grisu needs, for a decimal exponent q, a 64-bit normalized binary
+// approximation of 10^q (a "DiyFp": f * 2^e with 2^63 <= f < 2^64) that is
+// correctly rounded to the nearest representable value. Hand-copied tables
+// are a classic source of silent bugs, so this module *computes* the table
+// once at startup with an exact arbitrary-precision routine:
+//   q >= 0 : take the top 64 bits of the exact integer 10^q (round to nearest)
+//   q <  0 : binary long division of 1 by 10^-q, emitting normalized bits
+#pragma once
+
+#include <cstdint>
+
+namespace bsoap::textconv {
+
+/// A floating-point value f * 2^e with full 64-bit significand ("do it
+/// yourself floating point", after Loitsch's Grisu paper).
+struct DiyFp {
+  std::uint64_t f = 0;
+  int e = 0;
+
+  /// Full 128-bit product rounded to 64 bits; exponents add plus 64.
+  DiyFp mul(const DiyFp& rhs) const noexcept {
+    const unsigned __int128 p =
+        static_cast<unsigned __int128>(f) * static_cast<unsigned __int128>(rhs.f);
+    std::uint64_t hi = static_cast<std::uint64_t>(p >> 64);
+    const std::uint64_t lo = static_cast<std::uint64_t>(p);
+    if (lo & (1ull << 63)) ++hi;  // round to nearest
+    return DiyFp{hi, e + rhs.e + 64};
+  }
+
+  DiyFp sub(const DiyFp& rhs) const noexcept {
+    // Precondition: same exponent and f >= rhs.f.
+    return DiyFp{f - rhs.f, e};
+  }
+};
+
+/// Smallest and largest decimal exponents the cache can serve. Doubles span
+/// roughly 10^-324 .. 10^308; Grisu scales by up to ~10^342.
+inline constexpr int kPow10CacheMin = -348;
+inline constexpr int kPow10CacheMax = 348;
+
+/// Returns the correctly rounded normalized DiyFp for 10^q.
+/// q must lie in [kPow10CacheMin, kPow10CacheMax]. Thread-safe; the table is
+/// computed once on first use.
+DiyFp cached_pow10(int q) noexcept;
+
+}  // namespace bsoap::textconv

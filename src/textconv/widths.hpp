@@ -1,0 +1,25 @@
+// Maximum serialized widths for SOAP base types.
+//
+// The paper (Section 4.4) relies on every non-string type having a bounded
+// serialized width: 11 characters for 32-bit integers ("-2147483648"), 24 for
+// IEEE-754 doubles ("-2.2250738585072014e-308"), and 46 for a Mesh Interface
+// Object (int,int,double = 11 + 11 + 24). Stuffing pads fields to these
+// widths so that later updates never need to shift the message.
+#pragma once
+
+namespace bsoap::textconv {
+
+inline constexpr int kMaxInt32Chars = 11;   // "-2147483648"
+inline constexpr int kMaxUInt32Chars = 10;  // "4294967295"
+inline constexpr int kMaxInt64Chars = 20;   // "-9223372036854775808"
+inline constexpr int kMaxUInt64Chars = 20;  // "18446744073709551615"
+inline constexpr int kMaxDoubleChars = 24;  // sign + 17 digits + '.' + "e-308"
+inline constexpr int kMaxFloatChars = 15;   // sign + 9 digits + '.' + "e-45"
+
+/// Paper Section 4.3/4.4: MIO = struct { int, int, double }.
+inline constexpr int kMaxMioChars = kMaxInt32Chars + kMaxInt32Chars + kMaxDoubleChars;  // 46
+inline constexpr int kMinMioChars = 3;    // "0", "0", "0"
+inline constexpr int kMinDoubleChars = 1; // "0"
+inline constexpr int kMinInt32Chars = 1;  // "0"
+
+}  // namespace bsoap::textconv

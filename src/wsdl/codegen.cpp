@@ -1,0 +1,175 @@
+#include "wsdl/codegen.hpp"
+
+#include "xml/qname.hpp"
+
+namespace bsoap::wsdl {
+namespace {
+
+/// C++ parameter type for a WSDL field, or empty if unmappable.
+std::string cpp_param_type(const TypedField& field) {
+  switch (field.type) {
+    case XsdType::kInt: return "std::int32_t";
+    case XsdType::kLong: return "std::int64_t";
+    case XsdType::kDouble:
+    case XsdType::kFloat: return "double";
+    case XsdType::kBoolean: return "bool";
+    case XsdType::kString: return "const std::string&";
+    case XsdType::kComplex: return "const bsoap::soap::Value&";
+    case XsdType::kArray: {
+      const XsdType element = xsd_type_from_qname(field.type_name);
+      if (element == XsdType::kDouble || element == XsdType::kFloat) {
+        return "const std::vector<double>&";
+      }
+      if (element == XsdType::kInt || element == XsdType::kLong) {
+        return "const std::vector<std::int32_t>&";
+      }
+      if (xml::split_qname(field.type_name).local == "MIO") {
+        return "const std::vector<bsoap::soap::Mio>&";
+      }
+      return {};
+    }
+  }
+  return {};
+}
+
+/// Expression converting a C++ argument into a soap::Value.
+std::string to_value_expr(const TypedField& field) {
+  const std::string arg = field.name;
+  switch (field.type) {
+    case XsdType::kInt: return "bsoap::soap::Value::from_int(" + arg + ")";
+    case XsdType::kLong: return "bsoap::soap::Value::from_int64(" + arg + ")";
+    case XsdType::kDouble:
+    case XsdType::kFloat:
+      return "bsoap::soap::Value::from_double(" + arg + ")";
+    case XsdType::kBoolean: return "bsoap::soap::Value::from_bool(" + arg + ")";
+    case XsdType::kString:
+      return "bsoap::soap::Value::from_string(" + arg + ")";
+    case XsdType::kComplex: return arg;
+    case XsdType::kArray: {
+      const XsdType element = xsd_type_from_qname(field.type_name);
+      if (element == XsdType::kDouble || element == XsdType::kFloat) {
+        return "bsoap::soap::Value::from_double_array(" + arg + ")";
+      }
+      if (element == XsdType::kInt || element == XsdType::kLong) {
+        return "bsoap::soap::Value::from_int_array(" + arg + ")";
+      }
+      return "bsoap::soap::Value::from_mio_array(" + arg + ")";
+    }
+  }
+  return arg;
+}
+
+/// Return type and value-decoding expression for an output part.
+struct ResultMapping {
+  std::string cpp_type;
+  std::string decode;  ///< expression over `value` (a soap::Value)
+};
+
+ResultMapping result_mapping(const TypedField& part) {
+  switch (part.type) {
+    case XsdType::kInt: return {"std::int32_t", "value.as_int()"};
+    case XsdType::kLong: return {"std::int64_t", "value.as_int64()"};
+    case XsdType::kDouble:
+    case XsdType::kFloat: return {"double", "value.as_double()"};
+    case XsdType::kBoolean: return {"bool", "value.as_bool()"};
+    case XsdType::kString: return {"std::string", "value.as_string()"};
+    case XsdType::kArray: {
+      const XsdType element = xsd_type_from_qname(part.type_name);
+      if (element == XsdType::kDouble || element == XsdType::kFloat) {
+        return {"std::vector<double>", "value.doubles()"};
+      }
+      if (element == XsdType::kInt || element == XsdType::kLong) {
+        return {"std::vector<std::int32_t>", "value.ints()"};
+      }
+      return {"std::vector<bsoap::soap::Mio>", "value.mios()"};
+    }
+    case XsdType::kComplex:
+      return {"bsoap::soap::Value", "value"};
+  }
+  return {"bsoap::soap::Value", "value"};
+}
+
+}  // namespace
+
+Result<std::string> generate_client_stub(const WsdlDocument& document,
+                                         const CodegenOptions& options) {
+  std::string out;
+  out += "// Generated from WSDL '" + document.name +
+         "' by bsoap wsdl2cpp. Do not edit.\n";
+  out += "#pragma once\n\n";
+  out += "#include <cstdint>\n#include <string>\n#include <utility>\n";
+  out += "#include <vector>\n\n";
+  out += "#include \"core/client.hpp\"\n#include \"net/transport.hpp\"\n";
+  out += "#include \"soap/value.hpp\"\n\n";
+  out += "namespace " + options.cpp_namespace + " {\n";
+
+  for (const Service& service : document.services) {
+    const std::string class_name = service.name + options.class_suffix;
+    out += "\n/// Client stub for service \"" + service.name + "\" (" +
+           document.target_namespace + ").\n";
+    out += "class " + class_name + " {\n public:\n";
+    out += "  explicit " + class_name +
+           "(bsoap::net::Transport& transport,\n"
+           "      bsoap::core::BsoapClientConfig config = {})\n"
+           "      : client_(transport, std::move(config)) {}\n\n";
+
+    for (const PortType& port_type : document.port_types) {
+      for (const Operation& op : port_type.operations) {
+        const Message* input = document.find_message(op.input_message);
+        BSOAP_ASSERT(input != nullptr);
+
+        // Signature.
+        std::string params;
+        for (const TypedField& part : input->parts) {
+          const std::string type = cpp_param_type(part);
+          if (type.empty()) {
+            return Error{ErrorCode::kUnsupported,
+                         "operation " + op.name + " part " + part.name +
+                             ": no C++ mapping for type " + part.type_name};
+          }
+          if (!params.empty()) params += ", ";
+          params += type + " " + part.name;
+        }
+
+        std::string build_call;
+        build_call += "    bsoap::soap::RpcCall call;\n";
+        build_call += "    call.method = \"" + op.name + "\";\n";
+        build_call += "    call.service_namespace = \"" +
+                      document.target_namespace + "\";\n";
+        for (const TypedField& part : input->parts) {
+          build_call += "    call.params.push_back({\"" + part.name + "\", " +
+                        to_value_expr(part) + "});\n";
+        }
+
+        if (op.output_message.empty()) {
+          // One-way: send without awaiting a response.
+          out += "  bsoap::Result<bsoap::core::SendReport> " + op.name + "(" +
+                 params + ") {\n" + build_call +
+                 "    return client_.send_call(call);\n  }\n\n";
+          continue;
+        }
+        const Message* output = document.find_message(op.output_message);
+        BSOAP_ASSERT(output != nullptr);
+        const ResultMapping mapping =
+            output->parts.empty()
+                ? ResultMapping{"bsoap::soap::Value", "value"}
+                : result_mapping(output->parts.front());
+        out += "  bsoap::Result<" + mapping.cpp_type + "> " + op.name + "(" +
+               params + ") {\n" + build_call;
+        out += "    bsoap::Result<bsoap::soap::Value> result = "
+               "client_.invoke(call);\n";
+        out += "    if (!result.ok()) return result.error();\n";
+        out += "    const bsoap::soap::Value& value = result.value();\n";
+        out += "    return " + mapping.decode + ";\n  }\n\n";
+      }
+    }
+
+    out += "  bsoap::core::BsoapClient& client() { return client_; }\n\n";
+    out += " private:\n  bsoap::core::BsoapClient client_;\n};\n";
+  }
+
+  out += "\n}  // namespace " + options.cpp_namespace + "\n";
+  return out;
+}
+
+}  // namespace bsoap::wsdl

@@ -1,0 +1,25 @@
+// C++ client stub generation from WSDL (the wsdl2h/soapcpp2 role in gSOAP).
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "wsdl/model.hpp"
+
+namespace bsoap::wsdl {
+
+struct CodegenOptions {
+  /// Namespace for the generated stub classes.
+  std::string cpp_namespace = "bsoap_stubs";
+  /// Generated class name suffix.
+  std::string class_suffix = "Stub";
+};
+
+/// Generates a self-contained C++ header with one stub class per service:
+/// typed methods per operation that build the RpcCall, invoke it through a
+/// BsoapClient (so repeated calls get differential serialization), and
+/// decode the typed result. Fails on types the mapping cannot express.
+Result<std::string> generate_client_stub(const WsdlDocument& document,
+                                         const CodegenOptions& options);
+
+}  // namespace bsoap::wsdl

@@ -1,0 +1,99 @@
+#include "wsdl/model.hpp"
+
+#include "xml/qname.hpp"
+
+namespace bsoap::wsdl {
+
+const char* xsd_type_name(XsdType type) noexcept {
+  switch (type) {
+    case XsdType::kInt: return "xsd:int";
+    case XsdType::kLong: return "xsd:long";
+    case XsdType::kDouble: return "xsd:double";
+    case XsdType::kFloat: return "xsd:float";
+    case XsdType::kBoolean: return "xsd:boolean";
+    case XsdType::kString: return "xsd:string";
+    case XsdType::kComplex: return "(complex)";
+    case XsdType::kArray: return "(array)";
+  }
+  return "?";
+}
+
+XsdType xsd_type_from_qname(std::string_view qname) noexcept {
+  const std::string_view local = xml::split_qname(qname).local;
+  if (local == "int" || local == "integer") return XsdType::kInt;
+  if (local == "long") return XsdType::kLong;
+  if (local == "double" || local == "decimal") return XsdType::kDouble;
+  if (local == "float") return XsdType::kFloat;
+  if (local == "boolean") return XsdType::kBoolean;
+  if (local == "string") return XsdType::kString;
+  return XsdType::kComplex;
+}
+
+const ComplexType* WsdlDocument::find_type(std::string_view type_name) const {
+  const std::string_view local = xml::split_qname(type_name).local;
+  for (const ComplexType& t : types) {
+    if (t.name == local) return &t;
+  }
+  return nullptr;
+}
+
+const Message* WsdlDocument::find_message(std::string_view message_name) const {
+  const std::string_view local = xml::split_qname(message_name).local;
+  for (const Message& m : messages) {
+    if (m.name == local) return &m;
+  }
+  return nullptr;
+}
+
+const Operation* WsdlDocument::find_operation(
+    std::string_view operation_name) const {
+  for (const PortType& pt : port_types) {
+    for (const Operation& op : pt.operations) {
+      if (op.name == operation_name) return &op;
+    }
+  }
+  return nullptr;
+}
+
+Status WsdlDocument::validate() const {
+  for (const PortType& pt : port_types) {
+    for (const Operation& op : pt.operations) {
+      if (find_message(op.input_message) == nullptr) {
+        return Error{ErrorCode::kNotFound,
+                     "operation " + op.name + " references unknown message " +
+                         op.input_message};
+      }
+      if (!op.output_message.empty() &&
+          find_message(op.output_message) == nullptr) {
+        return Error{ErrorCode::kNotFound,
+                     "operation " + op.name + " references unknown message " +
+                         op.output_message};
+      }
+    }
+  }
+  for (const Message& m : messages) {
+    for (const TypedField& part : m.parts) {
+      const bool complex_ref =
+          part.type == XsdType::kComplex ||
+          (part.type == XsdType::kArray &&
+           xsd_type_from_qname(part.type_name) == XsdType::kComplex);
+      if (complex_ref && find_type(part.type_name) == nullptr) {
+        return Error{ErrorCode::kNotFound,
+                     "message " + m.name + " part " + part.name +
+                         " references unknown type " + part.type_name};
+      }
+    }
+  }
+  for (const ComplexType& t : types) {
+    for (const TypedField& f : t.fields) {
+      if (f.type == XsdType::kComplex && find_type(f.type_name) == nullptr) {
+        return Error{ErrorCode::kNotFound,
+                     "type " + t.name + " field " + f.name +
+                         " references unknown type " + f.type_name};
+      }
+    }
+  }
+  return Status{};
+}
+
+}  // namespace bsoap::wsdl

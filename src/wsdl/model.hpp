@@ -1,0 +1,104 @@
+// WSDL 1.1 document model.
+//
+// Web Services are described by WSDL (paper Section 1: "WSDL provides a
+// precise description of a Web Service interface and of the communication
+// protocols it supports"). This module models the subset used by SOAP 1.1
+// RPC/encoded services — types (a small XML Schema subset), messages, port
+// types, bindings and services — and is consumed by the parser, writer,
+// call validator, and C++ stub generator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "soap/value.hpp"
+
+namespace bsoap::wsdl {
+
+/// XML Schema base types supported for message parts.
+enum class XsdType {
+  kInt,
+  kLong,
+  kDouble,
+  kFloat,
+  kBoolean,
+  kString,
+  kComplex,  ///< named complexType defined in <types>
+  kArray,    ///< SOAP-ENC array of a given element type
+};
+
+const char* xsd_type_name(XsdType type) noexcept;
+
+/// Resolves "xsd:int" etc.; kComplex for anything namespaced elsewhere.
+XsdType xsd_type_from_qname(std::string_view qname) noexcept;
+
+/// A typed slot: element of a complexType sequence or a message part.
+struct TypedField {
+  std::string name;
+  XsdType type = XsdType::kString;
+  /// For kComplex: the complexType name; for kArray: the element type qname
+  /// (e.g. "xsd:double" or "tns:MIO").
+  std::string type_name;
+};
+
+/// <complexType name="..."><sequence>…</sequence></complexType>, or a
+/// SOAP-ENC array restriction when `array_of` is nonempty.
+struct ComplexType {
+  std::string name;
+  std::vector<TypedField> fields;
+  std::string array_of;  ///< element type qname; empty for struct types
+
+  bool is_array() const { return !array_of.empty(); }
+};
+
+/// <message name="..."><part name="..." type="..."/></message>
+struct Message {
+  std::string name;
+  std::vector<TypedField> parts;
+};
+
+/// One <operation> of a portType, with resolved input/output messages.
+struct Operation {
+  std::string name;
+  std::string input_message;   ///< message name (local)
+  std::string output_message;  ///< empty for one-way operations
+  std::string soap_action;     ///< from the binding
+};
+
+struct PortType {
+  std::string name;
+  std::vector<Operation> operations;
+};
+
+/// <service><port> endpoint address.
+struct ServicePort {
+  std::string name;
+  std::string binding;
+  std::string location;  ///< soap:address location URL
+};
+
+struct Service {
+  std::string name;
+  std::vector<ServicePort> ports;
+};
+
+/// A parsed WSDL document (single inlined schema, single portType binding —
+/// the shape produced by period toolkits for RPC/encoded services).
+struct WsdlDocument {
+  std::string name;
+  std::string target_namespace;
+  std::vector<ComplexType> types;
+  std::vector<Message> messages;
+  std::vector<PortType> port_types;
+  std::vector<Service> services;
+
+  const ComplexType* find_type(std::string_view type_name) const;
+  const Message* find_message(std::string_view message_name) const;
+  const Operation* find_operation(std::string_view operation_name) const;
+
+  /// Structural sanity: every referenced message/type exists.
+  Status validate() const;
+};
+
+}  // namespace bsoap::wsdl

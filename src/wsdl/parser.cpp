@@ -1,0 +1,358 @@
+#include "wsdl/parser.hpp"
+
+#include <string>
+
+#include "xml/pull_parser.hpp"
+#include "xml/qname.hpp"
+
+namespace bsoap::wsdl {
+namespace {
+
+using xml::XmlEvent;
+using xml::XmlPullParser;
+
+std::string_view local_name(const XmlPullParser& parser) {
+  return xml::split_qname(parser.name()).local;
+}
+
+std::string attribute_or_empty(const XmlPullParser& parser,
+                               std::string_view name) {
+  // WSDL attributes are unprefixed except the wsdl:arrayType annotation;
+  // match by local name so prefixed variants also resolve.
+  for (const xml::XmlAttribute& attr : parser.attributes()) {
+    if (attr.name == name || xml::split_qname(attr.name).local == name) {
+      return attr.value;
+    }
+  }
+  return {};
+}
+
+/// Consumes events until the end of the current element.
+Status skip_subtree(XmlPullParser* parser) {
+  std::size_t depth = 1;
+  while (depth > 0) {
+    Result<XmlEvent> event = parser->next();
+    if (!event.ok()) return event.error();
+    if (event.value() == XmlEvent::kStartElement) ++depth;
+    else if (event.value() == XmlEvent::kEndElement) --depth;
+    else if (event.value() == XmlEvent::kEof) {
+      return Error{ErrorCode::kParseError, "EOF inside WSDL element"};
+    }
+  }
+  return Status{};
+}
+
+class WsdlParser {
+ public:
+  explicit WsdlParser(std::string_view document) : parser_(document) {}
+
+  Result<WsdlDocument> parse() {
+    Result<XmlEvent> event = parser_.next();
+    if (!event.ok()) return event.error();
+    if (event.value() != XmlEvent::kStartElement ||
+        local_name(parser_) != "definitions") {
+      return Error{ErrorCode::kParseError, "expected <definitions>"};
+    }
+    doc_.name = attribute_or_empty(parser_, "name");
+    doc_.target_namespace = attribute_or_empty(parser_, "targetNamespace");
+
+    for (;;) {
+      event = parser_.next();
+      if (!event.ok()) return event.error();
+      if (event.value() == XmlEvent::kEndElement) break;  // </definitions>
+      if (event.value() == XmlEvent::kText) continue;
+      if (event.value() != XmlEvent::kStartElement) {
+        return Error{ErrorCode::kParseError, "unexpected EOF in definitions"};
+      }
+      const std::string_view section = local_name(parser_);
+      if (section == "types") {
+        BSOAP_RETURN_IF_ERROR(parse_types());
+      } else if (section == "message") {
+        BSOAP_RETURN_IF_ERROR(parse_message());
+      } else if (section == "portType") {
+        BSOAP_RETURN_IF_ERROR(parse_port_type());
+      } else if (section == "binding") {
+        BSOAP_RETURN_IF_ERROR(parse_binding());
+      } else if (section == "service") {
+        BSOAP_RETURN_IF_ERROR(parse_service());
+      } else {
+        BSOAP_RETURN_IF_ERROR(skip_subtree(&parser_));  // documentation etc.
+      }
+    }
+
+    resolve_array_parts();
+    BSOAP_RETURN_IF_ERROR(doc_.validate());
+    return std::move(doc_);
+  }
+
+ private:
+  Status parse_types() {
+    // <types> … <schema> … complexTypes … — other schema content skipped.
+    std::size_t depth = 1;
+    while (depth > 0) {
+      Result<XmlEvent> event = parser_.next();
+      if (!event.ok()) return event.error();
+      switch (event.value()) {
+        case XmlEvent::kStartElement:
+          if (local_name(parser_) == "complexType") {
+            BSOAP_RETURN_IF_ERROR(parse_complex_type());
+          } else {
+            ++depth;
+          }
+          break;
+        case XmlEvent::kEndElement:
+          --depth;
+          break;
+        case XmlEvent::kText:
+          break;
+        case XmlEvent::kEof:
+          return Error{ErrorCode::kParseError, "EOF inside <types>"};
+      }
+    }
+    return Status{};
+  }
+
+  Status parse_complex_type() {
+    ComplexType type;
+    type.name = attribute_or_empty(parser_, "name");
+    if (type.name.empty()) {
+      return Error{ErrorCode::kParseError, "complexType without name"};
+    }
+    std::size_t depth = 1;
+    while (depth > 0) {
+      Result<XmlEvent> event = parser_.next();
+      if (!event.ok()) return event.error();
+      switch (event.value()) {
+        case XmlEvent::kStartElement: {
+          const std::string_view elem = local_name(parser_);
+          if (elem == "element") {
+            TypedField field;
+            field.name = attribute_or_empty(parser_, "name");
+            const std::string type_attr = attribute_or_empty(parser_, "type");
+            field.type = xsd_type_from_qname(type_attr);
+            if (field.type == XsdType::kComplex) {
+              field.type_name = std::string(xml::split_qname(type_attr).local);
+            }
+            type.fields.push_back(std::move(field));
+          } else if (elem == "attribute") {
+            // SOAP-ENC array restriction: wsdl:arrayType="xsd:double[]".
+            std::string array_type = attribute_or_empty(parser_, "arrayType");
+            if (!array_type.empty()) {
+              const std::size_t bracket = array_type.find('[');
+              if (bracket != std::string::npos) {
+                array_type.resize(bracket);
+              }
+              type.array_of = array_type;
+            }
+          }
+          ++depth;
+          break;
+        }
+        case XmlEvent::kEndElement:
+          --depth;
+          break;
+        case XmlEvent::kText:
+          break;
+        case XmlEvent::kEof:
+          return Error{ErrorCode::kParseError, "EOF inside complexType"};
+      }
+    }
+    doc_.types.push_back(std::move(type));
+    return Status{};
+  }
+
+  Status parse_message() {
+    Message message;
+    message.name = attribute_or_empty(parser_, "name");
+    for (;;) {
+      Result<XmlEvent> event = parser_.next();
+      if (!event.ok()) return event.error();
+      if (event.value() == XmlEvent::kEndElement) break;
+      if (event.value() == XmlEvent::kText) continue;
+      if (event.value() != XmlEvent::kStartElement) {
+        return Error{ErrorCode::kParseError, "EOF inside <message>"};
+      }
+      if (local_name(parser_) == "part") {
+        TypedField part;
+        part.name = attribute_or_empty(parser_, "name");
+        const std::string type_attr = attribute_or_empty(parser_, "type");
+        part.type = xsd_type_from_qname(type_attr);
+        if (part.type == XsdType::kComplex) {
+          part.type_name = std::string(xml::split_qname(type_attr).local);
+        }
+        message.parts.push_back(std::move(part));
+      }
+      BSOAP_RETURN_IF_ERROR(skip_subtree(&parser_));
+    }
+    doc_.messages.push_back(std::move(message));
+    return Status{};
+  }
+
+  Status parse_port_type() {
+    PortType port_type;
+    port_type.name = attribute_or_empty(parser_, "name");
+    for (;;) {
+      Result<XmlEvent> event = parser_.next();
+      if (!event.ok()) return event.error();
+      if (event.value() == XmlEvent::kEndElement) break;
+      if (event.value() == XmlEvent::kText) continue;
+      if (event.value() != XmlEvent::kStartElement) {
+        return Error{ErrorCode::kParseError, "EOF inside <portType>"};
+      }
+      if (local_name(parser_) != "operation") {
+        BSOAP_RETURN_IF_ERROR(skip_subtree(&parser_));
+        continue;
+      }
+      Operation op;
+      op.name = attribute_or_empty(parser_, "name");
+      for (;;) {
+        event = parser_.next();
+        if (!event.ok()) return event.error();
+        if (event.value() == XmlEvent::kEndElement) break;
+        if (event.value() == XmlEvent::kText) continue;
+        if (event.value() != XmlEvent::kStartElement) {
+          return Error{ErrorCode::kParseError, "EOF inside <operation>"};
+        }
+        const std::string_view role = local_name(parser_);
+        const std::string message_attr = attribute_or_empty(parser_, "message");
+        const std::string local(xml::split_qname(message_attr).local);
+        if (role == "input") op.input_message = local;
+        else if (role == "output") op.output_message = local;
+        BSOAP_RETURN_IF_ERROR(skip_subtree(&parser_));
+      }
+      port_type.operations.push_back(std::move(op));
+    }
+    doc_.port_types.push_back(std::move(port_type));
+    return Status{};
+  }
+
+  Status parse_binding() {
+    // Only soapAction values are extracted; the rest mirrors the portType.
+    std::size_t depth = 1;
+    std::string current_operation;
+    while (depth > 0) {
+      Result<XmlEvent> event = parser_.next();
+      if (!event.ok()) return event.error();
+      switch (event.value()) {
+        case XmlEvent::kStartElement: {
+          const std::string_view elem = local_name(parser_);
+          if (elem == "operation") {
+            const std::string name = attribute_or_empty(parser_, "name");
+            if (!name.empty()) {
+              current_operation = name;
+            } else if (!current_operation.empty()) {
+              // <soap:operation soapAction="...">
+              const std::string action =
+                  attribute_or_empty(parser_, "soapAction");
+              if (!action.empty()) {
+                set_soap_action(current_operation, action);
+              }
+            }
+          }
+          ++depth;
+          break;
+        }
+        case XmlEvent::kEndElement:
+          --depth;
+          break;
+        case XmlEvent::kText:
+          break;
+        case XmlEvent::kEof:
+          return Error{ErrorCode::kParseError, "EOF inside <binding>"};
+      }
+    }
+    return Status{};
+  }
+
+  Status parse_service() {
+    Service service;
+    service.name = attribute_or_empty(parser_, "name");
+    for (;;) {
+      Result<XmlEvent> event = parser_.next();
+      if (!event.ok()) return event.error();
+      if (event.value() == XmlEvent::kEndElement) break;
+      if (event.value() == XmlEvent::kText) continue;
+      if (event.value() != XmlEvent::kStartElement) {
+        return Error{ErrorCode::kParseError, "EOF inside <service>"};
+      }
+      if (local_name(parser_) != "port") {
+        BSOAP_RETURN_IF_ERROR(skip_subtree(&parser_));
+        continue;
+      }
+      ServicePort port;
+      port.name = attribute_or_empty(parser_, "name");
+      port.binding =
+          std::string(xml::split_qname(attribute_or_empty(parser_, "binding")).local);
+      for (;;) {
+        event = parser_.next();
+        if (!event.ok()) return event.error();
+        if (event.value() == XmlEvent::kEndElement) break;
+        if (event.value() == XmlEvent::kText) continue;
+        if (event.value() != XmlEvent::kStartElement) {
+          return Error{ErrorCode::kParseError, "EOF inside <port>"};
+        }
+        if (local_name(parser_) == "address") {
+          port.location = attribute_or_empty(parser_, "location");
+        }
+        BSOAP_RETURN_IF_ERROR(skip_subtree(&parser_));
+      }
+      service.ports.push_back(std::move(port));
+    }
+    doc_.services.push_back(std::move(service));
+    return Status{};
+  }
+
+  void set_soap_action(const std::string& operation, const std::string& action) {
+    for (PortType& pt : doc_.port_types) {
+      for (Operation& op : pt.operations) {
+        if (op.name == operation) op.soap_action = action;
+      }
+    }
+    pending_actions_.emplace_back(operation, action);
+  }
+
+  /// Message parts referencing array complexTypes become kArray with the
+  /// element type resolved; soapActions recorded before portTypes parse are
+  /// re-applied.
+  void resolve_array_parts() {
+    for (Message& m : doc_.messages) {
+      for (TypedField& part : m.parts) {
+        if (part.type != XsdType::kComplex) continue;
+        const ComplexType* type = doc_.find_type(part.type_name);
+        if (type != nullptr && type->is_array()) {
+          part.type = XsdType::kArray;
+          part.type_name = type->array_of;
+        }
+      }
+    }
+    for (ComplexType& t : doc_.types) {
+      for (TypedField& f : t.fields) {
+        if (f.type != XsdType::kComplex) continue;
+        const ComplexType* type = doc_.find_type(f.type_name);
+        if (type != nullptr && type->is_array()) {
+          f.type = XsdType::kArray;
+          f.type_name = type->array_of;
+        }
+      }
+    }
+    for (const auto& [operation, action] : pending_actions_) {
+      for (PortType& pt : doc_.port_types) {
+        for (Operation& op : pt.operations) {
+          if (op.name == operation) op.soap_action = action;
+        }
+      }
+    }
+  }
+
+  XmlPullParser parser_;
+  WsdlDocument doc_;
+  std::vector<std::pair<std::string, std::string>> pending_actions_;
+};
+
+}  // namespace
+
+Result<WsdlDocument> parse_wsdl(std::string_view document) {
+  return WsdlParser(document).parse();
+}
+
+}  // namespace bsoap::wsdl

@@ -1,0 +1,17 @@
+// WSDL 1.1 parser (subset: inlined schema, RPC/encoded SOAP binding).
+#pragma once
+
+#include <string_view>
+
+#include "common/error.hpp"
+#include "wsdl/model.hpp"
+
+namespace bsoap::wsdl {
+
+/// Parses a WSDL document. Supported structure: <definitions> with <types>
+/// (one inlined <schema> with complexTypes: sequences and SOAP-ENC array
+/// restrictions), <message>/<part type=...>, <portType>/<operation>,
+/// <binding> (soapAction extraction), and <service>/<port>/<soap:address>.
+Result<WsdlDocument> parse_wsdl(std::string_view document);
+
+}  // namespace bsoap::wsdl

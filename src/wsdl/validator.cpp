@@ -1,0 +1,250 @@
+#include "wsdl/validator.hpp"
+
+#include "xml/qname.hpp"
+
+namespace bsoap::wsdl {
+namespace {
+
+using soap::Value;
+using soap::ValueKind;
+
+Error mismatch(const std::string& what) {
+  return Error{ErrorCode::kInvalidArgument, what};
+}
+
+Status validate_value(const WsdlDocument& document, const TypedField& field,
+                      const Value& value);
+
+Status validate_struct(const WsdlDocument& document, const ComplexType& type,
+                       const Value& value) {
+  if (value.kind() != ValueKind::kStruct) {
+    return mismatch("expected struct for complexType " + type.name);
+  }
+  if (value.members().size() != type.fields.size()) {
+    return mismatch("complexType " + type.name + " expects " +
+                    std::to_string(type.fields.size()) + " members, got " +
+                    std::to_string(value.members().size()));
+  }
+  for (std::size_t i = 0; i < type.fields.size(); ++i) {
+    const TypedField& field = type.fields[i];
+    const Value::Member& member = value.members()[i];
+    if (member.name != field.name) {
+      return mismatch("complexType " + type.name + " member " +
+                      std::to_string(i) + " should be '" + field.name +
+                      "', got '" + member.name + "'");
+    }
+    BSOAP_RETURN_IF_ERROR(validate_value(document, field, member.value));
+  }
+  return Status{};
+}
+
+Status validate_array(const WsdlDocument& document, const TypedField& field,
+                      const Value& value) {
+  const XsdType element = xsd_type_from_qname(field.type_name);
+  switch (element) {
+    case XsdType::kDouble:
+    case XsdType::kFloat:
+      if (value.kind() != ValueKind::kDoubleArray) {
+        return mismatch("part " + field.name + " expects a double array");
+      }
+      return Status{};
+    case XsdType::kInt:
+    case XsdType::kLong:
+      if (value.kind() != ValueKind::kIntArray) {
+        return mismatch("part " + field.name + " expects an int array");
+      }
+      return Status{};
+    case XsdType::kComplex: {
+      const std::string_view local = xml::split_qname(field.type_name).local;
+      if (local == "MIO") {
+        if (value.kind() != ValueKind::kMioArray) {
+          return mismatch("part " + field.name + " expects an MIO array");
+        }
+        return Status{};
+      }
+      // Generic struct arrays are modelled as a struct of repeated members;
+      // accept a struct whose members each validate against the element
+      // complexType.
+      const ComplexType* element_type = document.find_type(local);
+      if (element_type == nullptr) {
+        return mismatch("unknown array element type " +
+                        std::string(field.type_name));
+      }
+      if (value.kind() != ValueKind::kStruct) {
+        return mismatch("part " + field.name + " expects an array value");
+      }
+      for (const Value::Member& member : value.members()) {
+        BSOAP_RETURN_IF_ERROR(
+            validate_struct(document, *element_type, member.value));
+      }
+      return Status{};
+    }
+    default:
+      return mismatch("unsupported array element type " +
+                      std::string(field.type_name));
+  }
+}
+
+Status validate_value(const WsdlDocument& document, const TypedField& field,
+                      const Value& value) {
+  switch (field.type) {
+    case XsdType::kInt:
+      if (value.kind() != ValueKind::kInt32) {
+        return mismatch("field " + field.name + " expects xsd:int");
+      }
+      return Status{};
+    case XsdType::kLong:
+      if (value.kind() != ValueKind::kInt64 &&
+          value.kind() != ValueKind::kInt32) {
+        return mismatch("field " + field.name + " expects xsd:long");
+      }
+      return Status{};
+    case XsdType::kDouble:
+    case XsdType::kFloat:
+      if (value.kind() != ValueKind::kDouble) {
+        return mismatch("field " + field.name + " expects xsd:double");
+      }
+      return Status{};
+    case XsdType::kBoolean:
+      if (value.kind() != ValueKind::kBool) {
+        return mismatch("field " + field.name + " expects xsd:boolean");
+      }
+      return Status{};
+    case XsdType::kString:
+      if (value.kind() != ValueKind::kString) {
+        return mismatch("field " + field.name + " expects xsd:string");
+      }
+      return Status{};
+    case XsdType::kComplex: {
+      if (field.type_name == "MIO") {
+        // MIOs may appear as a struct {x, y, v}.
+        if (value.kind() == ValueKind::kStruct) return Status{};
+        return mismatch("field " + field.name + " expects an MIO struct");
+      }
+      const ComplexType* type = document.find_type(field.type_name);
+      if (type == nullptr) {
+        return mismatch("unknown complexType " + field.type_name);
+      }
+      return validate_struct(document, *type, value);
+    }
+    case XsdType::kArray:
+      return validate_array(document, field, value);
+  }
+  return Status{};
+}
+
+}  // namespace
+
+Status validate_call(const WsdlDocument& document, const soap::RpcCall& call) {
+  const Operation* op = document.find_operation(call.method);
+  if (op == nullptr) {
+    return Error{ErrorCode::kNotFound, "no operation '" + call.method + "'"};
+  }
+  if (call.service_namespace != document.target_namespace) {
+    return mismatch("namespace '" + call.service_namespace +
+                    "' does not match targetNamespace '" +
+                    document.target_namespace + "'");
+  }
+  const Message* input = document.find_message(op->input_message);
+  BSOAP_ASSERT(input != nullptr);  // guaranteed by WsdlDocument::validate
+  if (call.params.size() != input->parts.size()) {
+    return mismatch("operation " + call.method + " expects " +
+                    std::to_string(input->parts.size()) + " params, got " +
+                    std::to_string(call.params.size()));
+  }
+  for (std::size_t i = 0; i < input->parts.size(); ++i) {
+    if (call.params[i].name != input->parts[i].name) {
+      return mismatch("param " + std::to_string(i) + " should be '" +
+                      input->parts[i].name + "', got '" + call.params[i].name +
+                      "'");
+    }
+    BSOAP_RETURN_IF_ERROR(
+        validate_value(document, input->parts[i], call.params[i].value));
+  }
+  return Status{};
+}
+
+Status validate_result(const WsdlDocument& document,
+                       std::string_view operation_name,
+                       const soap::Value& result) {
+  const Operation* op = document.find_operation(operation_name);
+  if (op == nullptr) {
+    return Error{ErrorCode::kNotFound,
+                 "no operation '" + std::string(operation_name) + "'"};
+  }
+  if (op->output_message.empty()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "operation '" + op->name + "' is one-way"};
+  }
+  const Message* output = document.find_message(op->output_message);
+  BSOAP_ASSERT(output != nullptr);
+  if (output->parts.empty()) return Status{};
+  return validate_value(document, output->parts.front(), result);
+}
+
+Result<soap::RpcCall> make_call_skeleton(const WsdlDocument& document,
+                                         std::string_view operation_name,
+                                         std::size_t array_size) {
+  const Operation* op = document.find_operation(operation_name);
+  if (op == nullptr) {
+    return Error{ErrorCode::kNotFound,
+                 "no operation '" + std::string(operation_name) + "'"};
+  }
+  const Message* input = document.find_message(op->input_message);
+  BSOAP_ASSERT(input != nullptr);
+
+  soap::RpcCall call;
+  call.method = op->name;
+  call.service_namespace = document.target_namespace;
+  for (const TypedField& part : input->parts) {
+    Value value;
+    switch (part.type) {
+      case XsdType::kInt: value = Value::from_int(0); break;
+      case XsdType::kLong: value = Value::from_int64(0); break;
+      case XsdType::kDouble:
+      case XsdType::kFloat: value = Value::from_double(0.0); break;
+      case XsdType::kBoolean: value = Value::from_bool(false); break;
+      case XsdType::kString: value = Value::from_string(""); break;
+      case XsdType::kArray: {
+        const XsdType element = xsd_type_from_qname(part.type_name);
+        if (element == XsdType::kDouble || element == XsdType::kFloat) {
+          value = Value::from_double_array(std::vector<double>(array_size, 0.0));
+        } else if (element == XsdType::kInt || element == XsdType::kLong) {
+          value = Value::from_int_array(
+              std::vector<std::int32_t>(array_size, 0));
+        } else if (xml::split_qname(part.type_name).local == "MIO") {
+          value = Value::from_mio_array(
+              std::vector<soap::Mio>(array_size, soap::Mio{}));
+        } else {
+          return Error{ErrorCode::kUnsupported,
+                       "cannot build skeleton for array of " + part.type_name};
+        }
+        break;
+      }
+      case XsdType::kComplex: {
+        const ComplexType* type = document.find_type(part.type_name);
+        if (type == nullptr) {
+          return Error{ErrorCode::kNotFound,
+                       "unknown complexType " + part.type_name};
+        }
+        Value structure = Value::make_struct();
+        for (const TypedField& field : type->fields) {
+          switch (field.type) {
+            case XsdType::kInt: structure.add_member(field.name, Value::from_int(0)); break;
+            case XsdType::kLong: structure.add_member(field.name, Value::from_int64(0)); break;
+            case XsdType::kDouble:
+            case XsdType::kFloat: structure.add_member(field.name, Value::from_double(0.0)); break;
+            case XsdType::kBoolean: structure.add_member(field.name, Value::from_bool(false)); break;
+            default: structure.add_member(field.name, Value::from_string("")); break;
+          }
+        }
+        value = std::move(structure);
+        break;
+      }
+    }
+    call.params.push_back(soap::Param{part.name, std::move(value)});
+  }
+  return call;
+}
+
+}  // namespace bsoap::wsdl

@@ -1,0 +1,32 @@
+// Validation of RPC calls against a WSDL description.
+//
+// Differential serialization relies on calls keeping the same structure; a
+// WSDL-validated call is guaranteed to match its operation's message shape,
+// so template reuse is safe by construction.
+#pragma once
+
+#include "common/error.hpp"
+#include "soap/value.hpp"
+#include "wsdl/model.hpp"
+
+namespace bsoap::wsdl {
+
+/// Checks that `call` matches an operation of `document`: the method exists,
+/// the namespace equals the target namespace, parameter names/order follow
+/// the input message parts, and each value's kind matches the declared type
+/// (arrays element-wise, structs field-wise against their complexType).
+Status validate_call(const WsdlDocument& document, const soap::RpcCall& call);
+
+/// Checks a response value against the operation's output message.
+Status validate_result(const WsdlDocument& document,
+                       std::string_view operation_name,
+                       const soap::Value& result);
+
+/// Builds a default-initialized RpcCall skeleton (zeros/empty strings,
+/// arrays sized `array_size`) for an operation — useful for creating bound
+/// messages whose structure is WSDL-derived.
+Result<soap::RpcCall> make_call_skeleton(const WsdlDocument& document,
+                                         std::string_view operation_name,
+                                         std::size_t array_size);
+
+}  // namespace bsoap::wsdl

@@ -1,0 +1,264 @@
+#include "wsdl/writer.hpp"
+
+#include <cctype>
+
+#include "buffer/sinks.hpp"
+#include "soap/constants.hpp"
+#include "xml/writer.hpp"
+
+namespace bsoap::wsdl {
+namespace {
+
+std::string array_wrapper_name(const WsdlDocument& document,
+                               const TypedField& part) {
+  for (const ComplexType& type : document.types) {
+    if (type.is_array() && type.array_of == part.type_name) return type.name;
+  }
+  // No declared wrapper: synthesize a stable name from the element type.
+  std::string name = part.type_name;
+  const std::size_t colon = name.find(':');
+  if (colon != std::string::npos) name = name.substr(colon + 1);
+  if (!name.empty()) {
+    name[0] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(name[0])));
+  }
+  return name + "Array";
+}
+
+std::string field_type_qname(const TypedField& field) {
+  switch (field.type) {
+    case XsdType::kComplex:
+      return "tns:" + field.type_name;
+    case XsdType::kArray:
+      // Array parts reference the generated array complexType; callers
+      // using the builder get "<Elem>Array" names.
+      return "tns:" + field.type_name;
+    default:
+      return xsd_type_name(field.type);
+  }
+}
+
+}  // namespace
+
+std::string write_wsdl(const WsdlDocument& document) {
+  buffer::StringSink sink;
+  xml::XmlWriter<buffer::StringSink> writer(sink);
+  writer.declaration();
+  writer.start_element("wsdl:definitions");
+  writer.attribute("name", document.name);
+  writer.attribute("targetNamespace", document.target_namespace);
+  writer.attribute("xmlns:wsdl", "http://schemas.xmlsoap.org/wsdl/");
+  writer.attribute("xmlns:soap", "http://schemas.xmlsoap.org/wsdl/soap/");
+  writer.attribute("xmlns:xsd", soap::kXsdNs);
+  writer.attribute("xmlns:SOAP-ENC", soap::kSoapEncodingNs);
+  writer.attribute("xmlns:tns", document.target_namespace);
+
+  // <types> — one inlined schema.
+  if (!document.types.empty()) {
+    writer.start_element("wsdl:types");
+    writer.start_element("xsd:schema");
+    writer.attribute("targetNamespace", document.target_namespace);
+    for (const ComplexType& type : document.types) {
+      writer.start_element("xsd:complexType");
+      writer.attribute("name", type.name);
+      if (type.is_array()) {
+        writer.start_element("xsd:complexContent");
+        writer.start_element("xsd:restriction");
+        writer.attribute("base", "SOAP-ENC:Array");
+        writer.start_element("xsd:attribute");
+        writer.attribute("ref", "SOAP-ENC:arrayType");
+        writer.attribute("wsdl:arrayType", type.array_of + "[]");
+        writer.end_element();
+        writer.end_element();
+        writer.end_element();
+      } else {
+        writer.start_element("xsd:sequence");
+        for (const TypedField& field : type.fields) {
+          writer.start_element("xsd:element");
+          writer.attribute("name", field.name);
+          writer.attribute("type", field_type_qname(field));
+          writer.end_element();
+        }
+        writer.end_element();
+      }
+      writer.end_element();
+    }
+    writer.end_element();
+    writer.end_element();
+  }
+
+  for (const Message& message : document.messages) {
+    writer.start_element("wsdl:message");
+    writer.attribute("name", message.name);
+    for (const TypedField& part : message.parts) {
+      writer.start_element("wsdl:part");
+      writer.attribute("name", part.name);
+      if (part.type == XsdType::kArray) {
+        // Array parts reference their complexType wrapper by name if one is
+        // declared; fall back to the raw element qname annotation.
+        writer.attribute("type", "tns:" + array_wrapper_name(document, part));
+      } else {
+        writer.attribute("type", field_type_qname(part));
+      }
+      writer.end_element();
+    }
+    writer.end_element();
+  }
+
+  for (const PortType& port_type : document.port_types) {
+    writer.start_element("wsdl:portType");
+    writer.attribute("name", port_type.name);
+    for (const Operation& op : port_type.operations) {
+      writer.start_element("wsdl:operation");
+      writer.attribute("name", op.name);
+      writer.start_element("wsdl:input");
+      writer.attribute("message", "tns:" + op.input_message);
+      writer.end_element();
+      if (!op.output_message.empty()) {
+        writer.start_element("wsdl:output");
+        writer.attribute("message", "tns:" + op.output_message);
+        writer.end_element();
+      }
+      writer.end_element();
+    }
+    writer.end_element();
+
+    // RPC/encoded SOAP binding mirroring the portType.
+    writer.start_element("wsdl:binding");
+    writer.attribute("name", port_type.name + "Binding");
+    writer.attribute("type", "tns:" + port_type.name);
+    writer.start_element("soap:binding");
+    writer.attribute("style", "rpc");
+    writer.attribute("transport", "http://schemas.xmlsoap.org/soap/http");
+    writer.end_element();
+    for (const Operation& op : port_type.operations) {
+      writer.start_element("wsdl:operation");
+      writer.attribute("name", op.name);
+      writer.start_element("soap:operation");
+      writer.attribute("soapAction",
+                       op.soap_action.empty() ? op.name : op.soap_action);
+      writer.end_element();
+      writer.start_element("wsdl:input");
+      writer.start_element("soap:body");
+      writer.attribute("use", "encoded");
+      writer.attribute("namespace", document.target_namespace);
+      writer.attribute("encodingStyle", soap::kSoapEncodingNs);
+      writer.end_element();
+      writer.end_element();
+      if (!op.output_message.empty()) {
+        writer.start_element("wsdl:output");
+        writer.start_element("soap:body");
+        writer.attribute("use", "encoded");
+        writer.attribute("namespace", document.target_namespace);
+        writer.attribute("encodingStyle", soap::kSoapEncodingNs);
+        writer.end_element();
+        writer.end_element();
+      }
+      writer.end_element();
+    }
+    writer.end_element();
+  }
+
+  for (const Service& service : document.services) {
+    writer.start_element("wsdl:service");
+    writer.attribute("name", service.name);
+    for (const ServicePort& port : service.ports) {
+      writer.start_element("wsdl:port");
+      writer.attribute("name", port.name);
+      writer.attribute("binding", "tns:" + port.binding);
+      writer.start_element("soap:address");
+      writer.attribute("location", port.location);
+      writer.end_element();
+      writer.end_element();
+    }
+    writer.end_element();
+  }
+
+  writer.end_element();
+  writer.finish();
+  return sink.take();
+}
+
+ServiceBuilder::ServiceBuilder(std::string service_name,
+                               std::string target_namespace) {
+  doc_.name = service_name;
+  doc_.target_namespace = std::move(target_namespace);
+  PortType port_type;
+  port_type.name = service_name + "PortType";
+  doc_.port_types.push_back(std::move(port_type));
+  Service service;
+  service.name = std::move(service_name);
+  doc_.services.push_back(std::move(service));
+}
+
+ServiceBuilder& ServiceBuilder::add_struct_type(std::string name,
+                                                std::vector<TypedField> fields) {
+  ComplexType type;
+  type.name = std::move(name);
+  type.fields = std::move(fields);
+  doc_.types.push_back(std::move(type));
+  return *this;
+}
+
+ServiceBuilder& ServiceBuilder::add_array_type(std::string name,
+                                               std::string element_type) {
+  ComplexType type;
+  type.name = std::move(name);
+  type.array_of = std::move(element_type);
+  doc_.types.push_back(std::move(type));
+  return *this;
+}
+
+ServiceBuilder& ServiceBuilder::add_operation(std::string name,
+                                              std::vector<TypedField> inputs,
+                                              TypedField output) {
+  Message request;
+  request.name = name + "Request";
+  request.parts = std::move(inputs);
+  Message response;
+  response.name = name + "Response";
+  output.name = output.name.empty() ? "return" : output.name;
+  response.parts.push_back(std::move(output));
+
+  Operation op;
+  op.name = name;
+  op.input_message = request.name;
+  op.output_message = response.name;
+  op.soap_action = std::move(name);
+
+  doc_.messages.push_back(std::move(request));
+  doc_.messages.push_back(std::move(response));
+  doc_.port_types.front().operations.push_back(std::move(op));
+  return *this;
+}
+
+ServiceBuilder& ServiceBuilder::add_one_way_operation(
+    std::string name, std::vector<TypedField> inputs) {
+  Message request;
+  request.name = name + "Request";
+  request.parts = std::move(inputs);
+  Operation op;
+  op.name = name;
+  op.input_message = request.name;
+  op.soap_action = std::move(name);
+  doc_.messages.push_back(std::move(request));
+  doc_.port_types.front().operations.push_back(std::move(op));
+  return *this;
+}
+
+ServiceBuilder& ServiceBuilder::set_location(std::string url) {
+  location_ = std::move(url);
+  return *this;
+}
+
+WsdlDocument ServiceBuilder::build() const {
+  WsdlDocument doc = doc_;
+  ServicePort port;
+  port.name = doc.services.front().name + "Port";
+  port.binding = doc.port_types.front().name + "Binding";
+  port.location = location_;
+  doc.services.front().ports.push_back(std::move(port));
+  return doc;
+}
+
+}  // namespace bsoap::wsdl

@@ -1,0 +1,44 @@
+// WSDL 1.1 document generation from a WsdlDocument model.
+#pragma once
+
+#include <string>
+
+#include "wsdl/model.hpp"
+
+namespace bsoap::wsdl {
+
+/// Serializes the model as a WSDL 1.1 document with an RPC/encoded SOAP 1.1
+/// binding per portType. The output round-trips through parse_wsdl.
+std::string write_wsdl(const WsdlDocument& document);
+
+/// Convenience builder for constructing documents programmatically.
+class ServiceBuilder {
+ public:
+  ServiceBuilder(std::string service_name, std::string target_namespace);
+
+  /// Declares a struct complexType.
+  ServiceBuilder& add_struct_type(std::string name,
+                                  std::vector<TypedField> fields);
+
+  /// Declares a SOAP-ENC array type (name, element type qname).
+  ServiceBuilder& add_array_type(std::string name, std::string element_type);
+
+  /// Declares an operation: request parts plus an optional result type.
+  /// Messages "<op>Request"/"<op>Response" are created automatically.
+  ServiceBuilder& add_operation(std::string name,
+                                std::vector<TypedField> inputs,
+                                TypedField output);
+  ServiceBuilder& add_one_way_operation(std::string name,
+                                        std::vector<TypedField> inputs);
+
+  /// Sets the endpoint URL.
+  ServiceBuilder& set_location(std::string url);
+
+  WsdlDocument build() const;
+
+ private:
+  WsdlDocument doc_;
+  std::string location_ = "http://localhost/";
+};
+
+}  // namespace bsoap::wsdl

@@ -1,0 +1,107 @@
+#include "xml/escape.hpp"
+
+#include <cstdint>
+
+namespace bsoap::xml {
+
+bool needs_escaping(std::string_view text) noexcept {
+  for (const char c : text) {
+    if (c == '&' || c == '<' || c == '>' || c == '"' || c == '\'') return true;
+  }
+  return false;
+}
+
+void escape_append(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+}
+
+namespace {
+
+void append_utf8(std::string* out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    *out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    *out += static_cast<char>(0xC0 | (cp >> 6));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    *out += static_cast<char>(0xE0 | (cp >> 12));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    *out += static_cast<char>(0xF0 | (cp >> 18));
+    *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+}  // namespace
+
+bool unescape(std::string_view text, std::string* out) {
+  out->clear();
+  out->reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c != '&') {
+      *out += c;
+      ++i;
+      continue;
+    }
+    const std::size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos) return false;
+    const std::string_view entity = text.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      *out += '&';
+    } else if (entity == "lt") {
+      *out += '<';
+    } else if (entity == "gt") {
+      *out += '>';
+    } else if (entity == "quot") {
+      *out += '"';
+    } else if (entity == "apos") {
+      *out += '\'';
+    } else if (!entity.empty() && entity[0] == '#') {
+      std::uint32_t cp = 0;
+      bool any = false;
+      if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+        for (std::size_t k = 2; k < entity.size(); ++k) {
+          const char h = entity[k];
+          std::uint32_t digit;
+          if (h >= '0' && h <= '9') digit = static_cast<std::uint32_t>(h - '0');
+          else if (h >= 'a' && h <= 'f') digit = static_cast<std::uint32_t>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') digit = static_cast<std::uint32_t>(h - 'A' + 10);
+          else return false;
+          cp = cp * 16 + digit;
+          any = true;
+          if (cp > 0x10FFFF) return false;
+        }
+      } else {
+        for (std::size_t k = 1; k < entity.size(); ++k) {
+          const char d = entity[k];
+          if (d < '0' || d > '9') return false;
+          cp = cp * 10 + static_cast<std::uint32_t>(d - '0');
+          any = true;
+          if (cp > 0x10FFFF) return false;
+        }
+      }
+      if (!any) return false;
+      append_utf8(out, cp);
+    } else {
+      return false;  // undefined entity (no DTD support)
+    }
+    i = semi + 1;
+  }
+  return true;
+}
+
+}  // namespace bsoap::xml

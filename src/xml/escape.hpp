@@ -1,0 +1,44 @@
+// XML character-data escaping and entity decoding.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace bsoap::xml {
+
+/// True if `text` contains no character that must be escaped in element
+/// content or attribute values (&, <, >, ", ').
+bool needs_escaping(std::string_view text) noexcept;
+
+/// Appends `text` to `out` with the five predefined entities applied.
+void escape_append(std::string& out, std::string_view text);
+
+/// Escapes into an arbitrary sink (see buffer/sinks.hpp for the concept).
+template <typename Sink>
+void escape_into(Sink& sink, std::string_view text) {
+  std::size_t flushed = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    std::string_view entity;
+    switch (text[i]) {
+      case '&': entity = "&amp;"; break;
+      case '<': entity = "&lt;"; break;
+      case '>': entity = "&gt;"; break;
+      case '"': entity = "&quot;"; break;
+      case '\'': entity = "&apos;"; break;
+      default: continue;
+    }
+    if (i > flushed) sink.append(text.data() + flushed, i - flushed);
+    sink.append(entity);
+    flushed = i + 1;
+  }
+  if (text.size() > flushed) {
+    sink.append(text.data() + flushed, text.size() - flushed);
+  }
+}
+
+/// Decodes the predefined entities and numeric character references
+/// (&#...; / &#x...;, ASCII and basic UTF-8 output). Returns false on a
+/// malformed reference.
+bool unescape(std::string_view text, std::string* out);
+
+}  // namespace bsoap::xml

@@ -1,0 +1,45 @@
+#include "xml/qname.hpp"
+
+namespace bsoap::xml {
+
+QName split_qname(std::string_view qname) noexcept {
+  const std::size_t colon = qname.find(':');
+  if (colon == std::string_view::npos) {
+    return QName{std::string_view{}, qname};
+  }
+  return QName{qname.substr(0, colon), qname.substr(colon + 1)};
+}
+
+void NamespaceTracker::push_scope(
+    const std::vector<std::pair<std::string_view, std::string_view>>&
+        xmlns_attrs) {
+  std::size_t added = 0;
+  for (const auto& [name, value] : xmlns_attrs) {
+    if (name == "xmlns") {
+      bindings_.push_back(Binding{"", std::string(value)});
+      ++added;
+    } else if (name.size() > 6 && name.substr(0, 6) == "xmlns:") {
+      bindings_.push_back(Binding{std::string(name.substr(6)), std::string(value)});
+      ++added;
+    }
+  }
+  scope_sizes_.push_back(added);
+}
+
+void NamespaceTracker::push_empty_scope() { scope_sizes_.push_back(0); }
+
+void NamespaceTracker::pop_scope() {
+  if (scope_sizes_.empty()) return;
+  const std::size_t n = scope_sizes_.back();
+  scope_sizes_.pop_back();
+  bindings_.resize(bindings_.size() - n);
+}
+
+std::string_view NamespaceTracker::resolve(std::string_view prefix) const {
+  for (std::size_t i = bindings_.size(); i-- > 0;) {
+    if (bindings_[i].prefix == prefix) return bindings_[i].uri;
+  }
+  return {};
+}
+
+}  // namespace bsoap::xml

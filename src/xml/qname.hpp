@@ -1,0 +1,55 @@
+// Qualified-name utilities and namespace scope tracking.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bsoap::xml {
+
+/// Splits "prefix:local" into its parts; prefix is empty if there is none.
+struct QName {
+  std::string_view prefix;
+  std::string_view local;
+};
+
+QName split_qname(std::string_view qname) noexcept;
+
+/// Tracks in-scope namespace bindings while walking parser events.
+///
+/// Call push_scope() with the attributes of each start element and
+/// pop_scope() after the matching end element; resolve() maps a prefix to
+/// the innermost bound URI.
+class NamespaceTracker {
+ public:
+  struct Binding {
+    std::string prefix;
+    std::string uri;
+  };
+
+  /// Enters an element scope, recording any xmlns / xmlns:p attributes.
+  /// `attribute_names`/`attribute_values` run parallel.
+  void push_scope(const std::vector<std::pair<std::string_view, std::string_view>>& xmlns_attrs);
+
+  /// Convenience overload for parser attributes: caller extracts pairs.
+  void push_empty_scope();
+
+  void pop_scope();
+
+  /// URI bound to `prefix`, or empty if unbound. The empty prefix resolves
+  /// the default namespace.
+  std::string_view resolve(std::string_view prefix) const;
+
+  /// Resolves the namespace of a qualified element name.
+  std::string_view resolve_qname(std::string_view qname) const {
+    return resolve(split_qname(qname).prefix);
+  }
+
+  std::size_t depth() const { return scope_sizes_.size(); }
+
+ private:
+  std::vector<Binding> bindings_;       // stack of active bindings
+  std::vector<std::size_t> scope_sizes_;  // bindings added per scope
+};
+
+}  // namespace bsoap::xml

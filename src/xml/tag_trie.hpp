@@ -1,0 +1,71 @@
+// Byte-wise trie for XML tag matching.
+//
+// Chiu et al. [6] (paper Section 5, related work) accelerate SOAP
+// deserialization with trie structures "so that XML tags are parsed only
+// once": a known tag set compiles into a trie and incoming names resolve to
+// small integer ids in one pass, replacing repeated string comparisons. This
+// is the schema-specific parsing substrate the paper positions differential
+// serialization against (the techniques compose).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bsoap::xml {
+
+class TagTrie {
+ public:
+  static constexpr int kNoMatch = -1;
+
+  TagTrie() { nodes_.push_back(Node{}); }
+
+  /// Inserts a tag and returns its id (insertion order, starting at 0).
+  /// Re-inserting an existing tag returns the original id.
+  int add(std::string_view tag) {
+    std::size_t node = 0;
+    for (const char c : tag) {
+      const auto byte = static_cast<unsigned char>(c);
+      std::int32_t next = nodes_[node].children[byte];
+      if (next < 0) {
+        next = static_cast<std::int32_t>(nodes_.size());
+        nodes_[node].children[byte] = next;
+        nodes_.push_back(Node{});
+      }
+      node = static_cast<std::size_t>(next);
+    }
+    if (nodes_[node].id < 0) {
+      nodes_[node].id = tag_count_++;
+    }
+    return nodes_[node].id;
+  }
+
+  /// Resolves a tag to its id; kNoMatch if absent.
+  int match(std::string_view tag) const {
+    std::size_t node = 0;
+    for (const char c : tag) {
+      const std::int32_t next =
+          nodes_[node].children[static_cast<unsigned char>(c)];
+      if (next < 0) return kNoMatch;
+      node = static_cast<std::size_t>(next);
+    }
+    return nodes_[node].id;
+  }
+
+  int size() const { return tag_count_; }
+
+ private:
+  struct Node {
+    Node() { children.fill(-1); }
+    std::array<std::int32_t, 256> children;
+    std::int32_t id = -1;
+  };
+
+  std::vector<Node> nodes_;
+  std::int32_t tag_count_ = 0;
+};
+
+}  // namespace bsoap::xml

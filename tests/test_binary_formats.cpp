@@ -1,0 +1,171 @@
+// Tests for the binary-format substrates the paper's related work weighs
+// against differential serialization: base64 payloads and DIME framing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "buffer/sinks.hpp"
+#include "common/rng.hpp"
+#include "soap/base64.hpp"
+#include "soap/dime.hpp"
+#include "soap/envelope_writer.hpp"
+#include "soap/workload.hpp"
+
+namespace bsoap::soap {
+namespace {
+
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(std::string_view("")), "");
+  EXPECT_EQ(base64_encode(std::string_view("f")), "Zg==");
+  EXPECT_EQ(base64_encode(std::string_view("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(std::string_view("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(std::string_view("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(std::string_view("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(std::string_view("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeVectors) {
+  const auto decode_str = [](std::string_view text) {
+    Result<std::vector<std::uint8_t>> bytes = base64_decode(text);
+    EXPECT_TRUE(bytes.ok());
+    return bytes.ok() ? std::string(bytes.value().begin(), bytes.value().end())
+                      : std::string();
+  };
+  EXPECT_EQ(decode_str("Zm9vYmFy"), "foobar");
+  EXPECT_EQ(decode_str("Zm9vYg=="), "foob");
+  EXPECT_EQ(decode_str("Zg=="), "f");
+  // Whitespace tolerated (XML line wrapping).
+  EXPECT_EQ(decode_str("Zm9v\nYmFy"), "foobar");
+  EXPECT_EQ(decode_str("  Zm9v  YmE=  "), "fooba");
+}
+
+TEST(Base64, DecodeErrors) {
+  EXPECT_FALSE(base64_decode("Zm9v!").ok());
+  EXPECT_FALSE(base64_decode("Zg==Zg==").ok());  // data after padding
+  EXPECT_FALSE(base64_decode("Z").ok());         // 1-char final quantum
+  EXPECT_FALSE(base64_decode("Zm9===").ok());    // over-padded
+}
+
+TEST(Base64, RandomRoundTrip) {
+  Rng rng(9);
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::uint8_t> data(rng.next_below(200));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(256));
+    Result<std::vector<std::uint8_t>> back =
+        base64_decode(base64_encode(data));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), data);
+  }
+}
+
+TEST(Base64, DoublePackingRoundTripsExactly) {
+  const auto values = random_doubles(500, 4);
+  Result<std::vector<double>> back =
+      base64_unpack_doubles(base64_pack_doubles(values));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&back.value()[i], &values[i], sizeof(double)), 0);
+  }
+  // A binary payload is ~4/3 of the raw bytes — far smaller than ASCII XML.
+  EXPECT_LT(base64_pack_doubles(values).size(),
+            values.size() * sizeof(double) * 3 / 2);
+}
+
+TEST(Dime, SingleRecordRoundTrip) {
+  const std::string message = make_dime_message("<envelope/>", {});
+  Result<std::vector<DimeRecord>> records = parse_dime(message);
+  ASSERT_TRUE(records.ok()) << records.error().to_string();
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_TRUE(records.value()[0].message_begin);
+  EXPECT_TRUE(records.value()[0].message_end);
+  EXPECT_EQ(records.value()[0].type, "text/xml");
+  EXPECT_EQ(records.value()[0].data, "<envelope/>");
+}
+
+TEST(Dime, EnvelopePlusAttachments) {
+  const auto values = random_doubles(100, 11);
+  DimeRecord attachment;
+  attachment.type = "application/octet-stream";
+  attachment.type_format = DimeTypeFormat::kMediaType;
+  attachment.id = "cid:array-1";
+  attachment.data.assign(reinterpret_cast<const char*>(values.data()),
+                         values.size() * sizeof(double));
+
+  const std::string message =
+      make_dime_message("<env>with attachment</env>", {attachment});
+  Result<std::vector<DimeRecord>> records = parse_dime(message);
+  ASSERT_TRUE(records.ok()) << records.error().to_string();
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_TRUE(records.value()[0].message_begin);
+  EXPECT_FALSE(records.value()[0].message_end);
+  EXPECT_TRUE(records.value()[1].message_end);
+  EXPECT_EQ(records.value()[1].id, "cid:array-1");
+  ASSERT_EQ(records.value()[1].data.size(), values.size() * sizeof(double));
+  EXPECT_EQ(std::memcmp(records.value()[1].data.data(), values.data(),
+                        records.value()[1].data.size()),
+            0);
+}
+
+TEST(Dime, PaddingAlignment) {
+  // Data lengths that exercise every 4-byte padding remainder.
+  for (const std::size_t len : {0u, 1u, 2u, 3u, 4u, 5u, 7u}) {
+    DimeRecord attachment;
+    attachment.type = "x";  // 1 byte: 3 bytes of padding
+    attachment.data = std::string(len, 'd');
+    const std::string message = make_dime_message("e", {attachment});
+    EXPECT_EQ(message.size() % 4, 0u) << len;
+    Result<std::vector<DimeRecord>> records = parse_dime(message);
+    ASSERT_TRUE(records.ok()) << len;
+    EXPECT_EQ(records.value()[1].data, std::string(len, 'd'));
+  }
+}
+
+TEST(Dime, ParserErrors) {
+  EXPECT_FALSE(parse_dime("").ok());
+  EXPECT_FALSE(parse_dime("short").ok());
+
+  // Valid message, then truncate it.
+  std::string message = make_dime_message("<envelope/>", {});
+  EXPECT_FALSE(parse_dime(std::string_view(message).substr(0, message.size() - 4)).ok());
+
+  // Missing ME: hand-build a single record without the end flag.
+  DimeRecord record;
+  record.message_begin = true;
+  record.data = "x";
+  EXPECT_FALSE(parse_dime(write_dime({record})).ok());
+
+  // Wrong version.
+  std::string bad = message;
+  bad[0] = static_cast<char>(0x2 << 3);  // version 2
+  EXPECT_FALSE(parse_dime(bad).ok());
+}
+
+TEST(Dime, RandomizedRoundTrip) {
+  Rng rng(21);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<DimeRecord> attachments(rng.next_below(4));
+    for (std::size_t i = 0; i < attachments.size(); ++i) {
+      attachments[i].id = "cid:" + std::to_string(i);
+      attachments[i].type = rng.chance(1, 2) ? "application/octet-stream"
+                                             : "image/x-mesh";
+      const std::size_t len = rng.next_below(500);
+      for (std::size_t k = 0; k < len; ++k) {
+        attachments[i].data += static_cast<char>(rng.next_below(256));
+      }
+    }
+    std::string envelope = "<env n=\"" + std::to_string(round) + "\"/>";
+    Result<std::vector<DimeRecord>> records =
+        parse_dime(make_dime_message(envelope, attachments));
+    ASSERT_TRUE(records.ok()) << round;
+    ASSERT_EQ(records.value().size(), attachments.size() + 1);
+    EXPECT_EQ(records.value()[0].data, envelope);
+    for (std::size_t i = 0; i < attachments.size(); ++i) {
+      EXPECT_EQ(records.value()[i + 1].data, attachments[i].data);
+      EXPECT_EQ(records.value()[i + 1].id, attachments[i].id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsoap::soap

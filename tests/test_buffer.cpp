@@ -1,0 +1,311 @@
+// Tests for the chunked message store: append/reserve building, in-place
+// edits, expansion via slack/realloc/split, and a randomized stress test
+// against a flat-string oracle.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "buffer/chunked_buffer.hpp"
+#include "buffer/sinks.hpp"
+#include "common/rng.hpp"
+
+namespace bsoap::buffer {
+namespace {
+
+ChunkConfig small_chunks() {
+  ChunkConfig config;
+  config.chunk_size = 64;
+  config.split_threshold = 128;
+  config.tail_reserve = 16;
+  return config;
+}
+
+TEST(ChunkedBuffer, EmptyInvariants) {
+  ChunkedBuffer buf;
+  EXPECT_EQ(buf.total_size(), 0u);
+  EXPECT_EQ(buf.chunk_count(), 0u);
+  EXPECT_EQ(buf.linearize(), "");
+  EXPECT_TRUE(buf.check_invariants());
+}
+
+TEST(ChunkedBuffer, AppendSpansChunks) {
+  ChunkedBuffer buf(small_chunks());
+  std::string data;
+  for (int i = 0; i < 20; ++i) data += "0123456789";
+  buf.append(data);
+  EXPECT_EQ(buf.total_size(), data.size());
+  EXPECT_GT(buf.chunk_count(), 1u);  // 200 bytes > 48-byte payload limit
+  EXPECT_EQ(buf.linearize(), data);
+  EXPECT_TRUE(buf.check_invariants());
+}
+
+TEST(ChunkedBuffer, PayloadLimitLeavesTailReserve) {
+  ChunkedBuffer buf(small_chunks());
+  std::string data(200, 'x');
+  buf.append(data);
+  for (std::size_t i = 0; i + 1 < buf.chunk_count(); ++i) {
+    // Full chunks must have exactly tail_reserve bytes of slack.
+    EXPECT_EQ(buf.chunk_view(i).size(),
+              small_chunks().chunk_size - small_chunks().tail_reserve);
+  }
+}
+
+TEST(ChunkedBuffer, ReserveContiguous) {
+  ChunkedBuffer buf(small_chunks());
+  buf.append("head");
+  char* p = buf.reserve_contiguous(10);
+  const BufPos pos = buf.reserved_pos();
+  std::memcpy(p, "0123456789", 10);
+  buf.commit(10);
+  EXPECT_EQ(buf.linearize(), "head0123456789");
+  EXPECT_EQ(std::string(buf.at(pos), 10), "0123456789");
+}
+
+TEST(ChunkedBuffer, ReserveOpensNewChunkWhenFull) {
+  ChunkedBuffer buf(small_chunks());
+  buf.append(std::string(45, 'a'));  // payload limit is 48
+  (void)buf.reserve_contiguous(10);  // cannot fit contiguously
+  buf.commit(10);
+  EXPECT_EQ(buf.chunk_count(), 2u);
+}
+
+TEST(ChunkedBuffer, CommitLessThanReserved) {
+  ChunkedBuffer buf(small_chunks());
+  char* p = buf.reserve_contiguous(24);
+  std::memcpy(p, "abc", 3);
+  buf.commit(3);
+  EXPECT_EQ(buf.total_size(), 3u);
+  EXPECT_EQ(buf.linearize(), "abc");
+}
+
+TEST(ChunkedBuffer, WriteAt) {
+  ChunkedBuffer buf(small_chunks());
+  buf.append("hello world");
+  buf.write_at(BufPos{0, 6}, "WORLD", 5);
+  EXPECT_EQ(buf.linearize(), "hello WORLD");
+}
+
+TEST(ChunkedBuffer, ReadAtAcrossChunks) {
+  ChunkedBuffer buf(small_chunks());
+  std::string data;
+  for (int i = 0; i < 30; ++i) data += static_cast<char>('a' + i % 26);
+  for (int rep = 0; rep < 5; ++rep) buf.append(data);
+  std::string out(60, '\0');
+  buf.read_at(BufPos{0, 20}, out.data(), 60);
+  EXPECT_EQ(out, buf.linearize().substr(20, 60));
+}
+
+TEST(ChunkedBuffer, ExpandWithinSlack) {
+  ChunkedBuffer buf(small_chunks());
+  buf.append("aaaBBBccc");
+  const ExpandResult r = buf.expand_at(BufPos{0, 3}, 3, 8);
+  EXPECT_EQ(r.outcome, ExpandOutcome::kSlack);
+  buf.write_at(BufPos{0, 3}, "BBBBBBBB", 8);
+  EXPECT_EQ(buf.linearize(), "aaaBBBBBBBBccc");
+  EXPECT_TRUE(buf.check_invariants());
+}
+
+TEST(ChunkedBuffer, ExpandRealloc) {
+  ChunkConfig config;
+  config.chunk_size = 32;
+  config.split_threshold = 1024;  // high threshold: realloc, don't split
+  config.tail_reserve = 4;
+  ChunkedBuffer buf(config);
+  buf.append(std::string(28, 'a'));
+  const ExpandResult r = buf.expand_at(BufPos{0, 0}, 4, 40);
+  EXPECT_EQ(r.outcome, ExpandOutcome::kRealloc);
+  EXPECT_EQ(buf.total_size(), 64u);
+  EXPECT_TRUE(buf.check_invariants());
+  EXPECT_EQ(buf.linearize().substr(40), std::string(24, 'a'));
+}
+
+TEST(ChunkedBuffer, ExpandSplit) {
+  ChunkConfig config;
+  config.chunk_size = 32;
+  config.split_threshold = 32;  // any growth forces a split
+  config.tail_reserve = 0;
+  ChunkedBuffer buf(config);
+  buf.append(std::string(16, 'a'));
+  buf.append(std::string(16, 'b'));
+  ASSERT_EQ(buf.chunk_count(), 1u);
+  const ExpandResult r = buf.expand_at(BufPos{0, 4}, 4, 12);
+  EXPECT_EQ(r.outcome, ExpandOutcome::kSplit);
+  EXPECT_EQ(r.split_offset, 8u);
+  EXPECT_EQ(buf.chunk_count(), 2u);
+  // First chunk holds bytes [0, 4+12), second the rest.
+  EXPECT_EQ(buf.chunk_view(0).size(), 16u);
+  EXPECT_EQ(buf.chunk_view(1).size(), 24u);
+  EXPECT_EQ(buf.total_size(), 40u);
+  EXPECT_TRUE(buf.check_invariants());
+  // Tail content preserved.
+  EXPECT_EQ(buf.linearize().substr(24), std::string(16, 'b'));
+}
+
+TEST(ChunkedBuffer, ContractAt) {
+  ChunkedBuffer buf(small_chunks());
+  buf.append("aaaBBBBBBBBccc");
+  buf.contract_at(BufPos{0, 3}, 8, 3);
+  buf.write_at(BufPos{0, 3}, "BBB", 3);
+  EXPECT_EQ(buf.linearize(), "aaaBBBccc");
+  EXPECT_TRUE(buf.check_invariants());
+}
+
+TEST(ChunkedBuffer, SlicesMatchLinearize) {
+  ChunkedBuffer buf(small_chunks());
+  for (int i = 0; i < 10; ++i) buf.append("slice-content-");
+  std::string joined;
+  for (const auto& s : buf.slices()) joined.append(s.data, s.len);
+  EXPECT_EQ(joined, buf.linearize());
+}
+
+TEST(ChunkedBuffer, Clear) {
+  ChunkedBuffer buf(small_chunks());
+  buf.append("data");
+  buf.clear();
+  EXPECT_EQ(buf.total_size(), 0u);
+  EXPECT_EQ(buf.chunk_count(), 0u);
+  buf.append("fresh");
+  EXPECT_EQ(buf.linearize(), "fresh");
+}
+
+// Randomized stress: mirror every operation on a flat std::string oracle.
+// Positions are tracked through expansions by replaying the same arithmetic
+// the DUT table uses.
+TEST(ChunkedBufferStress, MatchesFlatStringOracle) {
+  Rng rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    ChunkConfig config;
+    config.chunk_size = 64 + rng.next_below(128);
+    config.split_threshold = config.chunk_size * 2;
+    config.tail_reserve = rng.next_below(16);
+    ChunkedBuffer buf(config);
+    std::string oracle;
+
+    // Build phase: append random pieces, remember some marked regions.
+    struct Region {
+      BufPos pos;
+      std::size_t flat_offset;
+      std::size_t len;
+    };
+    std::vector<Region> regions;
+    for (int step = 0; step < 40; ++step) {
+      const std::size_t n = 1 + rng.next_below(30);
+      std::string piece;
+      for (std::size_t i = 0; i < n; ++i) {
+        piece += static_cast<char>('a' + rng.next_below(26));
+      }
+      if (rng.chance(1, 3) && n <= config.payload_limit()) {
+        char* p = buf.reserve_contiguous(n);
+        const BufPos pos = buf.reserved_pos();
+        std::memcpy(p, piece.data(), n);
+        buf.commit(n);
+        regions.push_back(Region{pos, oracle.size(), n});
+      } else {
+        buf.append(piece);
+      }
+      oracle += piece;
+    }
+    ASSERT_EQ(buf.linearize(), oracle);
+
+    // Edit phase: overwrite and expand marked regions.
+    for (int step = 0; step < 20 && !regions.empty(); ++step) {
+      const std::size_t pick = rng.next_below(regions.size());
+      Region& region = regions[pick];
+      if (rng.chance(1, 2)) {
+        // Overwrite in place.
+        std::string repl(region.len, static_cast<char>('A' + rng.next_below(26)));
+        buf.write_at(region.pos, repl.data(), repl.size());
+        oracle.replace(region.flat_offset, region.len, repl);
+      } else {
+        // Expand by a few bytes.
+        const std::size_t growth = 1 + rng.next_below(10);
+        const std::size_t new_len = region.len + growth;
+        const ExpandResult result =
+            buf.expand_at(region.pos, region.len, new_len);
+        std::string repl(new_len, static_cast<char>('0' + rng.next_below(10)));
+        buf.write_at(region.pos, repl.data(), repl.size());
+        oracle.replace(region.flat_offset, region.len, repl);
+        // Replay position bookkeeping on the other regions.
+        for (std::size_t j = 0; j < regions.size(); ++j) {
+          if (j == pick) continue;
+          Region& other = regions[j];
+          if (other.flat_offset >= region.flat_offset + region.len) {
+            other.flat_offset += growth;
+            switch (result.outcome) {
+              case ExpandOutcome::kSlack:
+              case ExpandOutcome::kRealloc:
+                if (other.pos.chunk == region.pos.chunk &&
+                    other.pos.offset >= region.pos.offset + region.len) {
+                  other.pos.offset += static_cast<std::uint32_t>(growth);
+                }
+                break;
+              case ExpandOutcome::kSplit:
+                if (other.pos.chunk == region.pos.chunk &&
+                    other.pos.offset >= result.split_offset) {
+                  other.pos.chunk += 1;
+                  other.pos.offset -=
+                      static_cast<std::uint32_t>(result.split_offset);
+                } else if (other.pos.chunk > region.pos.chunk) {
+                  other.pos.chunk += 1;
+                }
+                break;
+            }
+          }
+        }
+        region.len = new_len;
+      }
+      ASSERT_TRUE(buf.check_invariants());
+      ASSERT_EQ(buf.linearize(), oracle) << "round " << round;
+      // All regions still address their content correctly.
+      for (const Region& r2 : regions) {
+        std::string got(r2.len, '\0');
+        buf.read_at(r2.pos, got.data(), r2.len);
+        ASSERT_EQ(got, oracle.substr(r2.flat_offset, r2.len));
+      }
+    }
+  }
+}
+
+TEST(ChunkedBuffer, TailReserveLargerThanChunkFallsBack) {
+  ChunkConfig config;
+  config.chunk_size = 32;
+  config.tail_reserve = 64;  // larger than the chunk: payload = full chunk
+  EXPECT_EQ(config.payload_limit(), 32u);
+  ChunkedBuffer buf(config);
+  buf.append(std::string(100, 'a'));
+  EXPECT_EQ(buf.linearize(), std::string(100, 'a'));
+  EXPECT_TRUE(buf.check_invariants());
+}
+
+TEST(ChunkedBuffer, ZeroLengthOperations) {
+  ChunkedBuffer buf;
+  buf.append("", 0);
+  EXPECT_EQ(buf.total_size(), 0u);
+  buf.append("abc");
+  buf.write_at(BufPos{0, 1}, "", 0);
+  const ExpandResult r = buf.expand_at(BufPos{0, 1}, 1, 1);  // no-op
+  EXPECT_EQ(r.outcome, ExpandOutcome::kSlack);
+  EXPECT_EQ(buf.linearize(), "abc");
+}
+
+TEST(StringSink, ReserveAndCommit) {
+  StringSink sink;
+  sink.append("ab");
+  char* p = sink.reserve_contiguous(8);
+  std::memcpy(p, "cdef", 4);
+  sink.commit(4);
+  EXPECT_EQ(sink.str(), "abcdef");
+}
+
+TEST(NullSink, CountsBytes) {
+  NullSink sink;
+  sink.append("abc");
+  char* p = sink.reserve_contiguous(10);
+  std::memcpy(p, "0123456789", 10);
+  sink.commit(7);
+  EXPECT_EQ(sink.size(), 10u);
+}
+
+}  // namespace
+}  // namespace bsoap::buffer

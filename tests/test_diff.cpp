@@ -1,0 +1,184 @@
+// Tests for the differential serializer: the four matching cases from the
+// paper, comparison-driven and dirty-bit-driven updates, and equivalence
+// with from-scratch serialization as the oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "core/diff_serializer.hpp"
+#include "core/template_builder.hpp"
+#include "soap/envelope_reader.hpp"
+#include "soap/workload.hpp"
+
+namespace bsoap::core {
+namespace {
+
+using soap::RpcCall;
+using soap::Value;
+
+TemplateConfig exact_config() {
+  TemplateConfig config;
+  config.stuffing.mode = StuffingPolicy::Mode::kExact;
+  return config;
+}
+
+RpcCall parse_template(MessageTemplate& tmpl) {
+  Result<RpcCall> parsed = soap::read_rpc_envelope(tmpl.buffer().linearize());
+  EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error().to_string());
+  return parsed.ok() ? parsed.value() : RpcCall{};
+}
+
+TEST(UpdateTemplate, ContentMatchWhenNothingChanged) {
+  const RpcCall call = soap::make_double_array_call(soap::random_doubles(50, 1));
+  auto tmpl = build_template(call, exact_config());
+  const std::string before = tmpl->buffer().linearize();
+  const UpdateResult result = update_template(*tmpl, call);
+  EXPECT_EQ(result.match, MatchKind::kContentMatch);
+  EXPECT_EQ(result.values_rewritten, 0u);
+  EXPECT_EQ(tmpl->buffer().linearize(), before);
+}
+
+TEST(UpdateTemplate, PerfectStructuralMatchSameSizes) {
+  // Same serialized sizes for every element: no expansion, no size change —
+  // the paper's "perfect structural match" experiment setup.
+  auto v1 = soap::doubles_with_serialized_length(100, 18, 2);
+  auto v2 = soap::doubles_with_serialized_length(100, 18, 3);
+  auto tmpl = build_template(soap::make_double_array_call(v1), exact_config());
+  const std::size_t size_before = tmpl->buffer().total_size();
+
+  const UpdateResult result =
+      update_template(*tmpl, soap::make_double_array_call(v2));
+  EXPECT_EQ(result.match, MatchKind::kPerfectStructural);
+  EXPECT_EQ(result.values_rewritten, 100u);
+  EXPECT_EQ(result.expansions, 0u);
+  EXPECT_EQ(tmpl->buffer().total_size(), size_before);
+  EXPECT_EQ(parse_template(*tmpl).params[0].value.doubles(), v2);
+}
+
+TEST(UpdateTemplate, PartialRewriteCountsOnlyChanged) {
+  auto values = soap::doubles_with_serialized_length(100, 18, 4);
+  auto tmpl =
+      build_template(soap::make_double_array_call(values), exact_config());
+  // Change 25 of 100 values.
+  auto replacement = soap::doubles_with_serialized_length(25, 18, 5);
+  for (int i = 0; i < 25; ++i) values[static_cast<std::size_t>(i * 4)] = replacement[static_cast<std::size_t>(i)];
+  const UpdateResult result =
+      update_template(*tmpl, soap::make_double_array_call(values));
+  EXPECT_EQ(result.values_rewritten, 25u);
+  EXPECT_EQ(result.match, MatchKind::kPerfectStructural);
+  EXPECT_EQ(parse_template(*tmpl).params[0].value.doubles(), values);
+}
+
+TEST(UpdateTemplate, PartialStructuralMatchOnGrowth) {
+  auto values = soap::doubles_with_serialized_length(50, 1, 6);
+  TemplateConfig config = exact_config();
+  config.enable_stealing = false;
+  auto tmpl = build_template(soap::make_double_array_call(values), config);
+  values[10] = -2.2250738585072014e-308;  // 24 chars: forces expansion
+  const UpdateResult result =
+      update_template(*tmpl, soap::make_double_array_call(values));
+  EXPECT_EQ(result.match, MatchKind::kPartialStructural);
+  EXPECT_EQ(result.expansions, 1u);
+  EXPECT_EQ(parse_template(*tmpl).params[0].value.doubles(), values);
+}
+
+TEST(UpdateTemplate, BitwiseDoubleComparison) {
+  // -0.0 vs 0.0 must be treated as a change (their lexicals differ).
+  auto tmpl =
+      build_template(soap::make_double_array_call({0.0}), exact_config());
+  const UpdateResult result =
+      update_template(*tmpl, soap::make_double_array_call({-0.0}));
+  EXPECT_EQ(result.values_rewritten, 1u);
+  const RpcCall parsed = parse_template(*tmpl);
+  EXPECT_TRUE(std::signbit(parsed.params[0].value.doubles()[0]));
+}
+
+TEST(UpdateTemplate, MioArrays) {
+  auto mios = soap::random_mios(40, 7);
+  auto tmpl =
+      build_template(soap::make_mio_array_call(mios), exact_config());
+  // Change the field value of every other MIO, keep coordinates.
+  for (std::size_t i = 0; i < mios.size(); i += 2) {
+    mios[i].value = mios[i].value * 0.5;
+  }
+  const UpdateResult result =
+      update_template(*tmpl, soap::make_mio_array_call(mios));
+  EXPECT_EQ(result.values_rewritten, 20u);
+  EXPECT_EQ(parse_template(*tmpl).params[0].value.mios(), mios);
+}
+
+TEST(UpdateTemplate, StringsAndStructs) {
+  RpcCall call;
+  call.method = "m";
+  call.service_namespace = "urn:s";
+  Value st = Value::make_struct();
+  st.add_member("name", Value::from_string("alpha"));
+  st.add_member("count", Value::from_int(10));
+  call.params.push_back(soap::Param{"meta", st});
+  call.params.push_back(soap::Param{"flag", Value::from_bool(false)});
+  auto tmpl = build_template(call, exact_config());
+
+  call.params[0].value.members()[0].value = Value::from_string("beta & co");
+  call.params[1].value = Value::from_bool(true);
+  const UpdateResult result = update_template(*tmpl, call);
+  EXPECT_EQ(result.values_rewritten, 2u);
+  const RpcCall parsed = parse_template(*tmpl);
+  EXPECT_EQ(parsed.params[0].value.members()[0].value.as_string(), "beta & co");
+  EXPECT_EQ(parsed.params[0].value.members()[1].value.as_int(), 10);
+  EXPECT_TRUE(parsed.params[1].value.as_bool());
+}
+
+TEST(UpdateDirtyFields, RewritesExactlyDirtyEntries) {
+  auto values = soap::doubles_with_serialized_length(30, 18, 8);
+  auto tmpl =
+      build_template(soap::make_double_array_call(values), exact_config());
+  // Mutate values 3 and 7 but only mark 3 dirty: field 7 must stay stale
+  // (this is the contract of the explicit-tracking API).
+  auto mutated = values;
+  mutated[3] = soap::doubles_with_serialized_length(1, 18, 9)[0];
+  mutated[7] = soap::doubles_with_serialized_length(1, 18, 10)[0];
+  tmpl->dut().mark_dirty(3);
+  const UpdateResult result =
+      update_dirty_fields(*tmpl, soap::make_double_array_call(mutated));
+  EXPECT_EQ(result.values_rewritten, 1u);
+  EXPECT_FALSE(tmpl->dut().any_dirty());
+
+  const auto back = parse_template(*tmpl).params[0].value.doubles();
+  EXPECT_EQ(back[3], mutated[3]);
+  EXPECT_EQ(back[7], values[7]);  // stale: was never marked
+}
+
+TEST(UpdateTemplate, RepeatedUpdatesConvergeToOracle) {
+  // Long random update sequence; final parse must equal final values, and
+  // shadows must keep matching so content-match detection works.
+  Rng rng(5150);
+  auto values = soap::random_unit_doubles(60, 11);
+  auto tmpl =
+      build_template(soap::make_double_array_call(values), exact_config());
+  for (int step = 0; step < 50; ++step) {
+    const std::size_t changes = rng.next_below(10);
+    for (std::size_t c = 0; c < changes; ++c) {
+      values[rng.next_below(values.size())] = Rng(rng.next_u64()).next_unit_double();
+    }
+    const UpdateResult result =
+        update_template(*tmpl, soap::make_double_array_call(values));
+    // After the update, an immediate re-update must be a content match.
+    const UpdateResult again =
+        update_template(*tmpl, soap::make_double_array_call(values));
+    EXPECT_EQ(again.match, MatchKind::kContentMatch) << "step " << step;
+    (void)result;
+  }
+  EXPECT_EQ(parse_template(*tmpl).params[0].value.doubles(), values);
+  EXPECT_TRUE(tmpl->check_invariants());
+}
+
+TEST(MatchKindNames, Stable) {
+  EXPECT_STREQ(match_kind_name(MatchKind::kContentMatch),
+               "message content match");
+  EXPECT_STREQ(match_kind_name(MatchKind::kFirstTime), "first-time send");
+}
+
+}  // namespace
+}  // namespace bsoap::core

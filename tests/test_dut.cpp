@@ -1,0 +1,128 @@
+// Tests for the Data Update Tracking table: entry bookkeeping, dirty bits,
+// and position renumbering under shifts and chunk splits.
+#include <gtest/gtest.h>
+
+#include "core/dut_table.hpp"
+
+namespace bsoap::core {
+namespace {
+
+DutEntry entry_at(std::uint32_t chunk, std::uint32_t offset,
+                  LeafType type = LeafType::kDouble) {
+  DutEntry e;
+  e.type = &leaf_type_info(type);
+  e.pos = buffer::BufPos{chunk, offset};
+  e.serialized_len = 3;
+  e.field_width = 3;
+  e.close_tag_len = 7;
+  return e;
+}
+
+TEST(LeafTypeInfoTest, PaperMaxWidths) {
+  EXPECT_EQ(leaf_type_info(LeafType::kInt32).max_chars, 11);
+  EXPECT_EQ(leaf_type_info(LeafType::kDouble).max_chars, 24);
+  // Strings cannot be stuffed: no maximum size (paper footnote 2).
+  EXPECT_EQ(leaf_type_info(LeafType::kString).max_chars, 0);
+}
+
+TEST(DutTableTest, DirtyBookkeeping) {
+  DutTable dut;
+  for (int i = 0; i < 4; ++i) {
+    dut.add_entry(entry_at(0, static_cast<std::uint32_t>(i * 16)));
+  }
+  EXPECT_FALSE(dut.any_dirty());
+  dut.mark_dirty(1);
+  dut.mark_dirty(1);  // idempotent
+  dut.mark_dirty(3);
+  EXPECT_EQ(dut.dirty_count(), 2u);
+  dut.clear_dirty(1);
+  EXPECT_EQ(dut.dirty_count(), 1u);
+  dut.clear_dirty(1);  // idempotent
+  EXPECT_EQ(dut.dirty_count(), 1u);
+  dut.clear_dirty(3);
+  EXPECT_FALSE(dut.any_dirty());
+}
+
+TEST(DutTableTest, ApplyShiftOnlyAffectsSuffixOfChunk) {
+  DutTable dut;
+  dut.add_entry(entry_at(0, 10));
+  dut.add_entry(entry_at(0, 30));
+  dut.add_entry(entry_at(0, 50));
+  dut.add_entry(entry_at(1, 5));
+  dut.apply_shift(0, 30, 4);
+  EXPECT_EQ(dut[0].pos.offset, 10u);  // before the shift point
+  EXPECT_EQ(dut[1].pos.offset, 34u);
+  EXPECT_EQ(dut[2].pos.offset, 54u);
+  EXPECT_EQ(dut[3].pos.chunk, 1u);   // other chunk untouched
+  EXPECT_EQ(dut[3].pos.offset, 5u);
+  EXPECT_TRUE(dut.check_invariants());
+}
+
+TEST(DutTableTest, ApplySplitRenumbersChunks) {
+  DutTable dut;
+  dut.add_entry(entry_at(0, 10));
+  dut.add_entry(entry_at(0, 40));
+  dut.add_entry(entry_at(1, 8));
+  dut.apply_split(0, 25);
+  EXPECT_EQ(dut[0].pos.chunk, 0u);
+  EXPECT_EQ(dut[0].pos.offset, 10u);
+  EXPECT_EQ(dut[1].pos.chunk, 1u);
+  EXPECT_EQ(dut[1].pos.offset, 15u);  // 40 - 25
+  EXPECT_EQ(dut[2].pos.chunk, 2u);
+  EXPECT_EQ(dut[2].pos.offset, 8u);
+  EXPECT_TRUE(dut.check_invariants());
+}
+
+TEST(DutTableTest, FirstEntryAtOrAfter) {
+  DutTable dut;
+  dut.add_entry(entry_at(0, 10));
+  dut.add_entry(entry_at(0, 30));
+  dut.add_entry(entry_at(2, 0));
+  EXPECT_EQ(dut.first_entry_at_or_after(buffer::BufPos{0, 0}), 0u);
+  EXPECT_EQ(dut.first_entry_at_or_after(buffer::BufPos{0, 11}), 1u);
+  EXPECT_EQ(dut.first_entry_at_or_after(buffer::BufPos{0, 30}), 1u);
+  EXPECT_EQ(dut.first_entry_at_or_after(buffer::BufPos{1, 0}), 2u);
+  EXPECT_EQ(dut.first_entry_at_or_after(buffer::BufPos{3, 0}), 3u);
+}
+
+TEST(DutTableTest, InvariantViolationsDetected) {
+  {
+    DutTable dut;
+    DutEntry bad = entry_at(0, 10);
+    bad.field_width = 2;  // below serialized_len
+    dut.add_entry(bad);
+    EXPECT_FALSE(dut.check_invariants());
+  }
+  {
+    DutTable dut;
+    dut.add_entry(entry_at(0, 20));
+    dut.add_entry(entry_at(0, 10));  // out of document order
+    EXPECT_FALSE(dut.check_invariants());
+  }
+  {
+    DutTable dut;
+    DutEntry s = entry_at(0, 10, LeafType::kString);
+    // String entry without a shadow string.
+    dut.add_entry(s);
+    EXPECT_FALSE(dut.check_invariants());
+  }
+}
+
+TEST(DutTableTest, PaddingAccessor) {
+  DutEntry e = entry_at(0, 0);
+  e.serialized_len = 5;
+  e.field_width = 24;
+  EXPECT_EQ(e.padding(), 19u);
+}
+
+TEST(DutTableTest, Clear) {
+  DutTable dut;
+  dut.add_entry(entry_at(0, 0));
+  dut.mark_dirty(0);
+  dut.clear();
+  EXPECT_EQ(dut.size(), 0u);
+  EXPECT_FALSE(dut.any_dirty());
+}
+
+}  // namespace
+}  // namespace bsoap::core

@@ -1,0 +1,274 @@
+// Tests for HTTP message framing, chunked transfer coding, and the buffered
+// connection over the in-memory transport.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.hpp"
+#include "http/chunked_coding.hpp"
+#include "http/connection.hpp"
+#include "http/http_message.hpp"
+#include "net/inmemory.hpp"
+
+namespace bsoap::http {
+namespace {
+
+TEST(HttpMessage, SerializeRequestHead) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/svc";
+  request.headers.push_back(Header{"Host", "localhost"});
+  request.headers.push_back(Header{"SOAPAction", "\"op\""});
+  EXPECT_EQ(serialize_request_head(request),
+            "POST /svc HTTP/1.1\r\n"
+            "Host: localhost\r\n"
+            "SOAPAction: \"op\"\r\n"
+            "\r\n");
+}
+
+TEST(HttpMessage, ParseRequestHead) {
+  const auto request = parse_request_head(
+      "POST /x HTTP/1.0\r\nContent-Length: 5\r\nA:  b \r\n\r\n");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request.value().method, "POST");
+  EXPECT_EQ(request.value().target, "/x");
+  EXPECT_EQ(request.value().version, "HTTP/1.0");
+  ASSERT_NE(request.value().find("content-length"), nullptr);  // case-insens.
+  EXPECT_EQ(request.value().find("Content-Length")->value, "5");
+  EXPECT_EQ(request.value().find("a")->value, "b");
+}
+
+TEST(HttpMessage, ParseRequestErrors) {
+  EXPECT_FALSE(parse_request_head("GARBAGE\r\n\r\n").ok());
+  EXPECT_FALSE(parse_request_head("GET /x HTTP/2.0\r\n\r\n").ok());
+  EXPECT_FALSE(parse_request_head("GET /x HTTP/1.1\r\nno-colon\r\n\r\n").ok());
+}
+
+TEST(HttpMessage, ParseResponseHead) {
+  const auto response =
+      parse_response_head("HTTP/1.1 404 Not Found\r\nX: 1\r\n\r\n");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, 404);
+  EXPECT_EQ(response.value().reason, "Not Found");
+}
+
+TEST(ChunkedCoding, EncodeProducesValidFraming) {
+  std::vector<std::string> scratch;
+  const std::string a = "hello";
+  const std::string b(300, 'x');
+  const net::ConstSlice body[] = {net::ConstSlice{a.data(), a.size()},
+                                  net::ConstSlice{b.data(), b.size()}};
+  std::string wire;
+  for (const auto& s : encode_chunked(body, &scratch)) {
+    wire.append(s.data, s.len);
+  }
+  EXPECT_EQ(wire, "5\r\nhello\r\n12c\r\n" + b + "\r\n0\r\n\r\n");
+}
+
+TEST(ChunkedCoding, DecoderHandlesSplitFeeds) {
+  const std::string wire = "5\r\nhello\r\n3\r\nabc\r\n0\r\n\r\nLEFTOVER";
+  // Feed one byte at a time.
+  ChunkedDecoder decoder;
+  std::string out;
+  std::size_t pos = 0;
+  while (!decoder.done()) {
+    std::size_t consumed = 0;
+    ASSERT_TRUE(decoder
+                    .feed(std::string_view(wire).substr(pos, 1), &out,
+                          &consumed)
+                    .ok());
+    pos += consumed;
+  }
+  EXPECT_EQ(out, "helloabc");
+  EXPECT_EQ(wire.substr(pos), "LEFTOVER");
+}
+
+TEST(ChunkedCoding, DecoderExtensionsAndHex) {
+  ChunkedDecoder decoder;
+  std::string out;
+  std::size_t consumed = 0;
+  const std::string wire = "A;ext=1\r\n0123456789\r\n0\r\n\r\n";
+  ASSERT_TRUE(decoder.feed(wire, &out, &consumed).ok());
+  EXPECT_TRUE(decoder.done());
+  EXPECT_EQ(out, "0123456789");
+}
+
+TEST(ChunkedCoding, DecoderRejectsGarbage) {
+  ChunkedDecoder decoder;
+  std::string out;
+  std::size_t consumed = 0;
+  EXPECT_FALSE(decoder.feed("zz\r\n", &out, &consumed).ok());
+}
+
+TEST(ChunkedCoding, RandomRoundTrip) {
+  Rng rng(31337);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::string> pieces;
+    const std::size_t n = 1 + rng.next_below(6);
+    std::string expected;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string piece;
+      const std::size_t len = rng.next_below(200);
+      for (std::size_t k = 0; k < len; ++k) {
+        piece += static_cast<char>(rng.next_below(256));
+      }
+      expected += piece;
+      pieces.push_back(std::move(piece));
+    }
+    std::vector<net::ConstSlice> body;
+    for (const std::string& p : pieces) {
+      body.push_back(net::ConstSlice{p.data(), p.size()});
+    }
+    std::vector<std::string> scratch;
+    std::string wire;
+    for (const auto& s : encode_chunked(body, &scratch)) {
+      wire.append(s.data, s.len);
+    }
+    ChunkedDecoder decoder;
+    std::string out;
+    std::size_t pos = 0;
+    while (!decoder.done() && pos < wire.size()) {
+      const std::size_t step = 1 + rng.next_below(64);
+      std::size_t consumed = 0;
+      ASSERT_TRUE(decoder
+                      .feed(std::string_view(wire).substr(pos, step), &out,
+                            &consumed)
+                      .ok());
+      pos += consumed;
+    }
+    EXPECT_TRUE(decoder.done());
+    EXPECT_EQ(out, expected);
+  }
+}
+
+TEST(HttpConnection, RequestResponseContentLength) {
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  HttpConnection client(*client_t);
+  HttpConnection server(*server_t);
+
+  std::thread server_thread([&] {
+    Result<HttpRequest> request = server.read_request();
+    ASSERT_TRUE(request.ok());
+    EXPECT_EQ(request.value().body, "PAYLOAD");
+    HttpResponse response;
+    ASSERT_TRUE(server.send_response(std::move(response), "RESULT").ok());
+  });
+
+  HttpRequest head;
+  head.target = "/svc";
+  const std::string body_text = "PAYLOAD";
+  const net::ConstSlice body[] = {
+      net::ConstSlice{body_text.data(), body_text.size()}};
+  ASSERT_TRUE(client.send_request(std::move(head), body).ok());
+  Result<HttpResponse> response = client.read_response();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, 200);
+  EXPECT_EQ(response.value().body, "RESULT");
+  server_thread.join();
+}
+
+TEST(HttpConnection, ChunkedRequestBody) {
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  HttpConnection client(*client_t);
+  HttpConnection server(*server_t);
+
+  std::thread server_thread([&] {
+    Result<HttpRequest> request = server.read_request();
+    ASSERT_TRUE(request.ok());
+    EXPECT_EQ(request.value().body, "part1part2part3");
+    ASSERT_NE(request.value().find("Transfer-Encoding"), nullptr);
+  });
+
+  HttpRequest head;
+  const std::string p1 = "part1", p2 = "part2", p3 = "part3";
+  const net::ConstSlice body[] = {net::ConstSlice{p1.data(), p1.size()},
+                                  net::ConstSlice{p2.data(), p2.size()},
+                                  net::ConstSlice{p3.data(), p3.size()}};
+  ASSERT_TRUE(client.send_request(std::move(head), body, /*chunked=*/true).ok());
+  server_thread.join();
+}
+
+TEST(HttpConnection, GzipRequestBodyTransparentlyDecoded) {
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  HttpConnection client(*client_t);
+  HttpConnection server(*server_t);
+
+  std::string payload;
+  for (int i = 0; i < 500; ++i) payload += "<item>1.25</item>";
+
+  std::thread server_thread([&] {
+    Result<HttpRequest> request = server.read_request();
+    ASSERT_TRUE(request.ok());
+    // The wire carried gzip; the reader hands back plain XML.
+    ASSERT_NE(request.value().find("Content-Encoding"), nullptr);
+    EXPECT_EQ(request.value().body, payload);
+  });
+
+  HttpRequest head;
+  head.target = "/compressed";
+  ASSERT_TRUE(client.send_request_gzip(std::move(head), payload).ok());
+  server_thread.join();
+}
+
+TEST(HttpConnection, KeepAlivePipelinedRequests) {
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  HttpConnection client(*client_t);
+  HttpConnection server(*server_t);
+
+  for (int i = 0; i < 5; ++i) {
+    HttpRequest head;
+    const std::string body_text = "n=" + std::to_string(i);
+    const net::ConstSlice body[] = {
+        net::ConstSlice{body_text.data(), body_text.size()}};
+    ASSERT_TRUE(client.send_request(std::move(head), body).ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    Result<HttpRequest> request = server.read_request();
+    ASSERT_TRUE(request.ok());
+    EXPECT_EQ(request.value().body, "n=" + std::to_string(i));
+  }
+  client_t->shutdown_send();
+  Result<HttpRequest> closed = server.read_request();
+  ASSERT_FALSE(closed.ok());
+  EXPECT_EQ(closed.error().code, ErrorCode::kClosed);
+}
+
+TEST(HttpConnection, ResponseWithoutFramingReadsToClose) {
+  // HTTP/1.0 style: no Content-Length, body ends when the peer closes.
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  HttpConnection client(*client_t);
+
+  std::thread server_thread([t = std::move(server_t)]() mutable {
+    const std::string raw =
+        "HTTP/1.0 200 OK\r\nServer: legacy\r\n\r\nUNFRAMED BODY";
+    ASSERT_TRUE(t->send(raw).ok());
+    t->shutdown_send();
+  });
+
+  Result<HttpResponse> response = client.read_response();
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_EQ(response.value().version, "HTTP/1.0");
+  EXPECT_EQ(response.value().body, "UNFRAMED BODY");
+  server_thread.join();
+}
+
+TEST(HttpConnection, CorruptGzipBodyIsAnError) {
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  HttpConnection client(*client_t);
+  HttpConnection server(*server_t);
+
+  std::thread server_thread([&] {
+    Result<HttpRequest> request = server.read_request();
+    EXPECT_FALSE(request.ok());  // gzip decode fails
+  });
+
+  HttpRequest head;
+  head.headers.push_back(Header{"Content-Encoding", "gzip"});
+  const std::string junk = "definitely not gzip";
+  const net::ConstSlice body[] = {net::ConstSlice{junk.data(), junk.size()}};
+  ASSERT_TRUE(client.send_request(std::move(head), body).ok());
+  server_thread.join();
+}
+
+}  // namespace
+}  // namespace bsoap::http

@@ -1,0 +1,121 @@
+// Tests for template sharing across endpoints (paper Section 6):
+// serialization amortized over sends to different services.
+#include <gtest/gtest.h>
+
+#include "core/multi_endpoint.hpp"
+#include "http/connection.hpp"
+#include "net/inmemory.hpp"
+#include "soap/envelope_reader.hpp"
+#include "soap/workload.hpp"
+
+namespace bsoap::core {
+namespace {
+
+using soap::RpcCall;
+
+struct Endpoint {
+  std::unique_ptr<net::Transport> client_side;
+  std::unique_ptr<net::Transport> server_side;
+
+  Endpoint() {
+    auto [a, b] = net::make_inmemory_transports();
+    client_side = std::move(a);
+    server_side = std::move(b);
+  }
+
+  Result<RpcCall> receive() {
+    http::HttpConnection connection(*server_side);
+    Result<http::HttpRequest> request = connection.read_request();
+    if (!request.ok()) return request.error();
+    return soap::read_rpc_envelope(request.value().body);
+  }
+};
+
+TEST(MultiEndpointClient, SecondEndpointGetsContentMatch) {
+  Endpoint a;
+  Endpoint b;
+  MultiEndpointClient client;
+  client.add_endpoint(*a.client_side, "/svc-a");
+  client.add_endpoint(*b.client_side, "/svc-b");
+
+  const RpcCall call = soap::make_double_array_call(soap::random_doubles(50, 1));
+
+  Result<SendReport> to_a = client.send_to(0, call);
+  ASSERT_TRUE(to_a.ok());
+  EXPECT_EQ(to_a.value().match, MatchKind::kFirstTime);
+  ASSERT_TRUE(a.receive().ok());
+
+  // Same data to a DIFFERENT service: the shared template means no
+  // serialization at all (the paper's amortization hypothesis).
+  Result<SendReport> to_b = client.send_to(1, call);
+  ASSERT_TRUE(to_b.ok());
+  EXPECT_EQ(to_b.value().match, MatchKind::kContentMatch);
+  Result<RpcCall> received = b.receive();
+  ASSERT_TRUE(received.ok());
+  EXPECT_TRUE(received.value().params[0].value == call.params[0].value);
+  EXPECT_EQ(client.store().size(), 1u);  // one template serves both
+}
+
+TEST(MultiEndpointClient, BroadcastSerializesOnce) {
+  std::vector<std::unique_ptr<Endpoint>> endpoints;
+  MultiEndpointClient client;
+  for (int i = 0; i < 4; ++i) {
+    endpoints.push_back(std::make_unique<Endpoint>());
+    client.add_endpoint(*endpoints.back()->client_side);
+  }
+  EXPECT_EQ(client.endpoint_count(), 4u);
+
+  const RpcCall call = soap::make_mio_array_call(soap::random_mios(20, 2));
+  Result<std::vector<SendReport>> reports = client.broadcast(call);
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports.value().size(), 4u);
+  EXPECT_EQ(reports.value()[0].match, MatchKind::kFirstTime);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(reports.value()[i].match, MatchKind::kContentMatch);
+  }
+  for (auto& endpoint : endpoints) {
+    Result<RpcCall> received = endpoint->receive();
+    ASSERT_TRUE(received.ok());
+    EXPECT_TRUE(received.value().params[0].value == call.params[0].value);
+  }
+}
+
+TEST(MultiEndpointClient, UpdatesPropagateToAllEndpoints) {
+  Endpoint a;
+  Endpoint b;
+  MultiEndpointClient client;
+  client.add_endpoint(*a.client_side);
+  client.add_endpoint(*b.client_side);
+
+  auto values = soap::doubles_with_serialized_length(30, 18, 3);
+  ASSERT_TRUE(client.send_to(0, soap::make_double_array_call(values)).ok());
+  (void)a.receive();
+
+  values[4] = soap::doubles_with_serialized_length(1, 18, 4)[0];
+  Result<SendReport> report =
+      client.send_to(1, soap::make_double_array_call(values));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().match, MatchKind::kPerfectStructural);
+  EXPECT_EQ(report.value().update.values_rewritten, 1u);
+  Result<RpcCall> received = b.receive();
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received.value().params[0].value.doubles(), values);
+}
+
+TEST(MultiEndpointClient, DistinctStructuresKeepDistinctTemplates) {
+  Endpoint a;
+  MultiEndpointClient client;
+  client.add_endpoint(*a.client_side);
+  ASSERT_TRUE(
+      client.send_to(0, soap::make_double_array_call(soap::random_doubles(5, 5)))
+          .ok());
+  (void)a.receive();
+  ASSERT_TRUE(
+      client.send_to(0, soap::make_int_array_call(soap::random_ints(5, 6)))
+          .ok());
+  (void)a.receive();
+  EXPECT_EQ(client.store().size(), 2u);
+}
+
+}  // namespace
+}  // namespace bsoap::core

@@ -1,0 +1,151 @@
+// Tests for chunk overlaying: the streamed message must parse to exactly the
+// input array, windows must be reused, and multi-window sends must cross the
+// window boundary correctly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "core/overlay.hpp"
+#include "http/connection.hpp"
+#include "net/inmemory.hpp"
+#include "soap/envelope_reader.hpp"
+#include "soap/workload.hpp"
+
+namespace bsoap::core {
+namespace {
+
+using soap::RpcCall;
+
+struct ReceivedCall {
+  http::HttpRequest request;
+  RpcCall call;
+};
+
+Result<ReceivedCall> receive(net::Transport& transport) {
+  http::HttpConnection connection(transport);
+  Result<http::HttpRequest> request = connection.read_request();
+  if (!request.ok()) return request.error();
+  Result<RpcCall> call = soap::read_rpc_envelope(request.value().body);
+  if (!call.ok()) return call.error();
+  return ReceivedCall{std::move(request.value()), std::move(call.value())};
+}
+
+TEST(OverlaySender, SingleWindowDoubleArray) {
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  OverlaySender sender(*client_t, OverlayConfig{});
+  const auto values = soap::random_doubles(100, 21);
+
+  Result<ReceivedCall> received(Error{ErrorCode::kInternal, "unset"});
+  std::thread server([&] { received = receive(*server_t); });
+  Result<std::size_t> sent =
+      sender.send_double_array("sendData", "urn:b", "data", values);
+  ASSERT_TRUE(sent.ok());
+  server.join();
+
+  ASSERT_TRUE(received.ok()) << received.error().to_string();
+  ASSERT_NE(received.value().request.find("Transfer-Encoding"), nullptr);
+  const auto& got = received.value().call.params[0].value.doubles();
+  ASSERT_EQ(got.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&got[i], &values[i], sizeof(double)), 0) << i;
+  }
+}
+
+TEST(OverlaySender, MultiWindowCrossesBoundary) {
+  OverlayConfig config;
+  config.chunk_bytes = 1024;  // tiny windows force many overlays
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  OverlaySender sender(*client_t, config);
+  ASSERT_LT(sender.doubles_per_window(), 100u);
+
+  const auto values = soap::random_doubles(1000, 22);
+  Result<ReceivedCall> received(Error{ErrorCode::kInternal, "unset"});
+  std::thread server([&] { received = receive(*server_t); });
+  ASSERT_TRUE(
+      sender.send_double_array("sendData", "urn:b", "data", values).ok());
+  server.join();
+
+  ASSERT_TRUE(received.ok()) << received.error().to_string();
+  EXPECT_EQ(received.value().call.params[0].value.doubles(), values);
+}
+
+TEST(OverlaySender, MioArray) {
+  OverlayConfig config;
+  config.chunk_bytes = 2048;
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  OverlaySender sender(*client_t, config);
+
+  const auto values = soap::random_mios(300, 23);
+  Result<ReceivedCall> received(Error{ErrorCode::kInternal, "unset"});
+  std::thread server([&] { received = receive(*server_t); });
+  ASSERT_TRUE(sender.send_mio_array("sendData", "urn:b", "data", values).ok());
+  server.join();
+
+  ASSERT_TRUE(received.ok()) << received.error().to_string();
+  EXPECT_EQ(received.value().call.params[0].value.mios(), values);
+}
+
+TEST(OverlaySender, ExactWindowMultiple) {
+  OverlayConfig config;
+  config.chunk_bytes = 37 * 16;  // exactly 16 doubles per window
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  OverlaySender sender(*client_t, config);
+  ASSERT_EQ(sender.doubles_per_window(), 16u);
+
+  const auto values = soap::random_doubles(64, 31);  // 4 full windows
+  Result<ReceivedCall> received(Error{ErrorCode::kInternal, "unset"});
+  std::thread server([&] { received = receive(*server_t); });
+  ASSERT_TRUE(
+      sender.send_double_array("sendData", "urn:b", "data", values).ok());
+  server.join();
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received.value().call.params[0].value.doubles(), values);
+}
+
+TEST(OverlaySender, SingleElementArray) {
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  OverlaySender sender(*client_t, OverlayConfig{});
+  const std::vector<double> values = {3.141592653589793};
+  Result<ReceivedCall> received(Error{ErrorCode::kInternal, "unset"});
+  std::thread server([&] { received = receive(*server_t); });
+  ASSERT_TRUE(
+      sender.send_double_array("sendData", "urn:b", "data", values).ok());
+  server.join();
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received.value().call.params[0].value.doubles(), values);
+}
+
+TEST(OverlaySender, WindowReusedAcrossSends) {
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  OverlaySender sender(*client_t, OverlayConfig{});
+
+  for (int round = 0; round < 3; ++round) {
+    const auto values = soap::random_doubles(50, 24 + static_cast<std::uint64_t>(round));
+    Result<ReceivedCall> received(Error{ErrorCode::kInternal, "unset"});
+    std::thread server([&] { received = receive(*server_t); });
+    ASSERT_TRUE(
+        sender.send_double_array("sendData", "urn:b", "data", values).ok());
+    server.join();
+    ASSERT_TRUE(received.ok());
+    EXPECT_EQ(received.value().call.params[0].value.doubles(), values);
+  }
+}
+
+TEST(OverlaySender, EnvelopeByteCountMatchesActualBody) {
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  OverlaySender sender(*client_t, OverlayConfig{});
+  const auto values = soap::random_doubles(200, 29);
+
+  Result<ReceivedCall> received(Error{ErrorCode::kInternal, "unset"});
+  std::thread server([&] { received = receive(*server_t); });
+  Result<std::size_t> sent =
+      sender.send_double_array("sendData", "urn:b", "data", values);
+  server.join();
+  ASSERT_TRUE(sent.ok());
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(sent.value(), received.value().request.body.size());
+}
+
+}  // namespace
+}  // namespace bsoap::core

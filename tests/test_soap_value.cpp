@@ -1,0 +1,108 @@
+// Tests for the SOAP value model: construction, equality, structural
+// comparison and structure signatures.
+#include <gtest/gtest.h>
+
+#include "soap/value.hpp"
+
+namespace bsoap::soap {
+namespace {
+
+TEST(Value, ScalarAccessors) {
+  EXPECT_EQ(Value::from_int(42).as_int(), 42);
+  EXPECT_EQ(Value::from_int64(1ll << 40).as_int64(), 1ll << 40);
+  EXPECT_EQ(Value::from_double(2.5).as_double(), 2.5);
+  EXPECT_TRUE(Value::from_bool(true).as_bool());
+  EXPECT_EQ(Value::from_string("s").as_string(), "s");
+}
+
+TEST(Value, LeafCounts) {
+  EXPECT_EQ(Value::from_int(1).leaf_count(), 1u);
+  EXPECT_EQ(Value::from_double_array({1, 2, 3}).leaf_count(), 3u);
+  EXPECT_EQ(Value::from_mio_array({Mio{}, Mio{}}).leaf_count(), 6u);
+  Value s = Value::make_struct();
+  s.add_member("a", Value::from_int(1));
+  s.add_member("b", Value::from_double_array({1, 2}));
+  EXPECT_EQ(s.leaf_count(), 3u);
+}
+
+TEST(Value, Equality) {
+  EXPECT_EQ(Value::from_double_array({1, 2}), Value::from_double_array({1, 2}));
+  EXPECT_FALSE(Value::from_double_array({1, 2}) ==
+               Value::from_double_array({1, 3}));
+  EXPECT_FALSE(Value::from_int(1) == Value::from_double(1));
+}
+
+TEST(Value, SameStructureIgnoresContents) {
+  EXPECT_TRUE(Value::from_double_array({1, 2}).same_structure(
+      Value::from_double_array({9, 9})));
+  EXPECT_FALSE(Value::from_double_array({1, 2}).same_structure(
+      Value::from_double_array({1, 2, 3})));
+  Value s1 = Value::make_struct();
+  s1.add_member("a", Value::from_int(1));
+  Value s2 = Value::make_struct();
+  s2.add_member("a", Value::from_int(7));
+  Value s3 = Value::make_struct();
+  s3.add_member("b", Value::from_int(1));
+  EXPECT_TRUE(s1.same_structure(s2));
+  EXPECT_FALSE(s1.same_structure(s3));
+}
+
+RpcCall sample_call(std::size_t n) {
+  RpcCall call;
+  call.method = "op";
+  call.service_namespace = "urn:x";
+  call.params.push_back(
+      Param{"data", Value::from_double_array(std::vector<double>(n, 1.0))});
+  return call;
+}
+
+TEST(RpcCallTest, SignatureStableUnderValueChanges) {
+  RpcCall a = sample_call(10);
+  RpcCall b = sample_call(10);
+  b.params[0].value.doubles()[3] = 99.0;
+  EXPECT_EQ(a.structure_signature(), b.structure_signature());
+  EXPECT_TRUE(a.same_structure(b));
+}
+
+TEST(RpcCallTest, SignatureChangesWithStructure) {
+  const RpcCall a = sample_call(10);
+  EXPECT_NE(a.structure_signature(), sample_call(11).structure_signature());
+
+  RpcCall renamed = sample_call(10);
+  renamed.method = "other";
+  EXPECT_NE(a.structure_signature(), renamed.structure_signature());
+
+  RpcCall other_ns = sample_call(10);
+  other_ns.service_namespace = "urn:y";
+  EXPECT_NE(a.structure_signature(), other_ns.structure_signature());
+
+  RpcCall renamed_param = sample_call(10);
+  renamed_param.params[0].name = "payload";
+  EXPECT_NE(a.structure_signature(), renamed_param.structure_signature());
+
+  RpcCall int_array = sample_call(10);
+  int_array.params[0].value =
+      Value::from_int_array(std::vector<std::int32_t>(10, 1));
+  EXPECT_NE(a.structure_signature(), int_array.structure_signature());
+}
+
+TEST(RpcCallTest, SignatureCoversNestedStructs) {
+  RpcCall a;
+  a.method = "op";
+  Value s = Value::make_struct();
+  s.add_member("inner", Value::from_int(1));
+  a.params.push_back(Param{"p", s});
+
+  RpcCall b = a;
+  b.params[0].value.members()[0].name = "renamed";
+  EXPECT_NE(a.structure_signature(), b.structure_signature());
+  EXPECT_FALSE(a.same_structure(b));
+}
+
+TEST(Mio, Equality) {
+  EXPECT_EQ((Mio{1, 2, 3.5}), (Mio{1, 2, 3.5}));
+  EXPECT_FALSE((Mio{1, 2, 3.5}) == (Mio{1, 2, 3.6}));
+}
+
+}  // namespace
+}  // namespace bsoap::soap

@@ -1,0 +1,99 @@
+// Tests for the trie-based tag matcher (schema-specific parsing substrate).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "xml/tag_trie.hpp"
+
+namespace bsoap::xml {
+namespace {
+
+TEST(TagTrie, BasicInsertAndMatch) {
+  TagTrie trie;
+  EXPECT_EQ(trie.add("item"), 0);
+  EXPECT_EQ(trie.add("x"), 1);
+  EXPECT_EQ(trie.add("y"), 2);
+  EXPECT_EQ(trie.add("v"), 3);
+  EXPECT_EQ(trie.size(), 4);
+
+  EXPECT_EQ(trie.match("item"), 0);
+  EXPECT_EQ(trie.match("x"), 1);
+  EXPECT_EQ(trie.match("v"), 3);
+  EXPECT_EQ(trie.match("z"), TagTrie::kNoMatch);
+  EXPECT_EQ(trie.match("ite"), TagTrie::kNoMatch);   // proper prefix
+  EXPECT_EQ(trie.match("items"), TagTrie::kNoMatch); // proper extension
+  EXPECT_EQ(trie.match(""), TagTrie::kNoMatch);
+}
+
+TEST(TagTrie, DuplicateInsertKeepsId) {
+  TagTrie trie;
+  EXPECT_EQ(trie.add("SOAP-ENV:Body"), 0);
+  EXPECT_EQ(trie.add("SOAP-ENV:Body"), 0);
+  EXPECT_EQ(trie.size(), 1);
+}
+
+TEST(TagTrie, PrefixTagsCoexist) {
+  TagTrie trie;
+  const int a = trie.add("data");
+  const int b = trie.add("dataset");
+  const int c = trie.add("dat");
+  EXPECT_EQ(trie.match("data"), a);
+  EXPECT_EQ(trie.match("dataset"), b);
+  EXPECT_EQ(trie.match("dat"), c);
+}
+
+TEST(TagTrie, RandomizedAgainstLinearScan) {
+  Rng rng(404);
+  for (int round = 0; round < 20; ++round) {
+    TagTrie trie;
+    std::vector<std::string> tags;
+    const std::size_t n = 1 + rng.next_below(40);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string tag;
+      const std::size_t len = 1 + rng.next_below(12);
+      for (std::size_t k = 0; k < len; ++k) {
+        tag += static_cast<char>('a' + rng.next_below(6));  // force collisions
+      }
+      tags.push_back(tag);
+    }
+    std::vector<int> ids(tags.size());
+    for (std::size_t i = 0; i < tags.size(); ++i) ids[i] = trie.add(tags[i]);
+
+    // Probe with a mix of present and absent names.
+    for (int probe = 0; probe < 200; ++probe) {
+      std::string name;
+      if (rng.chance(1, 2)) {
+        name = tags[rng.next_below(tags.size())];
+      } else {
+        const std::size_t len = 1 + rng.next_below(12);
+        for (std::size_t k = 0; k < len; ++k) {
+          name += static_cast<char>('a' + rng.next_below(6));
+        }
+      }
+      // Linear-scan oracle: FIRST insertion wins (duplicates map to the
+      // original id, matching TagTrie::add semantics).
+      int expected = TagTrie::kNoMatch;
+      for (std::size_t i = 0; i < tags.size(); ++i) {
+        if (tags[i] == name) {
+          expected = ids[i];
+          break;
+        }
+      }
+      EXPECT_EQ(trie.match(name), expected) << name;
+    }
+  }
+}
+
+TEST(TagTrie, FullByteRange) {
+  TagTrie trie;
+  std::string odd = "t";
+  odd += static_cast<char>(0xC3);  // UTF-8 lead byte
+  odd += static_cast<char>(0xA9);
+  const int id = trie.add(odd);
+  EXPECT_EQ(trie.match(odd), id);
+}
+
+}  // namespace
+}  // namespace bsoap::xml

@@ -1,0 +1,443 @@
+// Tests for template building and the in-place rewrite engine: padding,
+// closing-tag shifts, stealing, chunk shifting/realloc/split, and stuffing
+// policies. The key oracle: after any rewrite sequence, the template must
+// parse to exactly the values written, and with exact stuffing the bytes of
+// a fresh build must equal the conventional serializer's output.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "buffer/sinks.hpp"
+#include "common/rng.hpp"
+#include "core/message_template.hpp"
+#include "core/template_builder.hpp"
+#include "soap/envelope_reader.hpp"
+#include "soap/envelope_writer.hpp"
+#include "soap/workload.hpp"
+#include "textconv/dtoa.hpp"
+#include "xml/escape.hpp"
+
+namespace bsoap::core {
+namespace {
+
+using soap::RpcCall;
+using soap::Value;
+
+TemplateConfig exact_config() {
+  TemplateConfig config;
+  config.stuffing.mode = StuffingPolicy::Mode::kExact;
+  return config;
+}
+
+TemplateConfig stuffed_config() {
+  TemplateConfig config;
+  config.stuffing.mode = StuffingPolicy::Mode::kTypeMax;
+  return config;
+}
+
+std::string conventional(const RpcCall& call) {
+  buffer::StringSink sink;
+  soap::write_rpc_envelope(sink, call);
+  return sink.take();
+}
+
+/// Parses the template and returns the reconstructed call.
+RpcCall parse_template(MessageTemplate& tmpl) {
+  Result<RpcCall> parsed = soap::read_rpc_envelope(tmpl.buffer().linearize());
+  EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error().to_string());
+  return parsed.ok() ? parsed.value() : RpcCall{};
+}
+
+TEST(TemplateBuilder, ExactModeMatchesConventionalSerializer) {
+  const auto calls = {
+      soap::make_double_array_call(soap::random_doubles(100, 1)),
+      soap::make_int_array_call(soap::random_ints(100, 2)),
+      soap::make_mio_array_call(soap::random_mios(50, 3)),
+  };
+  for (const RpcCall& call : calls) {
+    auto tmpl = build_template(call, exact_config());
+    EXPECT_EQ(tmpl->buffer().linearize(), conventional(call));
+    EXPECT_TRUE(tmpl->check_invariants());
+    EXPECT_EQ(tmpl->signature, call.structure_signature());
+  }
+}
+
+TEST(TemplateBuilder, MixedParamsMatchConventional) {
+  RpcCall call;
+  call.method = "mix";
+  call.service_namespace = "urn:m";
+  call.params.push_back(soap::Param{"i", Value::from_int(-5)});
+  call.params.push_back(soap::Param{"s", Value::from_string("a<b&c")});
+  Value st = Value::make_struct();
+  st.add_member("x", Value::from_double(0.5));
+  st.add_member("y", Value::from_bool(false));
+  call.params.push_back(soap::Param{"st", st});
+  auto tmpl = build_template(call, exact_config());
+  EXPECT_EQ(tmpl->buffer().linearize(), conventional(call));
+}
+
+TEST(TemplateBuilder, DutEntriesPointAtValues) {
+  const auto values = soap::random_doubles(50, 17);
+  auto tmpl =
+      build_template(soap::make_double_array_call(values), exact_config());
+  ASSERT_EQ(tmpl->dut().size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const DutEntry& e = tmpl->dut()[i];
+    char text[32];
+    tmpl->buffer().read_at(e.pos, text, e.serialized_len);
+    char expected[32];
+    const int len = textconv::write_double(expected, values[i]);
+    ASSERT_EQ(static_cast<std::uint32_t>(len), e.serialized_len);
+    EXPECT_EQ(std::memcmp(text, expected, static_cast<std::size_t>(len)), 0);
+    EXPECT_EQ(e.shadow.d, values[i]);
+  }
+}
+
+TEST(TemplateBuilder, StuffingAllocatesTypeMaxWidths) {
+  const auto values = soap::doubles_with_serialized_length(20, 1, 5);
+  auto tmpl =
+      build_template(soap::make_double_array_call(values), stuffed_config());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(tmpl->dut()[i].field_width, 24u);
+    EXPECT_EQ(tmpl->dut()[i].serialized_len, 1u);
+  }
+  EXPECT_TRUE(tmpl->check_invariants());
+  // Stuffed output still parses to the same values.
+  const RpcCall parsed = parse_template(*tmpl);
+  EXPECT_EQ(parsed.params[0].value.doubles(), values);
+}
+
+TEST(TemplateBuilder, FixedWidthPolicy) {
+  TemplateConfig config;
+  config.stuffing.mode = StuffingPolicy::Mode::kFixed;
+  config.stuffing.fixed_width = 18;
+  const auto values = soap::doubles_with_serialized_length(10, 12, 6);
+  auto tmpl =
+      build_template(soap::make_double_array_call(values), config);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(tmpl->dut()[i].field_width, 18u);
+  }
+  // A 22-char value clamps the width up.
+  const auto wide = soap::doubles_with_serialized_length(1, 22, 7);
+  auto tmpl2 =
+      build_template(soap::make_double_array_call(wide), config);
+  EXPECT_EQ(tmpl2->dut()[0].field_width, 22u);
+}
+
+TEST(RewriteValue, SameSizeOverwrite) {
+  auto tmpl = build_template(soap::make_double_array_call({1.5, 2.5}),
+                             exact_config());
+  const TemplateStats before = tmpl->stats();
+  tmpl->rewrite_value(0, "9.5", 3);
+  EXPECT_EQ(tmpl->stats().tag_shifts, before.tag_shifts);  // no tag shift
+  const RpcCall parsed = parse_template(*tmpl);
+  EXPECT_EQ(parsed.params[0].value.doubles(),
+            (std::vector<double>{9.5, 2.5}));
+  EXPECT_TRUE(tmpl->check_invariants());
+}
+
+TEST(RewriteValue, ShrinkingValueShiftsClosingTagAndPads) {
+  auto tmpl = build_template(soap::make_double_array_call({1.52587890625}),
+                             exact_config());
+  const std::size_t size_before = tmpl->buffer().total_size();
+  tmpl->rewrite_value(0, "7", 1);
+  EXPECT_EQ(tmpl->buffer().total_size(), size_before);  // size preserved
+  EXPECT_EQ(tmpl->stats().tag_shifts, 1u);
+  EXPECT_EQ(tmpl->dut()[0].serialized_len, 1u);
+  EXPECT_GT(tmpl->dut()[0].padding(), 0u);
+  const RpcCall parsed = parse_template(*tmpl);
+  EXPECT_EQ(parsed.params[0].value.doubles(), (std::vector<double>{7.0}));
+  EXPECT_TRUE(tmpl->check_invariants());
+}
+
+TEST(RewriteValue, GrowingWithinStuffedWidthNeedsNoExpansion) {
+  const auto small = soap::doubles_with_serialized_length(5, 1, 8);
+  auto tmpl =
+      build_template(soap::make_double_array_call(small), stuffed_config());
+  const std::size_t size_before = tmpl->buffer().total_size();
+  char text[32];
+  const int len = textconv::write_double(text, -2.2250738585072014e-308);
+  ASSERT_EQ(len, 24);
+  tmpl->rewrite_value(2, text, 24);
+  EXPECT_EQ(tmpl->buffer().total_size(), size_before);
+  EXPECT_EQ(tmpl->stats().expansions, 0u);
+  const RpcCall parsed = parse_template(*tmpl);
+  EXPECT_EQ(parsed.params[0].value.doubles()[2], -2.2250738585072014e-308);
+  EXPECT_TRUE(tmpl->check_invariants());
+}
+
+TEST(RewriteValue, GrowthStealsNeighbourPadding) {
+  // Give entry 1 padding by rewriting its 13-char value with a 1-char one
+  // (field widths never shrink); then grow entry 0 into that padding.
+  auto tmpl2 = build_template(
+      soap::make_double_array_call({1.0, 1.52587890625}), exact_config());
+  tmpl2->rewrite_value(1, "2", 1);  // entry 1 now has 12 chars padding
+  ASSERT_EQ(tmpl2->dut()[1].padding(), 12u);
+  const std::size_t size_before = tmpl2->buffer().total_size();
+  const std::size_t chunks_before = tmpl2->buffer().chunk_count();
+
+  char text[32];
+  const int len = textconv::write_double(text, 1.52587890625);  // 13 chars
+  tmpl2->rewrite_value(0, text, static_cast<std::uint32_t>(len));
+  EXPECT_EQ(tmpl2->stats().steals, 1u);
+  EXPECT_EQ(tmpl2->stats().chunk_shifts, 0u);
+  EXPECT_EQ(tmpl2->buffer().total_size(), size_before);  // no growth
+  EXPECT_EQ(tmpl2->buffer().chunk_count(), chunks_before);
+  EXPECT_EQ(tmpl2->dut()[1].padding(), 0u);  // donated everything
+  const RpcCall parsed = parse_template(*tmpl2);
+  EXPECT_EQ(parsed.params[0].value.doubles(),
+            (std::vector<double>{1.52587890625, 2.0}));
+  EXPECT_TRUE(tmpl2->check_invariants());
+}
+
+TEST(RewriteValue, GrowthShiftsChunkWhenStealingDisabled) {
+  TemplateConfig config = exact_config();
+  config.enable_stealing = false;
+  const auto small = soap::doubles_with_serialized_length(10, 1, 9);
+  auto tmpl = build_template(soap::make_double_array_call(small), config);
+  const std::size_t size_before = tmpl->buffer().total_size();
+
+  char text[32];
+  const int len = textconv::write_double(text, -2.2250738585072014e-308);
+  tmpl->rewrite_value(4, text, static_cast<std::uint32_t>(len));
+  EXPECT_EQ(tmpl->stats().steals, 0u);
+  EXPECT_EQ(tmpl->stats().expansions, 1u);
+  EXPECT_EQ(tmpl->buffer().total_size(), size_before + 23);  // 24 - 1
+  const RpcCall parsed = parse_template(*tmpl);
+  EXPECT_EQ(parsed.params[0].value.doubles()[4], -2.2250738585072014e-308);
+  EXPECT_TRUE(tmpl->check_invariants());
+}
+
+TEST(RewriteValue, WorstCaseShiftingEveryValue) {
+  // Paper Figures 6/7: expand every value from minimum to maximum width.
+  TemplateConfig config = exact_config();
+  config.enable_stealing = false;
+  config.chunk.chunk_size = 8 * 1024;
+  config.chunk.split_threshold = 16 * 1024;
+  const auto small = soap::doubles_with_serialized_length(2000, 1, 10);
+  auto tmpl = build_template(soap::make_double_array_call(small), config);
+
+  const auto big = soap::doubles_with_serialized_length(2000, 24, 11);
+  char text[32];
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    const int len = textconv::write_double(text, big[i]);
+    ASSERT_EQ(len, 24);
+    tmpl->rewrite_value(i, text, 24);
+  }
+  EXPECT_EQ(tmpl->stats().expansions, 2000u);
+  EXPECT_TRUE(tmpl->check_invariants());
+  const RpcCall parsed = parse_template(*tmpl);
+  EXPECT_EQ(parsed.params[0].value.doubles(), big);
+  // Growth forced chunk-level work.
+  EXPECT_GT(tmpl->stats().chunk_shifts + tmpl->stats().chunk_reallocs +
+                tmpl->stats().chunk_splits,
+            0u);
+}
+
+TEST(RewriteValue, SplitKeepsDutCoherent) {
+  // Tiny chunks with a low split threshold force splits during expansion.
+  TemplateConfig config = exact_config();
+  config.enable_stealing = false;
+  config.chunk.chunk_size = 256;
+  config.chunk.split_threshold = 300;
+  config.chunk.tail_reserve = 8;
+  const auto small = soap::doubles_with_serialized_length(200, 1, 12);
+  auto tmpl = build_template(soap::make_double_array_call(small), config);
+
+  const auto big = soap::doubles_with_serialized_length(200, 24, 13);
+  char text[32];
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    const int len = textconv::write_double(text, big[i]);
+    tmpl->rewrite_value(i, text, static_cast<std::uint32_t>(len));
+    ASSERT_TRUE(tmpl->check_invariants()) << "after rewrite " << i;
+  }
+  EXPECT_GT(tmpl->stats().chunk_splits, 0u);
+  const RpcCall parsed = parse_template(*tmpl);
+  EXPECT_EQ(parsed.params[0].value.doubles(), big);
+}
+
+TEST(RewriteValue, StuffOnExpandWidensToTypeMax) {
+  const auto small = soap::doubles_with_serialized_length(4, 1, 14);
+
+  // Without stuff_on_expand: width grows only to the new value length.
+  TemplateConfig config = exact_config();
+  config.enable_stealing = false;
+  auto tmpl = build_template(soap::make_double_array_call(small), config);
+  tmpl->rewrite_value(0, "1.25", 4);
+  EXPECT_EQ(tmpl->dut()[0].field_width, 4u);
+
+  // With stuff_on_expand: the first forced expansion widens straight to the
+  // 24-character type maximum, so later growth never expands again.
+  config.stuffing.stuff_on_expand = true;
+  auto tmpl2 = build_template(soap::make_double_array_call(small), config);
+  EXPECT_EQ(tmpl2->dut()[0].field_width, 1u);  // exact at build time
+  tmpl2->rewrite_value(0, "1.25", 4);
+  EXPECT_EQ(tmpl2->dut()[0].field_width, 24u);
+  EXPECT_EQ(tmpl2->stats().expansions, 1u);
+  char text[32];
+  const int len = textconv::write_double(text, -2.2250738585072014e-308);
+  tmpl2->rewrite_value(0, text, static_cast<std::uint32_t>(len));
+  EXPECT_EQ(tmpl2->stats().expansions, 1u);  // no second expansion
+  EXPECT_TRUE(tmpl2->check_invariants());
+}
+
+TEST(RewriteValue, StealScansPastNearNeighbours) {
+  // Neighbour 1 has no padding; neighbour 2 does. The steal scan must walk
+  // past the first and take from the second.
+  auto tmpl = build_template(
+      soap::make_double_array_call({1.0, 2.0, 1.52587890625}), exact_config());
+  tmpl->rewrite_value(2, "3", 1);  // entry 2 now has 12 chars of padding
+  ASSERT_EQ(tmpl->dut()[1].padding(), 0u);
+  ASSERT_EQ(tmpl->dut()[2].padding(), 12u);
+
+  char text[32];
+  const int len = textconv::write_double(text, 1.52587890625);  // 13 chars
+  const std::size_t size_before = tmpl->buffer().total_size();
+  tmpl->rewrite_value(0, text, static_cast<std::uint32_t>(len));
+  EXPECT_EQ(tmpl->stats().steals, 1u);
+  EXPECT_EQ(tmpl->buffer().total_size(), size_before);
+  const RpcCall parsed = parse_template(*tmpl);
+  EXPECT_EQ(parsed.params[0].value.doubles(),
+            (std::vector<double>{1.52587890625, 2.0, 3.0}));
+  EXPECT_TRUE(tmpl->check_invariants());
+}
+
+TEST(RewriteValue, StealScanLimitRespected) {
+  TemplateConfig config = exact_config();
+  config.steal_scan_limit = 1;  // may only look at the immediate neighbour
+  auto tmpl = build_template(
+      soap::make_double_array_call({1.0, 2.0, 1.52587890625}), config);
+  tmpl->rewrite_value(2, "3", 1);  // padding two entries away
+
+  char text[32];
+  const int len = textconv::write_double(text, 1.52587890625);
+  tmpl->rewrite_value(0, text, static_cast<std::uint32_t>(len));
+  EXPECT_EQ(tmpl->stats().steals, 0u);  // out of scan range: shifted instead
+  EXPECT_GT(tmpl->stats().chunk_shifts + tmpl->stats().chunk_reallocs +
+                tmpl->stats().chunk_splits,
+            0u);
+  EXPECT_TRUE(tmpl->check_invariants());
+}
+
+TEST(RewriteValue, StealNeverCrossesChunkBoundary) {
+  TemplateConfig config = exact_config();
+  config.chunk.chunk_size = 96;  // tiny: entries land in separate chunks
+  config.chunk.split_threshold = 192;
+  config.chunk.tail_reserve = 0;
+  auto tmpl = build_template(
+      soap::make_double_array_call({1.0, 2.0, 3.0, 4.0, 1.52587890625}),
+      config);
+  // Give a later entry padding, then grow an earlier entry in a different
+  // chunk: stealing must not reach across.
+  tmpl->rewrite_value(4, "5", 1);
+  const std::uint32_t donor_chunk = tmpl->dut()[4].pos.chunk;
+  std::size_t grow_idx = 0;
+  while (grow_idx < 4 && tmpl->dut()[grow_idx].pos.chunk == donor_chunk) {
+    ++grow_idx;
+  }
+  if (tmpl->dut()[grow_idx].pos.chunk != donor_chunk) {
+    char text[32];
+    const int len = textconv::write_double(text, 1.52587890625);
+    tmpl->rewrite_value(grow_idx, text, static_cast<std::uint32_t>(len));
+    EXPECT_TRUE(tmpl->check_invariants());
+    const RpcCall parsed = parse_template(*tmpl);
+    EXPECT_EQ(parsed.params[0].value.doubles()[grow_idx], 1.52587890625);
+  }
+}
+
+TEST(TemplateBuilder, IntAndBoolArraysAndScalars) {
+  RpcCall call;
+  call.method = "m";
+  call.service_namespace = "urn:s";
+  call.params.push_back(soap::Param{"flags", Value::from_bool(true)});
+  call.params.push_back(
+      soap::Param{"counts", Value::from_int_array({0, -1, 2147483647})});
+  auto tmpl = build_template(call, exact_config());
+  EXPECT_EQ(tmpl->dut().size(), 4u);
+  EXPECT_EQ(tmpl->buffer().linearize(), conventional(call));
+  // Bool growth: "true" -> "false" expands by one char.
+  tmpl->rewrite_value(0, "false", 5);
+  const RpcCall parsed = parse_template(*tmpl);
+  EXPECT_FALSE(parsed.params[0].value.as_bool());
+  EXPECT_EQ(parsed.params[1].value.ints(),
+            (std::vector<std::int32_t>{0, -1, 2147483647}));
+}
+
+TEST(RewriteValue, RandomizedStressAgainstRebuildOracle) {
+  Rng rng(31415);
+  for (int round = 0; round < 10; ++round) {
+    TemplateConfig config = exact_config();
+    config.chunk.chunk_size = 512 + rng.next_below(1024);
+    config.chunk.split_threshold = config.chunk.chunk_size * 2;
+    config.chunk.tail_reserve = rng.next_below(64);
+    config.enable_stealing = rng.chance(1, 2);
+
+    std::vector<double> values = soap::random_unit_doubles(100, rng.next_u64());
+    auto tmpl =
+        build_template(soap::make_double_array_call(values), config);
+
+    for (int step = 0; step < 200; ++step) {
+      const std::size_t i = rng.next_below(values.size());
+      double v;
+      switch (rng.next_below(3)) {
+        case 0: v = static_cast<double>(rng.next_in(1, 9)); break;
+        case 1: v = Rng(rng.next_u64()).next_unit_double(); break;
+        default: v = Rng(rng.next_u64()).next_finite_double(); break;
+      }
+      values[i] = v;
+      char text[32];
+      const int len = textconv::write_double(text, v);
+      tmpl->rewrite_value(i, text, static_cast<std::uint32_t>(len));
+      ASSERT_TRUE(tmpl->check_invariants()) << "round " << round;
+    }
+    const RpcCall parsed = parse_template(*tmpl);
+    const auto& back = parsed.params[0].value.doubles();
+    ASSERT_EQ(back.size(), values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      ASSERT_EQ(std::memcmp(&back[i], &values[i], sizeof(double)), 0)
+          << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(RebuildTemplate, RecyclesStorage) {
+  auto tmpl = build_template(soap::make_double_array_call({1.0, 2.0}),
+                             exact_config());
+  const RpcCall other = soap::make_int_array_call({7, 8, 9});
+  rebuild_template(*tmpl, other);
+  EXPECT_EQ(tmpl->signature, other.structure_signature());
+  EXPECT_EQ(tmpl->dut().size(), 3u);
+  const RpcCall parsed = parse_template(*tmpl);
+  EXPECT_EQ(parsed.params[0].value.ints(), (std::vector<std::int32_t>{7, 8, 9}));
+}
+
+TEST(RewriteValue, StringFieldsGrowAndShrink) {
+  RpcCall call;
+  call.method = "m";
+  call.service_namespace = "urn:s";
+  call.params.push_back(soap::Param{"s", Value::from_string("short")});
+  call.params.push_back(soap::Param{"t", Value::from_string("other")});
+  auto tmpl = build_template(call, exact_config());
+
+  // Grow the first string (escaped form).
+  const std::string long_text = "a much longer string with <markup> &amp; escapes";
+  std::string escaped;
+  xml::escape_append(escaped, long_text);
+  tmpl->rewrite_value(0, escaped.data(),
+                      static_cast<std::uint32_t>(escaped.size()));
+  EXPECT_TRUE(tmpl->check_invariants());
+  RpcCall parsed = parse_template(*tmpl);
+  EXPECT_EQ(parsed.params[0].value.as_string(), long_text);
+  EXPECT_EQ(parsed.params[1].value.as_string(), "other");
+
+  // Shrink it again; the closing tag moves left and the leftover width is
+  // padded *outside* the element, so the value reads back exactly.
+  tmpl->rewrite_value(0, "x", 1);
+  parsed = parse_template(*tmpl);
+  EXPECT_EQ(parsed.params[0].value.as_string(), "x");
+  EXPECT_EQ(parsed.params[1].value.as_string(), "other");
+  EXPECT_TRUE(tmpl->check_invariants());
+}
+
+}  // namespace
+}  // namespace bsoap::core

@@ -1,0 +1,339 @@
+// Unit and property tests for the number <-> ASCII conversion layer — the
+// code path the paper identifies as the SOAP bottleneck, so correctness here
+// underwrites every other experiment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "common/rng.hpp"
+#include "textconv/dtoa.hpp"
+#include "textconv/itoa.hpp"
+#include "textconv/parse.hpp"
+#include "textconv/pow10cache.hpp"
+#include "textconv/widths.hpp"
+
+namespace bsoap::textconv {
+namespace {
+
+std::string itoa32(std::int32_t v) {
+  char buf[kMaxInt32Chars];
+  return std::string(buf, static_cast<std::size_t>(write_i32(buf, v)));
+}
+
+std::string itoa64(std::int64_t v) {
+  char buf[kMaxInt64Chars];
+  return std::string(buf, static_cast<std::size_t>(write_i64(buf, v)));
+}
+
+std::string dtoa(double v) {
+  char buf[kMaxDoubleChars];
+  return std::string(buf, static_cast<std::size_t>(write_double(buf, v)));
+}
+
+TEST(Itoa, SpotValues) {
+  EXPECT_EQ(itoa32(0), "0");
+  EXPECT_EQ(itoa32(7), "7");
+  EXPECT_EQ(itoa32(-1), "-1");
+  EXPECT_EQ(itoa32(42), "42");
+  EXPECT_EQ(itoa32(100), "100");
+  EXPECT_EQ(itoa32(13902), "13902");  // the paper's example (Binghamton ZIP)
+  EXPECT_EQ(itoa32(2147483647), "2147483647");
+  EXPECT_EQ(itoa32(std::numeric_limits<std::int32_t>::min()), "-2147483648");
+}
+
+TEST(Itoa, Int64SpotValues) {
+  EXPECT_EQ(itoa64(0), "0");
+  EXPECT_EQ(itoa64(std::numeric_limits<std::int64_t>::max()),
+            "9223372036854775807");
+  EXPECT_EQ(itoa64(std::numeric_limits<std::int64_t>::min()),
+            "-9223372036854775808");
+}
+
+TEST(Itoa, MaxWidthRespected) {
+  EXPECT_LE(itoa32(std::numeric_limits<std::int32_t>::min()).size(),
+            static_cast<std::size_t>(kMaxInt32Chars));
+  EXPECT_LE(itoa64(std::numeric_limits<std::int64_t>::min()).size(),
+            static_cast<std::size_t>(kMaxInt64Chars));
+}
+
+TEST(Itoa, SerializedLengthMatchesWrite) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const std::int32_t v = rng.next_i32();
+    EXPECT_EQ(serialized_length_i32(v), static_cast<int>(itoa32(v).size()));
+  }
+}
+
+TEST(Itoa, DigitBoundaries) {
+  // Every power-of-ten boundary for the digit counters.
+  std::uint32_t p = 1;
+  for (int digits = 1; digits <= 10; ++digits) {
+    EXPECT_EQ(decimal_digits_u32(p), digits) << p;
+    if (p > 1) {
+      EXPECT_EQ(decimal_digits_u32(p - 1), digits - 1) << p - 1;
+    }
+    if (digits < 10) p *= 10;
+  }
+  EXPECT_EQ(decimal_digits_u32(4294967295u), 10);
+  EXPECT_EQ(decimal_digits_u64(18446744073709551615ull), 20);
+}
+
+TEST(Itoa, RoundTripRandom) {
+  Rng rng(11);
+  for (int i = 0; i < 200000; ++i) {
+    const std::int32_t v = rng.next_i32();
+    EXPECT_EQ(parse_i32(itoa32(v)).value(), v);
+  }
+  for (int i = 0; i < 50000; ++i) {
+    const std::int64_t v = static_cast<std::int64_t>(rng.next_u64());
+    EXPECT_EQ(parse_i64(itoa64(v)).value(), v);
+  }
+}
+
+TEST(Dtoa, SpotValues) {
+  EXPECT_EQ(dtoa(0.0), "0");
+  EXPECT_EQ(dtoa(-0.0), "-0");
+  EXPECT_EQ(dtoa(1.0), "1");
+  EXPECT_EQ(dtoa(0.1), "0.1");
+  EXPECT_EQ(dtoa(3.14), "3.14");
+  EXPECT_EQ(dtoa(-2.5), "-2.5");
+  EXPECT_EQ(dtoa(1e22), "1e22");
+  EXPECT_EQ(dtoa(100.0), "100");
+  EXPECT_EQ(dtoa(1e-7), "1e-7");
+  EXPECT_EQ(dtoa(0.001), "0.001");
+  EXPECT_EQ(dtoa(5e-324), "5e-324");  // smallest subnormal
+}
+
+TEST(Dtoa, SpecialValues) {
+  EXPECT_EQ(dtoa(std::numeric_limits<double>::infinity()), "INF");
+  EXPECT_EQ(dtoa(-std::numeric_limits<double>::infinity()), "-INF");
+  EXPECT_EQ(dtoa(std::numeric_limits<double>::quiet_NaN()), "NaN");
+}
+
+TEST(Dtoa, PaperMaximumWidth) {
+  // The paper's stuffing analysis relies on 24 characters being the maximum
+  // double encoding.
+  EXPECT_EQ(dtoa(-2.2250738585072014e-308).size(), 24u);
+  EXPECT_LE(dtoa(std::numeric_limits<double>::max()).size(), 24u);
+  EXPECT_LE(dtoa(-std::numeric_limits<double>::denorm_min()).size(), 24u);
+}
+
+TEST(Dtoa, RoundTripAgainstStrtod) {
+  Rng rng(42);
+  for (int i = 0; i < 500000; ++i) {
+    const double v = rng.next_finite_double();
+    const std::string s = dtoa(v);
+    ASSERT_LE(s.size(), static_cast<std::size_t>(kMaxDoubleChars));
+    const double back = std::strtod(s.c_str(), nullptr);
+    EXPECT_EQ(std::memcmp(&back, &v, sizeof(v)), 0)
+        << s << " vs " << v;
+  }
+}
+
+TEST(Dtoa, RoundTripThroughOwnParser) {
+  Rng rng(43);
+  for (int i = 0; i < 200000; ++i) {
+    const double v = rng.next_finite_double();
+    const std::string s = dtoa(v);
+    Result<double> back = parse_double(s);
+    ASSERT_TRUE(back.ok()) << s;
+    const double b = back.value();
+    EXPECT_EQ(std::memcmp(&b, &v, sizeof(v)), 0) << s;
+  }
+}
+
+TEST(Dtoa, SubnormalsRoundTrip) {
+  Rng rng(44);
+  for (int i = 0; i < 20000; ++i) {
+    // Construct subnormals directly: exponent field zero.
+    const std::uint64_t bits = rng.next_u64() & 0x800fffffffffffffull;
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    if (v == 0.0) continue;
+    const std::string s = dtoa(v);
+    const double back = std::strtod(s.c_str(), nullptr);
+    EXPECT_EQ(std::memcmp(&back, &v, sizeof(v)), 0) << s;
+  }
+}
+
+TEST(Dtoa, GrisuDigitsAreShortEnough) {
+  // Grisu2 is not guaranteed shortest, but must stay within 17 significant
+  // digits (otherwise the 24-char width bound would break).
+  Rng rng(45);
+  for (int i = 0; i < 100000; ++i) {
+    double v = rng.next_finite_double();
+    if (v <= 0) v = -v;
+    if (v == 0) continue;
+    DecimalDigits dec;
+    grisu2(v, &dec);
+    EXPECT_LE(dec.length, 17);
+    EXPECT_GE(dec.length, 1);
+    // No trailing zero digits (they would waste width).
+    EXPECT_NE(dec.digits[dec.length - 1], '0');
+  }
+}
+
+TEST(Pow10Cache, AgainstLibm) {
+  // The exactly computed cached powers must agree with ldexp/pow to within
+  // a relative error of ~2^-63.
+  for (int q = -300; q <= 300; q += 7) {
+    const DiyFp c = cached_pow10(q);
+    const double approx = std::ldexp(static_cast<double>(c.f), c.e);
+    const double expected = std::pow(10.0, q);
+    EXPECT_NEAR(approx / expected, 1.0, 1e-14) << "q=" << q;
+  }
+}
+
+TEST(Pow10Cache, NormalizedSignificands) {
+  for (int q = kPow10CacheMin; q <= kPow10CacheMax; ++q) {
+    const DiyFp c = cached_pow10(q);
+    EXPECT_NE(c.f & (1ull << 63), 0u) << "q=" << q;
+  }
+}
+
+TEST(FormatDecimal, PointPlacement) {
+  char buf[32];
+  const char digits[] = "1234";
+  // value = 1234 * 10^k
+  EXPECT_EQ(std::string(buf, format_decimal(buf, digits, 4, 0)), "1234");
+  EXPECT_EQ(std::string(buf, format_decimal(buf, digits, 4, 2)), "123400");
+  EXPECT_EQ(std::string(buf, format_decimal(buf, digits, 4, -2)), "12.34");
+  EXPECT_EQ(std::string(buf, format_decimal(buf, digits, 4, -4)), "0.1234");
+  EXPECT_EQ(std::string(buf, format_decimal(buf, digits, 4, -6)), "0.001234");
+  EXPECT_EQ(std::string(buf, format_decimal(buf, digits, 4, -8)),
+            "1.234e-5");
+  EXPECT_EQ(std::string(buf, format_decimal(buf, digits, 4, 20)),
+            "1.234e23");
+}
+
+TEST(ParseInt, Errors) {
+  EXPECT_FALSE(parse_i32("").ok());
+  EXPECT_FALSE(parse_i32("12a").ok());
+  EXPECT_FALSE(parse_i32("2147483648").ok());   // overflow
+  EXPECT_TRUE(parse_i32("-2147483648").ok());   // min fits
+  EXPECT_FALSE(parse_i32("-2147483649").ok());
+  EXPECT_FALSE(parse_i32("-").ok());
+  EXPECT_TRUE(parse_i32("+42").ok());
+  EXPECT_FALSE(parse_u64("-1").ok());
+  EXPECT_EQ(parse_u64("18446744073709551615").value(),
+            18446744073709551615ull);
+  EXPECT_FALSE(parse_u64("18446744073709551616").ok());
+}
+
+TEST(ParseDouble, Lexicals) {
+  EXPECT_EQ(parse_double("0").value(), 0.0);
+  EXPECT_EQ(parse_double("-4.5").value(), -4.5);
+  EXPECT_EQ(parse_double("1e3").value(), 1000.0);
+  EXPECT_EQ(parse_double("1E3").value(), 1000.0);
+  EXPECT_EQ(parse_double(".5").value(), 0.5);
+  EXPECT_EQ(parse_double("5.").value(), 5.0);
+  EXPECT_EQ(parse_double("INF").value(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(parse_double("-INF").value(),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(parse_double("NaN").value()));
+  EXPECT_FALSE(parse_double("").ok());
+  EXPECT_FALSE(parse_double("abc").ok());
+  EXPECT_FALSE(parse_double("1.2.3").ok());
+  EXPECT_FALSE(parse_double("1e").ok());
+  EXPECT_FALSE(parse_double("1 2").ok());
+}
+
+TEST(ParseDouble, AgreesWithStrtodOnDecimalStrings) {
+  Rng rng(77);
+  for (int i = 0; i < 50000; ++i) {
+    std::string s;
+    if (rng.chance(1, 2)) s += '-';
+    const int int_digits = static_cast<int>(rng.next_in(1, 18));
+    for (int d = 0; d < int_digits; ++d) {
+      s += static_cast<char>('0' + rng.next_below(10));
+    }
+    if (rng.chance(1, 2)) {
+      s += '.';
+      const int frac = static_cast<int>(rng.next_in(1, 18));
+      for (int d = 0; d < frac; ++d) {
+        s += static_cast<char>('0' + rng.next_below(10));
+      }
+    }
+    if (rng.chance(1, 3)) {
+      s += 'e';
+      if (rng.chance(1, 2)) s += '-';
+      s += static_cast<char>('1' + rng.next_below(9));
+      s += static_cast<char>('0' + rng.next_below(10));
+    }
+    Result<double> mine = parse_double(s);
+    ASSERT_TRUE(mine.ok()) << s;
+    const double reference = std::strtod(s.c_str(), nullptr);
+    const double m = mine.value();
+    EXPECT_EQ(std::memcmp(&m, &reference, sizeof(m)), 0) << s;
+  }
+}
+
+TEST(FormatDecimal, BoundaryPointPositions) {
+  char buf[32];
+  const char digits[] = "5";
+  // P = point position: plain up to 17, exponent beyond; 0.000x down to
+  // P = -3, exponent below.
+  EXPECT_EQ(std::string(buf, format_decimal(buf, digits, 1, 16)),
+            "50000000000000000");  // P = 17: still plain
+  EXPECT_EQ(std::string(buf, format_decimal(buf, digits, 1, 17)), "5e17");
+  EXPECT_EQ(std::string(buf, format_decimal(buf, digits, 1, -4)), "0.0005");
+  EXPECT_EQ(std::string(buf, format_decimal(buf, digits, 1, -5)), "5e-5");
+}
+
+TEST(Dtoa, WriterFastPathMatchesWriteDouble) {
+  // The XmlWriter double fast path and write_double must agree bit-for-bit.
+  Rng rng(321);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.next_finite_double();
+    char a[kMaxDoubleChars];
+    char b[kMaxDoubleChars];
+    const int la = write_double(a, v);
+    const int lb = write_double(b, v);
+    ASSERT_EQ(la, lb);
+    ASSERT_EQ(std::memcmp(a, b, static_cast<std::size_t>(la)), 0);
+  }
+}
+
+TEST(Dtoa, PowersOfTenExact) {
+  // 10^k for small k are exactly representable; their shortest form must be
+  // the bare power, plain or exponent per the format rules.
+  char buf[kMaxDoubleChars];
+  EXPECT_EQ(std::string(buf, write_double(buf, 1e0)), "1");
+  EXPECT_EQ(std::string(buf, write_double(buf, 1e5)), "100000");
+  EXPECT_EQ(std::string(buf, write_double(buf, 1e16)), "10000000000000000");
+  EXPECT_EQ(std::string(buf, write_double(buf, 1e17)), "1e17");
+  EXPECT_EQ(std::string(buf, write_double(buf, 1e-3)), "0.001");
+  EXPECT_EQ(std::string(buf, write_double(buf, 1e-4)), "0.0001");  // P = -3
+  EXPECT_EQ(std::string(buf, write_double(buf, 1e-5)), "1e-5");    // P = -4
+}
+
+class DtoaWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DtoaWidthSweep, ConstructibleAtEveryWidth) {
+  // The workload generator must be able to hit every width the benchmarks
+  // use; verify the width arithmetic from first principles here.
+  const int chars = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(chars));
+  // (The generator itself is tested in test_workload; here we confirm at
+  // least one double of each width exists by searching.)
+  bool found = false;
+  for (int attempt = 0; attempt < 200000 && !found; ++attempt) {
+    const double v = rng.next_finite_double();
+    if (serialized_length_double(v) == chars) found = true;
+  }
+  if (chars >= 17) {
+    EXPECT_TRUE(found) << "random search found no " << chars
+                       << "-char double";
+  }
+  // Small widths are rare among random bit patterns; no assertion there.
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DtoaWidthSweep,
+                         ::testing::Values(17, 18, 20, 22, 23, 24));
+
+}  // namespace
+}  // namespace bsoap::textconv

@@ -1,0 +1,72 @@
+// Tests for the workload generators: exact serialized widths are what the
+// figure benchmarks depend on.
+#include <gtest/gtest.h>
+
+#include "soap/workload.hpp"
+#include "textconv/dtoa.hpp"
+#include "textconv/itoa.hpp"
+
+namespace bsoap::soap {
+namespace {
+
+class DoubleWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(DoubleWidth, ExactSerializedLength) {
+  const int chars = GetParam();
+  const auto values = doubles_with_serialized_length(200, chars, 555);
+  for (const double v : values) {
+    EXPECT_EQ(textconv::serialized_length_double(v), chars) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, DoubleWidth,
+                         ::testing::Values(1, 2, 5, 8, 12, 16, 17, 18, 20, 22,
+                                           23, 24));
+
+class IntWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntWidth, ExactSerializedLength) {
+  const int chars = GetParam();
+  const auto values = ints_with_serialized_length(200, chars, 556);
+  for (const std::int32_t v : values) {
+    EXPECT_EQ(textconv::serialized_length_i32(v), chars) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, IntWidth,
+                         ::testing::Values(1, 2, 5, 9, 10, 11));
+
+class MioWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(MioWidth, ExactTotalSerializedLength) {
+  const int chars = GetParam();
+  const auto values = mios_with_serialized_length(100, chars, 557);
+  for (const Mio& m : values) {
+    const int total = textconv::serialized_length_i32(m.x) +
+                      textconv::serialized_length_i32(m.y) +
+                      textconv::serialized_length_double(m.value);
+    EXPECT_EQ(total, chars);
+  }
+}
+
+// 3, 36 and 46 are the paper's minimum, intermediate and maximum MIOs.
+INSTANTIATE_TEST_SUITE_P(PaperWidths, MioWidth,
+                         ::testing::Values(3, 10, 26, 36, 46));
+
+TEST(Workload, Deterministic) {
+  EXPECT_EQ(random_doubles(50, 1), random_doubles(50, 1));
+  EXPECT_NE(random_doubles(50, 1), random_doubles(50, 2));
+  EXPECT_EQ(random_mios(20, 3), random_mios(20, 3));
+}
+
+TEST(Workload, CallConstructors) {
+  const RpcCall call = make_double_array_call({1.0, 2.0});
+  EXPECT_EQ(call.method, "sendData");
+  EXPECT_EQ(call.service_namespace, "urn:bsoap-bench");
+  ASSERT_EQ(call.params.size(), 1u);
+  EXPECT_EQ(call.params[0].name, "data");
+  EXPECT_EQ(call.params[0].value.doubles().size(), 2u);
+}
+
+}  // namespace
+}  // namespace bsoap::soap

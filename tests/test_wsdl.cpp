@@ -1,0 +1,231 @@
+// Tests for the WSDL substrate: model validation, parser, writer round trip,
+// call validation and stub code generation.
+#include <gtest/gtest.h>
+
+#include "soap/workload.hpp"
+#include "wsdl/codegen.hpp"
+#include "wsdl/model.hpp"
+#include "wsdl/parser.hpp"
+#include "wsdl/validator.hpp"
+#include "wsdl/writer.hpp"
+
+namespace bsoap::wsdl {
+namespace {
+
+using soap::Value;
+
+WsdlDocument bench_service() {
+  return ServiceBuilder("BenchService", "urn:bsoap-bench")
+      .add_struct_type("MIO", {TypedField{"x", XsdType::kInt, ""},
+                               TypedField{"y", XsdType::kInt, ""},
+                               TypedField{"v", XsdType::kDouble, ""}})
+      .add_array_type("DoubleArray", "xsd:double")
+      .add_array_type("MIOArray", "tns:MIO")
+      .add_operation("sendData",
+                     {TypedField{"data", XsdType::kArray, "xsd:double"}},
+                     TypedField{"return", XsdType::kInt, ""})
+      .add_one_way_operation("pushMios",
+                             {TypedField{"mios", XsdType::kArray, "tns:MIO"}})
+      .set_location("http://localhost:8080/bench")
+      .build();
+}
+
+TEST(WsdlModel, Lookups) {
+  const WsdlDocument doc = bench_service();
+  EXPECT_NE(doc.find_type("MIO"), nullptr);
+  EXPECT_NE(doc.find_type("tns:MIO"), nullptr);  // qname tolerated
+  EXPECT_EQ(doc.find_type("Nope"), nullptr);
+  EXPECT_NE(doc.find_message("sendDataRequest"), nullptr);
+  ASSERT_NE(doc.find_operation("sendData"), nullptr);
+  EXPECT_EQ(doc.find_operation("sendData")->output_message,
+            "sendDataResponse");
+  EXPECT_EQ(doc.find_operation("pushMios")->output_message, "");
+  EXPECT_TRUE(doc.validate().ok());
+}
+
+TEST(WsdlModel, ValidateCatchesDanglingReferences) {
+  WsdlDocument doc = bench_service();
+  doc.messages.erase(doc.messages.begin());  // drop sendDataRequest
+  EXPECT_FALSE(doc.validate().ok());
+}
+
+TEST(WsdlWriter, EmitsCoreSections) {
+  const std::string text = write_wsdl(bench_service());
+  EXPECT_NE(text.find("<wsdl:definitions"), std::string::npos);
+  EXPECT_NE(text.find("targetNamespace=\"urn:bsoap-bench\""),
+            std::string::npos);
+  EXPECT_NE(text.find("<xsd:complexType name=\"MIO\">"), std::string::npos);
+  EXPECT_NE(text.find("wsdl:arrayType=\"xsd:double[]\""), std::string::npos);
+  EXPECT_NE(text.find("<wsdl:message name=\"sendDataRequest\">"),
+            std::string::npos);
+  EXPECT_NE(text.find("<soap:binding style=\"rpc\""), std::string::npos);
+  EXPECT_NE(text.find("soapAction=\"sendData\""), std::string::npos);
+  EXPECT_NE(text.find("location=\"http://localhost:8080/bench\""),
+            std::string::npos);
+}
+
+TEST(WsdlParser, RoundTripThroughWriter) {
+  const WsdlDocument original = bench_service();
+  Result<WsdlDocument> parsed = parse_wsdl(write_wsdl(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const WsdlDocument& doc = parsed.value();
+
+  EXPECT_EQ(doc.name, original.name);
+  EXPECT_EQ(doc.target_namespace, original.target_namespace);
+  ASSERT_EQ(doc.types.size(), original.types.size());
+  EXPECT_EQ(doc.find_type("MIO")->fields.size(), 3u);
+  EXPECT_EQ(doc.find_type("MIO")->fields[2].type, XsdType::kDouble);
+  EXPECT_TRUE(doc.find_type("DoubleArray")->is_array());
+  EXPECT_EQ(doc.find_type("DoubleArray")->array_of, "xsd:double");
+
+  ASSERT_NE(doc.find_operation("sendData"), nullptr);
+  EXPECT_EQ(doc.find_operation("sendData")->soap_action, "sendData");
+  const Message* request = doc.find_message("sendDataRequest");
+  ASSERT_NE(request, nullptr);
+  ASSERT_EQ(request->parts.size(), 1u);
+  // The part referenced tns:DoubleArray; resolution turns it into kArray.
+  EXPECT_EQ(request->parts[0].type, XsdType::kArray);
+  EXPECT_EQ(request->parts[0].type_name, "xsd:double");
+
+  ASSERT_EQ(doc.services.size(), 1u);
+  ASSERT_EQ(doc.services[0].ports.size(), 1u);
+  EXPECT_EQ(doc.services[0].ports[0].location, "http://localhost:8080/bench");
+}
+
+TEST(WsdlParser, RejectsGarbage) {
+  EXPECT_FALSE(parse_wsdl("").ok());
+  EXPECT_FALSE(parse_wsdl("<notwsdl/>").ok());
+  EXPECT_FALSE(parse_wsdl("<definitions><message name=\"m\">").ok());
+}
+
+TEST(WsdlParser, HandmadeDocument) {
+  const std::string text = R"(<?xml version="1.0"?>
+<definitions name="Calc" targetNamespace="urn:calc"
+    xmlns="http://schemas.xmlsoap.org/wsdl/"
+    xmlns:soap="http://schemas.xmlsoap.org/wsdl/soap/"
+    xmlns:xsd="http://www.w3.org/2001/XMLSchema" xmlns:tns="urn:calc">
+  <documentation>adds numbers</documentation>
+  <message name="addRequest">
+    <part name="a" type="xsd:double"/>
+    <part name="b" type="xsd:double"/>
+  </message>
+  <message name="addResponse"><part name="return" type="xsd:double"/></message>
+  <portType name="CalcPortType">
+    <operation name="add">
+      <input message="tns:addRequest"/>
+      <output message="tns:addResponse"/>
+    </operation>
+  </portType>
+  <binding name="CalcBinding" type="tns:CalcPortType">
+    <soap:binding style="rpc" transport="http://schemas.xmlsoap.org/soap/http"/>
+    <operation name="add"><soap:operation soapAction="urn:calc#add"/></operation>
+  </binding>
+  <service name="CalcService">
+    <port name="CalcPort" binding="tns:CalcBinding">
+      <soap:address location="http://example.org/calc"/>
+    </port>
+  </service>
+</definitions>)";
+  Result<WsdlDocument> parsed = parse_wsdl(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().find_operation("add")->soap_action, "urn:calc#add");
+  EXPECT_EQ(parsed.value().find_message("addRequest")->parts.size(), 2u);
+  EXPECT_EQ(parsed.value().find_message("addRequest")->parts[0].type,
+            XsdType::kDouble);
+}
+
+TEST(WsdlValidator, AcceptsMatchingCall) {
+  const WsdlDocument doc = bench_service();
+  const soap::RpcCall call =
+      soap::make_double_array_call(soap::random_doubles(10, 1));
+  EXPECT_TRUE(validate_call(doc, call).ok());
+}
+
+TEST(WsdlValidator, RejectsMismatches) {
+  const WsdlDocument doc = bench_service();
+
+  soap::RpcCall wrong_method =
+      soap::make_double_array_call(soap::random_doubles(4, 1));
+  wrong_method.method = "nope";
+  EXPECT_FALSE(validate_call(doc, wrong_method).ok());
+
+  soap::RpcCall wrong_ns =
+      soap::make_double_array_call(soap::random_doubles(4, 1));
+  wrong_ns.service_namespace = "urn:other";
+  EXPECT_FALSE(validate_call(doc, wrong_ns).ok());
+
+  soap::RpcCall wrong_kind = soap::make_int_array_call({1, 2, 3});
+  EXPECT_FALSE(validate_call(doc, wrong_kind).ok());
+
+  soap::RpcCall wrong_param_name =
+      soap::make_double_array_call(soap::random_doubles(4, 1));
+  wrong_param_name.params[0].name = "payload";
+  EXPECT_FALSE(validate_call(doc, wrong_param_name).ok());
+
+  soap::RpcCall extra_param =
+      soap::make_double_array_call(soap::random_doubles(4, 1));
+  extra_param.params.push_back(soap::Param{"extra", Value::from_int(1)});
+  EXPECT_FALSE(validate_call(doc, extra_param).ok());
+}
+
+TEST(WsdlValidator, MioArrayCall) {
+  const WsdlDocument doc = bench_service();
+  soap::RpcCall call = soap::make_mio_array_call(soap::random_mios(5, 2));
+  call.method = "pushMios";
+  call.params[0].name = "mios";
+  EXPECT_TRUE(validate_call(doc, call).ok());
+}
+
+TEST(WsdlValidator, ResultValidation) {
+  const WsdlDocument doc = bench_service();
+  EXPECT_TRUE(validate_result(doc, "sendData", Value::from_int(3)).ok());
+  EXPECT_FALSE(validate_result(doc, "sendData", Value::from_double(3)).ok());
+  EXPECT_FALSE(validate_result(doc, "pushMios", Value::from_int(3)).ok());
+}
+
+TEST(WsdlValidator, CallSkeleton) {
+  const WsdlDocument doc = bench_service();
+  Result<soap::RpcCall> skeleton = make_call_skeleton(doc, "sendData", 16);
+  ASSERT_TRUE(skeleton.ok()) << skeleton.error().to_string();
+  EXPECT_EQ(skeleton.value().method, "sendData");
+  EXPECT_EQ(skeleton.value().params[0].value.doubles().size(), 16u);
+  EXPECT_TRUE(validate_call(doc, skeleton.value()).ok());
+
+  Result<soap::RpcCall> mios = make_call_skeleton(doc, "pushMios", 4);
+  ASSERT_TRUE(mios.ok());
+  EXPECT_EQ(mios.value().params[0].value.mios().size(), 4u);
+}
+
+TEST(WsdlCodegen, GeneratesTypedStub) {
+  const WsdlDocument doc = bench_service();
+  Result<std::string> stub = generate_client_stub(doc, CodegenOptions{});
+  ASSERT_TRUE(stub.ok()) << stub.error().to_string();
+  const std::string& text = stub.value();
+  EXPECT_NE(text.find("class BenchServiceStub"), std::string::npos);
+  EXPECT_NE(text.find("bsoap::Result<std::int32_t> sendData("
+                      "const std::vector<double>& data)"),
+            std::string::npos);
+  EXPECT_NE(text.find("call.method = \"sendData\";"), std::string::npos);
+  EXPECT_NE(text.find("call.service_namespace = \"urn:bsoap-bench\";"),
+            std::string::npos);
+  EXPECT_NE(text.find("bsoap::soap::Value::from_double_array(data)"),
+            std::string::npos);
+  // One-way operation returns the SendReport.
+  EXPECT_NE(text.find("bsoap::Result<bsoap::core::SendReport> pushMios("
+                      "const std::vector<bsoap::soap::Mio>& mios)"),
+            std::string::npos);
+  EXPECT_NE(text.find("namespace bsoap_stubs"), std::string::npos);
+}
+
+TEST(WsdlCodegen, CustomNamespace) {
+  CodegenOptions options;
+  options.cpp_namespace = "acme";
+  options.class_suffix = "Client";
+  Result<std::string> stub = generate_client_stub(bench_service(), options);
+  ASSERT_TRUE(stub.ok());
+  EXPECT_NE(stub.value().find("namespace acme"), std::string::npos);
+  EXPECT_NE(stub.value().find("class BenchServiceClient"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bsoap::wsdl

@@ -1,0 +1,224 @@
+// bsoap_send — command-line workload driver.
+//
+// Sends synthetic scientific payloads to a built-in drain server (or a given
+// host:port) with a selectable engine, and reports per-send timings and
+// differential-serialization statistics. Handy for exploring the design
+// space without writing code:
+//
+//   bsoap_send --engine bsoap --type double --n 100000 --sends 50
+//   bsoap_send --engine bsoap --type mio --n 10000 --change-pct 25 --stuff max
+//   bsoap_send --engine gsoap --type int --n 50000
+//   bsoap_send --engine overlay --type double --n 100000
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baseline/gsoap_like.hpp"
+#include "baseline/xsoap_like.hpp"
+#include "common/timing.hpp"
+#include "core/client.hpp"
+#include "core/overlay.hpp"
+#include "core/pipelined_overlay.hpp"
+#include "net/drain_server.hpp"
+#include "net/tcp.hpp"
+#include "soap/workload.hpp"
+
+using namespace bsoap;
+
+namespace {
+
+struct Options {
+  std::string engine = "bsoap";  // bsoap | bsoap-full | gsoap | xsoap | overlay | pipelined
+  std::string type = "double";   // double | int | mio
+  std::size_t n = 10000;
+  int sends = 20;
+  int change_pct = 0;        // % of values mutated between sends
+  std::string stuff = "off"; // off | max
+  std::uint64_t seed = 42;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--engine bsoap|bsoap-full|gsoap|xsoap|overlay|"
+               "pipelined]\n"
+               "          [--type double|int|mio] [--n COUNT] [--sends K]\n"
+               "          [--change-pct P] [--stuff off|max] [--seed S]\n",
+               argv0);
+}
+
+bool parse_args(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--engine") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->engine = v;
+    } else if (arg == "--type") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->type = v;
+    } else if (arg == "--n") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->n = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--sends") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->sends = std::atoi(v);
+    } else if (arg == "--change-pct") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->change_pct = std::atoi(v);
+    } else if (arg == "--stuff") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->stuff = v;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+soap::RpcCall make_call(const Options& options, std::uint64_t seed) {
+  if (options.type == "int") {
+    return soap::make_int_array_call(soap::random_ints(options.n, seed));
+  }
+  if (options.type == "mio") {
+    return soap::make_mio_array_call(soap::random_mios(options.n, seed));
+  }
+  return soap::make_double_array_call(soap::random_doubles(options.n, seed));
+}
+
+void mutate(soap::RpcCall* call, int pct, Rng* rng) {
+  soap::Value& value = call->params[0].value;
+  const auto mutate_count = [&](std::size_t total) {
+    return total * static_cast<std::size_t>(pct) / 100;
+  };
+  switch (value.kind()) {
+    case soap::ValueKind::kDoubleArray: {
+      auto& v = value.doubles();
+      for (std::size_t i = 0; i < mutate_count(v.size()); ++i) {
+        v[rng->next_below(v.size())] = rng->next_unit_double();
+      }
+      break;
+    }
+    case soap::ValueKind::kIntArray: {
+      auto& v = value.ints();
+      for (std::size_t i = 0; i < mutate_count(v.size()); ++i) {
+        v[rng->next_below(v.size())] = rng->next_i32();
+      }
+      break;
+    }
+    case soap::ValueKind::kMioArray: {
+      auto& v = value.mios();
+      for (std::size_t i = 0; i < mutate_count(v.size()); ++i) {
+        v[rng->next_below(v.size())].value = rng->next_unit_double();
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, &options)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  auto drain = net::DrainServer::start();
+  drain.value_or_die();
+  auto transport = net::tcp_connect(drain.value()->port());
+  transport.value_or_die();
+
+  soap::RpcCall call = make_call(options, options.seed);
+  Rng rng(options.seed ^ 0xabcdef);
+  TimingStats stats;
+
+  std::printf("engine=%s type=%s n=%zu sends=%d change=%d%% stuff=%s\n",
+              options.engine.c_str(), options.type.c_str(), options.n,
+              options.sends, options.change_pct, options.stuff.c_str());
+
+  if (options.engine == "gsoap" || options.engine == "xsoap") {
+    baseline::GSoapLikeClient gsoap(*transport.value());
+    baseline::XSoapLikeClient xsoap(*transport.value());
+    for (int i = 0; i < options.sends; ++i) {
+      mutate(&call, options.change_pct, &rng);
+      StopWatch watch;
+      if (options.engine == "gsoap") {
+        gsoap.send_call(call).value_or_die();
+      } else {
+        xsoap.send_call(call).value_or_die();
+      }
+      stats.add(watch.elapsed_ms());
+    }
+  } else if (options.engine == "overlay" || options.engine == "pipelined") {
+    if (options.type == "int") {
+      std::fprintf(stderr, "overlay engines support double/mio only\n");
+      return 2;
+    }
+    core::OverlaySender overlay(*transport.value(), core::OverlayConfig{});
+    core::PipelinedOverlaySender pipelined(*transport.value(),
+                                           core::PipelinedOverlayConfig{});
+    for (int i = 0; i < options.sends; ++i) {
+      mutate(&call, options.change_pct, &rng);
+      StopWatch watch;
+      const bool plain = options.engine == "overlay";
+      if (options.type == "mio") {
+        auto& v = call.params[0].value.mios();
+        (plain ? overlay.send_mio_array("sendData", "urn:bench", "data", v)
+               : pipelined.send_mio_array("sendData", "urn:bench", "data", v))
+            .value_or_die();
+      } else {
+        auto& v = call.params[0].value.doubles();
+        (plain
+             ? overlay.send_double_array("sendData", "urn:bench", "data", v)
+             : pipelined.send_double_array("sendData", "urn:bench", "data", v))
+            .value_or_die();
+      }
+      stats.add(watch.elapsed_ms());
+    }
+  } else {
+    core::BsoapClientConfig config;
+    config.differential = options.engine != "bsoap-full";
+    if (options.stuff == "max") {
+      config.tmpl.stuffing.mode = core::StuffingPolicy::Mode::kTypeMax;
+    }
+    core::BsoapClient client(*transport.value(), config);
+    std::uint64_t rewrites = 0;
+    for (int i = 0; i < options.sends; ++i) {
+      mutate(&call, options.change_pct, &rng);
+      StopWatch watch;
+      Result<core::SendReport> report = client.send_call(call);
+      stats.add(watch.elapsed_ms());
+      report.value_or_die();
+      rewrites += report.value().update.values_rewritten;
+      if (i < 3 || i == options.sends - 1) {
+        std::printf("  send %2d: %-26s %.3f ms\n", i + 1,
+                    core::match_kind_name(report.value().match),
+                    watch.elapsed_ms());
+      }
+    }
+    std::printf("total values rewritten: %llu\n",
+                static_cast<unsigned long long>(rewrites));
+  }
+
+  std::printf("send time: mean %.3f ms  min %.3f ms  max %.3f ms (%lld sends)\n",
+              stats.mean(), stats.min(), stats.max(),
+              static_cast<long long>(stats.count()));
+  transport.value()->shutdown_send();
+  drain.value()->stop();
+  return 0;
+}

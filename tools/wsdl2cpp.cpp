@@ -1,0 +1,72 @@
+// wsdl2cpp — generate a typed C++ client stub from a WSDL document
+// (the role wsdl2h/soapcpp2 play for gSOAP).
+//
+// Usage:
+//   wsdl2cpp service.wsdl [output.hpp] [--namespace ns]
+// With no output path the stub is written to stdout.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "wsdl/codegen.hpp"
+#include "wsdl/parser.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s service.wsdl [output.hpp] [--namespace ns]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string input_path;
+  std::string output_path;
+  bsoap::wsdl::CodegenOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--namespace") == 0 && i + 1 < argc) {
+      options.cpp_namespace = argv[++i];
+    } else if (input_path.empty()) {
+      input_path = argv[i];
+    } else if (output_path.empty()) {
+      output_path = argv[i];
+    }
+  }
+
+  std::ifstream in(input_path);
+  if (!in) {
+    std::fprintf(stderr, "wsdl2cpp: cannot open %s\n", input_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  bsoap::Result<bsoap::wsdl::WsdlDocument> document =
+      bsoap::wsdl::parse_wsdl(buffer.str());
+  if (!document.ok()) {
+    std::fprintf(stderr, "wsdl2cpp: parse error: %s\n",
+                 document.error().to_string().c_str());
+    return 1;
+  }
+  bsoap::Result<std::string> stub =
+      bsoap::wsdl::generate_client_stub(document.value(), options);
+  if (!stub.ok()) {
+    std::fprintf(stderr, "wsdl2cpp: codegen error: %s\n",
+                 stub.error().to_string().c_str());
+    return 1;
+  }
+
+  if (output_path.empty()) {
+    std::fputs(stub.value().c_str(), stdout);
+  } else {
+    std::ofstream out(output_path);
+    if (!out) {
+      std::fprintf(stderr, "wsdl2cpp: cannot write %s\n", output_path.c_str());
+      return 1;
+    }
+    out << stub.value();
+    std::printf("wrote %s (%zu bytes)\n", output_path.c_str(),
+                stub.value().size());
+  }
+  return 0;
+}
