@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_binary_formats.dir/bench_ablation_binary_formats.cpp.o"
+  "CMakeFiles/bench_ablation_binary_formats.dir/bench_ablation_binary_formats.cpp.o.d"
+  "bench_ablation_binary_formats"
+  "bench_ablation_binary_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_binary_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_diffdeser.dir/bench_ablation_diffdeser.cpp.o"
+  "CMakeFiles/bench_ablation_diffdeser.dir/bench_ablation_diffdeser.cpp.o.d"
+  "bench_ablation_diffdeser"
+  "bench_ablation_diffdeser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_diffdeser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

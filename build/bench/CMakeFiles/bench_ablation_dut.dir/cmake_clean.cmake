@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dut.dir/bench_ablation_dut.cpp.o"
+  "CMakeFiles/bench_ablation_dut.dir/bench_ablation_dut.cpp.o.d"
+  "bench_ablation_dut"
+  "bench_ablation_dut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

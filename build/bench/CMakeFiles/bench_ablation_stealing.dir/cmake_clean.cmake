@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stealing.dir/bench_ablation_stealing.cpp.o"
+  "CMakeFiles/bench_ablation_stealing.dir/bench_ablation_stealing.cpp.o.d"
+  "bench_ablation_stealing"
+  "bench_ablation_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_mcm_double.dir/bench_fig02_mcm_double.cpp.o"
+  "CMakeFiles/bench_fig02_mcm_double.dir/bench_fig02_mcm_double.cpp.o.d"
+  "bench_fig02_mcm_double"
+  "bench_fig02_mcm_double.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_mcm_double.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

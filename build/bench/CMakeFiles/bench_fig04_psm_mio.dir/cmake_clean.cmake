@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_psm_mio.dir/bench_fig04_psm_mio.cpp.o"
+  "CMakeFiles/bench_fig04_psm_mio.dir/bench_fig04_psm_mio.cpp.o.d"
+  "bench_fig04_psm_mio"
+  "bench_fig04_psm_mio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_psm_mio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

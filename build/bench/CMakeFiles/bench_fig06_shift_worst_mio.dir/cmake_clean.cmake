@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_shift_worst_mio.dir/bench_fig06_shift_worst_mio.cpp.o"
+  "CMakeFiles/bench_fig06_shift_worst_mio.dir/bench_fig06_shift_worst_mio.cpp.o.d"
+  "bench_fig06_shift_worst_mio"
+  "bench_fig06_shift_worst_mio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_shift_worst_mio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_shift_sweep_mio.dir/bench_fig08_shift_sweep_mio.cpp.o"
+  "CMakeFiles/bench_fig08_shift_sweep_mio.dir/bench_fig08_shift_sweep_mio.cpp.o.d"
+  "bench_fig08_shift_sweep_mio"
+  "bench_fig08_shift_sweep_mio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_shift_sweep_mio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_shift_sweep_double.dir/bench_fig09_shift_sweep_double.cpp.o"
+  "CMakeFiles/bench_fig09_shift_sweep_double.dir/bench_fig09_shift_sweep_double.cpp.o.d"
+  "bench_fig09_shift_sweep_double"
+  "bench_fig09_shift_sweep_double.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_shift_sweep_double.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

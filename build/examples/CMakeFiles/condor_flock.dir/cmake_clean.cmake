@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condor_flock.dir/condor_flock.cpp.o"
+  "CMakeFiles/condor_flock.dir/condor_flock.cpp.o.d"
+  "condor_flock"
+  "condor_flock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condor_flock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

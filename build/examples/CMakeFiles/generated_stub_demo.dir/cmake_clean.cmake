@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generated_stub_demo.dir/generated_stub_demo.cpp.o"
+  "CMakeFiles/generated_stub_demo.dir/generated_stub_demo.cpp.o.d"
+  "calc_stub.hpp"
+  "generated_stub_demo"
+  "generated_stub_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generated_stub_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

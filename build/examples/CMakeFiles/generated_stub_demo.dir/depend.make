@@ -1,0 +1,2 @@
+# Empty dependencies file for generated_stub_demo.
+# This may be replaced when dependencies are built.

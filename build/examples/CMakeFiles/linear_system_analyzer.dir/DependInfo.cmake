@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/linear_system_analyzer.cpp" "examples/CMakeFiles/linear_system_analyzer.dir/linear_system_analyzer.cpp.o" "gcc" "examples/CMakeFiles/linear_system_analyzer.dir/linear_system_analyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsoap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bsoap_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsdl/CMakeFiles/bsoap_wsdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/bsoap_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/bsoap_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bsoap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/bsoap_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/bsoap_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/textconv/CMakeFiles/bsoap_textconv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bsoap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/bsoap_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_system_analyzer.dir/linear_system_analyzer.cpp.o"
+  "CMakeFiles/linear_system_analyzer.dir/linear_system_analyzer.cpp.o.d"
+  "linear_system_analyzer"
+  "linear_system_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_system_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_catalog.dir/metadata_catalog.cpp.o"
+  "CMakeFiles/metadata_catalog.dir/metadata_catalog.cpp.o.d"
+  "metadata_catalog"
+  "metadata_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

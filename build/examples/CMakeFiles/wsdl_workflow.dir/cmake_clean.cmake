@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsdl_workflow.dir/wsdl_workflow.cpp.o"
+  "CMakeFiles/wsdl_workflow.dir/wsdl_workflow.cpp.o.d"
+  "wsdl_workflow"
+  "wsdl_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsdl_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

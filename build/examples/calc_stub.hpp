@@ -1,0 +1,52 @@
+// Generated from WSDL 'Calc' by bsoap wsdl2cpp. Do not edit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/client.hpp"
+#include "net/transport.hpp"
+#include "soap/value.hpp"
+
+namespace bsoap_stubs {
+
+/// Client stub for service "CalcService" (urn:calc).
+class CalcServiceStub {
+ public:
+  explicit CalcServiceStub(bsoap::net::Transport& transport,
+      bsoap::core::BsoapClientConfig config = {})
+      : client_(transport, std::move(config)) {}
+
+  bsoap::Result<double> add(double a, double b) {
+    bsoap::soap::RpcCall call;
+    call.method = "add";
+    call.service_namespace = "urn:calc";
+    call.params.push_back({"a", bsoap::soap::Value::from_double(a)});
+    call.params.push_back({"b", bsoap::soap::Value::from_double(b)});
+    bsoap::Result<bsoap::soap::Value> result = client_.invoke(call);
+    if (!result.ok()) return result.error();
+    const bsoap::soap::Value& value = result.value();
+    return value.as_double();
+  }
+
+  bsoap::Result<double> dot(const std::vector<double>& x, const std::vector<double>& y) {
+    bsoap::soap::RpcCall call;
+    call.method = "dot";
+    call.service_namespace = "urn:calc";
+    call.params.push_back({"x", bsoap::soap::Value::from_double_array(x)});
+    call.params.push_back({"y", bsoap::soap::Value::from_double_array(y)});
+    bsoap::Result<bsoap::soap::Value> result = client_.invoke(call);
+    if (!result.ok()) return result.error();
+    const bsoap::soap::Value& value = result.value();
+    return value.as_double();
+  }
+
+  bsoap::core::BsoapClient& client() { return client_; }
+
+ private:
+  bsoap::core::BsoapClient client_;
+};
+
+}  // namespace bsoap_stubs

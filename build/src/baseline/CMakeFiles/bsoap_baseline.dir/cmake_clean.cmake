@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsoap_baseline.dir/gsoap_like.cpp.o"
+  "CMakeFiles/bsoap_baseline.dir/gsoap_like.cpp.o.d"
+  "CMakeFiles/bsoap_baseline.dir/xsoap_like.cpp.o"
+  "CMakeFiles/bsoap_baseline.dir/xsoap_like.cpp.o.d"
+  "libbsoap_baseline.a"
+  "libbsoap_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsoap_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

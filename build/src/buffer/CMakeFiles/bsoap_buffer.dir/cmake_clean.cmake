@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsoap_buffer.dir/chunked_buffer.cpp.o"
+  "CMakeFiles/bsoap_buffer.dir/chunked_buffer.cpp.o.d"
+  "libbsoap_buffer.a"
+  "libbsoap_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsoap_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

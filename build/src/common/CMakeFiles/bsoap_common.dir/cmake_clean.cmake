@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsoap_common.dir/error.cpp.o"
+  "CMakeFiles/bsoap_common.dir/error.cpp.o.d"
+  "CMakeFiles/bsoap_common.dir/timing.cpp.o"
+  "CMakeFiles/bsoap_common.dir/timing.cpp.o.d"
+  "libbsoap_common.a"
+  "libbsoap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsoap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

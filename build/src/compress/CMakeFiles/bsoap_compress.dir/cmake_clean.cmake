@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsoap_compress.dir/deflate.cpp.o"
+  "CMakeFiles/bsoap_compress.dir/deflate.cpp.o.d"
+  "libbsoap_compress.a"
+  "libbsoap_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsoap_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

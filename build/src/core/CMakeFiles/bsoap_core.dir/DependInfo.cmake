@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/bsoap_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/bsoap_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/diff_deserializer.cpp" "src/core/CMakeFiles/bsoap_core.dir/diff_deserializer.cpp.o" "gcc" "src/core/CMakeFiles/bsoap_core.dir/diff_deserializer.cpp.o.d"
+  "/root/repo/src/core/diff_serializer.cpp" "src/core/CMakeFiles/bsoap_core.dir/diff_serializer.cpp.o" "gcc" "src/core/CMakeFiles/bsoap_core.dir/diff_serializer.cpp.o.d"
+  "/root/repo/src/core/dut_table.cpp" "src/core/CMakeFiles/bsoap_core.dir/dut_table.cpp.o" "gcc" "src/core/CMakeFiles/bsoap_core.dir/dut_table.cpp.o.d"
+  "/root/repo/src/core/message_template.cpp" "src/core/CMakeFiles/bsoap_core.dir/message_template.cpp.o" "gcc" "src/core/CMakeFiles/bsoap_core.dir/message_template.cpp.o.d"
+  "/root/repo/src/core/overlay.cpp" "src/core/CMakeFiles/bsoap_core.dir/overlay.cpp.o" "gcc" "src/core/CMakeFiles/bsoap_core.dir/overlay.cpp.o.d"
+  "/root/repo/src/core/pipelined_overlay.cpp" "src/core/CMakeFiles/bsoap_core.dir/pipelined_overlay.cpp.o" "gcc" "src/core/CMakeFiles/bsoap_core.dir/pipelined_overlay.cpp.o.d"
+  "/root/repo/src/core/template_builder.cpp" "src/core/CMakeFiles/bsoap_core.dir/template_builder.cpp.o" "gcc" "src/core/CMakeFiles/bsoap_core.dir/template_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soap/CMakeFiles/bsoap_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bsoap_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/bsoap_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/bsoap_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/bsoap_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/textconv/CMakeFiles/bsoap_textconv.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/bsoap_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bsoap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bsoap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

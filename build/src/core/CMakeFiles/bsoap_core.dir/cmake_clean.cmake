@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsoap_core.dir/client.cpp.o"
+  "CMakeFiles/bsoap_core.dir/client.cpp.o.d"
+  "CMakeFiles/bsoap_core.dir/diff_deserializer.cpp.o"
+  "CMakeFiles/bsoap_core.dir/diff_deserializer.cpp.o.d"
+  "CMakeFiles/bsoap_core.dir/diff_serializer.cpp.o"
+  "CMakeFiles/bsoap_core.dir/diff_serializer.cpp.o.d"
+  "CMakeFiles/bsoap_core.dir/dut_table.cpp.o"
+  "CMakeFiles/bsoap_core.dir/dut_table.cpp.o.d"
+  "CMakeFiles/bsoap_core.dir/message_template.cpp.o"
+  "CMakeFiles/bsoap_core.dir/message_template.cpp.o.d"
+  "CMakeFiles/bsoap_core.dir/overlay.cpp.o"
+  "CMakeFiles/bsoap_core.dir/overlay.cpp.o.d"
+  "CMakeFiles/bsoap_core.dir/pipelined_overlay.cpp.o"
+  "CMakeFiles/bsoap_core.dir/pipelined_overlay.cpp.o.d"
+  "CMakeFiles/bsoap_core.dir/template_builder.cpp.o"
+  "CMakeFiles/bsoap_core.dir/template_builder.cpp.o.d"
+  "libbsoap_core.a"
+  "libbsoap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsoap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

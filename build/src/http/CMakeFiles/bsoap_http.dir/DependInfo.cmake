@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/chunked_coding.cpp" "src/http/CMakeFiles/bsoap_http.dir/chunked_coding.cpp.o" "gcc" "src/http/CMakeFiles/bsoap_http.dir/chunked_coding.cpp.o.d"
+  "/root/repo/src/http/connection.cpp" "src/http/CMakeFiles/bsoap_http.dir/connection.cpp.o" "gcc" "src/http/CMakeFiles/bsoap_http.dir/connection.cpp.o.d"
+  "/root/repo/src/http/http_message.cpp" "src/http/CMakeFiles/bsoap_http.dir/http_message.cpp.o" "gcc" "src/http/CMakeFiles/bsoap_http.dir/http_message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bsoap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bsoap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/textconv/CMakeFiles/bsoap_textconv.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/bsoap_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsoap_http.dir/chunked_coding.cpp.o"
+  "CMakeFiles/bsoap_http.dir/chunked_coding.cpp.o.d"
+  "CMakeFiles/bsoap_http.dir/connection.cpp.o"
+  "CMakeFiles/bsoap_http.dir/connection.cpp.o.d"
+  "CMakeFiles/bsoap_http.dir/http_message.cpp.o"
+  "CMakeFiles/bsoap_http.dir/http_message.cpp.o.d"
+  "libbsoap_http.a"
+  "libbsoap_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsoap_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsoap_net.dir/drain_server.cpp.o"
+  "CMakeFiles/bsoap_net.dir/drain_server.cpp.o.d"
+  "CMakeFiles/bsoap_net.dir/socket.cpp.o"
+  "CMakeFiles/bsoap_net.dir/socket.cpp.o.d"
+  "CMakeFiles/bsoap_net.dir/tcp.cpp.o"
+  "CMakeFiles/bsoap_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/bsoap_net.dir/transport.cpp.o"
+  "CMakeFiles/bsoap_net.dir/transport.cpp.o.d"
+  "libbsoap_net.a"
+  "libbsoap_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsoap_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsoap_soap.dir/base64.cpp.o"
+  "CMakeFiles/bsoap_soap.dir/base64.cpp.o.d"
+  "CMakeFiles/bsoap_soap.dir/dime.cpp.o"
+  "CMakeFiles/bsoap_soap.dir/dime.cpp.o.d"
+  "CMakeFiles/bsoap_soap.dir/envelope_reader.cpp.o"
+  "CMakeFiles/bsoap_soap.dir/envelope_reader.cpp.o.d"
+  "CMakeFiles/bsoap_soap.dir/soap_server.cpp.o"
+  "CMakeFiles/bsoap_soap.dir/soap_server.cpp.o.d"
+  "CMakeFiles/bsoap_soap.dir/value.cpp.o"
+  "CMakeFiles/bsoap_soap.dir/value.cpp.o.d"
+  "CMakeFiles/bsoap_soap.dir/workload.cpp.o"
+  "CMakeFiles/bsoap_soap.dir/workload.cpp.o.d"
+  "libbsoap_soap.a"
+  "libbsoap_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsoap_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

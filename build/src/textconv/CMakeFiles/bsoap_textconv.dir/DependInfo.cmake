@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/textconv/dtoa.cpp" "src/textconv/CMakeFiles/bsoap_textconv.dir/dtoa.cpp.o" "gcc" "src/textconv/CMakeFiles/bsoap_textconv.dir/dtoa.cpp.o.d"
+  "/root/repo/src/textconv/itoa.cpp" "src/textconv/CMakeFiles/bsoap_textconv.dir/itoa.cpp.o" "gcc" "src/textconv/CMakeFiles/bsoap_textconv.dir/itoa.cpp.o.d"
+  "/root/repo/src/textconv/parse.cpp" "src/textconv/CMakeFiles/bsoap_textconv.dir/parse.cpp.o" "gcc" "src/textconv/CMakeFiles/bsoap_textconv.dir/parse.cpp.o.d"
+  "/root/repo/src/textconv/pow10cache.cpp" "src/textconv/CMakeFiles/bsoap_textconv.dir/pow10cache.cpp.o" "gcc" "src/textconv/CMakeFiles/bsoap_textconv.dir/pow10cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bsoap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

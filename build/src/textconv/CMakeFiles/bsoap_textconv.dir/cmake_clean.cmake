@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsoap_textconv.dir/dtoa.cpp.o"
+  "CMakeFiles/bsoap_textconv.dir/dtoa.cpp.o.d"
+  "CMakeFiles/bsoap_textconv.dir/itoa.cpp.o"
+  "CMakeFiles/bsoap_textconv.dir/itoa.cpp.o.d"
+  "CMakeFiles/bsoap_textconv.dir/parse.cpp.o"
+  "CMakeFiles/bsoap_textconv.dir/parse.cpp.o.d"
+  "CMakeFiles/bsoap_textconv.dir/pow10cache.cpp.o"
+  "CMakeFiles/bsoap_textconv.dir/pow10cache.cpp.o.d"
+  "libbsoap_textconv.a"
+  "libbsoap_textconv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsoap_textconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bsoap_textconv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsoap_wsdl.dir/codegen.cpp.o"
+  "CMakeFiles/bsoap_wsdl.dir/codegen.cpp.o.d"
+  "CMakeFiles/bsoap_wsdl.dir/model.cpp.o"
+  "CMakeFiles/bsoap_wsdl.dir/model.cpp.o.d"
+  "CMakeFiles/bsoap_wsdl.dir/parser.cpp.o"
+  "CMakeFiles/bsoap_wsdl.dir/parser.cpp.o.d"
+  "CMakeFiles/bsoap_wsdl.dir/validator.cpp.o"
+  "CMakeFiles/bsoap_wsdl.dir/validator.cpp.o.d"
+  "CMakeFiles/bsoap_wsdl.dir/writer.cpp.o"
+  "CMakeFiles/bsoap_wsdl.dir/writer.cpp.o.d"
+  "libbsoap_wsdl.a"
+  "libbsoap_wsdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsoap_wsdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

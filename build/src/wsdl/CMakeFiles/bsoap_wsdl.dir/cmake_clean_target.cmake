@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbsoap_wsdl.a"
+)

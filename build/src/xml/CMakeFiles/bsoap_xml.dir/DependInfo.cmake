@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/escape.cpp" "src/xml/CMakeFiles/bsoap_xml.dir/escape.cpp.o" "gcc" "src/xml/CMakeFiles/bsoap_xml.dir/escape.cpp.o.d"
+  "/root/repo/src/xml/pull_parser.cpp" "src/xml/CMakeFiles/bsoap_xml.dir/pull_parser.cpp.o" "gcc" "src/xml/CMakeFiles/bsoap_xml.dir/pull_parser.cpp.o.d"
+  "/root/repo/src/xml/qname.cpp" "src/xml/CMakeFiles/bsoap_xml.dir/qname.cpp.o" "gcc" "src/xml/CMakeFiles/bsoap_xml.dir/qname.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bsoap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/textconv/CMakeFiles/bsoap_textconv.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/bsoap_buffer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsoap_xml.dir/escape.cpp.o"
+  "CMakeFiles/bsoap_xml.dir/escape.cpp.o.d"
+  "CMakeFiles/bsoap_xml.dir/pull_parser.cpp.o"
+  "CMakeFiles/bsoap_xml.dir/pull_parser.cpp.o.d"
+  "CMakeFiles/bsoap_xml.dir/qname.cpp.o"
+  "CMakeFiles/bsoap_xml.dir/qname.cpp.o.d"
+  "libbsoap_xml.a"
+  "libbsoap_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsoap_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

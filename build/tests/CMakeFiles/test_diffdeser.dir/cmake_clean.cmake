@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diffdeser.dir/test_diffdeser.cpp.o"
+  "CMakeFiles/test_diffdeser.dir/test_diffdeser.cpp.o.d"
+  "test_diffdeser"
+  "test_diffdeser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diffdeser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

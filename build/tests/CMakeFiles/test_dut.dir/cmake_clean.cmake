@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dut.dir/test_dut.cpp.o"
+  "CMakeFiles/test_dut.dir/test_dut.cpp.o.d"
+  "test_dut"
+  "test_dut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_endpoint.dir/test_multi_endpoint.cpp.o"
+  "CMakeFiles/test_multi_endpoint.dir/test_multi_endpoint.cpp.o.d"
+  "test_multi_endpoint"
+  "test_multi_endpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_endpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

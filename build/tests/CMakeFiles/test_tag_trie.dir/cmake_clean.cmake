@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tag_trie.dir/test_tag_trie.cpp.o"
+  "CMakeFiles/test_tag_trie.dir/test_tag_trie.cpp.o.d"
+  "test_tag_trie"
+  "test_tag_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tag_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_textconv.dir/test_textconv.cpp.o"
+  "CMakeFiles/test_textconv.dir/test_textconv.cpp.o.d"
+  "test_textconv"
+  "test_textconv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_textconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

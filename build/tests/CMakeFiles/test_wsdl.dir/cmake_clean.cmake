@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wsdl.dir/test_wsdl.cpp.o"
+  "CMakeFiles/test_wsdl.dir/test_wsdl.cpp.o.d"
+  "test_wsdl"
+  "test_wsdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wsdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

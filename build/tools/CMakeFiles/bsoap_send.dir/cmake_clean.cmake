@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsoap_send.dir/bsoap_send.cpp.o"
+  "CMakeFiles/bsoap_send.dir/bsoap_send.cpp.o.d"
+  "bsoap_send"
+  "bsoap_send.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsoap_send.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bsoap_send.
+# This may be replaced when dependencies are built.

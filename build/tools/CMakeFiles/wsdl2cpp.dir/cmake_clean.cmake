@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsdl2cpp.dir/wsdl2cpp.cpp.o"
+  "CMakeFiles/wsdl2cpp.dir/wsdl2cpp.cpp.o.d"
+  "wsdl2cpp"
+  "wsdl2cpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsdl2cpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

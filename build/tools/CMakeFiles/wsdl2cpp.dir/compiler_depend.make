@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wsdl2cpp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for wsdl2cpp.
+# This may be replaced when dependencies are built.
