@@ -146,6 +146,17 @@ class ChunkedBuffer {
   };
   std::vector<Slice> slices() const;
 
+  /// Appends the nonempty chunks to `out` as `SliceT{data, len}` — lets a
+  /// send path fill its (reusable) net-layer slice vector directly instead
+  /// of materializing a Slice vector and re-wrapping it per send.
+  template <typename SliceT>
+  void append_slices(std::vector<SliceT>& out) const {
+    out.reserve(out.size() + chunks_.size());
+    for (const Chunk& c : chunks_) {
+      if (c.size > 0) out.push_back(SliceT{c.data.get(), c.size});
+    }
+  }
+
   /// Removes all content but keeps the configuration.
   void clear();
 

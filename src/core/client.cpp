@@ -10,65 +10,12 @@ BsoapClient::BsoapClient(net::Transport& transport, BsoapClientConfig config)
     : transport_(transport),
       connection_(transport),
       config_(std::move(config)),
-      store_(config_.max_templates) {}
-
-Result<std::size_t> BsoapClient::send_template(MessageTemplate& tmpl,
-                                               const std::string& method) {
-  http::HttpRequest head;
-  head.method = "POST";
-  head.target = config_.endpoint_path;
-  head.version = config_.http_chunked ? "HTTP/1.1" : "HTTP/1.1";
-  head.headers.push_back(http::Header{"Host", "localhost"});
-  head.headers.push_back(
-      http::Header{"Content-Type", "text/xml; charset=utf-8"});
-  head.headers.push_back(http::Header{"SOAPAction", "\"" + method + "\""});
-
-  const auto buffer_slices = tmpl.buffer().slices();
-  std::vector<net::ConstSlice> body;
-  body.reserve(buffer_slices.size());
-  for (const auto& s : buffer_slices) {
-    body.push_back(net::ConstSlice{s.data, s.len});
-  }
-  BSOAP_RETURN_IF_ERROR(
-      connection_.send_request(std::move(head), body, config_.http_chunked));
-  return tmpl.buffer().total_size();
-}
+      pipeline_(SendPipeline::Options{config_.tmpl, config_.differential,
+                                      config_.max_templates,
+                                      config_.http_chunked}) {}
 
 Result<SendReport> BsoapClient::send_call(const soap::RpcCall& call) {
-  SendReport report;
-
-  if (!config_.differential) {
-    // "bSOAP Full Serialization": serialize from scratch each send, reusing
-    // the template object so chunk allocations stay warm (like gSOAP's
-    // reusable send buffer).
-    if (full_mode_scratch_ == nullptr) {
-      full_mode_scratch_ = build_template(call, config_.tmpl);
-    } else {
-      rebuild_template(*full_mode_scratch_, call);
-    }
-    report.match = MatchKind::kFirstTime;
-    Result<std::size_t> sent = send_template(*full_mode_scratch_, call.method);
-    if (!sent.ok()) return sent.error();
-    report.envelope_bytes = sent.value();
-    report.wire_bytes = sent.value();
-    return report;
-  }
-
-  const std::uint64_t signature = call.structure_signature();
-  MessageTemplate* tmpl = store_.find(signature);
-  if (tmpl == nullptr) {
-    tmpl = store_.insert(build_template(call, config_.tmpl));
-    report.match = MatchKind::kFirstTime;
-  } else {
-    report.update = update_template(*tmpl, call);
-    report.match = report.update.match;
-  }
-
-  Result<std::size_t> sent = send_template(*tmpl, call.method);
-  if (!sent.ok()) return sent.error();
-  report.envelope_bytes = sent.value();
-  report.wire_bytes = sent.value();
-  return report;
+  return pipeline_.send(call, destination());
 }
 
 Result<soap::Value> BsoapClient::invoke(const soap::RpcCall& call) {
@@ -163,20 +110,7 @@ double BoundMessage::get_double_element(std::size_t param,
 }
 
 Result<SendReport> BoundMessage::send() {
-  SendReport report;
-  if (!tmpl_->dut().any_dirty()) {
-    // Paper Section 3.1: "If none of the dirty bits are set, the message
-    // has not changed and can be resent as is."
-    report.match = MatchKind::kContentMatch;
-  } else {
-    report.update = update_dirty_fields(*tmpl_, call_);
-    report.match = report.update.match;
-  }
-  Result<std::size_t> sent = client_.send_template(*tmpl_, call_.method);
-  if (!sent.ok()) return sent.error();
-  report.envelope_bytes = sent.value();
-  report.wire_bytes = sent.value();
-  return report;
+  return client_.pipeline_.send_tracked(*tmpl_, call_, client_.destination());
 }
 
 }  // namespace bsoap::core

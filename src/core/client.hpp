@@ -19,6 +19,7 @@
 
 #include "common/error.hpp"
 #include "core/diff_serializer.hpp"
+#include "core/send_pipeline.hpp"
 #include "core/template_store.hpp"
 #include "http/connection.hpp"
 #include "net/transport.hpp"
@@ -38,15 +39,6 @@ struct BsoapClientConfig {
   /// instead of Content-Length framing.
   bool http_chunked = false;
   std::string endpoint_path = "/";
-};
-
-/// What a send did — which of the paper's four cases applied and how much
-/// work the differential path performed.
-struct SendReport {
-  MatchKind match = MatchKind::kFirstTime;
-  UpdateResult update;
-  std::size_t envelope_bytes = 0;  ///< serialized SOAP envelope size
-  std::size_t wire_bytes = 0;      ///< envelope + HTTP framing
 };
 
 class BoundMessage;
@@ -70,21 +62,24 @@ class BsoapClient {
   std::unique_ptr<BoundMessage> bind(soap::RpcCall call);
 
   const BsoapClientConfig& config() const { return config_; }
-  TemplateStore& store() { return store_; }
+  TemplateStore& store() { return pipeline_.store(); }
+
+  /// The staged send path this client sends through. Exposed so callers can
+  /// attach a SendObserver or override the framing strategy.
+  SendPipeline& pipeline() { return pipeline_; }
 
  private:
   friend class BoundMessage;
 
-  /// HTTP-frames and sends a serialized template.
-  Result<std::size_t> send_template(MessageTemplate& tmpl,
-                                    const std::string& method);
+  /// Where this client's sends go.
+  SendDestination destination() {
+    return SendDestination{&transport_, config_.endpoint_path};
+  }
 
   net::Transport& transport_;
   http::HttpConnection connection_;
   BsoapClientConfig config_;
-  TemplateStore store_;
-  /// Recycled template for non-differential (full-serialization) mode.
-  std::unique_ptr<MessageTemplate> full_mode_scratch_;
+  SendPipeline pipeline_;
 };
 
 /// A message with explicit update tracking. Mutations go through setters

@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "http/framer.hpp"
 #include "http/http_message.hpp"
 #include "soap/constants.hpp"
 
@@ -59,7 +60,8 @@ inline std::string array_request_head(const std::string& method,
   head.headers.push_back(
       http::Header{"Content-Type", "text/xml; charset=utf-8"});
   head.headers.push_back(http::Header{"SOAPAction", "\"" + method + "\""});
-  head.headers.push_back(http::Header{"Transfer-Encoding", "chunked"});
+  // The body is streamed window by window, so its size is unknown here.
+  http::chunked_framer().add_headers(head.headers, 0);
   return http::serialize_request_head(head);
 }
 

@@ -18,11 +18,9 @@
 #include <vector>
 
 #include "common/error.hpp"
-#include "core/client.hpp"
 #include "core/diff_serializer.hpp"
-#include "core/template_builder.hpp"
+#include "core/send_pipeline.hpp"
 #include "core/template_store.hpp"
-#include "http/connection.hpp"
 #include "net/transport.hpp"
 #include "soap/value.hpp"
 
@@ -36,7 +34,10 @@ class MultiEndpointClient {
   };
 
   explicit MultiEndpointClient(Config config)
-      : config_(std::move(config)), store_(config_.max_templates) {}
+      : config_(std::move(config)),
+        pipeline_(SendPipeline::Options{config_.tmpl, /*differential=*/true,
+                                        config_.max_templates,
+                                        /*http_chunked=*/false}) {}
   MultiEndpointClient() : MultiEndpointClient(Config{}) {}
 
   /// Registers an endpoint; returns its index. The transport must outlive
@@ -54,35 +55,9 @@ class MultiEndpointClient {
   /// to any other endpoint are content matches.
   Result<SendReport> send_to(std::size_t endpoint, const soap::RpcCall& call) {
     BSOAP_ASSERT(endpoint < endpoints_.size());
-    SendReport report;
-
-    const std::uint64_t signature = call.structure_signature();
-    MessageTemplate* tmpl = store_.find(signature);
-    if (tmpl == nullptr) {
-      tmpl = store_.insert(build_template(call, config_.tmpl));
-      report.match = MatchKind::kFirstTime;
-    } else {
-      report.update = update_template(*tmpl, call);
-      report.match = report.update.match;
-    }
-
-    http::HttpRequest head;
-    head.target = endpoints_[endpoint].path;
-    head.headers.push_back(http::Header{"Host", "localhost"});
-    head.headers.push_back(
-        http::Header{"Content-Type", "text/xml; charset=utf-8"});
-    head.headers.push_back(
-        http::Header{"SOAPAction", "\"" + call.method + "\""});
-
-    std::vector<net::ConstSlice> body;
-    for (const auto& s : tmpl->buffer().slices()) {
-      body.push_back(net::ConstSlice{s.data, s.len});
-    }
-    http::HttpConnection connection(*endpoints_[endpoint].transport);
-    BSOAP_RETURN_IF_ERROR(connection.send_request(std::move(head), body));
-    report.envelope_bytes = tmpl->buffer().total_size();
-    report.wire_bytes = report.envelope_bytes;
-    return report;
+    return pipeline_.send(call,
+                          SendDestination{endpoints_[endpoint].transport,
+                                          endpoints_[endpoint].path});
   }
 
   /// Broadcasts `call` to every endpoint: one serialization/update, N sends.
@@ -97,7 +72,10 @@ class MultiEndpointClient {
     return reports;
   }
 
-  TemplateStore& store() { return store_; }
+  TemplateStore& store() { return pipeline_.store(); }
+
+  /// The shared send path (one pipeline, one template store, N endpoints).
+  SendPipeline& pipeline() { return pipeline_; }
 
  private:
   struct Endpoint {
@@ -106,7 +84,7 @@ class MultiEndpointClient {
   };
 
   Config config_;
-  TemplateStore store_;
+  SendPipeline pipeline_;
   std::vector<Endpoint> endpoints_;
 };
 

@@ -1,0 +1,150 @@
+#include "core/send_pipeline.hpp"
+
+#include "common/timing.hpp"
+
+namespace bsoap::core {
+namespace {
+
+/// Times the stages only when an observer is installed: the unobserved hot
+/// path pays no clock reads beyond one at construction.
+class StageClock {
+ public:
+  explicit StageClock(SendObserver* observer) : observer_(observer) {}
+
+  void lap(SendStage stage, std::size_t bytes) {
+    if (observer_ == nullptr) return;
+    observer_->on_stage(stage, watch_.elapsed_ns(), bytes);
+    watch_.reset();
+  }
+
+ private:
+  SendObserver* observer_;
+  StopWatch watch_;
+};
+
+}  // namespace
+
+const char* send_stage_name(SendStage stage) noexcept {
+  switch (stage) {
+    case SendStage::kResolve:
+      return "resolve";
+    case SendStage::kUpdate:
+      return "update";
+    case SendStage::kFrame:
+      return "frame";
+    case SendStage::kWrite:
+      return "write";
+  }
+  return "?";
+}
+
+SendPipeline::SendPipeline(Options options)
+    : options_(std::move(options)), store_(options_.max_templates) {}
+
+Result<SendReport> SendPipeline::send(const soap::RpcCall& call,
+                                      const SendDestination& dest) {
+  SendReport report;
+  StageClock clock(observer_);
+  MessageTemplate* tmpl = nullptr;
+
+  if (!options_.differential) {
+    // Full-serialization mode reuses one scratch template so chunk
+    // allocations stay warm (like gSOAP's reusable send buffer); resolution
+    // never consults the store.
+    clock.lap(SendStage::kResolve, 0);
+    if (full_mode_scratch_ == nullptr) {
+      full_mode_scratch_ = build_template(call, options_.tmpl);
+    } else {
+      rebuild_template(*full_mode_scratch_, call);
+    }
+    tmpl = full_mode_scratch_.get();
+    report.match = MatchKind::kFirstTime;
+    clock.lap(SendStage::kUpdate, tmpl->buffer().total_size());
+  } else {
+    const std::uint64_t signature = call.structure_signature();
+    tmpl = store_.find(signature);
+    clock.lap(SendStage::kResolve, 0);
+    if (tmpl == nullptr) {
+      tmpl = store_.insert(build_template(call, options_.tmpl));
+      report.match = MatchKind::kFirstTime;
+      clock.lap(SendStage::kUpdate, tmpl->buffer().total_size());
+    } else {
+      const std::uint64_t before = tmpl->stats().bytes_rewritten;
+      report.update = update_template(*tmpl, call);
+      report.match = report.update.match;
+      clock.lap(SendStage::kUpdate,
+                static_cast<std::size_t>(tmpl->stats().bytes_rewritten - before));
+    }
+  }
+
+  BSOAP_RETURN_IF_ERROR(frame_and_write(*tmpl, call.method, dest, &report));
+  if (observer_ != nullptr) observer_->on_send(report);
+  return report;
+}
+
+Result<SendReport> SendPipeline::send_tracked(MessageTemplate& tmpl,
+                                              const soap::RpcCall& call,
+                                              const SendDestination& dest) {
+  SendReport report;
+  StageClock clock(observer_);
+  // The template is bound to the message: resolution is a no-op.
+  clock.lap(SendStage::kResolve, 0);
+
+  if (!tmpl.dut().any_dirty()) {
+    // Paper Section 3.1: "If none of the dirty bits are set, the message
+    // has not changed and can be resent as is."
+    report.match = MatchKind::kContentMatch;
+    clock.lap(SendStage::kUpdate, 0);
+  } else {
+    const std::uint64_t before = tmpl.stats().bytes_rewritten;
+    report.update = update_dirty_fields(tmpl, call);
+    report.match = report.update.match;
+    clock.lap(SendStage::kUpdate,
+              static_cast<std::size_t>(tmpl.stats().bytes_rewritten - before));
+  }
+
+  BSOAP_RETURN_IF_ERROR(frame_and_write(tmpl, call.method, dest, &report));
+  if (observer_ != nullptr) observer_->on_send(report);
+  return report;
+}
+
+Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
+                                     const std::string& method,
+                                     const SendDestination& dest,
+                                     SendReport* report) {
+  BSOAP_ASSERT(dest.transport != nullptr);
+  StageClock clock(observer_);
+
+  http::HttpRequest head;
+  head.method = "POST";
+  head.target = std::string(dest.path);
+  head.headers.push_back(http::Header{"Host", "localhost"});
+  head.headers.push_back(
+      http::Header{"Content-Type", "text/xml; charset=utf-8"});
+  head.headers.push_back(http::Header{"SOAPAction", "\"" + method + "\""});
+
+  body_slices_.clear();
+  tmpl.buffer().append_slices(body_slices_);
+  const std::size_t envelope_bytes = tmpl.buffer().total_size();
+
+  const http::Framer& framing = framer();
+  framing.add_headers(head.headers, envelope_bytes);
+  head_text_ = http::serialize_request_head(head);
+  wire_slices_.clear();
+  wire_slices_.push_back(
+      net::ConstSlice{head_text_.data(), head_text_.size()});
+  framing.frame_body(body_slices_, &wire_slices_, &frame_scratch_);
+
+  std::size_t wire_bytes = 0;
+  for (const net::ConstSlice& s : wire_slices_) wire_bytes += s.len;
+  clock.lap(SendStage::kFrame, wire_bytes);
+
+  BSOAP_RETURN_IF_ERROR(dest.transport->send_slices(wire_slices_));
+  clock.lap(SendStage::kWrite, wire_bytes);
+
+  report->envelope_bytes = envelope_bytes;
+  report->wire_bytes = wire_bytes;
+  return Status{};
+}
+
+}  // namespace bsoap::core

@@ -1,0 +1,183 @@
+// The staged send path every sender shares.
+//
+// The paper's cost model (Section 2) is that a SOAP send is dominated by
+// serialize → frame → write; differential serialization (Section 3) attacks
+// the first stage by reusing a saved template. SendPipeline makes those
+// stages explicit so the whole system has exactly one send path:
+//
+//   1. resolve — find the saved template for the call's structure signature
+//                in the TemplateStore (Section 3's per-call-type templates);
+//   2. update  — serialize: build the template on a first-time send, rewrite
+//                changed fields on a match (by comparison in transparent
+//                mode, by dirty bits in tracked mode — Sections 3.1/3.2);
+//   3. frame   — construct the HTTP head and wrap the template's chunks via
+//                an http::Framer (Content-Length or chunked, Section 2's
+//                transport framing);
+//   4. write   — one scatter-gather write to the destination Transport (the
+//                paper's "Send Time" endpoint: the final send() return).
+//
+// BsoapClient::send_call, BoundMessage::send and MultiEndpointClient all
+// sit on this pipeline. A SendObserver sees each stage's wall time and byte
+// count, so benchmarks and tracing attach without touching the hot path;
+// with no observer installed the stages are not timed at all.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/diff_serializer.hpp"
+#include "core/template_builder.hpp"
+#include "core/template_store.hpp"
+#include "http/framer.hpp"
+#include "net/transport.hpp"
+#include "soap/value.hpp"
+
+namespace bsoap::core {
+
+/// The four stages of one send, in pipeline order.
+enum class SendStage { kResolve = 0, kUpdate = 1, kFrame = 2, kWrite = 3 };
+inline constexpr std::size_t kSendStageCount = 4;
+
+const char* send_stage_name(SendStage stage) noexcept;
+
+/// What a send did — which of the paper's four cases applied and how much
+/// work the differential path performed.
+struct SendReport {
+  MatchKind match = MatchKind::kFirstTime;
+  UpdateResult update;
+  std::size_t envelope_bytes = 0;  ///< serialized SOAP envelope size
+  std::size_t wire_bytes = 0;      ///< envelope + HTTP head + framing bytes
+};
+
+/// Hook through the pipeline stages. Observers must not throw; they run on
+/// the send path of whichever thread is sending.
+class SendObserver {
+ public:
+  virtual ~SendObserver() = default;
+
+  /// One call per completed stage: wall time and the bytes the stage
+  /// handled (resolve: 0; update: bytes rewritten or serialized; frame and
+  /// write: total wire bytes).
+  virtual void on_stage(SendStage stage, std::int64_t elapsed_ns,
+                        std::size_t bytes) = 0;
+
+  /// Called once after the write stage with the final report.
+  virtual void on_send(const SendReport& report) { (void)report; }
+};
+
+/// SendObserver accumulating per-stage totals (tests, benchmarks).
+class StageTimings final : public SendObserver {
+ public:
+  struct Totals {
+    std::int64_t ns = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t count = 0;
+  };
+
+  void on_stage(SendStage stage, std::int64_t elapsed_ns,
+                std::size_t bytes) override {
+    Totals& t = totals_[static_cast<std::size_t>(stage)];
+    t.ns += elapsed_ns;
+    t.bytes += bytes;
+    t.count += 1;
+  }
+
+  void on_send(const SendReport& report) override {
+    sends_ += 1;
+    last_ = report;
+  }
+
+  const Totals& totals(SendStage stage) const {
+    return totals_[static_cast<std::size_t>(stage)];
+  }
+  std::uint64_t sends() const { return sends_; }
+  const SendReport& last_report() const { return last_; }
+
+  void reset() {
+    totals_ = {};
+    sends_ = 0;
+    last_ = SendReport{};
+  }
+
+ private:
+  std::array<Totals, kSendStageCount> totals_{};
+  std::uint64_t sends_ = 0;
+  SendReport last_;
+};
+
+/// Where one send goes: a connected transport plus the HTTP request target.
+/// The referents must outlive the call.
+struct SendDestination {
+  net::Transport* transport = nullptr;
+  std::string_view path = "/";
+};
+
+class SendPipeline {
+ public:
+  struct Options {
+    TemplateConfig tmpl;
+    /// false = the paper's "bSOAP Full Serialization": the template
+    /// machinery runs but every send re-serializes from scratch.
+    bool differential = true;
+    /// Saved templates retained across call structures (LRU).
+    std::size_t max_templates = 8;
+    /// Frame template chunks as HTTP/1.1 chunked transfer encoding instead
+    /// of Content-Length.
+    bool http_chunked = false;
+  };
+
+  explicit SendPipeline(Options options);
+
+  /// Transparent send: resolve from the store, update by comparing leaves
+  /// against the template's shadow copies, frame, write.
+  Result<SendReport> send(const soap::RpcCall& call,
+                          const SendDestination& dest);
+
+  /// Tracked send (BoundMessage): the caller owns the template; the update
+  /// stage rewrites exactly the DUT's dirty entries (a clean DUT resends the
+  /// stored bytes — the paper's content match).
+  Result<SendReport> send_tracked(MessageTemplate& tmpl,
+                                  const soap::RpcCall& call,
+                                  const SendDestination& dest);
+
+  /// Installs (or clears, with nullptr) the per-stage observer.
+  void set_observer(SendObserver* observer) { observer_ = observer; }
+
+  /// Overrides the framing strategy; nullptr restores the one selected by
+  /// Options::http_chunked.
+  void set_framer(const http::Framer* framer) { framer_override_ = framer; }
+  const http::Framer& framer() const {
+    return framer_override_ != nullptr
+               ? *framer_override_
+               : (options_.http_chunked ? http::chunked_framer()
+                                        : http::content_length_framer());
+  }
+
+  TemplateStore& store() { return store_; }
+  const Options& options() const { return options_; }
+
+ private:
+  /// Stages 3 and 4: frames `tmpl`'s chunks behind the configured framer and
+  /// writes them to `dest`; fills the report's byte counts.
+  Status frame_and_write(MessageTemplate& tmpl, const std::string& method,
+                         const SendDestination& dest, SendReport* report);
+
+  Options options_;
+  TemplateStore store_;
+  SendObserver* observer_ = nullptr;
+  const http::Framer* framer_override_ = nullptr;
+  /// Recycled template for non-differential (full-serialization) mode.
+  std::unique_ptr<MessageTemplate> full_mode_scratch_;
+  // Per-send scratch, reused so steady-state sends allocate nothing:
+  std::vector<net::ConstSlice> body_slices_;
+  std::vector<net::ConstSlice> wire_slices_;
+  std::vector<std::string> frame_scratch_;
+  std::string head_text_;
+};
+
+}  // namespace bsoap::core

@@ -1,9 +1,8 @@
 #include "http/chunked_coding.hpp"
 
 namespace bsoap::http {
-namespace {
 
-std::string hex_size_line(std::size_t n) {
+std::string chunk_size_line(std::size_t n) {
   char buf[20];
   int len = 0;
   if (n == 0) {
@@ -22,6 +21,8 @@ std::string hex_size_line(std::size_t n) {
   buf[len++] = '\n';
   return std::string(buf, static_cast<std::size_t>(len));
 }
+
+namespace {
 
 Result<std::size_t> parse_hex_size(std::string_view line) {
   // Chunk extensions (";ext=...") are permitted and ignored.
@@ -62,7 +63,7 @@ std::vector<net::ConstSlice> encode_chunked(
   static constexpr std::string_view kCrlf = "\r\n";
   for (const net::ConstSlice& s : body) {
     if (s.len == 0) continue;
-    scratch->push_back(hex_size_line(s.len));
+    scratch->push_back(chunk_size_line(s.len));
     out.push_back(net::ConstSlice{scratch->back().data(), scratch->back().size()});
     out.push_back(s);
     out.push_back(net::ConstSlice{kCrlf.data(), kCrlf.size()});

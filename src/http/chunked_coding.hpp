@@ -15,6 +15,9 @@
 
 namespace bsoap::http {
 
+/// One chunk-size line of the coding: the hex size followed by CRLF.
+std::string chunk_size_line(std::size_t n);
+
 /// Wraps `body` slices in chunked framing. `scratch` owns the framing bytes
 /// and must outlive the returned slices. Each body slice becomes one HTTP
 /// chunk; the terminating zero chunk is appended.

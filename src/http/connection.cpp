@@ -10,22 +10,16 @@ namespace bsoap::http {
 
 Status HttpConnection::send_request(HttpRequest head,
                                     std::span<const net::ConstSlice> body,
-                                    bool chunked) {
+                                    const Framer& framer) {
   std::size_t body_size = 0;
   for (const net::ConstSlice& s : body) body_size += s.len;
 
+  framer.add_headers(head.headers, body_size);
+  const std::string head_text = serialize_request_head(head);
   std::vector<std::string> scratch;
   std::vector<net::ConstSlice> wire;
-  if (chunked && head.version == "HTTP/1.1") {
-    head.headers.push_back(Header{"Transfer-Encoding", "chunked"});
-    wire = encode_chunked(body, &scratch);
-  } else {
-    head.headers.push_back(
-        Header{"Content-Length", std::to_string(body_size)});
-    wire.assign(body.begin(), body.end());
-  }
-  const std::string head_text = serialize_request_head(head);
-  wire.insert(wire.begin(), net::ConstSlice{head_text.data(), head_text.size()});
+  wire.push_back(net::ConstSlice{head_text.data(), head_text.size()});
+  framer.frame_body(body, &wire, &scratch);
   return transport_.send_slices(wire);
 }
 
@@ -39,7 +33,7 @@ Status HttpConnection::send_request_gzip(HttpRequest head,
 }
 
 Status HttpConnection::send_response(HttpResponse head, std::string_view body) {
-  head.headers.push_back(Header{"Content-Length", std::to_string(body.size())});
+  content_length_framer().add_headers(head.headers, body.size());
   const std::string head_text = serialize_response_head(head);
   const net::ConstSlice slices[] = {
       net::ConstSlice{head_text.data(), head_text.size()},

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "http/framer.hpp"
 #include "http/http_message.hpp"
 #include "net/transport.hpp"
 
@@ -18,11 +19,11 @@ class HttpConnection {
  public:
   explicit HttpConnection(net::Transport& transport) : transport_(transport) {}
 
-  /// Sends `head` with `body` slices. Framing headers (Content-Length or
-  /// Transfer-Encoding) are added automatically: HTTP/1.1 + `chunked=true`
-  /// streams each slice as one HTTP chunk, otherwise Content-Length is used.
+  /// Sends `head` with `body` slices. The framer adds its framing headers
+  /// (Content-Length or Transfer-Encoding) and wraps the body for the wire;
+  /// the default frames with Content-Length.
   Status send_request(HttpRequest head, std::span<const net::ConstSlice> body,
-                      bool chunked = false);
+                      const Framer& framer = content_length_framer());
 
   /// Sends `head` with a gzip-compressed body (Content-Encoding: gzip) —
   /// gSOAP's transport compression, complementary to differential

@@ -1,0 +1,57 @@
+#include "http/framer.hpp"
+
+#include "http/chunked_coding.hpp"
+
+namespace bsoap::http {
+
+void ContentLengthFramer::add_headers(std::vector<Header>& headers,
+                                      std::size_t body_size) const {
+  headers.push_back(Header{"Content-Length", std::to_string(body_size)});
+}
+
+void ContentLengthFramer::frame_body(std::span<const net::ConstSlice> body,
+                                     std::vector<net::ConstSlice>* wire,
+                                     std::vector<std::string>* scratch) const {
+  scratch->clear();
+  wire->insert(wire->end(), body.begin(), body.end());
+}
+
+void ChunkedFramer::add_headers(std::vector<Header>& headers,
+                                std::size_t /*body_size*/) const {
+  headers.push_back(Header{"Transfer-Encoding", "chunked"});
+}
+
+void ChunkedFramer::frame_body(std::span<const net::ConstSlice> body,
+                               std::vector<net::ConstSlice>* wire,
+                               std::vector<std::string>* scratch) const {
+  scratch->clear();
+  // The emitted slices point into scratch's strings: reserve the final
+  // element count up front so push_back never reallocates the vector and
+  // invalidates earlier data() pointers.
+  scratch->reserve(body.size() + 1);
+  wire->reserve(wire->size() + body.size() * 3 + 1);
+  static constexpr std::string_view kCrlf = "\r\n";
+  for (const net::ConstSlice& s : body) {
+    if (s.len == 0) continue;
+    scratch->push_back(chunk_size_line(s.len));
+    wire->push_back(
+        net::ConstSlice{scratch->back().data(), scratch->back().size()});
+    wire->push_back(s);
+    wire->push_back(net::ConstSlice{kCrlf.data(), kCrlf.size()});
+  }
+  scratch->push_back("0\r\n\r\n");
+  wire->push_back(
+      net::ConstSlice{scratch->back().data(), scratch->back().size()});
+}
+
+const Framer& content_length_framer() noexcept {
+  static const ContentLengthFramer framer;
+  return framer;
+}
+
+const Framer& chunked_framer() noexcept {
+  static const ChunkedFramer framer;
+  return framer;
+}
+
+}  // namespace bsoap::http

@@ -1,0 +1,66 @@
+// HTTP body framing strategies.
+//
+// A Framer decides how a request body is delimited on the wire — the
+// Content-Length header with the body sent verbatim, or HTTP/1.1 chunked
+// transfer encoding with each body slice wrapped as one chunk (the
+// transport-level counterpart of bSOAP's internal message chunking, paper
+// Section 2). Framing headers are added here and nowhere else, so every
+// sender agrees on what goes on the wire for a given framing choice.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "http/http_message.hpp"
+#include "net/socket.hpp"
+
+namespace bsoap::http {
+
+class Framer {
+ public:
+  virtual ~Framer() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Appends this framing's message headers (Content-Length or
+  /// Transfer-Encoding) for a body of `body_size` bytes.
+  virtual void add_headers(std::vector<Header>& headers,
+                           std::size_t body_size) const = 0;
+
+  /// Appends the on-the-wire form of `body` to `wire`. `scratch` owns any
+  /// framing bytes (chunk-size lines, CRLFs) and must outlive the appended
+  /// slices; it is cleared first, so one scratch serves one framed message.
+  virtual void frame_body(std::span<const net::ConstSlice> body,
+                          std::vector<net::ConstSlice>* wire,
+                          std::vector<std::string>* scratch) const = 0;
+};
+
+/// Body sent verbatim, delimited by a Content-Length header.
+class ContentLengthFramer final : public Framer {
+ public:
+  const char* name() const noexcept override { return "content-length"; }
+  void add_headers(std::vector<Header>& headers,
+                   std::size_t body_size) const override;
+  void frame_body(std::span<const net::ConstSlice> body,
+                  std::vector<net::ConstSlice>* wire,
+                  std::vector<std::string>* scratch) const override;
+};
+
+/// HTTP/1.1 chunked transfer encoding: each body slice becomes one chunk,
+/// terminated by the zero chunk. Requires an HTTP/1.1 head.
+class ChunkedFramer final : public Framer {
+ public:
+  const char* name() const noexcept override { return "chunked"; }
+  void add_headers(std::vector<Header>& headers,
+                   std::size_t body_size) const override;
+  void frame_body(std::span<const net::ConstSlice> body,
+                  std::vector<net::ConstSlice>* wire,
+                  std::vector<std::string>* scratch) const override;
+};
+
+/// Process-wide stateless instances (framers carry no per-send state).
+const Framer& content_length_framer() noexcept;
+const Framer& chunked_framer() noexcept;
+
+}  // namespace bsoap::http

@@ -184,7 +184,8 @@ TEST(HttpConnection, ChunkedRequestBody) {
   const net::ConstSlice body[] = {net::ConstSlice{p1.data(), p1.size()},
                                   net::ConstSlice{p2.data(), p2.size()},
                                   net::ConstSlice{p3.data(), p3.size()}};
-  ASSERT_TRUE(client.send_request(std::move(head), body, /*chunked=*/true).ok());
+  ASSERT_TRUE(
+      client.send_request(std::move(head), body, ChunkedFramer{}).ok());
   server_thread.join();
 }
 

@@ -1,0 +1,300 @@
+// Tests for the staged send path: per-stage SendObserver accounting across
+// the paper's four match kinds, framer wire equivalence against the raw
+// HttpConnection path, wire-byte accounting, and template sharing through
+// the one pipeline every sender uses.
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/multi_endpoint.hpp"
+#include "core/send_pipeline.hpp"
+#include "core/template_builder.hpp"
+#include "http/connection.hpp"
+#include "http/framer.hpp"
+#include "net/inmemory.hpp"
+#include "soap/envelope_reader.hpp"
+#include "soap/workload.hpp"
+
+namespace bsoap::core {
+namespace {
+
+using soap::RpcCall;
+
+struct CapturingServer {
+  explicit CapturingServer(net::Transport& transport)
+      : connection(transport) {}
+
+  Result<RpcCall> next_call() {
+    Result<http::HttpRequest> request = connection.read_request();
+    if (!request.ok()) return request.error();
+    last_request = request.value();
+    return soap::read_rpc_envelope(request.value().body);
+  }
+
+  http::HttpConnection connection;
+  http::HttpRequest last_request;
+};
+
+/// Reads the peer's raw bytes until end of stream (sender must shut down
+/// its write side first).
+std::string drain_raw(net::Transport& transport) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    Result<std::size_t> got = transport.recv(buf, sizeof(buf));
+    if (!got.ok() || got.value() == 0) break;
+    out.append(buf, got.value());
+  }
+  return out;
+}
+
+TEST(SendPipeline, ObserverSeesAllStagesAcrossMatchKinds) {
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  BsoapClient client(*client_t);
+  CapturingServer server(*server_t);
+  StageTimings timings;
+  client.pipeline().set_observer(&timings);
+
+  auto values = soap::doubles_with_serialized_length(30, 18, 1);
+
+  // First-time send: the update stage serializes the whole envelope.
+  Result<SendReport> first =
+      client.send_call(soap::make_double_array_call(values));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().match, MatchKind::kFirstTime);
+  EXPECT_EQ(timings.sends(), 1u);
+  for (const SendStage stage :
+       {SendStage::kResolve, SendStage::kUpdate, SendStage::kFrame,
+        SendStage::kWrite}) {
+    EXPECT_EQ(timings.totals(stage).count, 1u) << send_stage_name(stage);
+  }
+  EXPECT_EQ(timings.totals(SendStage::kUpdate).bytes,
+            first.value().envelope_bytes);
+  EXPECT_EQ(timings.totals(SendStage::kWrite).bytes, first.value().wire_bytes);
+  EXPECT_EQ(timings.last_report().match, MatchKind::kFirstTime);
+  ASSERT_TRUE(server.next_call().ok());
+
+  // Content match: nothing rewritten, so zero update bytes.
+  timings.reset();
+  Result<SendReport> resend =
+      client.send_call(soap::make_double_array_call(values));
+  ASSERT_TRUE(resend.ok());
+  EXPECT_EQ(resend.value().match, MatchKind::kContentMatch);
+  EXPECT_EQ(timings.totals(SendStage::kUpdate).bytes, 0u);
+  EXPECT_EQ(timings.totals(SendStage::kWrite).count, 1u);
+  ASSERT_TRUE(server.next_call().ok());
+
+  // Perfect structural match: same-width value change rewrites only that
+  // field's bytes.
+  timings.reset();
+  values[3] = soap::doubles_with_serialized_length(1, 18, 2)[0];
+  Result<SendReport> psm =
+      client.send_call(soap::make_double_array_call(values));
+  ASSERT_TRUE(psm.ok());
+  EXPECT_EQ(psm.value().match, MatchKind::kPerfectStructural);
+  EXPECT_GT(timings.totals(SendStage::kUpdate).bytes, 0u);
+  EXPECT_LT(timings.totals(SendStage::kUpdate).bytes,
+            psm.value().envelope_bytes);
+  ASSERT_TRUE(server.next_call().ok());
+
+  // Partial structural match: a wider value forces an expansion.
+  timings.reset();
+  values[10] = soap::doubles_with_serialized_length(1, 22, 3)[0];
+  Result<SendReport> partial =
+      client.send_call(soap::make_double_array_call(values));
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial.value().match, MatchKind::kPartialStructural);
+  EXPECT_GT(partial.value().update.expansions, 0u);
+  EXPECT_EQ(timings.totals(SendStage::kFrame).count, 1u);
+  Result<RpcCall> received = server.next_call();
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received.value().params[0].value.doubles(), values);
+}
+
+TEST(SendPipeline, TrackedSendsGoThroughTheSameStages) {
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  BsoapClient client(*client_t);
+  CapturingServer server(*server_t);
+  StageTimings timings;
+  client.pipeline().set_observer(&timings);
+
+  auto values = soap::doubles_with_serialized_length(20, 18, 4);
+  auto message = client.bind(soap::make_double_array_call(values));
+
+  // Clean DUT: content match, zero update bytes, all four stages observed.
+  Result<SendReport> first = message->send();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().match, MatchKind::kContentMatch);
+  EXPECT_EQ(timings.totals(SendStage::kResolve).count, 1u);
+  EXPECT_EQ(timings.totals(SendStage::kUpdate).bytes, 0u);
+  EXPECT_EQ(timings.sends(), 1u);
+  ASSERT_TRUE(server.next_call().ok());
+
+  timings.reset();
+  message->set_double_element(0, 2,
+                              soap::doubles_with_serialized_length(1, 18, 5)[0]);
+  Result<SendReport> dirty = message->send();
+  ASSERT_TRUE(dirty.ok());
+  EXPECT_EQ(dirty.value().match, MatchKind::kPerfectStructural);
+  EXPECT_GT(timings.totals(SendStage::kUpdate).bytes, 0u);
+  EXPECT_EQ(timings.totals(SendStage::kWrite).bytes, dirty.value().wire_bytes);
+  ASSERT_TRUE(server.next_call().ok());
+}
+
+TEST(SendPipeline, WireBytesExceedEnvelopeBytes) {
+  // Content-Length framing: wire = HTTP head + envelope.
+  {
+    auto [client_t, server_t] = net::make_inmemory_transports();
+    BsoapClient client(*client_t);
+    CapturingServer server(*server_t);
+    Result<SendReport> report = client.send_call(
+        soap::make_double_array_call(soap::random_doubles(50, 6)));
+    ASSERT_TRUE(report.ok());
+    EXPECT_GT(report.value().wire_bytes, report.value().envelope_bytes);
+    ASSERT_TRUE(server.next_call().ok());
+    EXPECT_EQ(report.value().envelope_bytes, server.last_request.body.size());
+  }
+  // Chunked framing: wire additionally counts the chunk-size lines.
+  {
+    auto [client_t, server_t] = net::make_inmemory_transports();
+    BsoapClientConfig config;
+    config.http_chunked = true;
+    config.tmpl.chunk.chunk_size = 1024;  // force several chunks
+    BsoapClient client(*client_t, config);
+    CapturingServer server(*server_t);
+    Result<SendReport> report = client.send_call(
+        soap::make_double_array_call(soap::random_doubles(200, 7)));
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE(server.next_call().ok());
+    ASSERT_NE(server.last_request.find("Transfer-Encoding"), nullptr);
+    // head + per-chunk framing: strictly more than head + envelope alone.
+    const std::size_t head_free =
+        report.value().wire_bytes - report.value().envelope_bytes;
+    EXPECT_GT(head_free, std::string("0\r\n\r\n").size());
+    EXPECT_EQ(report.value().envelope_bytes, server.last_request.body.size());
+  }
+}
+
+/// The pipeline's wire bytes must be identical to framing the same template
+/// through the raw HttpConnection path with the same head and framer.
+void expect_wire_equivalence(const http::Framer& framer, bool chunked_config) {
+  const RpcCall call =
+      soap::make_double_array_call(soap::random_doubles(150, 8));
+
+  BsoapClientConfig config;
+  config.http_chunked = chunked_config;
+  config.tmpl.chunk.chunk_size = 2048;  // several chunks => several slices
+
+  // New path: pipeline send.
+  auto [pipe_client_t, pipe_server_t] = net::make_inmemory_transports();
+  {
+    BsoapClient client(*pipe_client_t, config);
+    ASSERT_TRUE(client.send_call(call).ok());
+  }
+  pipe_client_t->shutdown_send();
+  const std::string pipeline_bytes = drain_raw(*pipe_server_t);
+
+  // Old path: identical head, template bytes from an identically configured
+  // build, framed by HttpConnection::send_request.
+  auto [raw_client_t, raw_server_t] = net::make_inmemory_transports();
+  {
+    auto tmpl = build_template(call, config.tmpl);
+    http::HttpRequest head;
+    head.method = "POST";
+    head.target = "/";
+    head.headers.push_back(http::Header{"Host", "localhost"});
+    head.headers.push_back(
+        http::Header{"Content-Type", "text/xml; charset=utf-8"});
+    head.headers.push_back(
+        http::Header{"SOAPAction", "\"" + call.method + "\""});
+    std::vector<net::ConstSlice> body;
+    tmpl->buffer().append_slices(body);
+    http::HttpConnection connection(*raw_client_t);
+    ASSERT_TRUE(connection.send_request(std::move(head), body, framer).ok());
+  }
+  raw_client_t->shutdown_send();
+  const std::string raw_bytes = drain_raw(*raw_server_t);
+
+  ASSERT_FALSE(pipeline_bytes.empty());
+  EXPECT_EQ(pipeline_bytes, raw_bytes);
+}
+
+TEST(SendPipeline, ContentLengthWireEquivalence) {
+  expect_wire_equivalence(http::content_length_framer(), false);
+}
+
+TEST(SendPipeline, ChunkedWireEquivalence) {
+  expect_wire_equivalence(http::chunked_framer(), true);
+}
+
+TEST(SendPipeline, MultiEndpointContentMatchReuseIsObserved) {
+  struct Endpoint {
+    std::unique_ptr<net::Transport> client_side;
+    std::unique_ptr<net::Transport> server_side;
+    Endpoint() {
+      auto [a, b] = net::make_inmemory_transports();
+      client_side = std::move(a);
+      server_side = std::move(b);
+    }
+  };
+
+  Endpoint a;
+  Endpoint b;
+  MultiEndpointClient client;
+  client.add_endpoint(*a.client_side, "/svc-a");
+  client.add_endpoint(*b.client_side, "/svc-b");
+  StageTimings timings;
+  client.pipeline().set_observer(&timings);
+
+  const RpcCall call =
+      soap::make_double_array_call(soap::random_doubles(40, 9));
+  Result<SendReport> to_a = client.send_to(0, call);
+  ASSERT_TRUE(to_a.ok());
+  EXPECT_EQ(to_a.value().match, MatchKind::kFirstTime);
+  EXPECT_GT(to_a.value().wire_bytes, to_a.value().envelope_bytes);
+
+  // Same content to a different endpoint: the shared store resolves the
+  // same template and the update stage rewrites nothing.
+  timings.reset();
+  Result<SendReport> to_b = client.send_to(1, call);
+  ASSERT_TRUE(to_b.ok());
+  EXPECT_EQ(to_b.value().match, MatchKind::kContentMatch);
+  EXPECT_EQ(timings.totals(SendStage::kUpdate).bytes, 0u);
+  EXPECT_EQ(timings.totals(SendStage::kWrite).count, 1u);
+  EXPECT_EQ(client.store().size(), 1u);
+
+  // Both servers received a parseable copy of the same envelope.
+  for (Endpoint* endpoint : {&a, &b}) {
+    http::HttpConnection connection(*endpoint->server_side);
+    Result<http::HttpRequest> request = connection.read_request();
+    ASSERT_TRUE(request.ok());
+    Result<RpcCall> received = soap::read_rpc_envelope(request.value().body);
+    ASSERT_TRUE(received.ok());
+    EXPECT_TRUE(received.value().params[0].value == call.params[0].value);
+  }
+}
+
+TEST(SendPipeline, FramerOverrideTakesEffect) {
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  BsoapClient client(*client_t);  // default: Content-Length
+  CapturingServer server(*server_t);
+  client.pipeline().set_framer(&http::chunked_framer());
+
+  ASSERT_TRUE(client
+                  .send_call(soap::make_double_array_call(
+                      soap::random_doubles(30, 10)))
+                  .ok());
+  ASSERT_TRUE(server.next_call().ok());
+  EXPECT_NE(server.last_request.find("Transfer-Encoding"), nullptr);
+  EXPECT_EQ(server.last_request.find("Content-Length"), nullptr);
+
+  client.pipeline().set_framer(nullptr);
+  ASSERT_TRUE(client
+                  .send_call(soap::make_double_array_call(
+                      soap::random_doubles(30, 11)))
+                  .ok());
+  ASSERT_TRUE(server.next_call().ok());
+  EXPECT_NE(server.last_request.find("Content-Length"), nullptr);
+}
+
+}  // namespace
+}  // namespace bsoap::core
