@@ -1,0 +1,115 @@
+// Server throughput: requests/second against the bounded worker-pool
+// runtime, workers x {full re-serialization, differential responses}.
+//
+// Each point runs one persistent keep-alive client connection per worker
+// (a keep-alive connection pins its worker, so this saturates the pool),
+// every client performing full RPC round trips (send + parse response). The
+// handler returns a fixed double array, so with diff_responses enabled every
+// response after the first per worker leaves via the content-match fast
+// path — the response-side analogue of the paper's Figures 1-3. The
+// acceptance bar is diff >= baseline at every worker count (items_per_second
+// column; higher is better).
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/client.hpp"
+#include "server/server_runtime.hpp"
+#include "soap/workload.hpp"
+
+namespace {
+
+using namespace bsoap;
+using namespace bsoap::bench;
+
+/// Response payload: large enough that response serialization dominates the
+/// handler cost. BSOAP_BENCH_MAX_N caps it for quick runs.
+std::size_t response_array_size() {
+  std::size_t n = 500;
+  if (const char* cap = std::getenv("BSOAP_BENCH_MAX_N")) {
+    const auto max_n = static_cast<std::size_t>(std::atoll(cap));
+    if (max_n >= 1 && max_n < n) n = max_n;
+  }
+  return n;
+}
+
+constexpr int kRequestsPerClient = 40;
+
+void bench_point(benchmark::State& state, std::size_t workers,
+                 bool diff_responses) {
+  const auto payload = soap::random_doubles(response_array_size(), 7);
+  server::ServerRuntimeOptions options;
+  options.workers = workers;
+  options.diff_responses = diff_responses;
+  auto server = must(server::ServerRuntime::start(
+      [payload](const soap::RpcCall&) -> Result<soap::Value> {
+        return soap::Value::from_double_array(payload);
+      },
+      options));
+
+  struct ClientSlot {
+    std::unique_ptr<net::Transport> transport;
+    std::unique_ptr<core::BsoapClient> client;
+  };
+  const std::size_t client_count = workers;
+  std::vector<ClientSlot> slots(client_count);
+  soap::RpcCall call;
+  call.method = "fetch";
+  call.service_namespace = "urn:bsoap-bench";
+  call.params.push_back(soap::Param{"key", soap::Value::from_int(1)});
+  for (ClientSlot& slot : slots) {
+    slot.transport = must(net::tcp_connect(server->port()));
+    slot.client = std::make_unique<core::BsoapClient>(*slot.transport);
+    (void)must(slot.client->invoke(call));  // prime the connection
+  }
+
+  std::atomic<int> errors{0};
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(client_count);
+    for (ClientSlot& slot : slots) {
+      threads.emplace_back([&slot, &call, &errors] {
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          if (!slot.client->invoke(call).ok()) {
+            errors.fetch_add(1);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  if (errors.load() != 0) {
+    state.SkipWithError("request failed");
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(client_count) *
+                          kRequestsPerClient);
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["diff"] = diff_responses ? 1 : 0;
+  server->stop();
+}
+
+void register_bench() {
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    for (const bool diff : {false, true}) {
+      const std::string name = "ServerThroughput/workers:" +
+                               std::to_string(workers) +
+                               (diff ? "/diff" : "/full");
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [workers, diff](benchmark::State& state) {
+            bench_point(state, workers, diff);
+          })
+          ->Iterations(5)
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime();
+    }
+  }
+}
+
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_bench)

@@ -7,6 +7,7 @@
 
 #include "calc_stub.hpp"  // generated into the build tree
 #include "net/tcp.hpp"
+#include "server/server_runtime.hpp"
 #include "soap/soap_server.hpp"
 
 using namespace bsoap;
@@ -51,6 +52,14 @@ int main() {
     std::printf("dot round %d = %.1f\n", round + 1, dot.value());
     x[0] += 1.0;
   }
+
+  // Both directions are differential: the stub's client reuses its request
+  // template, and the server runtime reuses its response templates.
+  const server::ServerStats stats = server.value()->runtime().stats();
+  std::printf("server: %llu requests, response diff hits %llu/%llu\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.response_diff_hits()),
+              static_cast<unsigned long long>(stats.responses_total()));
 
   server.value()->stop();
   std::printf("done.\n");

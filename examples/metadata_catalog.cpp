@@ -11,11 +11,13 @@
 // only the fields that change between requests.
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "core/client.hpp"
 #include "http/connection.hpp"
 #include "net/tcp.hpp"
+#include "server/server_runtime.hpp"
 #include "soap/envelope_reader.hpp"
 #include "soap/soap_server.hpp"
 
@@ -33,10 +35,15 @@ struct CatalogEntry {
 }  // namespace
 
 int main() {
+  // Handlers run on the server runtime's worker pool, so the catalog is
+  // shared mutable state: guard it.
+  std::mutex catalog_mutex;
   std::map<std::string, CatalogEntry> catalog;
 
   auto server = soap::SoapHttpServer::start(
-      [&catalog](const soap::RpcCall& call) -> Result<soap::Value> {
+      [&catalog, &catalog_mutex](
+          const soap::RpcCall& call) -> Result<soap::Value> {
+        std::lock_guard<std::mutex> lock(catalog_mutex);
         auto param = [&](const char* name) -> const soap::Value* {
           for (const soap::Param& p : call.params) {
             if (p.name == name) return &p.value;
@@ -131,6 +138,15 @@ int main() {
   std::printf("query dataset-007: owner=%s sizeMB=%d\n",
               entry.value().members()[0].value.as_string().c_str(),
               entry.value().members()[2].value.as_int());
+
+  // The responses took the differential path too: every addMetadata reply
+  // has the same shape (an int count), so after the first one the server
+  // only rewrote the changed digits.
+  const server::ServerStats stats = server.value()->runtime().stats();
+  std::printf("server responses: first-time=%llu diff-hits=%llu/%llu\n",
+              static_cast<unsigned long long>(stats.response_first_time),
+              static_cast<unsigned long long>(stats.response_diff_hits()),
+              static_cast<unsigned long long>(stats.responses_total()));
 
   server.value()->stop();
   return 0;

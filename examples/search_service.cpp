@@ -6,132 +6,72 @@
 // reduce the time spent serializing response messages from the heavily-used
 // servers."
 //
-// This example runs a search service whose RESPONSE envelope is a saved
-// message template: each query rewrites only the fields that changed (hit
-// count, scores, result titles) and the response bytes go out of the chunked
-// template via scatter-gather send — the server never re-serializes the
-// response envelope from scratch after the first request.
+// This example runs the search service on the server runtime
+// (src/server/server_runtime.hpp): a bounded worker pool where every worker
+// keeps its response envelopes as saved message templates. A repeated query
+// produces an identical response — resent straight from the template's
+// chunks (content match); a new query rewrites only the changed fields. The
+// per-match-kind counters in ServerStats show how many responses skipped
+// full serialization.
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "buffer/sinks.hpp"
 #include "common/rng.hpp"
-#include "core/diff_serializer.hpp"
-#include "core/template_builder.hpp"
-#include "http/connection.hpp"
+#include "core/client.hpp"
 #include "net/tcp.hpp"
-#include "soap/envelope_reader.hpp"
-#include "soap/envelope_writer.hpp"
-#include "soap/soap_server.hpp"
+#include "server/server_runtime.hpp"
 #include "soap/value.hpp"
 
 using namespace bsoap;
 
 namespace {
 
-/// Fixed response schema: total hits + top-4 result titles + their scores.
-soap::RpcCall make_response_call(std::int32_t total,
-                                 const std::vector<std::string>& titles,
-                                 const std::vector<double>& scores) {
-  soap::RpcCall call;
-  call.method = "searchResponse";
-  call.service_namespace = "urn:search";
+/// A toy index: deterministic pseudo-results per query. Fixed response
+/// schema: total hits + top-4 result titles + their scores.
+Result<soap::Value> handle_search(const soap::RpcCall& call) {
+  if (call.method != "search") {
+    return Error{ErrorCode::kNotFound, "unknown operation"};
+  }
+  const std::string query = call.params[0].value.as_string();
+  Rng rng(std::hash<std::string>{}(query));
   soap::Value result = soap::Value::make_struct();
-  result.add_member("totalHits", soap::Value::from_int(total));
+  result.add_member("totalHits", soap::Value::from_int(static_cast<std::int32_t>(
+                                     rng.next_in(100, 99999))));
   soap::Value hits = soap::Value::make_struct();
-  for (std::size_t i = 0; i < titles.size(); ++i) {
+  for (int i = 0; i < 4; ++i) {
     soap::Value hit = soap::Value::make_struct();
-    hit.add_member("title", soap::Value::from_string(titles[i]));
-    hit.add_member("score", soap::Value::from_double(scores[i]));
+    hit.add_member("title",
+                   soap::Value::from_string(
+                       "doc-" + std::to_string(rng.next_below(10000)) +
+                       " about " + query));
+    // Two-decimal scores: fixed-width lexicals keep rewrites in place.
+    hit.add_member("score", soap::Value::from_double(static_cast<double>(
+                                rng.next_in(100, 999)) /
+                                100.0));
     hits.add_member("hit" + std::to_string(i), hit);
   }
   result.add_member("hits", hits);
-  call.params.push_back(soap::Param{"return", result});
-  return call;
-}
-
-/// A toy index: deterministic pseudo-results per query.
-void run_query(const std::string& query, std::int32_t* total,
-               std::vector<std::string>* titles, std::vector<double>* scores) {
-  Rng rng(std::hash<std::string>{}(query));
-  *total = static_cast<std::int32_t>(rng.next_in(100, 99999));
-  titles->clear();
-  scores->clear();
-  for (int i = 0; i < 4; ++i) {
-    titles->push_back("doc-" + std::to_string(rng.next_below(10000)) +
-                      " about " + query);
-    // Two-decimal scores: fixed-width lexicals keep rewrites in place.
-    scores->push_back(static_cast<double>(rng.next_in(100, 999)) / 100.0);
-  }
+  return result;
 }
 
 }  // namespace
 
 int main() {
-  auto listener = net::TcpListener::bind();
-  listener.value_or_die();
-  const std::uint16_t port = listener.value().port();
-  std::printf("search service on 127.0.0.1:%u\n", port);
-
-  // Server thread: response envelope kept as a differential template.
-  std::thread server_thread([&] {
-    auto conn = listener.value().accept();
-    if (!conn.ok()) return;
-    http::HttpConnection http(*conn.value());
-
-    core::TemplateConfig config;
-    // Stuff numeric fields so score/hit-count changes never shift.
-    config.stuffing.mode = core::StuffingPolicy::Mode::kTypeMax;
-    std::unique_ptr<core::MessageTemplate> response_template;
-
-    for (;;) {
-      Result<http::HttpRequest> request = http.read_request();
-      if (!request.ok()) return;
-      Result<soap::RpcCall> call = soap::read_rpc_envelope(request.value().body);
-      if (!call.ok()) return;
-      const std::string query = call.value().params[0].value.as_string();
-
-      std::int32_t total = 0;
-      std::vector<std::string> titles;
-      std::vector<double> scores;
-      run_query(query, &total, &titles, &scores);
-      const soap::RpcCall response = make_response_call(total, titles, scores);
-
-      core::UpdateResult update;
-      if (response_template == nullptr) {
-        response_template = core::build_template(response, config);
-        update.match = core::MatchKind::kFirstTime;
-      } else {
-        update = core::update_template(*response_template, response);
-      }
-
-      std::fprintf(stderr, "  server: %-26s rewrites=%llu\n",
-                   core::match_kind_name(update.match),
-                   static_cast<unsigned long long>(update.values_rewritten));
-
-      // Scatter-gather send straight out of the template chunks.
-      http::HttpResponse head;
-      head.headers.push_back(
-          http::Header{"Content-Type", "text/xml; charset=utf-8"});
-      head.headers.push_back(http::Header{
-          "Content-Length",
-          std::to_string(response_template->buffer().total_size())});
-      const std::string head_text = http::serialize_response_head(head);
-      std::vector<net::ConstSlice> wire;
-      wire.push_back(net::ConstSlice{head_text.data(), head_text.size()});
-      for (const auto& s : response_template->buffer().slices()) {
-        wire.push_back(net::ConstSlice{s.data, s.len});
-      }
-      if (!conn.value()->send_slices(wire).ok()) return;
-    }
-  });
+  // One worker keeps the demo deterministic: all responses share a single
+  // template store, so the match-kind sequence is easy to read.
+  server::ServerRuntimeOptions options;
+  options.workers = 1;
+  auto server = server::ServerRuntime::start(handle_search, options);
+  server.value_or_die();
+  std::printf("search service on 127.0.0.1:%u (1 worker, diff responses)\n",
+              server.value()->port());
 
   // Client: issue queries, some repeated (identical responses = server-side
   // content matches).
-  auto transport = net::tcp_connect(port);
+  auto transport = net::tcp_connect(server.value()->port());
   transport.value_or_die();
-  http::HttpConnection client(*transport.value());
+  core::BsoapClient client(*transport.value());
 
   const char* queries[] = {"soap performance", "mesh solvers",
                            "soap performance", "grid computing",
@@ -142,32 +82,31 @@ int main() {
     request.service_namespace = "urn:search";
     request.params.push_back(
         soap::Param{"query", soap::Value::from_string(q)});
-    buffer::StringSink sink;
-    soap::write_rpc_envelope(sink, request);
-    http::HttpRequest head;
-    head.headers.push_back(
-        http::Header{"Content-Type", "text/xml; charset=utf-8"});
-    const net::ConstSlice body[] = {
-        net::ConstSlice{sink.str().data(), sink.str().size()}};
-    client.send_request(std::move(head), body).check();
-
-    Result<http::HttpResponse> response = client.read_response();
-    response.value_or_die();
-    Result<soap::RpcCall> parsed =
-        soap::read_rpc_envelope(response.value().body);
-    parsed.value_or_die();
-    const soap::Value& result = parsed.value().params[0].value;
+    Result<soap::Value> result = client.invoke(request);
+    result.value_or_die();
     std::printf("query '%-18s' -> totalHits=%d, top='%s'\n", q,
-                result.members()[0].value.as_int(),
-                result.members()[1]
+                result.value().members()[0].value.as_int(),
+                result.value()
+                    .members()[1]
                     .value.members()[0]
                     .value.members()[0]
                     .value.as_string()
                     .c_str());
   }
 
-  transport.value()->shutdown_both();
-  server_thread.join();
+  const server::ServerStats stats = server.value()->stats();
+  std::printf(
+      "server responses: first-time=%llu content=%llu perfect=%llu "
+      "partial=%llu (diff hits %llu/%llu, template bytes %llu)\n",
+      static_cast<unsigned long long>(stats.response_first_time),
+      static_cast<unsigned long long>(stats.response_content_match),
+      static_cast<unsigned long long>(stats.response_perfect_match),
+      static_cast<unsigned long long>(stats.response_partial_match),
+      static_cast<unsigned long long>(stats.response_diff_hits()),
+      static_cast<unsigned long long>(stats.responses_total()),
+      static_cast<unsigned long long>(stats.response_template_bytes));
+
+  server.value()->stop();
   std::printf("done.\n");
   return 0;
 }

@@ -10,6 +10,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kParseError: return "kParseError";
     case ErrorCode::kIoError: return "kIoError";
     case ErrorCode::kClosed: return "kClosed";
+    case ErrorCode::kTimeout: return "kTimeout";
     case ErrorCode::kProtocolError: return "kProtocolError";
     case ErrorCode::kNotFound: return "kNotFound";
     case ErrorCode::kUnsupported: return "kUnsupported";

@@ -21,6 +21,7 @@ enum class ErrorCode {
   kParseError,
   kIoError,
   kClosed,
+  kTimeout,
   kProtocolError,
   kNotFound,
   kUnsupported,

@@ -12,6 +12,7 @@ BsoapClient::BsoapClient(net::Transport& transport, BsoapClientConfig config)
       config_(std::move(config)),
       pipeline_(SendPipeline::Options{config_.tmpl, config_.differential,
                                       config_.max_templates,
+                                      config_.max_template_bytes,
                                       config_.http_chunked}) {}
 
 Result<SendReport> BsoapClient::send_call(const soap::RpcCall& call) {

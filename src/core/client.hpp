@@ -35,6 +35,9 @@ struct BsoapClientConfig {
   /// Saved templates retained across call structures (LRU; the paper keeps
   /// one per call type, Section 6 proposes several).
   std::size_t max_templates = 8;
+  /// Byte budget across saved templates (0 = unlimited); least recently
+  /// used templates are evicted first once exceeded.
+  std::size_t max_template_bytes = 0;
   /// Stream the template's chunks as HTTP/1.1 chunked transfer encoding
   /// instead of Content-Length framing.
   bool http_chunked = false;

@@ -1,12 +1,15 @@
 // Differential-deserialization options for the SOAP server (Section 6).
 //
-// Wires core::DiffDeserializer into soap::SoapHttpServer: each connection
+// Wires core::DiffDeserializer into the server runtime: each connection
 // gets its own deserializer whose cache persists across the connection's
-// requests, and the shared collector aggregates hit statistics.
+// requests, and the shared collector aggregates hit statistics. The factory
+// plugs into either soap::SoapServerOptions::make_parser or
+// server::ServerRuntimeOptions::make_parser (same EnvelopeParser seam).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "core/diff_deserializer.hpp"
@@ -33,12 +36,13 @@ class DiffDeserCollector {
   std::atomic<std::uint64_t> fast_parses_{0};
 };
 
-/// Server options that parse request envelopes differentially. The collector
-/// (optional) receives each connection's statistics incrementally.
-inline soap::SoapServerOptions make_diff_deserializing_options(
+/// Per-connection parser factory that parses request envelopes
+/// differentially. The collector (optional) receives each connection's
+/// statistics incrementally. Assign the result to a server options struct's
+/// make_parser field.
+inline std::function<soap::EnvelopeParser()> make_diff_parser_factory(
     std::shared_ptr<DiffDeserCollector> collector = nullptr) {
-  soap::SoapServerOptions options;
-  options.make_parser = [collector]() -> soap::EnvelopeParser {
+  return [collector]() -> soap::EnvelopeParser {
     auto deser = std::make_shared<DiffDeserializer>();
     auto last_reported = std::make_shared<DiffDeserializer::Stats>();
     return [deser, collector, last_reported](
@@ -57,6 +61,13 @@ inline soap::SoapServerOptions make_diff_deserializing_options(
       return call;
     };
   };
+}
+
+/// Server options that parse request envelopes differentially.
+inline soap::SoapServerOptions make_diff_deserializing_options(
+    std::shared_ptr<DiffDeserCollector> collector = nullptr) {
+  soap::SoapServerOptions options;
+  options.make_parser = make_diff_parser_factory(std::move(collector));
   return options;
 }
 

@@ -37,6 +37,7 @@ class MultiEndpointClient {
       : config_(std::move(config)),
         pipeline_(SendPipeline::Options{config_.tmpl, /*differential=*/true,
                                         config_.max_templates,
+                                        /*max_template_bytes=*/0,
                                         /*http_chunked=*/false}) {}
   MultiEndpointClient() : MultiEndpointClient(Config{}) {}
 

@@ -39,12 +39,14 @@ const char* send_stage_name(SendStage stage) noexcept {
 }
 
 SendPipeline::SendPipeline(Options options)
-    : options_(std::move(options)), store_(options_.max_templates) {}
+    : options_(std::move(options)),
+      store_(options_.max_templates, options_.max_template_bytes) {}
 
-Result<SendReport> SendPipeline::send(const soap::RpcCall& call,
-                                      const SendDestination& dest) {
-  SendReport report;
-  StageClock clock(observer_);
+template <typename Clock>
+MessageTemplate* SendPipeline::resolve_and_update(const soap::RpcCall& call,
+                                                  SendReport* report,
+                                                  Clock& clock) {
+  SendReport& r = *report;
   MessageTemplate* tmpl = nullptr;
 
   if (!options_.differential) {
@@ -58,7 +60,7 @@ Result<SendReport> SendPipeline::send(const soap::RpcCall& call,
       rebuild_template(*full_mode_scratch_, call);
     }
     tmpl = full_mode_scratch_.get();
-    report.match = MatchKind::kFirstTime;
+    r.match = MatchKind::kFirstTime;
     clock.lap(SendStage::kUpdate, tmpl->buffer().total_size());
   } else {
     const std::uint64_t signature = call.structure_signature();
@@ -66,18 +68,41 @@ Result<SendReport> SendPipeline::send(const soap::RpcCall& call,
     clock.lap(SendStage::kResolve, 0);
     if (tmpl == nullptr) {
       tmpl = store_.insert(build_template(call, options_.tmpl));
-      report.match = MatchKind::kFirstTime;
+      r.match = MatchKind::kFirstTime;
       clock.lap(SendStage::kUpdate, tmpl->buffer().total_size());
     } else {
       const std::uint64_t before = tmpl->stats().bytes_rewritten;
-      report.update = update_template(*tmpl, call);
-      report.match = report.update.match;
+      r.update = update_template(*tmpl, call);
+      r.match = r.update.match;
       clock.lap(SendStage::kUpdate,
                 static_cast<std::size_t>(tmpl->stats().bytes_rewritten - before));
     }
   }
+  return tmpl;
+}
 
-  BSOAP_RETURN_IF_ERROR(frame_and_write(*tmpl, call.method, dest, &report));
+Result<SendReport> SendPipeline::send(const soap::RpcCall& call,
+                                      const SendDestination& dest) {
+  SendReport report;
+  StageClock clock(observer_);
+  MessageTemplate* tmpl = resolve_and_update(call, &report, clock);
+  BSOAP_RETURN_IF_ERROR(
+      frame_and_write(*tmpl, call.method, dest, HeadKind::kRequest, &report));
+  // A partial structural match may have grown the template past the byte
+  // budget; enforce after the bytes are on the wire (the MRU survives).
+  store_.enforce_byte_budget();
+  if (observer_ != nullptr) observer_->on_send(report);
+  return report;
+}
+
+Result<SendReport> SendPipeline::send_response(const soap::RpcCall& call,
+                                               const SendDestination& dest) {
+  SendReport report;
+  StageClock clock(observer_);
+  MessageTemplate* tmpl = resolve_and_update(call, &report, clock);
+  BSOAP_RETURN_IF_ERROR(
+      frame_and_write(*tmpl, call.method, dest, HeadKind::kResponse, &report));
+  store_.enforce_byte_budget();
   if (observer_ != nullptr) observer_->on_send(report);
   return report;
 }
@@ -103,7 +128,8 @@ Result<SendReport> SendPipeline::send_tracked(MessageTemplate& tmpl,
               static_cast<std::size_t>(tmpl.stats().bytes_rewritten - before));
   }
 
-  BSOAP_RETURN_IF_ERROR(frame_and_write(tmpl, call.method, dest, &report));
+  BSOAP_RETURN_IF_ERROR(
+      frame_and_write(tmpl, call.method, dest, HeadKind::kRequest, &report));
   if (observer_ != nullptr) observer_->on_send(report);
   return report;
 }
@@ -111,25 +137,32 @@ Result<SendReport> SendPipeline::send_tracked(MessageTemplate& tmpl,
 Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
                                      const std::string& method,
                                      const SendDestination& dest,
-                                     SendReport* report) {
+                                     HeadKind head_kind, SendReport* report) {
   BSOAP_ASSERT(dest.transport != nullptr);
   StageClock clock(observer_);
-
-  http::HttpRequest head;
-  head.method = "POST";
-  head.target = std::string(dest.path);
-  head.headers.push_back(http::Header{"Host", "localhost"});
-  head.headers.push_back(
-      http::Header{"Content-Type", "text/xml; charset=utf-8"});
-  head.headers.push_back(http::Header{"SOAPAction", "\"" + method + "\""});
 
   body_slices_.clear();
   tmpl.buffer().append_slices(body_slices_);
   const std::size_t envelope_bytes = tmpl.buffer().total_size();
 
   const http::Framer& framing = framer();
-  framing.add_headers(head.headers, envelope_bytes);
-  head_text_ = http::serialize_request_head(head);
+  if (head_kind == HeadKind::kRequest) {
+    http::HttpRequest head;
+    head.method = "POST";
+    head.target = std::string(dest.path);
+    head.headers.push_back(http::Header{"Host", "localhost"});
+    head.headers.push_back(
+        http::Header{"Content-Type", "text/xml; charset=utf-8"});
+    head.headers.push_back(http::Header{"SOAPAction", "\"" + method + "\""});
+    framing.add_headers(head.headers, envelope_bytes);
+    head_text_ = http::serialize_request_head(head);
+  } else {
+    http::HttpResponse head;
+    head.headers.push_back(
+        http::Header{"Content-Type", "text/xml; charset=utf-8"});
+    framing.add_headers(head.headers, envelope_bytes);
+    head_text_ = http::serialize_response_head(head);
+  }
   wire_slices_.clear();
   wire_slices_.push_back(
       net::ConstSlice{head_text_.data(), head_text_.size()});

@@ -126,6 +126,10 @@ class SendPipeline {
     bool differential = true;
     /// Saved templates retained across call structures (LRU).
     std::size_t max_templates = 8;
+    /// Byte budget across all saved templates (0 = unlimited). A server
+    /// keeping response templates for many RPC shapes bounds memory by
+    /// bytes, not count; least recently used templates are evicted first.
+    std::size_t max_template_bytes = 0;
     /// Frame template chunks as HTTP/1.1 chunked transfer encoding instead
     /// of Content-Length.
     bool http_chunked = false;
@@ -137,6 +141,14 @@ class SendPipeline {
   /// against the template's shadow copies, frame, write.
   Result<SendReport> send(const soap::RpcCall& call,
                           const SendDestination& dest);
+
+  /// Response-side differential serialization (the paper's Section 6 future
+  /// work, realized by the server runtime): identical resolve/update stages,
+  /// but the frame stage builds an HTTP 200 response head instead of a POST
+  /// request. `call` is the response envelope (method "...Response" with a
+  /// <return> param); dest.path is ignored.
+  Result<SendReport> send_response(const soap::RpcCall& call,
+                                   const SendDestination& dest);
 
   /// Tracked send (BoundMessage): the caller owns the template; the update
   /// stage rewrites exactly the DUT's dirty entries (a clean DUT resends the
@@ -162,10 +174,22 @@ class SendPipeline {
   const Options& options() const { return options_; }
 
  private:
+  /// Which HTTP head the frame stage constructs.
+  enum class HeadKind { kRequest, kResponse };
+
+  /// Stages 1 and 2: resolves the call's template (store lookup or
+  /// first-time build / full-serialization rebuild) and rewrites changed
+  /// fields; fills the report's match classification. `clock` is the
+  /// caller's stage clock so lap attribution stays with the send.
+  template <typename Clock>
+  MessageTemplate* resolve_and_update(const soap::RpcCall& call,
+                                      SendReport* report, Clock& clock);
+
   /// Stages 3 and 4: frames `tmpl`'s chunks behind the configured framer and
   /// writes them to `dest`; fills the report's byte counts.
   Status frame_and_write(MessageTemplate& tmpl, const std::string& method,
-                         const SendDestination& dest, SendReport* report);
+                         const SendDestination& dest, HeadKind head_kind,
+                         SendReport* report);
 
   Options options_;
   TemplateStore store_;

@@ -3,7 +3,10 @@
 // The paper keeps one saved template per remote service per call type;
 // Section 6 (future work) suggests storing several. This store generalizes
 // both: templates are keyed by structure signature with an LRU bound on the
-// total number retained (capacity 1 reproduces the paper's behaviour).
+// total number retained (capacity 1 reproduces the paper's behaviour) and an
+// optional byte budget on the serialized bytes retained — a long-running
+// server keeping response templates for many RPC shapes bounds its memory
+// rather than its template count.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +20,9 @@ namespace bsoap::core {
 
 class TemplateStore {
  public:
-  explicit TemplateStore(std::size_t capacity = 8) : capacity_(capacity) {
+  /// `max_bytes` == 0 means no byte budget (count-only LRU).
+  explicit TemplateStore(std::size_t capacity = 8, std::size_t max_bytes = 0)
+      : capacity_(capacity), max_bytes_(max_bytes) {
     BSOAP_ASSERT(capacity_ >= 1);
   }
 
@@ -30,8 +35,9 @@ class TemplateStore {
     return it->second->get();
   }
 
-  /// Stores a template (keyed by its signature), evicting the least
-  /// recently used one if over capacity. Returns the stored pointer.
+  /// Stores a template (keyed by its signature), evicting least recently
+  /// used ones while over the count or byte budget. Returns the stored
+  /// pointer (always valid: the newest template is never evicted).
   MessageTemplate* insert(std::unique_ptr<MessageTemplate> tmpl) {
     const std::uint64_t signature = tmpl->signature;
     if (MessageTemplate* existing = find(signature)) {
@@ -42,16 +48,39 @@ class TemplateStore {
     lru_.push_front(std::move(tmpl));
     index_[signature] = lru_.begin();
     while (lru_.size() > capacity_) {
-      index_.erase(lru_.back()->signature);
-      lru_.pop_back();
+      evict_back();
       ++evictions_;
     }
+    enforce_byte_budget();
     return lru_.begin()->get();
+  }
+
+  /// Serialized bytes retained across all stored templates. Walks the list;
+  /// templates grow in place on partial structural matches, so the total
+  /// cannot be cached at insert time.
+  std::size_t bytes_retained() const {
+    std::size_t total = 0;
+    for (const auto& t : lru_) total += t->buffer().total_size();
+    return total;
+  }
+
+  /// Evicts least recently used templates while over the byte budget. The
+  /// most recent template always survives (it is the one in use), so a
+  /// single oversized template can exceed the budget. Call after updates
+  /// that may have grown a template.
+  void enforce_byte_budget() {
+    if (max_bytes_ == 0) return;
+    while (lru_.size() > 1 && bytes_retained() > max_bytes_) {
+      evict_back();
+      ++byte_evictions_;
+    }
   }
 
   std::size_t size() const { return lru_.size(); }
   std::size_t capacity() const { return capacity_; }
+  std::size_t max_bytes() const { return max_bytes_; }
   std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t byte_evictions() const { return byte_evictions_; }
 
   void clear() {
     lru_.clear();
@@ -59,12 +88,19 @@ class TemplateStore {
   }
 
  private:
+  void evict_back() {
+    index_.erase(lru_.back()->signature);
+    lru_.pop_back();
+  }
+
   std::size_t capacity_;
+  std::size_t max_bytes_;
   std::list<std::unique_ptr<MessageTemplate>> lru_;
   std::unordered_map<std::uint64_t,
                      std::list<std::unique_ptr<MessageTemplate>>::iterator>
       index_;
   std::uint64_t evictions_ = 0;
+  std::uint64_t byte_evictions_ = 0;
 };
 
 }  // namespace bsoap::core

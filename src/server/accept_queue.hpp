@@ -1,0 +1,86 @@
+// Bounded handoff queue between the accept thread and the worker pool.
+//
+// Single producer (the accept thread), many consumers (workers). The
+// producer never blocks: a full queue is the overload signal — the caller
+// answers 503 instead of queueing, which is what bounds memory and thread
+// count under load. Consumers block until a connection or close().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace bsoap::server {
+
+class AcceptQueue {
+ public:
+  explicit AcceptQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues the transport, or hands it back if the queue is full or
+  /// closed (returns nullptr on success). Never blocks.
+  std::unique_ptr<net::Transport> try_push(
+      std::unique_ptr<net::Transport> transport) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || queue_.size() >= capacity_) {
+        return transport;  // rejected: caller answers 503 / closes
+      }
+      queue_.push_back(std::move(transport));
+      if (queue_.size() > high_water_) high_water_ = queue_.size();
+    }
+    ready_.notify_one();
+    return nullptr;
+  }
+
+  /// Blocks for the next connection. Returns nullptr once close() has been
+  /// called — even if items remain, so stop() can drain them itself and no
+  /// worker picks up new work during shutdown.
+  std::unique_ptr<net::Transport> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (closed_) return nullptr;
+    std::unique_ptr<net::Transport> transport = std::move(queue_.front());
+    queue_.pop_front();
+    return transport;
+  }
+
+  /// Closes the queue (poppers wake with nullptr) and returns whatever was
+  /// still waiting so the caller can dispose of it.
+  std::vector<std::unique_ptr<net::Transport>> close() {
+    std::vector<std::unique_ptr<net::Transport>> leftover;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      while (!queue_.empty()) {
+        leftover.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    ready_.notify_all();
+    return leftover;
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<std::unique_ptr<net::Transport>> queue_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace bsoap::server

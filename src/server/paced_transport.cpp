@@ -1,0 +1,51 @@
+#include "server/paced_transport.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace bsoap::server {
+
+Result<std::size_t> PacedTransport::recv(char* out, std::size_t n) {
+  const int fd = inner_->native_handle();
+  if (fd < 0) return inner_->recv(out, n);  // no pollable handle: plain read
+
+  for (;;) {
+    if (idle_phase_ && drain_ != nullptr &&
+        drain_->load(std::memory_order_acquire)) {
+      return std::size_t{0};  // draining between requests: clean EOF
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline_) {
+      return Error{ErrorCode::kTimeout,
+                   idle_phase_ ? "idle timeout" : "read timeout"};
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline_ - now);
+    const int wait_ms = static_cast<int>(
+        std::min<std::chrono::milliseconds::rep>(timeouts_.slice.count(),
+                                                 remaining.count() + 1));
+    struct pollfd p;
+    p.fd = fd;
+    p.events = POLLIN;
+    p.revents = 0;
+    const int r = ::poll(&p, 1, wait_ms > 0 ? wait_ms : 1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Error{ErrorCode::kIoError,
+                   std::string("poll: ") + std::strerror(errno)};
+    }
+    if (r == 0) continue;  // slice elapsed: re-check drain flag and deadline
+    Result<std::size_t> got = inner_->recv(out, n);
+    if (got.ok() && got.value() > 0 && idle_phase_) {
+      // First byte of a request: switch from idle to read deadline.
+      idle_phase_ = false;
+      deadline_ = std::chrono::steady_clock::now() + timeouts_.read;
+    }
+    return got;
+  }
+}
+
+}  // namespace bsoap::server

@@ -1,0 +1,243 @@
+#include "server/server_runtime.hpp"
+
+#include "http/connection.hpp"
+#include "net/tcp.hpp"
+#include "server/paced_transport.hpp"
+#include "soap/envelope_reader.hpp"
+
+namespace bsoap::server {
+
+namespace {
+
+/// The default per-connection parser: a full envelope parse into storage
+/// that stays valid until the next request on the connection.
+soap::EnvelopeParser make_full_parser() {
+  return [storage = std::make_shared<soap::RpcCall>()](
+             std::string_view body) -> Result<const soap::RpcCall*> {
+    Result<soap::RpcCall> parsed = soap::read_rpc_envelope(body);
+    if (!parsed.ok()) return parsed.error();
+    *storage = std::move(parsed.value());
+    return storage.get();
+  };
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ServerRuntime>> ServerRuntime::start(
+    soap::RpcHandler handler, ServerRuntimeOptions options) {
+  BSOAP_ASSERT(options.workers >= 1);
+  Result<net::TcpListener> listener = net::TcpListener::bind();
+  if (!listener.ok()) return listener.error();
+
+  auto server = std::unique_ptr<ServerRuntime>(new ServerRuntime());
+  server->handler_ = std::move(handler);
+  server->options_ = std::move(options);
+  server->port_ = listener.value().port();
+  server->queue_ =
+      std::make_unique<AcceptQueue>(server->options_.accept_backlog);
+
+  core::SendPipeline::Options pipeline_options;
+  pipeline_options.tmpl = server->options_.response_tmpl;
+  pipeline_options.differential = server->options_.diff_responses;
+  pipeline_options.max_templates = server->options_.response_templates;
+  pipeline_options.max_template_bytes =
+      server->options_.response_template_bytes;
+  for (std::size_t i = 0; i < server->options_.workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->pipeline = std::make_unique<core::SendPipeline>(pipeline_options);
+    server->workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : server->workers_) {
+    worker->thread = std::thread(
+        [srv = server.get(), w = worker.get()] { srv->worker_loop(*w); });
+  }
+  server->accept_thread_ = std::thread(
+      [srv = server.get(), l = std::make_shared<net::TcpListener>(std::move(
+                               listener.value()))] { srv->accept_loop(*l); });
+  return server;
+}
+
+ServerRuntime::~ServerRuntime() { stop(); }
+
+void ServerRuntime::accept_loop(net::TcpListener& listener) {
+  for (;;) {
+    Result<std::unique_ptr<net::Transport>> conn = listener.accept();
+    if (!conn.ok() || stopping_.load(std::memory_order_acquire)) return;
+
+    if (stats_.active.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+      reject_with_503(std::move(conn.value()));
+      continue;
+    }
+    // Count the connection as active before the handoff so the admission
+    // check above never undercounts; roll back if the queue was full.
+    stats_.active.fetch_add(1, std::memory_order_relaxed);
+    std::unique_ptr<net::Transport> back =
+        queue_->try_push(std::move(conn.value()));
+    if (back != nullptr) {
+      stats_.active.fetch_sub(1, std::memory_order_relaxed);
+      stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+      reject_with_503(std::move(back));
+      continue;
+    }
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServerRuntime::worker_loop(Worker& worker) {
+  for (;;) {
+    std::unique_ptr<net::Transport> transport = queue_->pop();
+    if (transport == nullptr) return;  // queue closed: drain complete
+    serve_connection(worker, std::move(transport));
+  }
+}
+
+void ServerRuntime::serve_connection(
+    Worker& worker, std::unique_ptr<net::Transport> raw_transport) {
+  PacedTransport::Timeouts timeouts;
+  timeouts.idle = options_.idle_timeout;
+  timeouts.read = options_.read_timeout;
+  timeouts.slice = options_.poll_slice;
+  PacedTransport transport(std::move(raw_transport), timeouts, &draining_);
+  http::HttpConnection conn(transport);
+
+  soap::EnvelopeParser parser =
+      options_.make_parser ? options_.make_parser() : make_full_parser();
+
+  for (;;) {
+    transport.begin_idle();
+    Result<http::HttpRequest> request = conn.read_request();
+    if (!request.ok()) {
+      const ErrorCode code = request.error().code;
+      if (code == ErrorCode::kTimeout) {
+        if (transport.timed_out_idle()) {
+          stats_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          stats_.read_timeouts.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else if (code != ErrorCode::kClosed) {
+        // Unparseable HTTP head or framing: the stream is out of sync, so
+        // answer 400 with a fault envelope and close.
+        stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+        send_fault(transport, 400, "Bad Request", "SOAP-ENV:Client",
+                   request.error().to_string());
+      }
+      break;  // kClosed: keep-alive ended cleanly
+    }
+
+    Result<const soap::RpcCall*> call = parser(request.value().body);
+    if (!call.ok()) {
+      // The HTTP framing was intact, so the connection stays usable: answer
+      // 400 + fault and keep serving.
+      stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+      stats_.faults.fetch_add(1, std::memory_order_relaxed);
+      if (!send_fault(transport, 400, "Bad Request", "SOAP-ENV:Client",
+                      call.error().to_string())) {
+        break;
+      }
+      if (draining_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+
+    Result<soap::Value> result = handler_(*call.value());
+    if (!result.ok()) {
+      stats_.faults.fetch_add(1, std::memory_order_relaxed);
+      if (!send_fault(transport, 500, "Internal Server Error",
+                      "SOAP-ENV:Server", result.error().to_string())) {
+        break;
+      }
+    } else {
+      soap::RpcCall response;
+      response.method = call.value()->method + "Response";
+      response.service_namespace = call.value()->service_namespace;
+      response.params.push_back(
+          soap::Param{"return", std::move(result.value())});
+
+      core::SendDestination dest;
+      dest.transport = &transport;
+      // Count before the write: once the client has read its response, the
+      // request is visible in stats() (tests rely on that ordering).
+      stats_.requests.fetch_add(1, std::memory_order_relaxed);
+      Result<core::SendReport> sent =
+          worker.pipeline->send_response(response, dest);
+      if (!sent.ok()) {
+        stats_.requests.fetch_sub(1, std::memory_order_relaxed);
+        break;
+      }
+      stats_.record_response(sent.value().match);
+      const core::TemplateStore& store = worker.pipeline->store();
+      worker.template_bytes.store(store.bytes_retained(),
+                                  std::memory_order_relaxed);
+      worker.template_evictions.store(
+          store.evictions() + store.byte_evictions(),
+          std::memory_order_relaxed);
+    }
+    if (draining_.load(std::memory_order_acquire)) break;
+  }
+  stats_.active.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool ServerRuntime::send_fault(net::Transport& transport, int status,
+                               const char* reason, const char* fault_code,
+                               const std::string& detail) {
+  http::HttpResponse head;
+  head.status = status;
+  head.reason = reason;
+  head.headers.push_back(
+      http::Header{"Content-Type", "text/xml; charset=utf-8"});
+  http::HttpConnection conn(transport);
+  return conn.send_response(std::move(head),
+                            soap::serialize_rpc_fault(fault_code, detail))
+      .ok();
+}
+
+void ServerRuntime::reject_with_503(
+    std::unique_ptr<net::Transport> transport) {
+  http::HttpResponse head;
+  head.status = 503;
+  head.reason = "Service Unavailable";
+  head.headers.push_back(
+      http::Header{"Content-Type", "text/xml; charset=utf-8"});
+  head.headers.push_back(http::Header{"Connection", "close"});
+  head.headers.push_back(http::Header{"Retry-After", "1"});
+  http::HttpConnection conn(*transport);
+  (void)conn.send_response(
+      std::move(head),
+      soap::serialize_rpc_fault("SOAP-ENV:Server", "server overloaded"));
+  transport->shutdown_send();
+}
+
+ServerStats ServerRuntime::stats() const {
+  ServerStats s = stats_.snapshot();
+  s.queue_depth = queue_->depth();
+  s.queue_high_water = queue_->high_water();
+  for (const auto& worker : workers_) {
+    s.response_template_bytes +=
+        worker->template_bytes.load(std::memory_order_relaxed);
+    s.response_template_evictions +=
+        worker->template_evictions.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void ServerRuntime::stop() {
+  if (stopping_.exchange(true)) return;
+  draining_.store(true, std::memory_order_release);
+  // Wake the blocking accept(); the loop observes stopping_ and exits.
+  (void)net::tcp_connect(port_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Close the queue: workers finish the connection they are on (answering
+  // any request already being processed) and exit; connections still
+  // queued never started a request, so a 503 is honest.
+  for (std::unique_ptr<net::Transport>& transport : queue_->close()) {
+    stats_.drained.fetch_add(1, std::memory_order_relaxed);
+    stats_.active.fetch_sub(1, std::memory_order_relaxed);
+    reject_with_503(std::move(transport));
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+}  // namespace bsoap::server

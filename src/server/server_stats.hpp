@@ -1,0 +1,112 @@
+// Runtime observability: a consistent-enough snapshot of what the server
+// runtime is doing, cheap enough to sample from a monitoring thread while
+// workers are serving.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/diff_serializer.hpp"
+
+namespace bsoap::server {
+
+/// Point-in-time counters. Individual fields are exact (atomic); the
+/// snapshot as a whole is not fenced against in-flight requests.
+struct ServerStats {
+  // Connection lifecycle.
+  std::uint64_t accepted = 0;      ///< connections admitted into the queue
+  std::uint64_t rejected = 0;      ///< connections answered 503 (overload)
+  std::uint64_t active = 0;        ///< currently open (queued + serving)
+  std::uint64_t idle_closed = 0;   ///< closed by the idle timeout
+  std::uint64_t read_timeouts = 0; ///< closed mid-request by the read timeout
+  std::uint64_t drained = 0;       ///< queued connections closed at stop()
+
+  // Accept queue.
+  std::uint64_t queue_depth = 0;      ///< connections waiting for a worker
+  std::uint64_t queue_high_water = 0; ///< deepest the queue has been
+
+  // Requests.
+  std::uint64_t requests = 0;     ///< answered with a result envelope
+  std::uint64_t faults = 0;       ///< answered with a SOAP fault envelope
+  std::uint64_t bad_requests = 0; ///< answered HTTP 400 (unparseable)
+
+  // Response-side differential serialization (per paper match kind).
+  std::uint64_t response_first_time = 0;
+  std::uint64_t response_content_match = 0;
+  std::uint64_t response_perfect_match = 0;
+  std::uint64_t response_partial_match = 0;
+  std::uint64_t response_template_bytes = 0;     ///< retained across workers
+  std::uint64_t response_template_evictions = 0; ///< count + byte evictions
+
+  std::uint64_t responses_total() const {
+    return response_first_time + response_content_match +
+           response_perfect_match + response_partial_match;
+  }
+  /// Responses that reused a saved template (any non-first-time kind).
+  std::uint64_t response_diff_hits() const {
+    return response_content_match + response_perfect_match +
+           response_partial_match;
+  }
+};
+
+/// The runtime's shared counter block. All relaxed atomics: counters are
+/// monotonic tallies, not synchronization.
+class StatsCollector {
+ public:
+  void record_response(core::MatchKind match) {
+    switch (match) {
+      case core::MatchKind::kFirstTime:
+        response_first_time.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case core::MatchKind::kContentMatch:
+        response_content_match.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case core::MatchKind::kPerfectStructural:
+        response_perfect_match.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case core::MatchKind::kPartialStructural:
+        response_partial_match.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+
+  /// Everything except the queue and template gauges, which the runtime
+  /// owns (they live with the queue / the worker pipelines).
+  ServerStats snapshot() const {
+    ServerStats s;
+    s.accepted = accepted.load(std::memory_order_relaxed);
+    s.rejected = rejected.load(std::memory_order_relaxed);
+    s.active = active.load(std::memory_order_relaxed);
+    s.idle_closed = idle_closed.load(std::memory_order_relaxed);
+    s.read_timeouts = read_timeouts.load(std::memory_order_relaxed);
+    s.drained = drained.load(std::memory_order_relaxed);
+    s.requests = requests.load(std::memory_order_relaxed);
+    s.faults = faults.load(std::memory_order_relaxed);
+    s.bad_requests = bad_requests.load(std::memory_order_relaxed);
+    s.response_first_time =
+        response_first_time.load(std::memory_order_relaxed);
+    s.response_content_match =
+        response_content_match.load(std::memory_order_relaxed);
+    s.response_perfect_match =
+        response_perfect_match.load(std::memory_order_relaxed);
+    s.response_partial_match =
+        response_partial_match.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> active{0};
+  std::atomic<std::uint64_t> idle_closed{0};
+  std::atomic<std::uint64_t> read_timeouts{0};
+  std::atomic<std::uint64_t> drained{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> faults{0};
+  std::atomic<std::uint64_t> bad_requests{0};
+  std::atomic<std::uint64_t> response_first_time{0};
+  std::atomic<std::uint64_t> response_content_match{0};
+  std::atomic<std::uint64_t> response_perfect_match{0};
+  std::atomic<std::uint64_t> response_partial_match{0};
+};
+
+}  // namespace bsoap::server

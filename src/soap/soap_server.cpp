@@ -1,10 +1,12 @@
 #include "soap/soap_server.hpp"
 
 #include "buffer/sinks.hpp"
-#include "http/connection.hpp"
-#include "net/tcp.hpp"
-#include "soap/envelope_reader.hpp"
 #include "soap/envelope_writer.hpp"
+
+// SoapHttpServer's member functions live in src/server/soap_http_server.cpp
+// (the bsoap_server library): the class fronts server::ServerRuntime, which
+// sits above bsoap_core, and bsoap_soap must stay below it. This file keeps
+// only the envelope helpers.
 
 namespace bsoap::soap {
 
@@ -61,99 +63,6 @@ Result<Value> extract_rpc_result(const RpcCall& response,
     if (p.name == "return") return p.value;
   }
   return Error{ErrorCode::kProtocolError, "response without <return>"};
-}
-
-Result<std::unique_ptr<SoapHttpServer>> SoapHttpServer::start(
-    RpcHandler handler) {
-  return start(std::move(handler), SoapServerOptions{});
-}
-
-Result<std::unique_ptr<SoapHttpServer>> SoapHttpServer::start(
-    RpcHandler handler, SoapServerOptions options) {
-  Result<net::TcpListener> listener = net::TcpListener::bind();
-  if (!listener.ok()) return listener.error();
-
-  auto server = std::unique_ptr<SoapHttpServer>(new SoapHttpServer());
-  server->handler_ = std::move(handler);
-  server->options_ = std::move(options);
-  server->port_ = listener.value().port();
-  server->accept_thread_ = std::thread(
-      [srv = server.get(), l = std::make_shared<net::TcpListener>(
-                               std::move(listener.value()))]() mutable {
-        for (;;) {
-          Result<std::unique_ptr<net::Transport>> conn = l->accept();
-          if (!conn.ok() || srv->stopping_.load()) return;
-          std::lock_guard<std::mutex> lock(srv->workers_mu_);
-          ConnectionSlot slot;
-          slot.transport = std::shared_ptr<net::Transport>(std::move(conn.value()));
-          slot.thread = std::thread(
-              [srv, t = slot.transport] { srv->serve_connection(*t); });
-          srv->workers_.push_back(std::move(slot));
-        }
-      });
-  return server;
-}
-
-void SoapHttpServer::serve_connection(net::Transport& transport) {
-  http::HttpConnection conn(transport);
-
-  // Per-connection envelope parser: pluggable so that the differential
-  // deserializer can keep its cache across the connection's requests.
-  EnvelopeParser parser;
-  if (options_.make_parser) {
-    parser = options_.make_parser();
-  } else {
-    parser = [storage = std::make_shared<RpcCall>()](
-                 std::string_view body) -> Result<const RpcCall*> {
-      Result<RpcCall> parsed = read_rpc_envelope(body);
-      if (!parsed.ok()) return parsed.error();
-      *storage = std::move(parsed.value());
-      return storage.get();
-    };
-  }
-
-  for (;;) {
-    Result<http::HttpRequest> request = conn.read_request();
-    if (!request.ok()) return;  // closed or protocol error: drop connection
-
-    std::string body;
-    Result<const RpcCall*> call = parser(request.value().body);
-    if (!call.ok()) {
-      faults_.fetch_add(1);
-      body = serialize_rpc_fault("SOAP-ENV:Client", call.error().to_string());
-    } else {
-      Result<Value> result = handler_(*call.value());
-      if (!result.ok()) {
-        faults_.fetch_add(1);
-        body = serialize_rpc_fault("SOAP-ENV:Server",
-                                   result.error().to_string());
-      } else {
-        served_.fetch_add(1);
-        body = serialize_rpc_response(call.value()->method,
-                                      call.value()->service_namespace,
-                                      result.value());
-      }
-    }
-    http::HttpResponse response;
-    response.headers.push_back(
-        http::Header{"Content-Type", "text/xml; charset=utf-8"});
-    if (!conn.send_response(std::move(response), body).ok()) return;
-  }
-}
-
-SoapHttpServer::~SoapHttpServer() { stop(); }
-
-void SoapHttpServer::stop() {
-  if (stopping_.exchange(true)) return;
-  (void)net::tcp_connect(port_);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard<std::mutex> lock(workers_mu_);
-  // Abort in-flight reads so workers blocked on open client connections
-  // observe end-of-stream and exit.
-  for (ConnectionSlot& slot : workers_) slot.transport->shutdown_both();
-  for (ConnectionSlot& slot : workers_) {
-    if (slot.thread.joinable()) slot.thread.join();
-  }
 }
 
 }  // namespace bsoap::soap

@@ -5,29 +5,37 @@
 //    a response envelope (used by the examples and integration tests), and
 //  * access to a raw drain endpoint lives in net/drain_server.hpp (the
 //    paper's dummy server that reads and discards bytes without parsing).
+//
+// SoapHttpServer is a thin facade over server::ServerRuntime — the bounded
+// worker pool with connection lifecycle management and response-side
+// differential serialization (src/server/server_runtime.hpp). Use the
+// runtime directly for tuning (worker count, timeouts, backlog) and for the
+// full ServerStats snapshot.
 #pragma once
 
-#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 #include "common/error.hpp"
-#include "net/transport.hpp"
 #include "soap/value.hpp"
+
+namespace bsoap::server {
+class ServerRuntime;
+}  // namespace bsoap::server
 
 namespace bsoap::soap {
 
-/// Computes the response value for a parsed RPC request.
+/// Computes the response value for a parsed RPC request. Handlers run on
+/// the runtime's worker pool: they must be safe to call concurrently.
 using RpcHandler = std::function<Result<Value>(const RpcCall&)>;
 
 /// Per-connection envelope parser: body bytes -> parsed call. The returned
-/// pointer must stay valid until the next invocation (connections are
-/// served sequentially). The default implementation runs a full
-/// read_rpc_envelope; bsoap::core supplies a differential-deserialization
-/// variant (paper Section 6) via make_diff_deserializing_options().
+/// pointer must stay valid until the next invocation (a connection's
+/// requests are served sequentially by one worker). The default
+/// implementation runs a full read_rpc_envelope; bsoap::core supplies a
+/// differential-deserialization variant (paper Section 6) via
+/// make_diff_deserializing_options().
 using EnvelopeParser =
     std::function<Result<const RpcCall*>(std::string_view body)>;
 
@@ -46,33 +54,24 @@ class SoapHttpServer {
 
   ~SoapHttpServer();
 
-  std::uint16_t port() const { return port_; }
+  std::uint16_t port() const;
 
   /// Requests served successfully so far.
-  std::uint64_t requests_served() const { return served_.load(); }
-  /// Requests that produced a SOAP fault.
-  std::uint64_t faults_returned() const { return faults_.load(); }
+  std::uint64_t requests_served() const;
+  /// Requests that produced a SOAP fault (bad envelope or handler error).
+  std::uint64_t faults_returned() const;
 
+  /// The underlying runtime, for ServerStats and lifecycle detail.
+  server::ServerRuntime& runtime() { return *runtime_; }
+  const server::ServerRuntime& runtime() const { return *runtime_; }
+
+  /// Graceful drain: in-flight requests finish, then all threads join.
   void stop();
 
  private:
   SoapHttpServer() = default;
-  void serve_connection(net::Transport& transport);
 
-  struct ConnectionSlot {
-    std::thread thread;
-    std::shared_ptr<net::Transport> transport;
-  };
-
-  RpcHandler handler_;
-  SoapServerOptions options_;
-  std::uint16_t port_ = 0;
-  std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> served_{0};
-  std::atomic<std::uint64_t> faults_{0};
-  std::thread accept_thread_;
-  std::vector<ConnectionSlot> workers_;
-  std::mutex workers_mu_;
+  std::unique_ptr<server::ServerRuntime> runtime_;
 };
 
 /// Serializes a response envelope: <methodResponse><return>value</return>.

@@ -147,19 +147,19 @@ Result<double> parse_double(std::string_view text) {
   // representable, so one multiply/divide is correctly rounded.
   if (truncated_digits == 0 && mantissa < (1ull << 53)) {
     if (effective_exp >= 0 && effective_exp <= kMaxExactPow10) {
-      ++parse_double_counters().fast_path;
+      parse_double_counters().fast_path.fetch_add(1, std::memory_order_relaxed);
       const double v = static_cast<double>(mantissa) * kExactPow10[effective_exp];
       return negative ? -v : v;
     }
     if (effective_exp < 0 && effective_exp >= -kMaxExactPow10) {
-      ++parse_double_counters().fast_path;
+      parse_double_counters().fast_path.fetch_add(1, std::memory_order_relaxed);
       const double v = static_cast<double>(mantissa) / kExactPow10[-effective_exp];
       return negative ? -v : v;
     }
   }
 
   // Slow path: delegate to strtod on a NUL-terminated copy.
-  ++parse_double_counters().slow_path;
+  parse_double_counters().slow_path.fetch_add(1, std::memory_order_relaxed);
   const std::string copy(text);
   char* end = nullptr;
   const double v = std::strtod(copy.c_str(), &end);

@@ -8,6 +8,7 @@
 // simple and correct.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string_view>
 
@@ -25,10 +26,11 @@ Result<std::uint64_t> parse_u64(std::string_view text);
 /// notation, plus "INF", "-INF", "NaN"). Fails on empty input or junk.
 Result<double> parse_double(std::string_view text);
 
-/// Statistics for tests: how often the exact fast path was taken.
+/// Statistics for tests: how often the exact fast path was taken. Atomic —
+/// parsing runs concurrently on the server runtime's worker pool.
 struct ParseDoubleCounters {
-  std::uint64_t fast_path = 0;
-  std::uint64_t slow_path = 0;
+  std::atomic<std::uint64_t> fast_path{0};
+  std::atomic<std::uint64_t> slow_path{0};
 };
 ParseDoubleCounters& parse_double_counters();
 

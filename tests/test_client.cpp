@@ -157,6 +157,61 @@ TEST(BsoapClient, TemplateStoreLruEviction) {
   EXPECT_EQ(report.value().match, MatchKind::kFirstTime);
 }
 
+TEST(BsoapClient, TemplateStoreByteBudgetEviction) {
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  BsoapClientConfig config;
+  config.max_templates = 16;  // count bound never binds in this test
+  config.max_template_bytes = 4096;
+  BsoapClient client(*client_t, config);
+  CapturingServer server(*server_t);
+
+  // Each distinct array length saves a new template (~1 KiB of envelope for
+  // 20 doubles); four distinct shapes overflow a 4 KiB byte budget even
+  // though the count budget has room for all of them.
+  for (std::size_t n = 20; n < 28; n += 2) {
+    ASSERT_TRUE(
+        client.send_call(soap::make_double_array_call(soap::random_doubles(n, n)))
+            .ok());
+    (void)server.next_call();
+  }
+  EXPECT_LE(client.store().bytes_retained(), 4096u);
+  EXPECT_LT(client.store().size(), 4u);
+  EXPECT_GT(client.store().byte_evictions(), 0u);
+  EXPECT_EQ(client.store().evictions(), 0u);  // count LRU never triggered
+
+  // Evicted shapes are first-time sends again; retained ones still match.
+  Result<SendReport> oldest = client.send_call(
+      soap::make_double_array_call(soap::random_doubles(20, 20)));
+  ASSERT_TRUE(oldest.ok());
+  EXPECT_EQ(oldest.value().match, MatchKind::kFirstTime);
+  (void)server.next_call();
+  Result<SendReport> newest = client.send_call(
+      soap::make_double_array_call(soap::random_doubles(26, 26)));
+  ASSERT_TRUE(newest.ok());
+  EXPECT_EQ(newest.value().match, MatchKind::kContentMatch);
+  (void)server.next_call();
+}
+
+TEST(BsoapClient, ByteBudgetKeepsMostRecentTemplateEvenWhenOversized) {
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  BsoapClientConfig config;
+  config.max_template_bytes = 64;  // smaller than any single envelope
+  BsoapClient client(*client_t, config);
+  CapturingServer server(*server_t);
+
+  // The template in use is never evicted: repeated sends of one oversized
+  // message still hit the differential path.
+  const RpcCall call = soap::make_double_array_call(soap::random_doubles(30, 2));
+  ASSERT_TRUE(client.send_call(call).ok());
+  (void)server.next_call();
+  Result<SendReport> again = client.send_call(call);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().match, MatchKind::kContentMatch);
+  EXPECT_EQ(client.store().size(), 1u);
+  EXPECT_GT(client.store().bytes_retained(), 64u);
+  (void)server.next_call();
+}
+
 TEST(BsoapClient, FullSerializationModeNeverReuses) {
   auto [client_t, server_t] = net::make_inmemory_transports();
   BsoapClientConfig config;
