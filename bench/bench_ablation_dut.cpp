@@ -5,6 +5,11 @@
 // network: classification only), the comparison-based scan over an unchanged
 // call (update_template with zero rewrites), and the comparison scan cost as
 // a fraction of full serialization.
+//
+// The Scalar-vs-Bulk pairs isolate the array fast path (SoA plane memcmp /
+// word-wide dirty-bit scanning + run-based rewrites) from dtoa cost: both
+// variants rewrite the identical ~10% of elements with identical
+// conversions, so the delta is pure scan + rewrite-cursor overhead.
 #include "bench/bench_common.hpp"
 #include "core/diff_serializer.hpp"
 #include "core/template_builder.hpp"
@@ -15,7 +20,80 @@ namespace {
 using namespace bsoap;
 using namespace bsoap::bench;
 
+/// Two calls identical to the template except every 10th element, whose
+/// value flips between the A and B pools (same serialized width, so no
+/// expansions muddy the comparison).
+struct SparseWorkload {
+  soap::RpcCall base;
+  soap::RpcCall call_a;
+  soap::RpcCall call_b;
+
+  explicit SparseWorkload(std::size_t n) {
+    constexpr int kChars = 18;
+    const auto values = soap::doubles_with_serialized_length(n, kChars, 1);
+    const auto pool_a = soap::doubles_with_serialized_length(n, kChars, 2);
+    const auto pool_b = soap::doubles_with_serialized_length(n, kChars, 3);
+    auto a = values;
+    auto b = values;
+    for (std::size_t i = 0; i < n; i += 10) {
+      a[i] = pool_a[i];
+      b[i] = pool_b[i];
+    }
+    base = soap::make_double_array_call(values);
+    call_a = soap::make_double_array_call(std::move(a));
+    call_b = soap::make_double_array_call(std::move(b));
+  }
+};
+
+void register_scan_ablation(bool bulk, const std::string& variant) {
+  register_series(
+      "AblationDut/CompareUpdate_" + variant + "_10pctDirty/Double",
+      [bulk](benchmark::State& state, std::size_t n) {
+        const SparseWorkload w(n);
+        core::TemplateConfig config;
+        config.bulk.enable = bulk;
+        auto tmpl = core::build_template(w.base, config);
+        bool flip = false;
+        std::uint64_t runs = 0;
+        std::int64_t scan_ns = 0;
+        std::int64_t rewrite_ns = 0;
+        for (auto _ : state) {
+          flip = !flip;
+          const core::UpdateResult result =
+              core::update_template(*tmpl, flip ? w.call_a : w.call_b);
+          runs += result.bulk_runs;
+          scan_ns += result.scan_ns;
+          rewrite_ns += result.rewrite_ns;
+          benchmark::DoNotOptimize(result.values_rewritten);
+        }
+        state.counters["bulk_runs"] = static_cast<double>(runs);
+        state.counters["scan_ns"] = static_cast<double>(scan_ns);
+        state.counters["rewrite_ns"] = static_cast<double>(rewrite_ns);
+      });
+
+  register_series(
+      "AblationDut/DirtyUpdate_" + variant + "_10pctDirty/Double",
+      [bulk](benchmark::State& state, std::size_t n) {
+        const SparseWorkload w(n);
+        core::TemplateConfig config;
+        config.bulk.enable = bulk;
+        auto tmpl = core::build_template(w.base, config);
+        bool flip = false;
+        for (auto _ : state) {
+          flip = !flip;
+          for (std::size_t i = 0; i < n; i += 10) {
+            tmpl->dut().mark_dirty(i);
+          }
+          const core::UpdateResult result =
+              core::update_dirty_fields(*tmpl, flip ? w.call_a : w.call_b);
+          benchmark::DoNotOptimize(result.values_rewritten);
+        }
+      });
+}
+
 void register_figure() {
+  register_scan_ablation(/*bulk=*/true, "Bulk");
+  register_scan_ablation(/*bulk=*/false, "Scalar");
   register_series("AblationDut/CompareScan_NoChanges/Double",
                   [](benchmark::State& state, std::size_t n) {
                     const soap::RpcCall call = soap::make_double_array_call(

@@ -10,16 +10,24 @@
 // Array sizes are the paper's: 1, 100, 500, 1K, 10K, 50K, 100K. Override
 // with BSOAP_BENCH_MAX_N to cap (e.g. BSOAP_BENCH_MAX_N=10000 for quick
 // runs).
+// Passing `--json` (stripped before Google Benchmark sees the arguments)
+// additionally writes BENCH_<binary>.json: one record per series point with
+// ns/op and the user counters (including the match-kind tallies), consumed
+// by bench/extract_figures.py and the CI match-kind smoke check.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/error.hpp"
+#include "core/diff_serializer.hpp"
 #include "net/drain_server.hpp"
 #include "net/simulated_wire.hpp"
 #include "net/tcp.hpp"
@@ -88,6 +96,129 @@ void register_series(const std::string& name, Fn fn,
   }
 }
 
+/// Tallies the paper's four match kinds over a bench loop; flush() lands
+/// them in the benchmark's user counters so the JSON output (and the CI
+/// match-kind smoke check) can verify a series stayed in its regime —
+/// a content-match series silently degrading to reserialization would
+/// otherwise still "pass" with plausible numbers.
+struct MatchCounter {
+  std::uint64_t first_time = 0;
+  std::uint64_t content_match = 0;
+  std::uint64_t perfect_match = 0;
+  std::uint64_t partial_match = 0;
+
+  void record(core::MatchKind kind) {
+    switch (kind) {
+      case core::MatchKind::kFirstTime: ++first_time; break;
+      case core::MatchKind::kContentMatch: ++content_match; break;
+      case core::MatchKind::kPerfectStructural: ++perfect_match; break;
+      case core::MatchKind::kPartialStructural: ++partial_match; break;
+    }
+  }
+
+  void flush(benchmark::State& state) const {
+    state.counters["first_time"] = static_cast<double>(first_time);
+    state.counters["content_match"] = static_cast<double>(content_match);
+    state.counters["perfect_match"] = static_cast<double>(perfect_match);
+    state.counters["partial_match"] = static_cast<double>(partial_match);
+  }
+};
+
+/// Console reporter that also captures every run for the --json dump.
+class JsonSeriesReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string series;  ///< registered name without the trailing /N
+    std::size_t n = 0;   ///< the series point (array size)
+    std::int64_t iterations = 0;
+    double ns_per_op = 0.0;
+    std::map<std::string, double> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Entry e;
+      std::string name = run.benchmark_name();
+      // "Fig05/Series/Double/100000/iterations:15" -> series + n.
+      const std::size_t mod = name.find("/iterations:");
+      if (mod != std::string::npos) name.resize(mod);
+      const std::size_t slash = name.find_last_of('/');
+      if (slash != std::string::npos) {
+        e.n = static_cast<std::size_t>(
+            std::atoll(name.c_str() + slash + 1));
+        name.resize(slash);
+      }
+      e.series = std::move(name);
+      e.iterations = run.iterations;
+      if (run.iterations > 0) {
+        e.ns_per_op = run.real_accumulated_time /
+                      static_cast<double>(run.iterations) * 1e9;
+      }
+      for (const auto& [key, counter] : run.counters) {
+        e.counters[key] = counter.value;
+      }
+      entries_.push_back(std::move(e));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Removes a literal `--json` from argv. Google Benchmark rejects flags it
+/// does not know, so ours must never reach Initialize().
+inline bool consume_json_flag(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      --*argc;
+      return true;
+    }
+  }
+  return false;
+}
+
+inline std::string bench_binary_name(const char* argv0) {
+  std::string name(argv0);
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name;
+}
+
+/// Writes BENCH_<bench_name>.json into the working directory.
+inline void write_bench_json(const std::string& bench_name,
+                             const std::vector<JsonSeriesReporter::Entry>& entries) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"entries\": [", bench_name.c_str());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const JsonSeriesReporter::Entry& e = entries[i];
+    std::fprintf(f,
+                 "%s\n    {\"series\": \"%s\", \"n\": %zu, "
+                 "\"iterations\": %lld, \"ns_per_op\": %.3f, \"counters\": {",
+                 i == 0 ? "" : ",", e.series.c_str(), e.n,
+                 static_cast<long long>(e.iterations), e.ns_per_op);
+    bool first = true;
+    for (const auto& [key, value] : e.counters) {
+      std::fprintf(f, "%s\"%s\": %.3f", first ? "" : ", ", key.c_str(), value);
+      first = false;
+    }
+    std::fprintf(f, "}}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "bench: wrote %s (%zu entries)\n", path.c_str(),
+               entries.size());
+}
+
 /// Unwraps a Result or aborts with its error.
 template <typename T>
 T must(Result<T> result) {
@@ -104,13 +235,20 @@ inline void must_ok(const Status& status) { status.check(); }
 }  // namespace bsoap::bench
 
 /// Each bench binary registers its series in `register_fn` then runs.
-#define BSOAP_BENCH_MAIN(register_fn)                       \
-  int main(int argc, char** argv) {                         \
-    register_fn();                                          \
-    benchmark::Initialize(&argc, argv);                     \
-    if (benchmark::ReportUnrecognizedArguments(argc, argv)) \
-      return 1;                                             \
-    benchmark::RunSpecifiedBenchmarks();                    \
-    benchmark::Shutdown();                                  \
-    return 0;                                               \
+/// `--json` additionally writes BENCH_<binary>.json next to the console
+/// output.
+#define BSOAP_BENCH_MAIN(register_fn)                                      \
+  int main(int argc, char** argv) {                                        \
+    const bool want_json = ::bsoap::bench::consume_json_flag(&argc, argv); \
+    const std::string bench_name =                                         \
+        ::bsoap::bench::bench_binary_name(argv[0]);                        \
+    register_fn();                                                         \
+    benchmark::Initialize(&argc, argv);                                    \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;      \
+    ::bsoap::bench::JsonSeriesReporter reporter;                           \
+    benchmark::RunSpecifiedBenchmarks(&reporter);                          \
+    if (want_json)                                                         \
+      ::bsoap::bench::write_bench_json(bench_name, reporter.entries());    \
+    benchmark::Shutdown();                                                 \
+    return 0;                                                              \
   }

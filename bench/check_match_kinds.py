@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Gate on match-kind counters recorded in BENCH_*.json files.
+
+Usage:
+    python3 bench/check_match_kinds.py BENCH_*.json
+
+The differential benches record how every send classified
+(first_time/content_match/perfect_match/partial_match) via --json. A
+regression in the matcher or the bulk update path shows up here long before
+it shows up as a timing change:
+
+  * series with "/ContentMatch/" in the name must classify EVERY send as a
+    content match — any rewrite means shadow state diverged;
+  * series with "/ValueReserialization_" must never see a partial
+    structural match or a first-time send — the workload is same-width by
+    construction, so a partial match means widths or expansion logic broke.
+
+Exits non-zero listing every violated series.
+"""
+import json
+import sys
+
+
+def check_entry(bench, entry):
+    series = entry["series"]
+    c = entry.get("counters", {})
+    first = c.get("first_time", 0)
+    content = c.get("content_match", 0)
+    perfect = c.get("perfect_match", 0)
+    partial = c.get("partial_match", 0)
+    errors = []
+    if "/ContentMatch/" in series:
+        if first or perfect or partial or not content:
+            errors.append(
+                f"{bench} {series}/{entry['n']}: expected pure content "
+                f"matches, got first={first} content={content} "
+                f"perfect={perfect} partial={partial}")
+    if "/ValueReserialization_" in series:
+        if first or partial:
+            errors.append(
+                f"{bench} {series}/{entry['n']}: same-width rewrites must "
+                f"stay structural, got first={first} partial={partial}")
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    errors = []
+    checked = 0
+    for path in sys.argv[1:]:
+        with open(path) as f:
+            doc = json.load(f)
+        for entry in doc.get("entries", []):
+            if entry.get("counters"):
+                checked += 1
+            errors.extend(check_entry(doc.get("bench", path), entry))
+    if errors:
+        print(f"match-kind check FAILED ({len(errors)} violation(s)):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"match-kind check passed ({checked} counter-bearing entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
-"""Extract per-figure CSV series from a recorded bench_output.txt.
+"""Extract per-figure CSV series from recorded bench output.
 
 Usage:
-    python3 bench/extract_figures.py bench_output.txt [outdir]
+    python3 bench/extract_figures.py <bench_output.txt|BENCH_*.json>... [outdir]
+
+Inputs may be console logs (regex-scraped) and/or the BENCH_<name>.json
+files the bench binaries write when run with --json (preferred: exact
+ns/op plus the user counters, no text parsing). The trailing argument is
+the output directory when it is not an existing file.
 
 Writes one CSV per figure/ablation (rows: series, N, wall_ms) into `outdir`
 (default: figures/), ready for gnuplot/matplotlib — the paper plots Send
 Time vs array size on log-log axes. Also prints a compact ASCII summary of
 each figure at its largest common size.
 """
+import json
 import os
 import re
 import sys
@@ -19,16 +25,7 @@ LINE = re.compile(
     r"(?:/manual_time)?\s+(?P<wall>[0-9.]+) ms\s+(?P<cpu>[0-9.]+) ms")
 
 
-def main() -> int:
-    if len(sys.argv) < 2:
-        print(__doc__)
-        return 2
-    path = sys.argv[1]
-    outdir = sys.argv[2] if len(sys.argv) > 2 else "figures"
-    os.makedirs(outdir, exist_ok=True)
-
-    # figure -> series -> {n: wall_ms}
-    figures = defaultdict(lambda: defaultdict(dict))
+def load_console(path, figures):
     with open(path) as f:
         for line in f:
             m = LINE.match(line.strip())
@@ -37,6 +34,33 @@ def main() -> int:
             full = m.group("name")
             figure, _, series = full.partition("/")
             figures[figure][series][int(m.group("n"))] = float(m.group("wall"))
+
+
+def load_json(path, figures):
+    with open(path) as f:
+        doc = json.load(f)
+    for entry in doc.get("entries", []):
+        figure, _, series = entry["series"].partition("/")
+        figures[figure][series][int(entry["n"])] = entry["ns_per_op"] / 1e6
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    args = sys.argv[1:]
+    outdir = "figures"
+    if len(args) > 1 and not os.path.isfile(args[-1]):
+        outdir = args.pop()
+    os.makedirs(outdir, exist_ok=True)
+
+    # figure -> series -> {n: wall_ms}
+    figures = defaultdict(lambda: defaultdict(dict))
+    for path in args:
+        if path.endswith(".json"):
+            load_json(path, figures)
+        else:
+            load_console(path, figures)
 
     for figure, series_map in sorted(figures.items()):
         csv_path = os.path.join(outdir, f"{figure}.csv")

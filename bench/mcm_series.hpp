@@ -88,12 +88,15 @@ inline void register_mcm_figure(const std::string& figure, ElementKind kind,
                     core::BsoapClient client(*env.transport);
                     const soap::RpcCall call = make_bench_call(kind, n, 42);
                     (void)must(client.send_call(call));  // prime the template
+                    MatchCounter matches;
                     for (auto _ : state) {
                       const core::SendReport report =
                           must(client.send_call(call));
+                      matches.record(report.match);
                       BSOAP_ASSERT(report.match ==
                                    core::MatchKind::kContentMatch);
                     }
+                    matches.flush(state);
                   });
 }
 

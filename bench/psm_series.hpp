@@ -11,6 +11,8 @@
 
 #include "bench/bench_common.hpp"
 #include "core/client.hpp"
+#include "core/diff_serializer.hpp"
+#include "core/template_builder.hpp"
 #include "soap/workload.hpp"
 
 namespace bsoap::bench {
@@ -18,6 +20,94 @@ namespace bsoap::bench {
 /// Fixed serialized width used for all PSM doubles (any width works as long
 /// as replacements match; 18 is the paper's "intermediate" double).
 inline constexpr int kPsmDoubleChars = 18;
+
+/// Update-stage-only pair: the dirty-bit rewrite (`update_dirty_fields`, the
+/// pipeline's update stage with no framing or transport) over a sparsely
+/// dirty 18-char-double array, with the batched array path on vs off in the
+/// same build. At 1% dirty the per-leaf walk dominates the scalar path while
+/// the bulk path is a word-wide bitmask scan plus O(dirty) rewrites — this
+/// is the pair the fast-path acceptance compares. (At 10%+ dirty both paths
+/// converge on dtoa cost; `bench_ablation_dut` records that regime.)
+inline void register_psm_update_stage_double(const std::string& figure) {
+  for (const bool bulk : {true, false}) {
+    register_series(
+        figure + "/UpdateStage_" + (bulk ? "Bulk" : "PerLeaf") +
+            "_1pctDirty/Double",
+        [bulk](benchmark::State& state, std::size_t n) {
+          core::TemplateConfig config;
+          config.bulk.enable = bulk;
+          const auto values =
+              soap::doubles_with_serialized_length(n, kPsmDoubleChars, 1);
+          auto a = values;
+          auto b = values;
+          const auto pool_a =
+              soap::doubles_with_serialized_length(n, kPsmDoubleChars, 2);
+          const auto pool_b =
+              soap::doubles_with_serialized_length(n, kPsmDoubleChars, 3);
+          for (std::size_t i = 0; i < n; i += 100) {
+            a[i] = pool_a[i];
+            b[i] = pool_b[i];
+          }
+          auto tmpl = core::build_template(soap::make_double_array_call(values),
+                                           config);
+          const soap::RpcCall call_a = soap::make_double_array_call(a);
+          const soap::RpcCall call_b = soap::make_double_array_call(b);
+          // Prime caches (template buffer, DUT, planes) so the fixed
+          // iteration count measures the steady state both variants reach.
+          for (std::size_t i = 0; i < n; i += 100) tmpl->dut().mark_dirty(i);
+          (void)core::update_dirty_fields(*tmpl, call_a);
+          bool flip = false;
+          for (auto _ : state) {
+            flip = !flip;
+            for (std::size_t i = 0; i < n; i += 100) tmpl->dut().mark_dirty(i);
+            const core::UpdateResult result =
+                core::update_dirty_fields(*tmpl, flip ? call_a : call_b);
+            benchmark::DoNotOptimize(result.values_rewritten);
+          }
+        });
+  }
+}
+
+/// Same pair for MIO arrays: only the double field of every 100th MIO is
+/// dirty, so the scalar path walks 3n leaves to find n/100 rewrites.
+inline void register_psm_update_stage_mio(const std::string& figure) {
+  for (const bool bulk : {true, false}) {
+    register_series(
+        figure + "/UpdateStage_" + (bulk ? "Bulk" : "PerLeaf") +
+            "_1pctDirty/MIO",
+        [bulk](benchmark::State& state, std::size_t n) {
+          core::TemplateConfig config;
+          config.bulk.enable = bulk;
+          const auto mios = soap::mios_with_serialized_length(n, 36, 1);
+          auto a = mios;
+          auto b = mios;
+          const auto pool_a = soap::doubles_with_serialized_length(n, 24, 2);
+          const auto pool_b = soap::doubles_with_serialized_length(n, 24, 3);
+          for (std::size_t i = 0; i < n; i += 100) {
+            a[i].value = pool_a[i];
+            b[i].value = pool_b[i];
+          }
+          auto tmpl =
+              core::build_template(soap::make_mio_array_call(mios), config);
+          const soap::RpcCall call_a = soap::make_mio_array_call(a);
+          const soap::RpcCall call_b = soap::make_mio_array_call(b);
+          for (std::size_t i = 0; i < n; i += 100) {
+            tmpl->dut().mark_dirty(i * 3 + 2);
+          }
+          (void)core::update_dirty_fields(*tmpl, call_a);  // prime caches
+          bool flip = false;
+          for (auto _ : state) {
+            flip = !flip;
+            for (std::size_t i = 0; i < n; i += 100) {
+              tmpl->dut().mark_dirty(i * 3 + 2);  // the value leaf
+            }
+            const core::UpdateResult result =
+                core::update_dirty_fields(*tmpl, flip ? call_a : call_b);
+            benchmark::DoNotOptimize(result.values_rewritten);
+          }
+        });
+  }
+}
 
 inline void register_psm_double_series(const std::string& figure) {
   // Reference lines re-plotted from the MCM figure.
@@ -52,6 +142,7 @@ inline void register_psm_double_series(const std::string& figure) {
               soap::doubles_with_serialized_length(n, kPsmDoubleChars, 3);
           const std::size_t rewrite = n * static_cast<std::size_t>(pct) / 100;
           bool flip = false;
+          MatchCounter matches;
           for (auto _ : state) {
             const auto& pool = flip ? pool_a : pool_b;
             flip = !flip;
@@ -59,10 +150,14 @@ inline void register_psm_double_series(const std::string& figure) {
               message->set_double_element(0, i, pool[i]);
             }
             const core::SendReport report = must(message->send());
+            matches.record(report.match);
             BSOAP_ASSERT(report.update.expansions == 0);
           }
+          matches.flush(state);
         });
   }
+
+  register_psm_update_stage_double(figure);
 
   register_series(figure + "/ContentMatch/Double",
                   [](benchmark::State& state, std::size_t n) {
@@ -71,9 +166,11 @@ inline void register_psm_double_series(const std::string& figure) {
                     auto message = client.bind(soap::make_double_array_call(
                         soap::doubles_with_serialized_length(n, kPsmDoubleChars, 1)));
                     (void)must(message->send());
+                    MatchCounter matches;
                     for (auto _ : state) {
-                      benchmark::DoNotOptimize(must(message->send()));
+                      matches.record(must(message->send()).match);
                     }
+                    matches.flush(state);
                   });
 }
 
@@ -109,6 +206,7 @@ inline void register_psm_mio_series(const std::string& figure) {
           const auto pool_b = soap::doubles_with_serialized_length(n, 24, 3);
           const std::size_t rewrite = n * static_cast<std::size_t>(pct) / 100;
           bool flip = false;
+          MatchCounter matches;
           for (auto _ : state) {
             const auto& pool = flip ? pool_a : pool_b;
             flip = !flip;
@@ -116,10 +214,14 @@ inline void register_psm_mio_series(const std::string& figure) {
               message->set_mio_field_value(0, i, pool[i]);
             }
             const core::SendReport report = must(message->send());
+            matches.record(report.match);
             BSOAP_ASSERT(report.update.expansions == 0);
           }
+          matches.flush(state);
         });
   }
+
+  register_psm_update_stage_mio(figure);
 
   register_series(figure + "/ContentMatch/MIO",
                   [](benchmark::State& state, std::size_t n) {
@@ -128,9 +230,11 @@ inline void register_psm_mio_series(const std::string& figure) {
                     auto message = client.bind(soap::make_mio_array_call(
                         soap::mios_with_serialized_length(n, kMioChars, 1)));
                     (void)must(message->send());
+                    MatchCounter matches;
                     for (auto _ : state) {
-                      benchmark::DoNotOptimize(must(message->send()));
+                      matches.record(must(message->send()).match);
                     }
+                    matches.flush(state);
                   });
 }
 

@@ -1,0 +1,94 @@
+// Dirty-run scanning primitives for the bulk array update path.
+//
+// Both update modes reduce "which leaves changed?" to runs over dense
+// memory instead of per-leaf predicates:
+//
+//   * compare mode scans a new value array against the DUT's SoA shadow
+//     plane with block-wide memcmp (the compiler lowers the fixed-size
+//     compares to word/SIMD loads), skipping clean regions at memory
+//     bandwidth and yielding maximal runs of bitwise-differing elements;
+//   * dirty-bit mode scans the DUT's dirty bitmask 64 leaves per word,
+//     yielding maximal runs of set bits.
+//
+// Runs are element/leaf index ranges — they stay valid across template
+// expansion, which renumbers positions but never leaf indices.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace bsoap::core::bulk {
+
+/// Calls fn(begin, end) for each maximal run of elements where next and
+/// shadow differ bitwise, in index order. T must be trivially copyable with
+/// no padding bytes (double, int32_t, Mio — asserted at the call sites).
+template <typename T, typename Fn>
+void for_each_differing_run(const T* next, const T* shadow, std::size_t n,
+                            Fn&& fn) {
+  // Clean-region skip granularity: big enough that memcmp runs word-wide,
+  // small enough that a lone dirty element costs one block rescan.
+  constexpr std::size_t kBlock = (sizeof(T) >= 512) ? 1 : 512 / sizeof(T);
+  std::size_t i = 0;
+  while (i < n) {
+    while (i + kBlock <= n &&
+           std::memcmp(next + i, shadow + i, kBlock * sizeof(T)) == 0) {
+      i += kBlock;
+    }
+    while (i < n && std::memcmp(next + i, shadow + i, sizeof(T)) == 0) ++i;
+    if (i >= n) return;
+    const std::size_t begin = i;
+    while (i < n && std::memcmp(next + i, shadow + i, sizeof(T)) != 0) ++i;
+    fn(begin, i);
+  }
+}
+
+/// Calls fn(begin, end) for each maximal run of set bits in `words`
+/// restricted to bit indices [begin_bit, end_bit), in index order. Runs
+/// crossing word boundaries are reported once.
+template <typename Fn>
+void for_each_set_run(const std::uint64_t* words, std::size_t begin_bit,
+                      std::size_t end_bit, Fn&& fn) {
+  constexpr std::size_t kNone = ~std::size_t{0};
+  std::size_t run_begin = kNone;
+  std::size_t i = begin_bit;
+  while (i < end_bit) {
+    const std::size_t bit = i & 63;
+    const std::size_t avail =
+        std::min<std::size_t>(64 - bit, end_bit - i);
+    // View the word from bit i: looking for the next set (outside a run)
+    // or clear (inside a run) bit.
+    std::uint64_t w = words[i >> 6] >> bit;
+    if (run_begin == kNone) {
+      if (w == 0) {
+        i += avail;
+        continue;
+      }
+      const std::size_t z = static_cast<std::size_t>(std::countr_zero(w));
+      if (z >= avail) {
+        i += avail;
+        continue;
+      }
+      i += z;
+      run_begin = i;
+    } else {
+      const std::uint64_t inv = ~w;
+      if (inv == 0) {
+        i += avail;
+        continue;
+      }
+      const std::size_t z = static_cast<std::size_t>(std::countr_zero(inv));
+      if (z >= avail) {
+        i += avail;
+        continue;
+      }
+      i += z;
+      fn(run_begin, i);
+      run_begin = kNone;
+    }
+  }
+  if (run_begin != kNone) fn(run_begin, end_bit);
+}
+
+}  // namespace bsoap::core::bulk

@@ -33,6 +33,18 @@ struct UpdateResult {
   std::uint64_t tag_shifts = 0;
   std::uint64_t expansions = 0;
   std::uint64_t steals = 0;
+
+  // Bulk fast-path telemetry (all zero when the per-leaf path ran). The
+  // rewrite counters above are mode-independent: the bulk path produces the
+  // same values_rewritten/tag_shifts/expansions/steals as per-leaf would.
+  std::uint64_t bulk_leaves = 0;  ///< leaves scanned through array segments
+  std::uint64_t bulk_runs = 0;    ///< dirty runs the segment scan yielded
+  std::int64_t scan_ns = 0;       ///< time locating dirty runs (zero on the
+                                  ///< fused serial dirty path, which has no
+                                  ///< separate scan pass)
+  std::int64_t rewrite_ns = 0;    ///< time rewriting them (thread-summed when
+                                  ///< a segment updated in parallel; the whole
+                                  ///< fused pass in serial dirty mode)
 };
 
 /// Rewrites changed fields by comparing each leaf of `call` against the

@@ -63,4 +63,52 @@ void for_each_leaf(const soap::RpcCall& call, Visitor& visitor) {
   }
 }
 
+/// Bulk-aware walk: homogeneous arrays are offered whole to the visitor
+/// before per-leaf dispatch. The visitor additionally implements
+///   bool on_double_array(std::span<const double>);
+///   bool on_int_array(std::span<const std::int32_t>);
+///   bool on_mio_array(std::span<const soap::Mio>);
+/// returning true when it consumed the array in bulk (and advanced its own
+/// leaf index), false to fall back to the per-leaf calls.
+template <typename Visitor>
+void for_each_leaf_bulk(const soap::Value& value, Visitor& visitor) {
+  using soap::ValueKind;
+  switch (value.kind()) {
+    case ValueKind::kDoubleArray:
+      if (!visitor.on_double_array(value.double_span())) {
+        for (const double v : value.doubles()) visitor.on_double(v);
+      }
+      break;
+    case ValueKind::kIntArray:
+      if (!visitor.on_int_array(value.int_span())) {
+        for (const std::int32_t v : value.ints()) visitor.on_int(v);
+      }
+      break;
+    case ValueKind::kMioArray:
+      if (!visitor.on_mio_array(value.mio_span())) {
+        for (const soap::Mio& m : value.mios()) {
+          visitor.on_int(m.x);
+          visitor.on_int(m.y);
+          visitor.on_double(m.value);
+        }
+      }
+      break;
+    case ValueKind::kStruct:
+      for (const soap::Value::Member& m : value.members()) {
+        for_each_leaf_bulk(m.value, visitor);
+      }
+      break;
+    default:
+      for_each_leaf(value, visitor);
+      break;
+  }
+}
+
+template <typename Visitor>
+void for_each_leaf_bulk(const soap::RpcCall& call, Visitor& visitor) {
+  for (const soap::Param& p : call.params) {
+    for_each_leaf_bulk(p.value, visitor);
+  }
+}
+
 }  // namespace bsoap::core

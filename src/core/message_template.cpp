@@ -113,6 +113,41 @@ void MessageTemplate::expand_by_shifting(std::size_t idx,
   dut_[idx].field_width = new_width;
 }
 
+void MessageTemplate::RunWriter::rewrite(std::size_t idx, const char* text,
+                                         std::uint32_t len) {
+  DutEntry& e = tmpl_.dut()[idx];
+  if (len > e.field_width) {
+    // Expansion: the full steal/shift/split machinery, which may renumber
+    // positions, realloc a chunk, or split chunks — drop the cached base.
+    // Parallel callers prove fit up front, so this only runs with the
+    // template's own stats block (single-threaded).
+    BSOAP_ASSERT(&stats_ == &tmpl_.stats());
+    tmpl_.rewrite_value(idx, text, len);
+    chunk_ = kNoChunk;
+    return;
+  }
+  if (e.pos.chunk != chunk_) {
+    chunk_ = e.pos.chunk;
+    base_ = tmpl_.buffer().at(buffer::BufPos{chunk_, 0});
+  }
+  char* p = base_ + e.pos.offset;
+  ++stats_.value_rewrites;
+  if (len == e.serialized_len) {
+    std::memcpy(p, text, len);
+    stats_.bytes_rewritten += len;
+    return;
+  }
+  char tag[kMaxCloseTag];
+  BSOAP_ASSERT(e.close_tag_len <= kMaxCloseTag);
+  std::memcpy(tag, p + e.serialized_len, e.close_tag_len);
+  std::memcpy(p, text, len);
+  std::memcpy(p + len, tag, e.close_tag_len);
+  std::memset(p + len + e.close_tag_len, ' ', e.field_width - len);
+  ++stats_.tag_shifts;
+  stats_.bytes_rewritten += e.field_width + e.close_tag_len;
+  e.serialized_len = len;
+}
+
 bool MessageTemplate::check_invariants() const {
   if (!buffer_.check_invariants()) return false;
   if (!dut_.check_invariants()) return false;

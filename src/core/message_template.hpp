@@ -53,6 +53,22 @@ struct StuffingPolicy {
   }
 };
 
+/// The bulk array fast path (SoA shadow planes + dirty-run rewrites).
+struct BulkUpdateConfig {
+  /// Record ArraySegment descriptors + shadow planes at build time and use
+  /// the run-based update path. Off = the per-leaf scalar path everywhere
+  /// (the ablation baseline).
+  bool enable = true;
+  /// Arrays below this element count are not worth a segment descriptor.
+  std::uint32_t min_elements = 16;
+  /// Segments update on the shared worker pool when they span multiple
+  /// chunks, every field provably fits its width (no expansion possible),
+  /// and the segment has at least this many leaves.
+  std::size_t parallel_min_leaves = 1 << 16;
+  /// Master switch for the parallel segment update (serial bulk otherwise).
+  bool parallel = true;
+};
+
 struct TemplateConfig {
   buffer::ChunkConfig chunk;
   StuffingPolicy stuffing;
@@ -61,6 +77,7 @@ struct TemplateConfig {
   bool enable_stealing = true;
   /// How many following entries to scan for a padding donor.
   std::uint32_t steal_scan_limit = 4;
+  BulkUpdateConfig bulk;
 };
 
 /// Counters exposed for tests, benchmarks and the classifier.
@@ -73,6 +90,19 @@ struct TemplateStats {
   std::uint64_t chunk_reallocs = 0;   ///< chunk grown into a new region
   std::uint64_t chunk_splits = 0;     ///< chunk split in two
   std::uint64_t bytes_rewritten = 0;  ///< value+tag+pad bytes written
+
+  /// Merges another stats block (parallel workers accumulate locally and
+  /// fold in after the join).
+  void add(const TemplateStats& rhs) {
+    value_rewrites += rhs.value_rewrites;
+    tag_shifts += rhs.tag_shifts;
+    expansions += rhs.expansions;
+    steals += rhs.steals;
+    chunk_shifts += rhs.chunk_shifts;
+    chunk_reallocs += rhs.chunk_reallocs;
+    chunk_splits += rhs.chunk_splits;
+    bytes_rewritten += rhs.bytes_rewritten;
+  }
 };
 
 class MessageTemplate {
@@ -97,6 +127,34 @@ class MessageTemplate {
   /// the entry's serialized_len/field_width and clears nothing (dirty bits
   /// are the caller's concern).
   void rewrite_value(std::size_t idx, const char* text, std::uint32_t len);
+
+  /// Cursor for rewriting a run of entries in ascending index order. The
+  /// chunk base pointer is resolved once per chunk and reused with pointer
+  /// arithmetic while values fit their fields; a value that outgrows its
+  /// width falls back to rewrite_value (the expansion machinery) and
+  /// invalidates the cursor, so positions renumbered by a shift/split are
+  /// re-resolved. Byte effects and counters are identical to calling
+  /// rewrite_value per entry.
+  ///
+  /// `stats` receives the counters: pass tmpl.stats() on the serial path, a
+  /// worker-local block on the parallel path (where the caller must have
+  /// proven every value fits — the fallback asserts it is not reached when
+  /// writing to foreign stats).
+  class RunWriter {
+   public:
+    RunWriter(MessageTemplate& tmpl, TemplateStats& stats)
+        : tmpl_(tmpl), stats_(stats) {}
+
+    void rewrite(std::size_t idx, const char* text, std::uint32_t len);
+
+   private:
+    static constexpr std::uint32_t kNoChunk = 0xffffffffu;
+
+    MessageTemplate& tmpl_;
+    TemplateStats& stats_;
+    std::uint32_t chunk_ = kNoChunk;
+    char* base_ = nullptr;
+  };
 
   /// Internal consistency: buffer and DUT agree (every entry's region is in
   /// range, value+tag+padding bytes are coherent). Test hook.

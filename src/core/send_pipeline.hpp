@@ -87,9 +87,22 @@ class StageTimings final : public SendObserver {
     t.count += 1;
   }
 
+  /// Update-stage substage breakdown: the bulk fast path reports how much of
+  /// the stage went to locating dirty runs vs rewriting them.
+  struct UpdateBreakdown {
+    std::int64_t scan_ns = 0;
+    std::int64_t rewrite_ns = 0;
+    std::uint64_t bulk_runs = 0;
+    std::uint64_t bulk_leaves = 0;
+  };
+
   void on_send(const SendReport& report) override {
     sends_ += 1;
     last_ = report;
+    update_breakdown_.scan_ns += report.update.scan_ns;
+    update_breakdown_.rewrite_ns += report.update.rewrite_ns;
+    update_breakdown_.bulk_runs += report.update.bulk_runs;
+    update_breakdown_.bulk_leaves += report.update.bulk_leaves;
   }
 
   const Totals& totals(SendStage stage) const {
@@ -97,17 +110,20 @@ class StageTimings final : public SendObserver {
   }
   std::uint64_t sends() const { return sends_; }
   const SendReport& last_report() const { return last_; }
+  const UpdateBreakdown& update_breakdown() const { return update_breakdown_; }
 
   void reset() {
     totals_ = {};
     sends_ = 0;
     last_ = SendReport{};
+    update_breakdown_ = UpdateBreakdown{};
   }
 
  private:
   std::array<Totals, kSendStageCount> totals_{};
   std::uint64_t sends_ = 0;
   SendReport last_;
+  UpdateBreakdown update_breakdown_{};
 };
 
 /// Where one send goes: a connected transport plus the HTTP request target.

@@ -142,6 +142,13 @@ class Builder {
               close_tag, shadow, shadow_index);
   }
 
+  /// Whether an array of `n` elements gets an ArraySegment descriptor (and
+  /// an SoA shadow plane) for the bulk update path.
+  bool segment_worthy(std::size_t n) const {
+    const BulkUpdateConfig& bulk = tmpl_.config().bulk;
+    return bulk.enable && n >= bulk.min_elements;
+  }
+
   void open_tag(std::string_view name, std::string_view attrs) {
     buf_.append("<");
     buf_.append(name);
@@ -174,26 +181,41 @@ class Builder {
         break;
       case ValueKind::kDoubleArray: {
         open_array_tag(name, soap::kXsdDouble, value.doubles().size());
+        const std::uint32_t first = static_cast<std::uint32_t>(dut_.size());
         for (const double v : value.doubles()) {
           emit_double_leaf("<item>", v, "</item>");
+        }
+        if (segment_worthy(value.doubles().size())) {
+          dut_.add_double_segment(first, value.doubles().data(),
+                                  value.doubles().size());
         }
         buf_.append(close_tag);
         break;
       }
       case ValueKind::kIntArray: {
         open_array_tag(name, soap::kXsdInt, value.ints().size());
+        const std::uint32_t first = static_cast<std::uint32_t>(dut_.size());
         for (const std::int32_t v : value.ints()) {
           emit_int_leaf("<item>", v, "</item>");
+        }
+        if (segment_worthy(value.ints().size())) {
+          dut_.add_int_segment(first, value.ints().data(),
+                               value.ints().size());
         }
         buf_.append(close_tag);
         break;
       }
       case ValueKind::kMioArray: {
         open_array_tag(name, "ns1:MIO", value.mios().size());
+        const std::uint32_t first = static_cast<std::uint32_t>(dut_.size());
         for (const Mio& m : value.mios()) {
           emit_int_leaf("<item><x>", m.x, "</x>");
           emit_int_leaf("<y>", m.y, "</y>");
           emit_double_leaf("<v>", m.value, "</v></item>");
+        }
+        if (segment_worthy(value.mios().size())) {
+          dut_.add_mio_segment(first, value.mios().data(),
+                               value.mios().size());
         }
         buf_.append(close_tag);
         break;

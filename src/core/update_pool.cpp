@@ -1,0 +1,98 @@
+#include "core/update_pool.hpp"
+
+#include <algorithm>
+
+namespace bsoap::core {
+namespace {
+
+std::size_t pool_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t total = std::max(1u, std::min(hw, 4u));
+  return total - 1;  // the calling thread is the remaining worker
+}
+
+}  // namespace
+
+UpdatePool& UpdatePool::instance() {
+  static UpdatePool pool;
+  return pool;
+}
+
+UpdatePool::UpdatePool() {
+  const std::size_t n = pool_thread_count();
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+UpdatePool::~UpdatePool() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void UpdatePool::drain(const std::function<void(std::size_t)>& fn) {
+  for (;;) {
+    std::size_t part;
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      if (next_part_ >= parts_) return;
+      part = next_part_++;
+    }
+    fn(part);
+  }
+}
+
+void UpdatePool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      // A worker can wake after the caller already drained and retired the
+      // job; there is nothing to bind to then.
+      if (fn_ == nullptr) continue;
+      fn = fn_;
+      ++busy_;
+    }
+    drain(*fn);
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      if (--busy_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void UpdatePool::run(std::size_t parts,
+                     const std::function<void(std::size_t)>& fn) {
+  if (parts == 0) return;
+  if (threads_.empty() || parts == 1) {
+    for (std::size_t p = 0; p < parts; ++p) fn(p);
+    return;
+  }
+  std::lock_guard<std::mutex> job(job_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    fn_ = &fn;
+    parts_ = parts;
+    next_part_ = 0;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  drain(fn);
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    done_cv_.wait(lock, [&] { return busy_ == 0 && next_part_ >= parts_; });
+    fn_ = nullptr;
+    parts_ = 0;
+  }
+}
+
+}  // namespace bsoap::core

@@ -1,0 +1,58 @@
+// Shared worker pool for parallel segment updates.
+//
+// Large multi-chunk array segments are rewritten by partitioning their
+// element range at chunk transitions and handing each part to a worker, so
+// no two threads touch the same chunk. The pool is tiny (the update stage is
+// memory-bandwidth bound well before core count matters), lazily started on
+// first use, and shared process-wide; concurrent run() callers serialize on
+// a job mutex rather than growing the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bsoap::core {
+
+class UpdatePool {
+ public:
+  /// The process-wide pool, started on first call.
+  static UpdatePool& instance();
+
+  /// Workers plus the calling thread — the maximum useful partition count.
+  std::size_t concurrency() const { return threads_.size() + 1; }
+
+  /// Runs fn(part) for every part in [0, parts), distributing parts over the
+  /// workers and the calling thread; returns when all have completed. fn
+  /// must not throw. Safe to call from multiple threads (callers serialize).
+  void run(std::size_t parts, const std::function<void(std::size_t)>& fn);
+
+  UpdatePool(const UpdatePool&) = delete;
+  UpdatePool& operator=(const UpdatePool&) = delete;
+
+ private:
+  UpdatePool();
+  ~UpdatePool();
+
+  void worker_loop();
+  /// Claims and runs parts until the current job is exhausted.
+  void drain(const std::function<void(std::size_t)>& fn);
+
+  std::vector<std::thread> threads_;
+  std::mutex job_mutex_;  ///< serializes run() callers
+
+  std::mutex m_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  ///< bumped per job; workers wake on change
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t parts_ = 0;
+  std::size_t next_part_ = 0;
+  std::size_t busy_ = 0;  ///< workers still inside the current job
+  bool stop_ = false;
+};
+
+}  // namespace bsoap::core

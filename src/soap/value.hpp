@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,12 @@ class Value {
   const std::vector<std::int32_t>& ints() const { BSOAP_ASSERT(kind_ == ValueKind::kIntArray); return ints_; }
   std::vector<Mio>& mios() { BSOAP_ASSERT(kind_ == ValueKind::kMioArray); return mios_; }
   const std::vector<Mio>& mios() const { BSOAP_ASSERT(kind_ == ValueKind::kMioArray); return mios_; }
+
+  /// Borrowed dense views for the bulk update path (word-wide scans want a
+  /// raw pointer + length, not a vector reference).
+  std::span<const double> double_span() const { return doubles(); }
+  std::span<const std::int32_t> int_span() const { return ints(); }
+  std::span<const Mio> mio_span() const { return mios(); }
 
   /// Struct members (name, value) in document order.
   struct Member;

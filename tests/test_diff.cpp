@@ -3,8 +3,10 @@
 // with from-scratch serialization as the oracle.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "common/rng.hpp"
 #include "core/diff_serializer.hpp"
@@ -128,6 +130,76 @@ TEST(UpdateTemplate, StringsAndStructs) {
   EXPECT_EQ(parsed.params[0].value.members()[0].value.as_string(), "beta & co");
   EXPECT_EQ(parsed.params[0].value.members()[1].value.as_int(), 10);
   EXPECT_TRUE(parsed.params[1].value.as_bool());
+}
+
+TEST(UpdateTemplate, NanComparesBitwise) {
+  // NaN != NaN numerically, but the shadow comparison is bitwise: sending
+  // the same NaN payload again must be a content match, not an endless
+  // rewrite of identical lexicals.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto tmpl = build_template(soap::make_double_array_call({1.0, nan, 3.0}),
+                             exact_config());
+  const UpdateResult same =
+      update_template(*tmpl, soap::make_double_array_call({1.0, nan, 3.0}));
+  EXPECT_EQ(same.match, MatchKind::kContentMatch);
+  EXPECT_EQ(same.values_rewritten, 0u);
+
+  // A different NaN bit pattern IS a change even though both print "nan".
+  const double other_nan = std::bit_cast<double>(
+      std::bit_cast<std::uint64_t>(nan) | 1u);
+  const UpdateResult changed = update_template(
+      *tmpl, soap::make_double_array_call({1.0, other_nan, 3.0}));
+  EXPECT_EQ(changed.values_rewritten, 1u);
+}
+
+TEST(UpdateTemplate, BoolShadowTransitions) {
+  // false->true->false must round-trip: "false" (5 chars) shrinks to
+  // "true" (4 chars, padded) and grows back within the original width.
+  RpcCall call;
+  call.method = "m";
+  call.service_namespace = "urn:s";
+  call.params.push_back(soap::Param{"flag", Value::from_bool(false)});
+  auto tmpl = build_template(call, exact_config());
+
+  call.params[0].value = Value::from_bool(true);
+  EXPECT_EQ(update_template(*tmpl, call).values_rewritten, 1u);
+  EXPECT_TRUE(parse_template(*tmpl).params[0].value.as_bool());
+  // Same value again: shadow must have been updated, so no rewrite.
+  EXPECT_EQ(update_template(*tmpl, call).values_rewritten, 0u);
+
+  call.params[0].value = Value::from_bool(false);
+  EXPECT_EQ(update_template(*tmpl, call).values_rewritten, 1u);
+  EXPECT_FALSE(parse_template(*tmpl).params[0].value.as_bool());
+  EXPECT_TRUE(tmpl->check_invariants());
+}
+
+TEST(UpdateTemplate, StringGrowsPastFieldWidth) {
+  // A replacement string longer than the stuffed field (including one whose
+  // escaped form grows further) must force expansion and still parse back.
+  RpcCall call;
+  call.method = "m";
+  call.service_namespace = "urn:s";
+  call.params.push_back(soap::Param{"name", Value::from_string("ab")});
+  call.params.push_back(soap::Param{"tail", Value::from_int(7)});
+  TemplateConfig config = exact_config();
+  config.enable_stealing = false;
+  auto tmpl = build_template(call, config);
+
+  call.params[0].value =
+      Value::from_string("a much longer value with <angle> & ampersand");
+  const UpdateResult result = update_template(*tmpl, call);
+  EXPECT_EQ(result.match, MatchKind::kPartialStructural);
+  EXPECT_GE(result.expansions, 1u);
+  const RpcCall parsed = parse_template(*tmpl);
+  EXPECT_EQ(parsed.params[0].value.as_string(),
+            "a much longer value with <angle> & ampersand");
+  EXPECT_EQ(parsed.params[1].value.as_int(), 7);
+  EXPECT_TRUE(tmpl->check_invariants());
+
+  // Shrink back: must fit in the widened field with padding.
+  call.params[0].value = Value::from_string("x");
+  EXPECT_EQ(update_template(*tmpl, call).values_rewritten, 1u);
+  EXPECT_EQ(parse_template(*tmpl).params[0].value.as_string(), "x");
 }
 
 TEST(UpdateDirtyFields, RewritesExactlyDirtyEntries) {
