@@ -1,0 +1,103 @@
+// Resilience under injected faults: differential send throughput at 0%, 1%
+// and 5% per-write failure rates, against the from-scratch baseline.
+//
+// Each point runs a pooled, retrying client (0 ms backoff — the bench
+// measures recovery work, not sleep) against the drain server through
+// faulty_dialer: every dialed connection injects seeded probabilistic short
+// writes. A failed write discards the connection, rolls the template back,
+// and retries on a fresh one; the match-kind counters then prove recovery
+// correctness — same-width value rewrites must classify as perfect
+// structural matches (and unchanged resends as content matches) even when
+// sends fail and retry mid-stream. check_match_kinds.py gates on the
+// "/FaultRecovery" counters: no partial matches, and first-time sends only
+// for the initial template build plus any recovery invalidations.
+//
+// Series: Resilience/FaultRecovery/diff/fail_pct:{0,1,5}/N plus the
+// Resilience/FullBaseline/fail_pct:* from-scratch counterpart.
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/client.hpp"
+#include "net/fault_injection.hpp"
+#include "soap/workload.hpp"
+
+namespace {
+
+using namespace bsoap;
+using namespace bsoap::bench;
+
+void bench_point(benchmark::State& state, std::size_t n, bool differential,
+                 double failure_rate) {
+  auto server = must(net::DrainServer::start());
+  const std::uint16_t port = server->port();
+
+  net::FaultPlan plan;
+  plan.write_failure_rate = failure_rate;
+  plan.seed = 0xb50a9 + n;
+  core::BsoapClientConfig config =
+      core::BsoapClientConfig{}
+          .with_differential(differential)
+          .with_retry(resilience::RetryPolicy{}
+                          .with_max_attempts(8)
+                          .with_initial_backoff(std::chrono::milliseconds(0)));
+  // Same-width rewrites with stuffing keep every update a perfect
+  // structural match; a partial match in the counters means recovery
+  // corrupted template state.
+  config.tmpl.stuffing.mode = core::StuffingPolicy::Mode::kTypeMax;
+  config.tmpl.stuffing.stuff_on_expand = true;
+  core::BsoapClient client(
+      net::faulty_dialer([port] { return net::tcp_connect(port); }, plan),
+      config);
+
+  auto values = soap::doubles_with_serialized_length(n, 18, 5);
+  const auto alternates = soap::doubles_with_serialized_length(64, 18, 6);
+  must(client.send_call(soap::make_double_array_call(values)));  // prime
+
+  MatchCounter matches;
+  std::uint64_t retries = 0;
+  std::uint64_t invalidated = 0;
+  std::size_t step = 0;
+  for (auto _ : state) {
+    values[step % n] = alternates[step % alternates.size()];
+    ++step;
+    Result<core::SendReport> report =
+        client.send_call(soap::make_double_array_call(values));
+    if (!report.ok()) {
+      state.SkipWithError(report.error().to_string().c_str());
+      break;
+    }
+    matches.record(report.value().match);
+    retries += report.value().attempts - 1;
+    if (report.value().recovery == core::Recovery::kInvalidated) {
+      ++invalidated;
+    }
+  }
+  matches.flush(state);
+  state.counters["retries"] = static_cast<double>(retries);
+  state.counters["invalidated"] = static_cast<double>(invalidated);
+  state.counters["dials"] =
+      static_cast<double>(client.pool().stats().dials);
+  state.counters["fail_pct"] = failure_rate * 100.0;
+}
+
+void register_bench() {
+  for (const bool differential : {true, false}) {
+    for (const double rate : {0.0, 0.01, 0.05}) {
+      // Only the differential series carries the /FaultRecovery counter
+      // contract; the full-serialization baseline is first-time by design.
+      const std::string series =
+          std::string(differential ? "Resilience/FaultRecovery/diff"
+                                   : "Resilience/FullBaseline") +
+          "/fail_pct:" + std::to_string(static_cast<int>(rate * 100));
+      register_series(series, [differential, rate](benchmark::State& state,
+                                                   std::size_t n) {
+        bench_point(state, n, differential, rate);
+      });
+    }
+  }
+}
+
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_bench)

@@ -13,7 +13,12 @@ it shows up as a timing change:
     content match — any rewrite means shadow state diverged;
   * series with "/ValueReserialization_" must never see a partial
     structural match or a first-time send — the workload is same-width by
-    construction, so a partial match means widths or expansion logic broke.
+    construction, so a partial match means widths or expansion logic broke;
+  * series with "/FaultRecovery" (bench_resilience, differential sends
+    under injected write failures) must see no partial matches, and
+    first-time sends only for the initial template build plus recovery
+    invalidations — anything more means rollback corrupted shadow state
+    and the matcher misclassified an MCM/PSM send.
 
 Exits non-zero listing every violated series.
 """
@@ -40,6 +45,13 @@ def check_entry(bench, entry):
             errors.append(
                 f"{bench} {series}/{entry['n']}: same-width rewrites must "
                 f"stay structural, got first={first} partial={partial}")
+    if "/FaultRecovery" in series:
+        invalidated = c.get("invalidated", 0)
+        if partial or first > 1 + invalidated:
+            errors.append(
+                f"{bench} {series}/{entry['n']}: recovery must preserve "
+                f"differential matching, got first={first} "
+                f"partial={partial} invalidated={invalidated}")
     return errors
 
 

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/client.hpp"
+#include "http/connection.hpp"
 #include "net/tcp.hpp"
 #include "soap/soap_server.hpp"
 

@@ -15,6 +15,8 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kNotFound: return "kNotFound";
     case ErrorCode::kUnsupported: return "kUnsupported";
     case ErrorCode::kInternal: return "kInternal";
+    case ErrorCode::kUnavailable: return "kUnavailable";
+    case ErrorCode::kRetryExhausted: return "kRetryExhausted";
   }
   return "kUnknown";
 }

@@ -26,6 +26,8 @@ enum class ErrorCode {
   kNotFound,
   kUnsupported,
   kInternal,
+  kUnavailable,     ///< no connection could be established (dial refused/failed)
+  kRetryExhausted,  ///< a retrying sender gave up; message holds the last error
 };
 
 /// Human-readable name for an ErrorCode.

@@ -1,29 +1,55 @@
 #include "core/client.hpp"
 
 #include "core/template_builder.hpp"
+#include "http/connection.hpp"
 #include "soap/envelope_reader.hpp"
 #include "soap/soap_server.hpp"
 
 namespace bsoap::core {
 
+namespace {
+
+SendPipeline::Options pipeline_options(const BsoapClientConfig& config) {
+  return SendPipeline::Options{config.tmpl, config.differential,
+                               config.max_templates, config.max_template_bytes,
+                               config.effective_framing()};
+}
+
+}  // namespace
+
+BsoapClient::BsoapClient(net::Dialer dial, BsoapClientConfig config)
+    : config_(std::move(config)),
+      pipeline_(pipeline_options(config_)),
+      pool_(net::ConnectionPool::Options{config_.max_idle_connections,
+                                         std::move(dial)}),
+      sender_(pipeline_, pool_, config_.retry, config_.endpoint_path) {}
+
 BsoapClient::BsoapClient(net::Transport& transport, BsoapClientConfig config)
-    : transport_(transport),
-      connection_(transport),
-      config_(std::move(config)),
-      pipeline_(SendPipeline::Options{config_.tmpl, config_.differential,
-                                      config_.max_templates,
-                                      config_.max_template_bytes,
-                                      config_.http_chunked}) {}
+    : config_(std::move(config)),
+      pipeline_(pipeline_options(config_)),
+      pool_(net::ConnectionPool::Options{/*max_idle=*/1, /*dial=*/nullptr}),
+      sender_(pipeline_, pool_, config_.retry, config_.endpoint_path) {
+  pool_.add(std::make_unique<net::BorrowedTransport>(transport));
+}
 
 Result<SendReport> BsoapClient::send_call(const soap::RpcCall& call) {
-  return pipeline_.send(call, destination());
+  Result<resilience::SendOutcome> outcome = sender_.send(call);
+  if (!outcome.ok()) return outcome.error();
+  outcome.value().lease.checkin();
+  return outcome.value().report;
 }
 
 Result<soap::Value> BsoapClient::invoke(const soap::RpcCall& call) {
-  Result<SendReport> report = send_call(call);
-  if (!report.ok()) return report.error();
-  Result<http::HttpResponse> response = connection_.read_response();
+  Result<resilience::SendOutcome> outcome = sender_.send(call);
+  if (!outcome.ok()) return outcome.error();
+  net::ConnectionPool::Lease& lease = outcome.value().lease;
+  // Read the response off the connection the send succeeded on. A failed
+  // read leaves the stream mid-response, so the lease is discarded (the
+  // Lease destructor's default) rather than checked back in.
+  http::HttpConnection connection(lease.transport());
+  Result<http::HttpResponse> response = connection.read_response();
   if (!response.ok()) return response.error();
+  lease.checkin();
   if (response.value().status != 200) {
     return Error{ErrorCode::kProtocolError,
                  "HTTP status " + std::to_string(response.value().status)};
@@ -111,7 +137,11 @@ double BoundMessage::get_double_element(std::size_t param,
 }
 
 Result<SendReport> BoundMessage::send() {
-  return client_.pipeline_.send_tracked(*tmpl_, call_, client_.destination());
+  Result<resilience::SendOutcome> outcome =
+      client_.sender_.send_tracked(*tmpl_, call_);
+  if (!outcome.ok()) return outcome.error();
+  outcome.value().lease.checkin();
+  return outcome.value().report;
 }
 
 }  // namespace bsoap::core

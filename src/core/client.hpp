@@ -12,6 +12,18 @@
 //     transparently": setters mark dirty bits, send() rewrites exactly the
 //     dirty fields with no comparisons, and an unchanged message short-
 //     circuits to a resend of the stored bytes.
+//
+// Connections and resilience: a client constructed with a net::Dialer owns
+// a keep-alive ConnectionPool and retries failed sends per its RetryPolicy,
+// repairing template state between attempts (rollback or invalidation — see
+// resilience/resilient_sender.hpp for the state machine). The legacy
+// single-transport constructor still works: the pool is fixed to that one
+// transport and sends never retry. Every surface — send_call, invoke,
+// BoundMessage::send — runs through the same internal SendOutcome path.
+//
+// Retryable errors (default policy): kIoError, kClosed, kTimeout,
+// kUnavailable. A send that exhausts its retry budget fails with
+// kRetryExhausted, carrying the last underlying error in its message.
 #pragma once
 
 #include <memory>
@@ -21,12 +33,17 @@
 #include "core/diff_serializer.hpp"
 #include "core/send_pipeline.hpp"
 #include "core/template_store.hpp"
-#include "http/connection.hpp"
+#include "net/connection_pool.hpp"
 #include "net/transport.hpp"
+#include "resilience/resilient_sender.hpp"
 #include "soap/value.hpp"
 
 namespace bsoap::core {
 
+/// Client configuration. An aggregate with named fluent setters — build it
+/// as BsoapClientConfig{}.with_max_templates(8).with_framing(
+/// http::Framing::kChunked) rather than by positional initialization, which
+/// silently misassigns when fields are added or reordered.
 struct BsoapClientConfig {
   TemplateConfig tmpl;
   /// false = "bSOAP Full Serialization" from the paper's figures: the
@@ -38,26 +55,82 @@ struct BsoapClientConfig {
   /// Byte budget across saved templates (0 = unlimited); least recently
   /// used templates are evicted first once exceeded.
   std::size_t max_template_bytes = 0;
-  /// Stream the template's chunks as HTTP/1.1 chunked transfer encoding
-  /// instead of Content-Length framing.
+  /// DEPRECATED — use `framing`. Kept one release as a source-compatible
+  /// shim; true forces Framing::kChunked regardless of `framing`.
   bool http_chunked = false;
   std::string endpoint_path = "/";
+  /// Wire framing of the request body (Content-Length or HTTP/1.1 chunked).
+  http::Framing framing = http::Framing::kContentLength;
+  /// Retry/backoff for pooled (dialer-constructed) clients. Ignored by the
+  /// legacy single-transport constructor, which never retries.
+  resilience::RetryPolicy retry;
+  /// Idle keep-alive connections the pool retains.
+  std::size_t max_idle_connections = 4;
+
+  /// The framing in effect after the deprecated http_chunked shim.
+  http::Framing effective_framing() const {
+    return http_chunked ? http::Framing::kChunked : framing;
+  }
+
+  // --- named fluent setters ---
+  BsoapClientConfig& with_template_config(TemplateConfig t) {
+    tmpl = std::move(t);
+    return *this;
+  }
+  BsoapClientConfig& with_differential(bool on) {
+    differential = on;
+    return *this;
+  }
+  BsoapClientConfig& with_max_templates(std::size_t n) {
+    max_templates = n;
+    return *this;
+  }
+  BsoapClientConfig& with_max_template_bytes(std::size_t n) {
+    max_template_bytes = n;
+    return *this;
+  }
+  BsoapClientConfig& with_framing(http::Framing f) {
+    framing = f;
+    return *this;
+  }
+  BsoapClientConfig& with_endpoint_path(std::string p) {
+    endpoint_path = std::move(p);
+    return *this;
+  }
+  BsoapClientConfig& with_retry(resilience::RetryPolicy p) {
+    retry = std::move(p);
+    return *this;
+  }
+  BsoapClientConfig& with_max_idle_connections(std::size_t n) {
+    max_idle_connections = n;
+    return *this;
+  }
 };
 
 class BoundMessage;
 
 class BsoapClient {
  public:
-  /// The transport must outlive the client.
+  /// Pooled client: connections are dialed on demand, kept alive in a
+  /// bounded idle pool, reconnected when the peer closes, and failed sends
+  /// retry per config.retry with template-state recovery.
+  BsoapClient(net::Dialer dial, BsoapClientConfig config);
+
+  /// Legacy single-connection client: the transport must outlive the
+  /// client. The pool is fixed to this one transport and sends never retry
+  /// (a retry over a stream holding partial bytes would interleave them).
   explicit BsoapClient(net::Transport& transport, BsoapClientConfig config);
   explicit BsoapClient(net::Transport& transport)
       : BsoapClient(transport, BsoapClientConfig{}) {}
 
   /// Sends `call`, reusing a saved template when one matches. Does not read
-  /// a response (the paper's Send Time protocol).
+  /// a response (the paper's Send Time protocol). The report carries how
+  /// many attempts were made and what recovery, if any, was applied.
   Result<SendReport> send_call(const soap::RpcCall& call);
 
-  /// Full RPC: send_call, then read and decode the response envelope.
+  /// Full RPC: send (with retry), then read and decode the response from
+  /// the same pooled connection the send succeeded on. The response read
+  /// itself is not retried — the request may have been acted on.
   Result<soap::Value> invoke(const soap::RpcCall& call);
 
   /// Creates a tracked message bound to this client. The template is built
@@ -71,18 +144,17 @@ class BsoapClient {
   /// attach a SendObserver or override the framing strategy.
   SendPipeline& pipeline() { return pipeline_; }
 
+  /// This client's connection pool (reconnect/reuse counters for tests and
+  /// benchmarks).
+  net::ConnectionPool& pool() { return pool_; }
+
  private:
   friend class BoundMessage;
 
-  /// Where this client's sends go.
-  SendDestination destination() {
-    return SendDestination{&transport_, config_.endpoint_path};
-  }
-
-  net::Transport& transport_;
-  http::HttpConnection connection_;
   BsoapClientConfig config_;
   SendPipeline pipeline_;
+  net::ConnectionPool pool_;
+  resilience::ResilientSender sender_;
 };
 
 /// A message with explicit update tracking. Mutations go through setters
@@ -120,7 +192,9 @@ class BoundMessage {
   std::size_t dirty_count() const { return tmpl_->dut().dirty_count(); }
 
   /// Sends the message: a clean DUT resends the stored bytes (content
-  /// match); otherwise only dirty fields are rewritten first.
+  /// match); otherwise only dirty fields are rewritten first. Retries per
+  /// the client's policy; if recovery had to invalidate the template it is
+  /// rebuilt in place and the send reports kFirstTime.
   Result<SendReport> send();
 
  private:

@@ -372,7 +372,10 @@ bool parallel_segment(MessageTemplate& tmpl, const ArraySegment& seg,
                       std::vector<RunRange>& merged_runs, BulkTelemetry& tm,
                       PartFn&& part) {
   const BulkUpdateConfig& cfg = tmpl.config().bulk;
-  if (!cfg.parallel || seg.leaf_count() < cfg.parallel_min_leaves ||
+  // An armed recovery journal records fields single-threaded; the serial
+  // paths run instead while one is attached.
+  if (!cfg.parallel || tmpl.journal() != nullptr ||
+      seg.leaf_count() < cfg.parallel_min_leaves ||
       !guaranteed_fit(tmpl, seg)) {
     return false;
   }

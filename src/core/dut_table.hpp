@@ -185,6 +185,27 @@ class DutTable {
     dirty_count_ -= static_cast<std::size_t>(std::popcount(bits));
   }
 
+  /// Appends (word index, word) for every nonzero mask word — the update
+  /// journal's dirty snapshot, taken before a differential update.
+  void snapshot_dirty_words(
+      std::vector<std::pair<std::uint32_t, std::uint64_t>>& out) const {
+    for (std::size_t w = 0; w < dirty_words_.size(); ++w) {
+      if (dirty_words_[w] != 0) {
+        out.emplace_back(static_cast<std::uint32_t>(w), dirty_words_[w]);
+      }
+    }
+  }
+
+  /// Restores the mask from a snapshot taken before an update. Sound only
+  /// while no bit has been set since the snapshot (updates only clear
+  /// bits), so every word absent from the snapshot is still zero.
+  void restore_dirty_words(
+      std::span<const std::pair<std::uint32_t, std::uint64_t>> words,
+      std::size_t count) {
+    for (const auto& [w, bits] : words) dirty_words_[w] = bits;
+    dirty_count_ = count;
+  }
+
   // --- array segments + SoA shadow planes ---------------------------------
 
   std::uint32_t add_double_segment(std::uint32_t first_leaf, const double* v,

@@ -8,11 +8,110 @@ namespace {
 
 constexpr std::uint32_t kMaxCloseTag = 32;
 
+/// Restores one SoA plane slot from a rolled-back entry's shadow union (the
+/// per-entry shadows and the planes are kept in sync by every update path,
+/// so the restored union is the plane's pre-update value).
+void restore_plane_slot(DutTable& dut, std::size_t idx, const DutEntry& e) {
+  const std::vector<ArraySegment>& segs = dut.segments();
+  const auto it = std::upper_bound(
+      segs.begin(), segs.end(), idx,
+      [](std::size_t i, const ArraySegment& s) { return i < s.first_leaf; });
+  if (it == segs.begin()) return;
+  const ArraySegment& seg = *std::prev(it);
+  const std::size_t off = idx - seg.first_leaf;
+  if (off >= seg.leaf_count()) return;
+  switch (seg.kind) {
+    case ArraySegment::Kind::kDouble:
+      dut.double_plane(seg)[off] = e.shadow.d;
+      break;
+    case ArraySegment::Kind::kInt32:
+      dut.int_plane(seg)[off] = static_cast<std::int32_t>(e.shadow.i);
+      break;
+    case ArraySegment::Kind::kMio: {
+      soap::Mio& m = dut.mio_plane(seg)[off / 3];
+      switch (off % 3) {
+        case 0: m.x = static_cast<std::int32_t>(e.shadow.i); break;
+        case 1: m.y = static_cast<std::int32_t>(e.shadow.i); break;
+        default: m.value = e.shadow.d; break;
+      }
+      break;
+    }
+  }
+}
+
 }  // namespace
+
+void UpdateJournal::begin(MessageTemplate& tmpl) {
+  records_.clear();
+  bytes_.clear();
+  strings_.clear();
+  dirty_words_.clear();
+  structural_ = false;
+  armed_ = true;
+  tmpl.dut().snapshot_dirty_words(dirty_words_);
+  dirty_count_ = tmpl.dut().dirty_count();
+  stats_ = tmpl.stats();
+  tmpl.journal_ = this;
+}
+
+void UpdateJournal::commit(MessageTemplate& tmpl) {
+  BSOAP_ASSERT(tmpl.journal_ == this);
+  tmpl.journal_ = nullptr;
+  armed_ = false;
+  records_.clear();
+  bytes_.clear();
+  strings_.clear();
+  dirty_words_.clear();
+}
+
+void UpdateJournal::record_field(MessageTemplate& tmpl, std::size_t idx) {
+  const DutEntry& e = tmpl.dut()[idx];
+  FieldRecord rec;
+  rec.idx = static_cast<std::uint32_t>(idx);
+  rec.entry = e;
+  rec.byte_off = static_cast<std::uint32_t>(bytes_.size());
+  rec.byte_len = e.field_width + e.close_tag_len;
+  bytes_.resize(bytes_.size() + rec.byte_len);
+  tmpl.buffer().read_at(e.pos, bytes_.data() + rec.byte_off, rec.byte_len);
+  if (e.shadow_string != DutEntry::kNoString) {
+    rec.shadow_string = static_cast<std::uint32_t>(strings_.size());
+    strings_.push_back(tmpl.dut().shadow_string(e.shadow_string));
+  }
+  records_.push_back(rec);
+}
+
+bool UpdateJournal::rollback(MessageTemplate& tmpl) {
+  BSOAP_ASSERT(tmpl.journal_ == this);
+  tmpl.journal_ = nullptr;
+  armed_ = false;
+  if (structural_) return false;
+  DutTable& dut = tmpl.dut();
+  // Reverse order: a leaf recorded twice (RunWriter fallback re-entering
+  // rewrite_value) has its earliest record — the true pre-update state —
+  // restored last.
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    const FieldRecord& rec = *it;
+    DutEntry& e = dut[rec.idx];
+    e = rec.entry;
+    tmpl.buffer().write_at(e.pos, bytes_.data() + rec.byte_off, rec.byte_len);
+    if (rec.shadow_string != DutEntry::kNoString) {
+      dut.shadow_string(e.shadow_string) = strings_[rec.shadow_string];
+    }
+    restore_plane_slot(dut, rec.idx, e);
+  }
+  dut.restore_dirty_words(dirty_words_, dirty_count_);
+  tmpl.stats() = stats_;
+  records_.clear();
+  bytes_.clear();
+  strings_.clear();
+  dirty_words_.clear();
+  return true;
+}
 
 void MessageTemplate::rewrite_value(std::size_t idx, const char* text,
                                     std::uint32_t len) {
   DutEntry& entry = dut_[idx];
+  if (journal_ != nullptr) journal_->record_field(*this, idx);
   ++stats_.value_rewrites;
 
   if (len == entry.serialized_len) {
@@ -25,7 +124,10 @@ void MessageTemplate::rewrite_value(std::size_t idx, const char* text,
 
   if (len > entry.field_width) {
     // The value no longer fits: widen the field, by stealing a neighbour's
-    // padding when allowed, else by shifting the chunk tail.
+    // padding when allowed, else by shifting the chunk tail. Either way,
+    // bytes outside the recorded field regions move — past the point of
+    // exact rollback.
+    if (journal_ != nullptr) journal_->mark_structural();
     ++stats_.expansions;
     std::uint32_t new_width = len;
     if (config_.stuffing.stuff_on_expand && entry.type->max_chars > 0) {
@@ -125,6 +227,9 @@ void MessageTemplate::RunWriter::rewrite(std::size_t idx, const char* text,
     tmpl_.rewrite_value(idx, text, len);
     chunk_ = kNoChunk;
     return;
+  }
+  if (UpdateJournal* journal = tmpl_.journal()) {
+    journal->record_field(tmpl_, idx);
   }
   if (e.pos.chunk != chunk_) {
     chunk_ = e.pos.chunk;

@@ -105,6 +105,69 @@ struct TemplateStats {
   }
 };
 
+class MessageTemplate;
+
+/// Transactional record of one differential update (client resilience).
+///
+/// A failed write after a completed update is poisonous: the template's
+/// refreshed shadow copies and cleared dirty bits claim the peer saw bytes
+/// it never received, so every later send would silently diff against state
+/// the server does not have. Arming a journal before the update makes the
+/// rewrite engine capture, per touched field, the pre-rewrite buffer region,
+/// DUT entry and shadow copy — plus one up-front snapshot of the dirty mask
+/// words and the stats counters — so a failed send rolls back exactly: the
+/// template is byte-identical to before the update and every changed field
+/// is dirty again, ready for a retry on a fresh connection.
+///
+/// Cost is O(fields rewritten) + O(mask words); a content match records
+/// nothing. Structural updates (expansion by steal/shift/split) move bytes
+/// whose pre-move layout was not captured; the journal then reports itself
+/// structural and rollback refuses — the caller invalidates the template
+/// instead, forcing a clean first-time send.
+class UpdateJournal {
+ public:
+  /// Starts recording against `tmpl` (arms the rewrite-engine hooks).
+  /// Any previously captured state is dropped.
+  void begin(MessageTemplate& tmpl);
+
+  /// Stops recording and drops the captured state (the send succeeded).
+  void commit(MessageTemplate& tmpl);
+
+  /// Restores buffer bytes, DUT entries, shadow copies (strings and SoA
+  /// planes), the dirty mask and the stats counters to their begin() state.
+  /// Returns false without restoring when the update was structural — the
+  /// template must then be invalidated. Disarms either way.
+  bool rollback(MessageTemplate& tmpl);
+
+  bool armed() const { return armed_; }
+  bool structural() const { return structural_; }
+  /// True when the armed update touched nothing (rollback would be a no-op).
+  bool empty() const { return records_.empty() && !structural_; }
+
+  // --- rewrite-engine hooks. Single-threaded: the parallel segment update
+  // is disabled while a journal is armed. ---
+  void mark_structural() { structural_ = true; }
+  void record_field(MessageTemplate& tmpl, std::size_t idx);
+
+ private:
+  struct FieldRecord {
+    std::uint32_t idx = 0;
+    DutEntry entry;              ///< full pre-rewrite entry
+    std::uint32_t byte_off = 0;  ///< into bytes_
+    std::uint32_t byte_len = 0;  ///< field_width + close_tag_len
+    std::uint32_t shadow_string = DutEntry::kNoString;  ///< into strings_
+  };
+
+  bool armed_ = false;
+  bool structural_ = false;
+  std::vector<FieldRecord> records_;
+  std::string bytes_;  ///< concatenated pre-rewrite field regions
+  std::vector<std::string> strings_;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> dirty_words_;
+  std::size_t dirty_count_ = 0;
+  TemplateStats stats_;
+};
+
 class MessageTemplate {
  public:
   explicit MessageTemplate(const TemplateConfig& config)
@@ -160,7 +223,12 @@ class MessageTemplate {
   /// range, value+tag+padding bytes are coherent). Test hook.
   bool check_invariants() const;
 
+  /// The armed recovery journal, or nullptr. Armed via UpdateJournal::begin;
+  /// the rewrite engine reports every field it touches while set.
+  UpdateJournal* journal() const { return journal_; }
+
  private:
+  friend class UpdateJournal;
   /// Attempts to widen entry `idx` to `new_width` by taking padding from a
   /// following entry in the same chunk. Returns true on success.
   bool try_steal(std::size_t idx, std::uint32_t new_width);
@@ -173,6 +241,7 @@ class MessageTemplate {
   buffer::ChunkedBuffer buffer_;
   DutTable dut_;
   TemplateStats stats_;
+  UpdateJournal* journal_ = nullptr;
 };
 
 }  // namespace bsoap::core

@@ -38,7 +38,7 @@ class MultiEndpointClient {
         pipeline_(SendPipeline::Options{config_.tmpl, /*differential=*/true,
                                         config_.max_templates,
                                         /*max_template_bytes=*/0,
-                                        /*http_chunked=*/false}) {}
+                                        http::Framing::kContentLength}) {}
   MultiEndpointClient() : MultiEndpointClient(Config{}) {}
 
   /// Registers an endpoint; returns its index. The transport must outlive

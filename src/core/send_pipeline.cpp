@@ -24,6 +24,18 @@ class StageClock {
 
 }  // namespace
 
+const char* recovery_name(Recovery recovery) noexcept {
+  switch (recovery) {
+    case Recovery::kNone:
+      return "none";
+    case Recovery::kRolledBack:
+      return "rolled-back";
+    case Recovery::kInvalidated:
+      return "invalidated";
+  }
+  return "?";
+}
+
 const char* send_stage_name(SendStage stage) noexcept {
   switch (stage) {
     case SendStage::kResolve:
@@ -48,6 +60,8 @@ MessageTemplate* SendPipeline::resolve_and_update(const soap::RpcCall& call,
                                                   Clock& clock) {
   SendReport& r = *report;
   MessageTemplate* tmpl = nullptr;
+  recovery_ctx_ = RecoveryContext::kNone;
+  recovery_tmpl_ = nullptr;
 
   if (!options_.differential) {
     // Full-serialization mode reuses one scratch template so chunk
@@ -68,9 +82,21 @@ MessageTemplate* SendPipeline::resolve_and_update(const soap::RpcCall& call,
     clock.lap(SendStage::kResolve, 0);
     if (tmpl == nullptr) {
       tmpl = store_.insert(build_template(call, options_.tmpl));
+      if (journal_ != nullptr) {
+        // The fresh template enters the store as if the send completed; a
+        // failed write must erase it (the peer's view is unknowable).
+        recovery_ctx_ = RecoveryContext::kFirstTime;
+        recovery_signature_ = signature;
+      }
       r.match = MatchKind::kFirstTime;
       clock.lap(SendStage::kUpdate, tmpl->buffer().total_size());
     } else {
+      if (journal_ != nullptr) {
+        journal_->begin(*tmpl);
+        recovery_ctx_ = RecoveryContext::kDiff;
+        recovery_tmpl_ = tmpl;
+        recovery_signature_ = signature;
+      }
       const std::uint64_t before = tmpl->stats().bytes_rewritten;
       r.update = update_template(*tmpl, call);
       r.match = r.update.match;
@@ -88,6 +114,8 @@ Result<SendReport> SendPipeline::send(const soap::RpcCall& call,
   MessageTemplate* tmpl = resolve_and_update(call, &report, clock);
   BSOAP_RETURN_IF_ERROR(
       frame_and_write(*tmpl, call.method, dest, HeadKind::kRequest, &report));
+  if (journal_ != nullptr && journal_->armed()) journal_->commit(*tmpl);
+  recovery_ctx_ = RecoveryContext::kNone;
   // A partial structural match may have grown the template past the byte
   // budget; enforce after the bytes are on the wire (the MRU survives).
   store_.enforce_byte_budget();
@@ -102,6 +130,8 @@ Result<SendReport> SendPipeline::send_response(const soap::RpcCall& call,
   MessageTemplate* tmpl = resolve_and_update(call, &report, clock);
   BSOAP_RETURN_IF_ERROR(
       frame_and_write(*tmpl, call.method, dest, HeadKind::kResponse, &report));
+  if (journal_ != nullptr && journal_->armed()) journal_->commit(*tmpl);
+  recovery_ctx_ = RecoveryContext::kNone;
   store_.enforce_byte_budget();
   if (observer_ != nullptr) observer_->on_send(report);
   return report;
@@ -114,6 +144,8 @@ Result<SendReport> SendPipeline::send_tracked(MessageTemplate& tmpl,
   StageClock clock(observer_);
   // The template is bound to the message: resolution is a no-op.
   clock.lap(SendStage::kResolve, 0);
+  recovery_ctx_ = RecoveryContext::kNone;
+  recovery_tmpl_ = nullptr;
 
   if (!tmpl.dut().any_dirty()) {
     // Paper Section 3.1: "If none of the dirty bits are set, the message
@@ -121,6 +153,11 @@ Result<SendReport> SendPipeline::send_tracked(MessageTemplate& tmpl,
     report.match = MatchKind::kContentMatch;
     clock.lap(SendStage::kUpdate, 0);
   } else {
+    if (journal_ != nullptr) {
+      journal_->begin(tmpl);
+      recovery_ctx_ = RecoveryContext::kTracked;
+      recovery_tmpl_ = &tmpl;
+    }
     const std::uint64_t before = tmpl.stats().bytes_rewritten;
     report.update = update_dirty_fields(tmpl, call);
     report.match = report.update.match;
@@ -130,8 +167,43 @@ Result<SendReport> SendPipeline::send_tracked(MessageTemplate& tmpl,
 
   BSOAP_RETURN_IF_ERROR(
       frame_and_write(tmpl, call.method, dest, HeadKind::kRequest, &report));
+  if (journal_ != nullptr && journal_->armed()) journal_->commit(tmpl);
+  recovery_ctx_ = RecoveryContext::kNone;
   if (observer_ != nullptr) observer_->on_send(report);
   return report;
+}
+
+Recovery SendPipeline::recover_failed_send() {
+  const RecoveryContext ctx = recovery_ctx_;
+  MessageTemplate* tmpl = recovery_tmpl_;
+  recovery_ctx_ = RecoveryContext::kNone;
+  recovery_tmpl_ = nullptr;
+  switch (ctx) {
+    case RecoveryContext::kNone:
+      return Recovery::kNone;
+    case RecoveryContext::kFirstTime:
+      store_.erase(recovery_signature_);
+      return Recovery::kInvalidated;
+    case RecoveryContext::kDiff: {
+      BSOAP_ASSERT(journal_ != nullptr && journal_->armed());
+      const bool untouched = journal_->empty();
+      if (journal_->rollback(*tmpl)) {
+        return untouched ? Recovery::kNone : Recovery::kRolledBack;
+      }
+      store_.erase(recovery_signature_);
+      return Recovery::kInvalidated;
+    }
+    case RecoveryContext::kTracked: {
+      BSOAP_ASSERT(journal_ != nullptr && journal_->armed());
+      const bool untouched = journal_->empty();
+      if (journal_->rollback(*tmpl)) {
+        return untouched ? Recovery::kNone : Recovery::kRolledBack;
+      }
+      // The caller owns the template; it must rebuild before reuse.
+      return Recovery::kInvalidated;
+    }
+  }
+  return Recovery::kNone;
 }
 
 Status SendPipeline::frame_and_write(MessageTemplate& tmpl,

@@ -45,6 +45,18 @@ inline constexpr std::size_t kSendStageCount = 4;
 
 const char* send_stage_name(SendStage stage) noexcept;
 
+/// How a retrying sender repaired template state after a failed attempt
+/// (kNone on the common untroubled send).
+enum class Recovery {
+  kNone,        ///< no attempt failed, or the failure touched no state
+  kRolledBack,  ///< the update journal restored the template exactly;
+                ///< changed fields were dirty again for the retry
+  kInvalidated, ///< the template was dropped/rebuilt (first-time or
+                ///< structural update); the retry was a clean first-time send
+};
+
+const char* recovery_name(Recovery recovery) noexcept;
+
 /// What a send did — which of the paper's four cases applied and how much
 /// work the differential path performed.
 struct SendReport {
@@ -52,6 +64,11 @@ struct SendReport {
   UpdateResult update;
   std::size_t envelope_bytes = 0;  ///< serialized SOAP envelope size
   std::size_t wire_bytes = 0;      ///< envelope + HTTP head + framing bytes
+  /// Send attempts a retrying sender made (1 = first try succeeded; always
+  /// 1 when sent through a bare SendPipeline).
+  std::uint32_t attempts = 1;
+  /// Worst recovery applied across failed attempts of this send.
+  Recovery recovery = Recovery::kNone;
 };
 
 /// Hook through the pipeline stages. Observers must not throw; they run on
@@ -146,9 +163,9 @@ class SendPipeline {
     /// keeping response templates for many RPC shapes bounds memory by
     /// bytes, not count; least recently used templates are evicted first.
     std::size_t max_template_bytes = 0;
-    /// Frame template chunks as HTTP/1.1 chunked transfer encoding instead
-    /// of Content-Length.
-    bool http_chunked = false;
+    /// How template chunks are delimited on the wire (Content-Length or
+    /// HTTP/1.1 chunked transfer encoding).
+    http::Framing framing = http::Framing::kContentLength;
   };
 
   explicit SendPipeline(Options options);
@@ -177,14 +194,32 @@ class SendPipeline {
   void set_observer(SendObserver* observer) { observer_ = observer; }
 
   /// Overrides the framing strategy; nullptr restores the one selected by
-  /// Options::http_chunked.
+  /// Options::framing.
   void set_framer(const http::Framer* framer) { framer_override_ = framer; }
   const http::Framer& framer() const {
-    return framer_override_ != nullptr
-               ? *framer_override_
-               : (options_.http_chunked ? http::chunked_framer()
-                                        : http::content_length_framer());
+    return framer_override_ != nullptr ? *framer_override_
+                                       : http::framer_for(options_.framing);
   }
+
+  /// Installs (or clears, with nullptr) the recovery journal a retrying
+  /// sender provides. While installed, the update stage records pre-rewrite
+  /// state through it so a failed send can be undone by
+  /// recover_failed_send(). The journal must outlive the sends it covers.
+  void set_journal(UpdateJournal* journal) { journal_ = journal; }
+
+  /// Repairs template state after send/send_response/send_tracked returned
+  /// an error with a journal installed. Returns what was done:
+  ///   kNone       — the failure touched no template state (nothing sent
+  ///                 differentially, or a full-serialization send);
+  ///   kRolledBack — the journal restored the template exactly; every field
+  ///                 the failed update rewrote is dirty again;
+  ///   kInvalidated — the stored template was erased (first-time send whose
+  ///                 bytes the peer may not have seen, or a structural
+  ///                 update that cannot be unwound); the next send of this
+  ///                 call structure is a clean first-time send. For tracked
+  ///                 sends the caller owns the template and must rebuild it
+  ///                 (see ResilientSender).
+  Recovery recover_failed_send();
 
   TemplateStore& store() { return store_; }
   const Options& options() const { return options_; }
@@ -207,10 +242,22 @@ class SendPipeline {
                          const SendDestination& dest, HeadKind head_kind,
                          SendReport* report);
 
+  /// What the current/last send would need for recovery.
+  enum class RecoveryContext {
+    kNone,       ///< no stateful update happened (or no journal installed)
+    kDiff,       ///< differential update against a stored template (journal armed)
+    kFirstTime,  ///< freshly built template inserted into the store
+    kTracked,    ///< differential update against a caller-owned template
+  };
+
   Options options_;
   TemplateStore store_;
   SendObserver* observer_ = nullptr;
   const http::Framer* framer_override_ = nullptr;
+  UpdateJournal* journal_ = nullptr;
+  RecoveryContext recovery_ctx_ = RecoveryContext::kNone;
+  MessageTemplate* recovery_tmpl_ = nullptr;
+  std::uint64_t recovery_signature_ = 0;
   /// Recycled template for non-differential (full-serialization) mode.
   std::unique_ptr<MessageTemplate> full_mode_scratch_;
   // Per-send scratch, reused so steady-state sends allocate nothing:

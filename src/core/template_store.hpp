@@ -76,11 +76,24 @@ class TemplateStore {
     }
   }
 
+  /// Drops the template for `signature`, if stored. Returns true if one was
+  /// removed. Used by recovery when a failed send left a template whose
+  /// agreement with the peer's view is unknowable (forces a first-time send).
+  bool erase(std::uint64_t signature) {
+    const auto it = index_.find(signature);
+    if (it == index_.end()) return false;
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++invalidations_;
+    return true;
+  }
+
   std::size_t size() const { return lru_.size(); }
   std::size_t capacity() const { return capacity_; }
   std::size_t max_bytes() const { return max_bytes_; }
   std::uint64_t evictions() const { return evictions_; }
   std::uint64_t byte_evictions() const { return byte_evictions_; }
+  std::uint64_t invalidations() const { return invalidations_; }
 
   void clear() {
     lru_.clear();
@@ -101,6 +114,7 @@ class TemplateStore {
       index_;
   std::uint64_t evictions_ = 0;
   std::uint64_t byte_evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
 };
 
 }  // namespace bsoap::core

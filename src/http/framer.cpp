@@ -54,4 +54,13 @@ const Framer& chunked_framer() noexcept {
   return framer;
 }
 
+const Framer& framer_for(Framing framing) noexcept {
+  return framing == Framing::kChunked ? chunked_framer()
+                                      : content_length_framer();
+}
+
+const char* framing_name(Framing framing) noexcept {
+  return framer_for(framing).name();
+}
+
 }  // namespace bsoap::http

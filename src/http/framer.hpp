@@ -63,4 +63,15 @@ class ChunkedFramer final : public Framer {
 const Framer& content_length_framer() noexcept;
 const Framer& chunked_framer() noexcept;
 
+/// Named framing choice for configuration surfaces. Every value maps to one
+/// of the process-wide framer instances via framer_for(), so config code
+/// never names a concrete Framer class.
+enum class Framing {
+  kContentLength,
+  kChunked,
+};
+
+const Framer& framer_for(Framing framing) noexcept;
+const char* framing_name(Framing framing) noexcept;
+
 }  // namespace bsoap::http

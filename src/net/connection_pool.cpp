@@ -1,0 +1,75 @@
+#include "net/connection_pool.hpp"
+
+#include <cerrno>
+#include <sys/socket.h>
+
+namespace bsoap::net {
+
+bool transport_alive(const Transport& transport) {
+  const int fd = transport.native_handle();
+  if (fd < 0) return true;  // in-memory / wrapped transports: no probe
+  char probe;
+  const ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (n == 0) return false;  // orderly close from the peer
+  if (n > 0) return true;    // unread response data; the stream is open
+  return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+}
+
+void ConnectionPool::add(std::unique_ptr<Transport> transport) {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.push_back(std::move(transport));
+}
+
+Result<ConnectionPool::Lease> ConnectionPool::checkout() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!idle_.empty()) {
+      std::unique_ptr<Transport> t = std::move(idle_.back());
+      idle_.pop_back();
+      if (transport_alive(*t)) {
+        ++stats_.reuses;
+        return Lease(this, std::move(t));
+      }
+      ++stats_.liveness_closes;  // dead idle connection: close and keep looking
+    }
+  }
+  if (fixed()) {
+    return Error{ErrorCode::kUnavailable,
+                 "connection pool empty and no dialer configured"};
+  }
+  Result<std::unique_ptr<Transport>> dialed = options_.dial();
+  if (!dialed.ok()) {
+    return Error{ErrorCode::kUnavailable,
+                 "dial failed: " + dialed.error().to_string()};
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.dials;
+  }
+  return Lease(this, std::move(dialed).value());
+}
+
+void ConnectionPool::checkin(std::unique_ptr<Transport> transport) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idle_.size() < options_.max_idle) {
+    idle_.push_back(std::move(transport));
+  }
+  // else: transport destructor closes the surplus connection
+}
+
+void ConnectionPool::discard(std::unique_ptr<Transport> transport) {
+  if (fixed()) {
+    // A fixed pool cannot replace connections; returning the transport
+    // preserves the legacy single-connection client's behaviour (it kept
+    // sending on its one transport regardless). Retry loops detect this via
+    // fixed() and do not retry on a stream that may hold partial bytes.
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_.push_back(std::move(transport));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.discards;
+  // transport destructor closes the connection
+}
+
+}  // namespace bsoap::net

@@ -1,0 +1,164 @@
+// Bounded keep-alive connection pool (client resilience layer).
+//
+// A pool owns the idle connections to one endpoint. Senders check a
+// connection out (reusing an idle one when it is still alive, dialing a
+// fresh one otherwise), send over it, and either check it back in (healthy:
+// keep-alive reuse) or discard it (a failed send leaves the stream in an
+// unknown state — retrying on it would interleave bytes mid-message).
+//
+// Liveness on checkout is "the peer has not closed": a zero-byte MSG_PEEK
+// probe. A server that closed an idle connection (e.g. the server runtime's
+// idle timeout) is detected here and the checkout falls through to a
+// reconnect — the keep-alive reconnect the resilient client is built on.
+// Pending readable data does NOT fail the probe; send-only flows may leave
+// unread response bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/transport.hpp"
+
+namespace bsoap::net {
+
+/// Establishes one new connection to a pool's endpoint.
+using Dialer = std::function<Result<std::unique_ptr<Transport>>()>;
+
+/// Non-owning Transport wrapper: seeds a fixed pool with a transport the
+/// caller owns (the legacy single-connection client construction).
+class BorrowedTransport final : public Transport {
+ public:
+  using Transport::send;
+  explicit BorrowedTransport(Transport& inner) : inner_(inner) {}
+
+  Status send(const char* data, std::size_t n) override {
+    return inner_.send(data, n);
+  }
+  Status send_slices(std::span<const ConstSlice> slices) override {
+    return inner_.send_slices(slices);
+  }
+  Result<std::size_t> recv(char* out, std::size_t n) override {
+    return inner_.recv(out, n);
+  }
+  void shutdown_send() override { inner_.shutdown_send(); }
+  void shutdown_both() override { inner_.shutdown_both(); }
+  int native_handle() const override { return inner_.native_handle(); }
+
+ private:
+  Transport& inner_;
+};
+
+class ConnectionPool {
+ public:
+  struct Options {
+    /// Idle connections retained for reuse; excess checkins are closed.
+    std::size_t max_idle = 4;
+    /// Establishes new connections. Empty = fixed pool: only connections
+    /// seeded via add() circulate, and checkout with none available fails
+    /// with kUnavailable instead of reconnecting.
+    Dialer dial;
+  };
+
+  struct Stats {
+    std::uint64_t dials = 0;            ///< connections established
+    std::uint64_t reuses = 0;           ///< checkouts served from idle
+    std::uint64_t liveness_closes = 0;  ///< idle connections found dead
+    std::uint64_t discards = 0;         ///< connections dropped after failure
+  };
+
+  /// Exclusive use of one pooled connection. Move-only RAII: destruction
+  /// without an explicit checkin() discards the connection (the safe side —
+  /// an abandoned lease's stream state is unknown).
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept = default;
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        transport_ = std::move(other.transport_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    bool valid() const { return transport_ != nullptr; }
+    Transport& transport() { return *transport_; }
+
+    /// Returns the connection for reuse (it is healthy: the send — and any
+    /// response read — completed). The lease becomes invalid.
+    void checkin() {
+      if (valid()) pool_->checkin(std::move(transport_));
+      pool_ = nullptr;
+    }
+
+    /// Drops the connection (a send or read failed on it; the stream state
+    /// is unknown). The lease becomes invalid.
+    void discard() {
+      if (valid()) pool_->discard(std::move(transport_));
+      pool_ = nullptr;
+    }
+
+   private:
+    friend class ConnectionPool;
+    Lease(ConnectionPool* pool, std::unique_ptr<Transport> transport)
+        : pool_(pool), transport_(std::move(transport)) {}
+
+    void release() {
+      if (valid()) pool_->discard(std::move(transport_));
+      pool_ = nullptr;
+    }
+
+    ConnectionPool* pool_ = nullptr;
+    std::unique_ptr<Transport> transport_;
+  };
+
+  explicit ConnectionPool(Options options) : options_(std::move(options)) {}
+
+  ConnectionPool(const ConnectionPool&) = delete;
+  ConnectionPool& operator=(const ConnectionPool&) = delete;
+
+  /// Seeds the pool with an established connection (fixed pools).
+  void add(std::unique_ptr<Transport> transport);
+
+  /// True when the pool cannot dial: it only circulates seeded connections.
+  bool fixed() const { return !options_.dial; }
+
+  /// Pops an idle connection that is still alive, else dials a new one.
+  /// Fails with kUnavailable when the dial fails or a fixed pool is empty.
+  Result<Lease> checkout();
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  std::size_t idle_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_.size();
+  }
+
+ private:
+  void checkin(std::unique_ptr<Transport> transport);
+  void discard(std::unique_ptr<Transport> transport);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Transport>> idle_;  ///< LIFO: warmest first
+  Stats stats_;
+};
+
+/// "Has the peer closed?" — zero-byte MSG_PEEK probe on the transport's
+/// socket. Non-socket transports (fd < 0) are presumed alive. Pending
+/// readable data counts as alive.
+bool transport_alive(const Transport& transport);
+
+}  // namespace bsoap::net

@@ -1,0 +1,100 @@
+#include "net/fault_injection.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace bsoap::net {
+namespace {
+
+constexpr const char* kBrokenMsg = "fault injection: connection broken";
+
+}  // namespace
+
+void FaultInjectingTransport::maybe_latency_spike() {
+  if (plan_.latency_spike_rate > 0.0 && plan_.latency.count() > 0 &&
+      rng_.next_unit_double() < plan_.latency_spike_rate) {
+    std::this_thread::sleep_for(plan_.latency);
+  }
+}
+
+Status FaultInjectingTransport::break_after(const char* data,
+                                            std::size_t prefix) {
+  if (prefix > 0) {
+    const Status st = inner_->send(data, prefix);
+    if (st.ok()) forwarded_ += prefix;
+  }
+  broken_ = true;
+  // Sever both directions so the peer sees the cut and any response read on
+  // this connection fails like a real dropped link.
+  inner_->shutdown_both();
+  return Error{ErrorCode::kIoError,
+               "fault injection: connection dropped after " +
+                   std::to_string(forwarded_) + " bytes"};
+}
+
+Status FaultInjectingTransport::send(const char* data, std::size_t n) {
+  if (broken_) return Error{ErrorCode::kClosed, kBrokenMsg};
+  maybe_latency_spike();
+  if (plan_.write_failure_rate > 0.0 &&
+      rng_.next_unit_double() < plan_.write_failure_rate) {
+    // Short write: a random prefix reaches the wire, then the link drops.
+    return break_after(data, static_cast<std::size_t>(rng_.next_below(n + 1)));
+  }
+  if (plan_.fail_after_bytes > 0) {
+    const std::uint64_t remaining =
+        forwarded_ >= plan_.fail_after_bytes
+            ? 0
+            : plan_.fail_after_bytes - forwarded_;
+    if (n > remaining) {
+      return break_after(data, static_cast<std::size_t>(remaining));
+    }
+  }
+  const Status st = inner_->send(data, n);
+  if (st.ok()) {
+    forwarded_ += n;
+  } else {
+    broken_ = true;
+  }
+  return st;
+}
+
+Status FaultInjectingTransport::send_slices(
+    std::span<const ConstSlice> slices) {
+  // Per-slice forwarding keeps the byte-exact cut semantics; the inner
+  // transport still sees contiguous writes in order.
+  for (const ConstSlice& s : slices) {
+    if (s.len == 0) continue;
+    BSOAP_RETURN_IF_ERROR(send(s.data, s.len));
+  }
+  return Status{};
+}
+
+Result<std::size_t> FaultInjectingTransport::recv(char* out, std::size_t n) {
+  if (broken_) return Error{ErrorCode::kClosed, kBrokenMsg};
+  return inner_->recv(out, n);
+}
+
+Dialer faulty_dialer(Dialer inner, FaultPlan plan) {
+  struct State {
+    Dialer dial;
+    FaultPlan plan;
+    Rng rng;
+    std::uint64_t dial_count = 0;
+    State(Dialer d, const FaultPlan& p) : dial(std::move(d)), plan(p), rng(p.seed) {}
+  };
+  auto state = std::make_shared<State>(std::move(inner), plan);
+  return [state]() -> Result<std::unique_ptr<Transport>> {
+    if (state->plan.connect_refusal_rate > 0.0 &&
+        state->rng.next_unit_double() < state->plan.connect_refusal_rate) {
+      return Error{ErrorCode::kUnavailable, "fault injection: dial refused"};
+    }
+    Result<std::unique_ptr<Transport>> conn = state->dial();
+    if (!conn.ok()) return conn.error();
+    FaultPlan per_conn = state->plan;
+    per_conn.seed = state->plan.seed + (++state->dial_count);
+    return std::unique_ptr<Transport>(new FaultInjectingTransport(
+        std::move(conn).value(), per_conn));
+  };
+}
+
+}  // namespace bsoap::net

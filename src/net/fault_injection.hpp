@@ -1,0 +1,86 @@
+// Deterministic fault injection for the client resilience layer.
+//
+// Wraps a Transport and misbehaves on a seeded schedule: drop the
+// connection after exactly N forwarded bytes, probabilistic short writes,
+// latency spikes, and dial refusals. Tests use exact byte cuts to assert
+// recovery behaviour; bench_resilience uses the probabilistic knobs to
+// measure differential-send throughput under injected failure rates.
+//
+// All randomness comes from common/rng.hpp (xoshiro256**), so a given seed
+// reproduces the same fault schedule bit-for-bit.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/connection_pool.hpp"
+#include "net/transport.hpp"
+
+namespace bsoap::net {
+
+/// The faults one wrapped connection injects.
+struct FaultPlan {
+  /// Drop the connection after exactly this many forwarded bytes
+  /// (0 = disabled). Bytes up to the threshold are delivered; the write
+  /// crossing it forwards the remainder up to the threshold, shuts the
+  /// connection down, and returns kIoError. Every later operation returns
+  /// kClosed.
+  std::uint64_t fail_after_bytes = 0;
+
+  /// Probability, per send call, of a short write: a random prefix of the
+  /// payload is forwarded, then the connection breaks as above.
+  double write_failure_rate = 0.0;
+
+  /// Probability, per send call, of sleeping `latency` before forwarding
+  /// (a slow-peer spike, not a failure).
+  double latency_spike_rate = 0.0;
+  std::chrono::milliseconds latency{0};
+
+  /// Probability that a dial through faulty_dialer is refused outright
+  /// (kUnavailable) instead of producing a connection.
+  double connect_refusal_rate = 0.0;
+
+  /// Seed for the plan's random stream.
+  std::uint64_t seed = 1;
+};
+
+class FaultInjectingTransport final : public Transport {
+ public:
+  using Transport::send;
+  FaultInjectingTransport(std::unique_ptr<Transport> inner, FaultPlan plan)
+      : inner_(std::move(inner)), plan_(plan), rng_(plan.seed) {}
+
+  Status send(const char* data, std::size_t n) override;
+  Status send_slices(std::span<const ConstSlice> slices) override;
+  Result<std::size_t> recv(char* out, std::size_t n) override;
+  void shutdown_send() override { inner_->shutdown_send(); }
+  void shutdown_both() override { inner_->shutdown_both(); }
+  /// Deliberately -1: pool liveness probes must not see through the fault
+  /// wrapper to a healthy inner socket after an injected break.
+  int native_handle() const override { return -1; }
+
+  std::uint64_t bytes_forwarded() const { return forwarded_; }
+  bool broken() const { return broken_; }
+
+ private:
+  /// Forwards `prefix` bytes of the payload, then severs the connection.
+  Status break_after(const char* data, std::size_t prefix);
+  void maybe_latency_spike();
+
+  std::unique_ptr<Transport> inner_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::uint64_t forwarded_ = 0;
+  bool broken_ = false;
+};
+
+/// Wraps a dialer so every connection it produces injects `plan`. Each
+/// dialed connection gets a distinct derived seed (seed + dial count), and
+/// plan.connect_refusal_rate is applied before the inner dial.
+Dialer faulty_dialer(Dialer inner, FaultPlan plan);
+
+}  // namespace bsoap::net

@@ -1,0 +1,166 @@
+// ResilientSender: the retry loop that makes differential serialization
+// safe under connection failure.
+//
+// Each attempt checks a connection out of the pool, arms the pipeline's
+// update journal, and sends. On failure the lease is discarded (the stream
+// may hold a partial message) and the pipeline repairs template state:
+//
+//            ┌────────────── attempt ───────────────┐
+//            │ checkout → arm journal → send        │
+//            └──────┬───────────────────────┬───────┘
+//                 ok│                       │error
+//                   ▼                       ▼
+//            commit journal          discard lease
+//            return outcome     recover_failed_send()
+//                                ├─ kRolledBack: template restored exactly,
+//                                │  changed fields dirty again → retry
+//                                ├─ kInvalidated: template erased/rebuilt
+//                                │  → retry is a clean first-time send
+//                                └─ kNone: nothing to repair → retry
+//
+// Retries happen only for the policy's retryable codes, within the attempt
+// and deadline budget, after a jittered exponential backoff. A fixed pool
+// (legacy single-transport client) never retries: the one stream may hold
+// partial bytes of the failed message, and resending would interleave.
+//
+// Header-only by design: this sits above core (SendPipeline) and net
+// (ConnectionPool); the compiled bsoap_resilience library carries only the
+// policy so the dependency graph stays a DAG (core → resilience → common).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/send_pipeline.hpp"
+#include "core/template_builder.hpp"
+#include "net/connection_pool.hpp"
+#include "resilience/retry_policy.hpp"
+
+namespace bsoap::resilience {
+
+/// What a successful resilient send yields: the report (with attempts and
+/// recovery filled in) plus the lease it succeeded on, so the caller can
+/// read a response off the same connection before checking it back in.
+struct SendOutcome {
+  core::SendReport report;
+  net::ConnectionPool::Lease lease;
+};
+
+class ResilientSender {
+ public:
+  /// The pipeline and pool must outlive the sender.
+  ResilientSender(core::SendPipeline& pipeline, net::ConnectionPool& pool,
+                  RetryPolicy policy, std::string path)
+      : pipeline_(pipeline),
+        pool_(pool),
+        policy_(std::move(policy)),
+        path_(std::move(path)),
+        rng_(policy_.seed) {}
+
+  /// Transparent send with retry (store-resolved template).
+  Result<SendOutcome> send(const soap::RpcCall& call) {
+    return run(
+        [&](const core::SendDestination& dest) {
+          return pipeline_.send(call, dest);
+        },
+        nullptr, nullptr);
+  }
+
+  /// Tracked send with retry (caller-owned template). If recovery had to
+  /// invalidate the template, it is rebuilt from `call` in place and the
+  /// succeeding attempt reports kFirstTime.
+  Result<SendOutcome> send_tracked(core::MessageTemplate& tmpl,
+                                   const soap::RpcCall& call) {
+    return run(
+        [&](const core::SendDestination& dest) {
+          return pipeline_.send_tracked(tmpl, call, dest);
+        },
+        &tmpl, &call);
+  }
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  template <typename SendFn>
+  Result<SendOutcome> run(SendFn&& do_send, core::MessageTemplate* tracked,
+                          const soap::RpcCall* tracked_call) {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+    // A fixed pool's single stream may hold partial bytes of a failed
+    // message; a retry over it would interleave. Send once.
+    const std::uint32_t max_attempts =
+        pool_.fixed() ? 1 : std::max<std::uint32_t>(1, policy_.max_attempts);
+
+    core::Recovery worst = core::Recovery::kNone;
+    bool rebuilt_tracked = false;
+    Error last;
+    for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      Result<net::ConnectionPool::Lease> lease = pool_.checkout();
+      if (!lease.ok()) {
+        last = std::move(lease).error();  // no template state was touched
+      } else {
+        pipeline_.set_journal(&journal_);
+        Result<core::SendReport> sent = do_send(
+            core::SendDestination{&lease.value().transport(), path_});
+        if (sent.ok()) {
+          pipeline_.set_journal(nullptr);
+          SendOutcome outcome;
+          outcome.report = std::move(sent).value();
+          outcome.report.attempts = attempt;
+          outcome.report.recovery = worst;
+          if (rebuilt_tracked) {
+            outcome.report.match = core::MatchKind::kFirstTime;
+          }
+          outcome.lease = std::move(lease).value();
+          return outcome;
+        }
+        last = std::move(sent).error();
+        lease.value().discard();
+        const core::Recovery recovery = pipeline_.recover_failed_send();
+        pipeline_.set_journal(nullptr);
+        if (recovery == core::Recovery::kInvalidated) {
+          worst = core::Recovery::kInvalidated;
+          if (tracked != nullptr) {
+            // The caller owns this template; rebuild it from the current
+            // values so the retry serializes a clean first-time message.
+            core::rebuild_template(*tracked, *tracked_call);
+            rebuilt_tracked = true;
+          }
+        } else if (recovery == core::Recovery::kRolledBack &&
+                   worst == core::Recovery::kNone) {
+          worst = core::Recovery::kRolledBack;
+        }
+      }
+      if (!policy_.is_retryable(last.code)) return last;
+      if (attempt == max_attempts) break;
+      const std::chrono::milliseconds delay =
+          policy_.backoff_for(attempt, rng_);
+      if (policy_.deadline.count() > 0) {
+        const auto elapsed = std::chrono::duration_cast<
+            std::chrono::milliseconds>(Clock::now() - start);
+        if (elapsed + delay >= policy_.deadline) break;
+      }
+      if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    }
+    // A single-attempt send (fixed pool or max_attempts=1) surfaces the
+    // underlying error unchanged — nothing was exhausted.
+    if (max_attempts == 1) return last;
+    return Error{ErrorCode::kRetryExhausted,
+                 "send failed after " + std::to_string(max_attempts) +
+                     " attempt(s); last: " + last.to_string()};
+  }
+
+  core::SendPipeline& pipeline_;
+  net::ConnectionPool& pool_;
+  RetryPolicy policy_;
+  std::string path_;
+  Rng rng_;
+  core::UpdateJournal journal_;
+};
+
+}  // namespace bsoap::resilience

@@ -1,0 +1,38 @@
+#include "resilience/retry_policy.hpp"
+
+namespace bsoap::resilience {
+
+bool default_retryable(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kIoError:
+    case ErrorCode::kClosed:
+    case ErrorCode::kTimeout:
+    case ErrorCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::chrono::milliseconds RetryPolicy::backoff_for(
+    std::uint32_t failed_attempts, Rng& rng) const {
+  if (failed_attempts == 0 || initial_backoff.count() <= 0) {
+    return std::chrono::milliseconds{0};
+  }
+  // Exponential growth, capped early so the loop cannot overflow.
+  double delay = static_cast<double>(initial_backoff.count());
+  const double cap = static_cast<double>(max_backoff.count());
+  for (std::uint32_t i = 1; i < failed_attempts && delay < cap; ++i) {
+    delay *= multiplier;
+  }
+  if (cap > 0 && delay > cap) delay = cap;
+  auto ms = static_cast<std::int64_t>(delay);
+  if (jitter && ms > 1) {
+    const std::int64_t half = ms / 2;
+    ms = half + static_cast<std::int64_t>(
+                    rng.next_below(static_cast<std::uint64_t>(ms - half) + 1));
+  }
+  return std::chrono::milliseconds{ms};
+}
+
+}  // namespace bsoap::resilience

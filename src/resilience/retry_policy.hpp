@@ -1,0 +1,92 @@
+// Retry policy for resilient sends.
+//
+// Declarative knobs — attempt bound, overall deadline, exponential backoff
+// with jitter, and a retryable-code predicate over ErrorCode — executed by
+// ResilientSender. The policy itself depends on nothing but the error
+// model, so any layer can embed one.
+//
+// Which errors are retryable (default predicate):
+//   kIoError     — the write failed mid-stream; a fresh connection may work
+//   kClosed      — the peer closed (keep-alive idle timeout, restart)
+//   kTimeout     — the peer was too slow; transient by assumption
+//   kUnavailable — no connection could be established (dial refused/failed)
+// Everything else (kInvalidArgument, kProtocolError, kParseError, ...)
+// reflects a request or peer defect a retry cannot fix and fails fast.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace bsoap::resilience {
+
+/// The default retryable set (see header comment).
+bool default_retryable(ErrorCode code) noexcept;
+
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retries).
+  std::uint32_t max_attempts = 3;
+  /// Backoff before the first retry; doubles (times `multiplier`) per
+  /// further retry, capped at max_backoff.
+  std::chrono::milliseconds initial_backoff{10};
+  double multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{1000};
+  /// Overall budget across attempts and backoff sleeps (0 = unbounded).
+  /// A retry whose backoff would cross the deadline is not attempted.
+  std::chrono::milliseconds deadline{0};
+  /// Equal jitter: sleep delay/2 + uniform(0, delay/2), decorrelating
+  /// retry storms from concurrent senders.
+  bool jitter = true;
+  /// Seed for the jitter stream (deterministic tests).
+  std::uint64_t seed = 0x5eed;
+  /// Overrides the retryable set; empty uses default_retryable.
+  std::function<bool(ErrorCode)> retryable;
+
+  // --- named fluent setters ---
+  RetryPolicy& with_max_attempts(std::uint32_t n) {
+    max_attempts = n;
+    return *this;
+  }
+  RetryPolicy& with_initial_backoff(std::chrono::milliseconds d) {
+    initial_backoff = d;
+    return *this;
+  }
+  RetryPolicy& with_multiplier(double m) {
+    multiplier = m;
+    return *this;
+  }
+  RetryPolicy& with_max_backoff(std::chrono::milliseconds d) {
+    max_backoff = d;
+    return *this;
+  }
+  RetryPolicy& with_deadline(std::chrono::milliseconds d) {
+    deadline = d;
+    return *this;
+  }
+  RetryPolicy& with_jitter(bool on) {
+    jitter = on;
+    return *this;
+  }
+  RetryPolicy& with_seed(std::uint64_t s) {
+    seed = s;
+    return *this;
+  }
+  RetryPolicy& with_retryable(std::function<bool(ErrorCode)> pred) {
+    retryable = std::move(pred);
+    return *this;
+  }
+
+  bool is_retryable(ErrorCode code) const {
+    return retryable ? retryable(code) : default_retryable(code);
+  }
+
+  /// Backoff before the retry following the `failed_attempts`-th failure
+  /// (1-based): exponential, capped, jittered via `rng`.
+  std::chrono::milliseconds backoff_for(std::uint32_t failed_attempts,
+                                        Rng& rng) const;
+};
+
+}  // namespace bsoap::resilience

@@ -132,7 +132,10 @@ TEST(BulkEquivalence, IntSparse) {
   calls.push_back(soap::make_int_array_call(values));
   for (int step = 1; step <= 3; ++step) {
     for (std::size_t i = 0; i < n; i += 8) {
-      values[i] = values[i] * 31 + step;  // varying widths incl. sign flips
+      // Varying widths incl. sign flips; unsigned wrap keeps this UB-free.
+      values[i] = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(values[i]) * 31u +
+          static_cast<std::uint32_t>(step));
     }
     calls.push_back(soap::make_int_array_call(values));
   }

@@ -102,7 +102,7 @@ TEST(BsoapClient, HttpFramingHasCorrectContentLength) {
 TEST(BsoapClient, ChunkedHttpFraming) {
   auto [client_t, server_t] = net::make_inmemory_transports();
   BsoapClientConfig config;
-  config.http_chunked = true;
+  config.http_chunked = true;  // deprecated shim; must still force kChunked
   config.tmpl.chunk.chunk_size = 1024;  // force several chunks
   BsoapClient client(*client_t, config);
   CapturingServer server(*server_t);

@@ -156,8 +156,8 @@ TEST(SendPipeline, WireBytesExceedEnvelopeBytes) {
   // Chunked framing: wire additionally counts the chunk-size lines.
   {
     auto [client_t, server_t] = net::make_inmemory_transports();
-    BsoapClientConfig config;
-    config.http_chunked = true;
+    BsoapClientConfig config =
+        BsoapClientConfig{}.with_framing(http::Framing::kChunked);
     config.tmpl.chunk.chunk_size = 1024;  // force several chunks
     BsoapClient client(*client_t, config);
     CapturingServer server(*server_t);
@@ -176,12 +176,12 @@ TEST(SendPipeline, WireBytesExceedEnvelopeBytes) {
 
 /// The pipeline's wire bytes must be identical to framing the same template
 /// through the raw HttpConnection path with the same head and framer.
-void expect_wire_equivalence(const http::Framer& framer, bool chunked_config) {
+void expect_wire_equivalence(const http::Framer& framer,
+                             http::Framing framing_config) {
   const RpcCall call =
       soap::make_double_array_call(soap::random_doubles(150, 8));
 
-  BsoapClientConfig config;
-  config.http_chunked = chunked_config;
+  BsoapClientConfig config = BsoapClientConfig{}.with_framing(framing_config);
   config.tmpl.chunk.chunk_size = 2048;  // several chunks => several slices
 
   // New path: pipeline send.
@@ -219,11 +219,12 @@ void expect_wire_equivalence(const http::Framer& framer, bool chunked_config) {
 }
 
 TEST(SendPipeline, ContentLengthWireEquivalence) {
-  expect_wire_equivalence(http::content_length_framer(), false);
+  expect_wire_equivalence(http::content_length_framer(),
+                          http::Framing::kContentLength);
 }
 
 TEST(SendPipeline, ChunkedWireEquivalence) {
-  expect_wire_equivalence(http::chunked_framer(), true);
+  expect_wire_equivalence(http::chunked_framer(), http::Framing::kChunked);
 }
 
 TEST(SendPipeline, MultiEndpointContentMatchReuseIsObserved) {
