@@ -1,14 +1,27 @@
 // Server throughput: requests/second against the bounded worker-pool
-// runtime, workers x {full re-serialization, differential responses}.
+// runtime, workers x {full re-serialization, per-worker differential
+// stores, shared template cache}.
 //
 // Each point runs one persistent keep-alive client connection per worker
 // (a keep-alive connection pins its worker, so this saturates the pool),
-// every client performing full RPC round trips (send + parse response). The
-// handler returns a fixed double array, so with diff_responses enabled every
-// response after the first per worker leaves via the content-match fast
-// path — the response-side analogue of the paper's Figures 1-3. The
-// acceptance bar is diff >= baseline at every worker count (items_per_second
-// column; higher is better).
+// every client performing full RPC round trips (send + parse response)
+// over kShapes distinct RPC shapes, staggered so different clients are on
+// different shapes at any instant. The handler returns a fixed double array
+// per shape, so steady-state responses leave via the content-match fast
+// path. A warmup phase populates the template stores before the timed loop;
+// the counters record the steady-state deltas:
+//
+//   steady_first_time — responses serialized from scratch after warmup.
+//     Per-worker stores and the shared cache should both be ~0; the shared
+//     cache is allowed up to `shapes` late replica publishes (contended
+//     checkouts that built a new replica) plus any invalidations.
+//   retained_bytes — template memory at the end of the run. Per-worker
+//     mode scales as workers x shapes; shared mode as shapes x replicas,
+//     which is the point of the cache (checked by check_match_kinds.py).
+//
+// The acceptance bar is diff >= full at every worker count and shared
+// within a few percent of per-worker req/s while retaining a fraction of
+// the bytes (items_per_second column; higher is better).
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -23,8 +36,8 @@ namespace {
 using namespace bsoap;
 using namespace bsoap::bench;
 
-/// Response payload: large enough that response serialization dominates the
-/// handler cost. BSOAP_BENCH_MAX_N caps it for quick runs.
+/// Response payload baseline: large enough that response serialization
+/// dominates the handler cost. BSOAP_BENCH_MAX_N caps it for quick runs.
 std::size_t response_array_size() {
   std::size_t n = 500;
   if (const char* cap = std::getenv("BSOAP_BENCH_MAX_N")) {
@@ -34,19 +47,49 @@ std::size_t response_array_size() {
   return n;
 }
 
+constexpr std::size_t kShapes = 4;
 constexpr int kRequestsPerClient = 40;
+constexpr int kWarmupRounds = 2;
 
-void bench_point(benchmark::State& state, std::size_t workers,
-                 bool diff_responses) {
-  const auto payload = soap::random_doubles(response_array_size(), 7);
+enum class Mode { kFull, kPerWorker, kShared };
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kFull: return "full";
+    case Mode::kPerWorker: return "perworker";
+    case Mode::kShared: return "shared";
+  }
+  return "?";
+}
+
+void bench_point(benchmark::State& state, std::size_t workers, Mode mode) {
+  // kShapes distinct response array lengths -> distinct response structure
+  // signatures, so the server juggles several templates, not one.
+  const std::size_t base = response_array_size();
+  std::vector<std::vector<double>> payloads;
+  for (std::size_t s = 0; s < kShapes; ++s) {
+    payloads.push_back(soap::random_doubles(base + 7 * s, 7 + s));
+  }
+
   server::ServerRuntimeOptions options;
   options.workers = workers;
-  options.diff_responses = diff_responses;
+  options.diff_responses = mode != Mode::kFull;
+  options.shared_cache = mode == Mode::kShared;
   auto server = must(server::ServerRuntime::start(
-      [payload](const soap::RpcCall&) -> Result<soap::Value> {
-        return soap::Value::from_double_array(payload);
+      [&payloads](const soap::RpcCall& call) -> Result<soap::Value> {
+        const std::size_t shape =
+            static_cast<std::size_t>(call.params[0].value.as_int()) % kShapes;
+        return soap::Value::from_double_array(payloads[shape]);
       },
       options));
+
+  std::vector<soap::RpcCall> calls(kShapes);
+  for (std::size_t s = 0; s < kShapes; ++s) {
+    calls[s].method = "fetch";
+    calls[s].service_namespace = "urn:bsoap-bench";
+    calls[s].params.push_back(
+        soap::Param{"key", soap::Value::from_int(static_cast<std::int32_t>(s))});
+  }
 
   struct ClientSlot {
     std::unique_ptr<net::Transport> transport;
@@ -54,24 +97,23 @@ void bench_point(benchmark::State& state, std::size_t workers,
   };
   const std::size_t client_count = workers;
   std::vector<ClientSlot> slots(client_count);
-  soap::RpcCall call;
-  call.method = "fetch";
-  call.service_namespace = "urn:bsoap-bench";
-  call.params.push_back(soap::Param{"key", soap::Value::from_int(1)});
   for (ClientSlot& slot : slots) {
     slot.transport = must(net::tcp_connect(server->port()));
     slot.client = std::make_unique<core::BsoapClient>(*slot.transport);
-    (void)must(slot.client->invoke(call));  // prime the connection
   }
 
   std::atomic<int> errors{0};
-  for (auto _ : state) {
+  // Client c starts at shape c, so at any instant the pool is spread across
+  // shapes (the contention pattern a shared cache must absorb).
+  const auto run_rounds = [&](int rounds) {
     std::vector<std::thread> threads;
     threads.reserve(client_count);
-    for (ClientSlot& slot : slots) {
-      threads.emplace_back([&slot, &call, &errors] {
-        for (int i = 0; i < kRequestsPerClient; ++i) {
-          if (!slot.client->invoke(call).ok()) {
+    for (std::size_t c = 0; c < client_count; ++c) {
+      threads.emplace_back([&, c] {
+        ClientSlot& slot = slots[c];
+        for (int i = 0; i < rounds; ++i) {
+          const std::size_t shape = (c + static_cast<std::size_t>(i)) % kShapes;
+          if (!slot.client->invoke(calls[shape]).ok()) {
             errors.fetch_add(1);
             return;
           }
@@ -79,31 +121,56 @@ void bench_point(benchmark::State& state, std::size_t workers,
       });
     }
     for (std::thread& t : threads) t.join();
+  };
+
+  // Warmup: every client touches every shape under full concurrency, so
+  // first-time builds, contended publishes and clone provisioning all land
+  // before the steady-state snapshot.
+  run_rounds(kWarmupRounds * static_cast<int>(kShapes));
+  const server::ServerStats warm = server->stats();
+
+  for (auto _ : state) {
+    run_rounds(kRequestsPerClient);
   }
   if (errors.load() != 0) {
     state.SkipWithError("request failed");
   }
+  const server::ServerStats done = server->stats();
+
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(client_count) *
                           kRequestsPerClient);
   state.counters["workers"] = static_cast<double>(workers);
-  state.counters["diff"] = diff_responses ? 1 : 0;
+  state.counters["shapes"] = static_cast<double>(kShapes);
+  state.counters["diff"] = mode != Mode::kFull ? 1 : 0;
+  state.counters["shared"] = mode == Mode::kShared ? 1 : 0;
+  state.counters["steady_first_time"] =
+      static_cast<double>(done.response_first_time - warm.response_first_time);
+  state.counters["retained_bytes"] =
+      static_cast<double>(done.response_template_bytes);
+  state.counters["invalidated"] =
+      static_cast<double>(done.cache_invalidations - warm.cache_invalidations);
+  state.counters["cache_clones"] = static_cast<double>(done.cache_clones);
+  state.counters["cache_contended"] =
+      static_cast<double>(done.cache_contended);
   server->stop();
 }
 
 void register_bench() {
-  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
-                                    std::size_t{4}}) {
-    for (const bool diff : {false, true}) {
-      const std::string name = "ServerThroughput/workers:" +
-                               std::to_string(workers) +
-                               (diff ? "/diff" : "/full");
+  for (const Mode mode : {Mode::kFull, Mode::kPerWorker, Mode::kShared}) {
+    for (const std::size_t workers :
+         {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+      // Mode before the numeric suffix: the JSON reporter parses the
+      // trailing "/N" as the series point, so workers must come last.
+      const std::string name = std::string("ServerThroughput/") +
+                               mode_name(mode) + "/workers/" +
+                               std::to_string(workers);
       benchmark::RegisterBenchmark(
           name.c_str(),
-          [workers, diff](benchmark::State& state) {
-            bench_point(state, workers, diff);
+          [workers, mode](benchmark::State& state) {
+            bench_point(state, workers, mode);
           })
-          ->Iterations(5)
+          ->Iterations(3)
           ->Unit(benchmark::kMillisecond)
           ->UseRealTime();
     }

@@ -18,7 +18,15 @@ it shows up as a timing change:
     under injected write failures) must see no partial matches, and
     first-time sends only for the initial template build plus recovery
     invalidations — anything more means rollback corrupted shadow state
-    and the matcher misclassified an MCM/PSM send.
+    and the matcher misclassified an MCM/PSM send;
+  * "ServerThroughput/..." series (bench_server_throughput) are gated
+    across series: after warmup, differential modes must serialize from
+    scratch at most once per distinct shape (plus invalidations) — the
+    shared cache may not fall back to per-worker first-time costs — and at
+    each worker count the shared cache must retain strictly fewer template
+    bytes than the per-worker stores (at the highest worker count, at most
+    half), since one resident set per shape instead of one per worker is
+    the entire point.
 
 Exits non-zero listing every violated series.
 """
@@ -55,6 +63,51 @@ def check_entry(bench, entry):
     return errors
 
 
+def check_server_throughput(bench, entries):
+    """Cross-series gates for bench_server_throughput (see module doc)."""
+    points = {}  # (mode, workers) -> counters
+    for entry in entries:
+        series = entry["series"]
+        if not series.startswith("ServerThroughput/"):
+            continue
+        mode = series.split("/")[1]
+        points[(mode, entry["n"])] = entry.get("counters", {})
+
+    errors = []
+    for (mode, workers), c in points.items():
+        if not c.get("diff", 0):
+            continue
+        shapes = c.get("shapes", 0)
+        steady = c.get("steady_first_time", 0)
+        allowed = shapes + c.get("invalidated", 0)
+        if steady > allowed:
+            errors.append(
+                f"{bench} ServerThroughput/{mode}/workers/{workers}: "
+                f"steady-state first_time={steady:.0f} exceeds distinct "
+                f"shapes + invalidations ({allowed:.0f}) — warm templates "
+                f"are being rebuilt")
+
+    shared_workers = sorted(w for (m, w) in points if m == "shared"
+                            and ("perworker", w) in points)
+    for workers in shared_workers:
+        shared = points[("shared", workers)].get("retained_bytes", 0)
+        per = points[("perworker", workers)].get("retained_bytes", 0)
+        if workers >= 2 and shared >= per:
+            errors.append(
+                f"{bench} ServerThroughput workers={workers}: shared cache "
+                f"retains {shared:.0f} bytes, per-worker stores {per:.0f} — "
+                f"sharing saves nothing")
+    if shared_workers:
+        top = shared_workers[-1]
+        shared = points[("shared", top)].get("retained_bytes", 0)
+        per = points[("perworker", top)].get("retained_bytes", 0)
+        if top >= 4 and shared > 0.5 * per:
+            errors.append(
+                f"{bench} ServerThroughput workers={top}: shared cache "
+                f"retains {shared:.0f} bytes > 0.5x per-worker ({per:.0f})")
+    return errors
+
+
 def main() -> int:
     if len(sys.argv) < 2:
         print(__doc__)
@@ -68,6 +121,9 @@ def main() -> int:
             if entry.get("counters"):
                 checked += 1
             errors.extend(check_entry(doc.get("bench", path), entry))
+        errors.extend(
+            check_server_throughput(doc.get("bench", path),
+                                    doc.get("entries", [])))
     if errors:
         print(f"match-kind check FAILED ({len(errors)} violation(s)):")
         for e in errors:

@@ -253,6 +253,16 @@ void MessageTemplate::RunWriter::rewrite(std::size_t idx, const char* text,
   e.serialized_len = len;
 }
 
+std::unique_ptr<MessageTemplate> MessageTemplate::clone() const {
+  BSOAP_ASSERT(journal_ == nullptr);
+  auto copy = std::make_unique<MessageTemplate>(config_);
+  copy->buffer_ = buffer_.clone();
+  copy->dut_ = dut_;
+  copy->stats_ = stats_;
+  copy->signature = signature;
+  return copy;
+}
+
 bool MessageTemplate::check_invariants() const {
   if (!buffer_.check_invariants()) return false;
   if (!dut_.check_invariants()) return false;

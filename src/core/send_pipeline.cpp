@@ -78,24 +78,25 @@ MessageTemplate* SendPipeline::resolve_and_update(const soap::RpcCall& call,
     clock.lap(SendStage::kUpdate, tmpl->buffer().total_size());
   } else {
     const std::uint64_t signature = call.structure_signature();
-    tmpl = store_.find(signature);
+    lease_ = template_source().checkout(signature);
     clock.lap(SendStage::kResolve, 0);
-    if (tmpl == nullptr) {
-      tmpl = store_.insert(build_template(call, options_.tmpl));
+    if (!lease_) {
+      lease_ = template_source().publish(build_template(call, options_.tmpl));
+      tmpl = lease_.get();
       if (journal_ != nullptr) {
-        // The fresh template enters the store as if the send completed; a
-        // failed write must erase it (the peer's view is unknowable).
+        // The fresh template enters the source as if the send completed; a
+        // failed write must invalidate the lease (the peer's view is
+        // unknowable).
         recovery_ctx_ = RecoveryContext::kFirstTime;
-        recovery_signature_ = signature;
       }
       r.match = MatchKind::kFirstTime;
       clock.lap(SendStage::kUpdate, tmpl->buffer().total_size());
     } else {
+      tmpl = lease_.get();
       if (journal_ != nullptr) {
         journal_->begin(*tmpl);
         recovery_ctx_ = RecoveryContext::kDiff;
         recovery_tmpl_ = tmpl;
-        recovery_signature_ = signature;
       }
       const std::uint64_t before = tmpl->stats().bytes_rewritten;
       r.update = update_template(*tmpl, call);
@@ -112,13 +113,21 @@ Result<SendReport> SendPipeline::send(const soap::RpcCall& call,
   SendReport report;
   StageClock clock(observer_);
   MessageTemplate* tmpl = resolve_and_update(call, &report, clock);
-  BSOAP_RETURN_IF_ERROR(
-      frame_and_write(*tmpl, call.method, dest, HeadKind::kRequest, &report));
+  const Status written =
+      frame_and_write(*tmpl, call.method, dest, HeadKind::kRequest, &report);
+  if (!written.ok()) {
+    // With a journal armed the lease stays out until recover_failed_send()
+    // decides rollback-and-return vs invalidate; without one, return the
+    // replica now (a retrying sender without a journal gets no guarantees).
+    if (recovery_ctx_ == RecoveryContext::kNone) lease_.release();
+    return written.error();
+  }
   if (journal_ != nullptr && journal_->armed()) journal_->commit(*tmpl);
   recovery_ctx_ = RecoveryContext::kNone;
-  // A partial structural match may have grown the template past the byte
-  // budget; enforce after the bytes are on the wire (the MRU survives).
-  store_.enforce_byte_budget();
+  // Returning the lease folds the update's growth delta into the source's
+  // byte accounting and enforces its budget after the bytes are on the wire
+  // (a partial structural match may have grown the template past it).
+  lease_.release();
   if (observer_ != nullptr) observer_->on_send(report);
   return report;
 }
@@ -128,11 +137,15 @@ Result<SendReport> SendPipeline::send_response(const soap::RpcCall& call,
   SendReport report;
   StageClock clock(observer_);
   MessageTemplate* tmpl = resolve_and_update(call, &report, clock);
-  BSOAP_RETURN_IF_ERROR(
-      frame_and_write(*tmpl, call.method, dest, HeadKind::kResponse, &report));
+  const Status written =
+      frame_and_write(*tmpl, call.method, dest, HeadKind::kResponse, &report);
+  if (!written.ok()) {
+    if (recovery_ctx_ == RecoveryContext::kNone) lease_.release();
+    return written.error();
+  }
   if (journal_ != nullptr && journal_->armed()) journal_->commit(*tmpl);
   recovery_ctx_ = RecoveryContext::kNone;
-  store_.enforce_byte_budget();
+  lease_.release();
   if (observer_ != nullptr) observer_->on_send(report);
   return report;
 }
@@ -182,15 +195,18 @@ Recovery SendPipeline::recover_failed_send() {
     case RecoveryContext::kNone:
       return Recovery::kNone;
     case RecoveryContext::kFirstTime:
-      store_.erase(recovery_signature_);
+      // The freshly built replica's bytes may never have reached the peer.
+      lease_.invalidate();
       return Recovery::kInvalidated;
     case RecoveryContext::kDiff: {
       BSOAP_ASSERT(journal_ != nullptr && journal_->armed());
       const bool untouched = journal_->empty();
       if (journal_->rollback(*tmpl)) {
+        // Restored exactly: the replica is safe to return to the source.
+        lease_.release();
         return untouched ? Recovery::kNone : Recovery::kRolledBack;
       }
-      store_.erase(recovery_signature_);
+      lease_.invalidate();
       return Recovery::kInvalidated;
     }
     case RecoveryContext::kTracked: {

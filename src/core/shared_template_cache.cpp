@@ -1,0 +1,223 @@
+#include "core/shared_template_cache.hpp"
+
+#include <algorithm>
+
+namespace bsoap::core {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SharedTemplateCache::SharedTemplateCache()
+    : SharedTemplateCache(Options{}) {}
+
+SharedTemplateCache::SharedTemplateCache(Options options)
+    : options_(options) {
+  BSOAP_ASSERT(options_.max_replicas >= 1);
+  const std::size_t count = round_up_pow2(std::max<std::size_t>(1, options_.shards));
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_mask_ = count - 1;
+}
+
+TemplateLease SharedTemplateCache::checkout(std::uint64_t signature) {
+  Shard& shard = shard_for(signature);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  const auto it = shard.groups.find(signature);
+  if (it == shard.groups.end() || it->second.replicas() == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return TemplateLease{};
+  }
+  Group& group = it->second;
+  if (group.free.empty()) {
+    // Every replica is out with another worker, and a leased replica may be
+    // mid-update — there is nothing stable to clone. The caller serializes
+    // from scratch; its publish becomes a new replica (bounded below), so a
+    // signature pays this at most max_replicas times, not once per worker.
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    return TemplateLease{};
+  }
+
+  const std::list<FreeEntry>::iterator entry = group.free.back();
+  group.free.pop_back();
+  std::unique_ptr<MessageTemplate> owned = std::move(entry->tmpl);
+  const std::size_t checkout_bytes = entry->bytes;
+  shard.lru.erase(entry);
+  ++group.leased;
+  shard.leased_bytes += checkout_bytes;
+
+  std::size_t cloned_bytes = 0;
+  if (group.free.empty() && group.leased >= 2 &&
+      group.replicas() < options_.max_replicas) {
+    // Clone-on-contention: we just took the last stable replica while
+    // another worker holds one, so the next concurrent checkout would miss.
+    // The replica in hand is exclusively ours and quiescent — clone it (a
+    // few memcpys) and leave the clone resident.
+    std::unique_ptr<MessageTemplate> clone = owned->clone();
+    cloned_bytes = clone->buffer().total_size();
+    shard.lru.push_front(
+        FreeEntry{signature, cloned_bytes, std::move(clone)});
+    group.free.push_back(shard.lru.begin());
+    bytes_.fetch_add(cloned_bytes, std::memory_order_relaxed);
+    clones_.fetch_add(1, std::memory_order_relaxed);
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+
+  if (cloned_bytes > 0 && options_.max_bytes != 0 &&
+      bytes_.load(std::memory_order_relaxed) > options_.max_bytes) {
+    enforce_budget(static_cast<std::size_t>(
+        (signature * 0x9E3779B97F4A7C15ull >> 32) & shard_mask_));
+  }
+  MessageTemplate* view = owned.get();
+  return make_lease(this, view, std::move(owned), signature, checkout_bytes);
+}
+
+TemplateLease SharedTemplateCache::publish(
+    std::unique_ptr<MessageTemplate> tmpl) {
+  const std::uint64_t signature = tmpl->signature;
+  const std::size_t size = tmpl->buffer().total_size();
+  Shard& shard = shard_for(signature);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Group& group = shard.groups[signature];
+    // Admit unconditionally — the in-flight send needs it; the replica
+    // bound is applied when the lease returns (surplus replicas retire).
+    ++group.leased;
+    shard.leased_bytes += size;
+  }
+  bytes_.fetch_add(size, std::memory_order_relaxed);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.max_bytes != 0 &&
+      bytes_.load(std::memory_order_relaxed) > options_.max_bytes) {
+    enforce_budget(static_cast<std::size_t>(
+        (signature * 0x9E3779B97F4A7C15ull >> 32) & shard_mask_));
+  }
+  MessageTemplate* view = tmpl.get();
+  return make_lease(this, view, std::move(tmpl), signature, size);
+}
+
+void SharedTemplateCache::finish(std::uint64_t signature,
+                                 std::unique_ptr<MessageTemplate> owned,
+                                 MessageTemplate* view,
+                                 std::size_t checkout_bytes, bool invalidate) {
+  BSOAP_ASSERT(owned != nullptr && owned.get() == view);
+  Shard& shard = shard_for(signature);
+  bool over_budget = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.groups.find(signature);
+    BSOAP_ASSERT(it != shard.groups.end() && it->second.leased > 0);
+    Group& group = it->second;
+    --group.leased;
+    shard.leased_bytes -= checkout_bytes;
+
+    if (invalidate) {
+      // The failed send left this replica's state unknowable; drop exactly
+      // it. Sibling replicas are independent serializations and survive.
+      bytes_.fetch_sub(checkout_bytes, std::memory_order_relaxed);
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
+      owned.reset();
+    } else {
+      const std::size_t size = owned->buffer().total_size();
+      // O(1) accounting: fold in whatever the update stage grew (or a
+      // rollback shrank) while the replica was out.
+      if (size >= checkout_bytes) {
+        bytes_.fetch_add(size - checkout_bytes, std::memory_order_relaxed);
+      } else {
+        bytes_.fetch_sub(checkout_bytes - size, std::memory_order_relaxed);
+      }
+      if (group.replicas() + 1 > options_.max_replicas) {
+        bytes_.fetch_sub(size, std::memory_order_relaxed);
+        retired_.fetch_add(1, std::memory_order_relaxed);
+        owned.reset();
+      } else {
+        shard.lru.push_front(FreeEntry{signature, size, std::move(owned)});
+        group.free.push_back(shard.lru.begin());
+      }
+    }
+    if (group.replicas() == 0) shard.groups.erase(it);
+    over_budget = options_.max_bytes != 0 &&
+                  bytes_.load(std::memory_order_relaxed) > options_.max_bytes;
+  }
+  if (over_budget) {
+    enforce_budget(static_cast<std::size_t>(
+        (signature * 0x9E3779B97F4A7C15ull >> 32) & shard_mask_));
+  }
+}
+
+void SharedTemplateCache::enforce_budget(std::size_t start) {
+  if (options_.max_bytes == 0) return;
+  bool evicted_any = true;
+  while (evicted_any &&
+         bytes_.load(std::memory_order_relaxed) > options_.max_bytes) {
+    evicted_any = false;
+    for (std::size_t i = 0; i <= shard_mask_; ++i) {
+      Shard& shard = *shards_[(start + i) & shard_mask_];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      while (bytes_.load(std::memory_order_relaxed) > options_.max_bytes &&
+             !shard.lru.empty()) {
+        const auto victim = std::prev(shard.lru.end());
+        const auto git = shard.groups.find(victim->signature);
+        BSOAP_ASSERT(git != shard.groups.end());
+        Group& group = git->second;
+        group.free.erase(
+            std::find(group.free.begin(), group.free.end(), victim));
+        bytes_.fetch_sub(victim->bytes, std::memory_order_relaxed);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        shard.lru.erase(victim);
+        if (group.replicas() == 0) shard.groups.erase(git);
+        evicted_any = true;
+      }
+      if (bytes_.load(std::memory_order_relaxed) <= options_.max_bytes) return;
+    }
+  }
+  if (bytes_.load(std::memory_order_relaxed) > options_.max_bytes) {
+    // Everything evictable is gone; the remainder is leased (pinned).
+    pins_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+SharedTemplateCache::Stats SharedTemplateCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.contended = contended_.load(std::memory_order_relaxed);
+  s.clones = clones_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.retired = retired_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.pins = pins_.load(std::memory_order_relaxed);
+  s.bytes_retained = bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t SharedTemplateCache::debug_walk_free_bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const FreeEntry& e : shard->lru) {
+      total += e.tmpl->buffer().total_size();
+    }
+    total += shard->leased_bytes;
+  }
+  return total;
+}
+
+std::size_t SharedTemplateCache::replica_count(std::uint64_t signature) const {
+  const Shard& shard = shard_for(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.groups.find(signature);
+  return it == shard.groups.end() ? 0 : it->second.replicas();
+}
+
+}  // namespace bsoap::core

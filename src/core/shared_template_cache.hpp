@@ -1,0 +1,158 @@
+// Process-wide template cache shared by server workers (checkout leases).
+//
+// PR 2 gave every server worker a private TemplateStore, so template memory
+// scales as workers × RPC shapes and each worker pays its own first-time
+// serialization for shapes its neighbours already serialized. This cache is
+// the middleware-level result cache of arXiv:0911.0488 applied to saved
+// templates: one resident set of serialized messages per structure
+// signature, shared by every worker, reused as the delta base for the next
+// response of that shape (the patch-reuse argument of arXiv:2507.23499).
+//
+// Concurrency model — checkout leases over replicas:
+//
+//   * The signature space is sharded over N lock-striped shards (signature
+//     hash → shard); a checkout takes exactly one shard mutex.
+//   * checkout() hands the replica out of the cache entirely (ownership
+//     travels with the move-only TemplateLease), so the holder mutates it
+//     with no lock held — the hot update/frame/write path is as lock-free
+//     as the per-worker design.
+//   * A signature may hold several replicas (bounded per signature). If
+//     every replica is leased, checkout misses ("contended") and the caller
+//     serializes from scratch; its publish becomes a new replica. To keep
+//     that rare, handing out the *last* free replica while another worker
+//     holds one provisions a clone first (MessageTemplate::clone — a few
+//     memcpys, far cheaper than re-serializing) — clone-on-contention.
+//   * Returning a surplus replica (over the bound, e.g. after a contended
+//     burst) retires it instead of re-admitting it.
+//
+// Eviction is a global byte budget with O(1) accounting: an atomic running
+// total updated by publish/return deltas/retire/evict, never a walk. Each
+// shard keeps an LRU of its *free* replicas; leased replicas are not in any
+// eviction structure, so they are pinned by construction — a budget pass
+// that sweeps every shard and still cannot get under budget records a pin
+// event and gives up until the next return.
+//
+// Recovery (PR 4 journal) composes: rollback restores the leased replica
+// and the lease returns it; a structural failure invalidates the lease, so
+// exactly the poisoned replica is dropped while sibling replicas — which
+// are independent, internally consistent serializations — survive.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/template_store.hpp"
+
+namespace bsoap::core {
+
+class SharedTemplateCache final : public TemplateStoreLike {
+ public:
+  struct Options {
+    /// Lock stripes; rounded up to a power of two.
+    std::size_t shards = 8;
+    /// Replicas retained per signature. 2 absorbs pairwise contention; size
+    /// toward the expected number of workers concurrently serving one shape.
+    std::size_t max_replicas = 3;
+    /// Global byte budget across every shard's free and leased replicas
+    /// (0 = unlimited).
+    std::size_t max_bytes = 0;
+  };
+
+  /// Counter snapshot (fields are individually exact, the snapshot as a
+  /// whole is unfenced — same contract as ServerStats).
+  struct Stats {
+    std::uint64_t hits = 0;           ///< checkout found a free replica
+    std::uint64_t misses = 0;         ///< no replica existed for the signature
+    std::uint64_t contended = 0;      ///< replicas existed but all were leased
+    std::uint64_t clones = 0;         ///< replicas provisioned by clone
+    std::uint64_t inserts = 0;        ///< replicas admitted via publish
+    std::uint64_t retired = 0;        ///< surplus replicas dropped on return
+    std::uint64_t evictions = 0;      ///< byte-budget evictions
+    std::uint64_t invalidations = 0;  ///< leases dropped by send recovery
+    std::uint64_t pins = 0;           ///< budget passes blocked by leased replicas
+    std::size_t bytes_retained = 0;   ///< free + leased replica bytes
+  };
+
+  SharedTemplateCache();  ///< default Options
+  explicit SharedTemplateCache(Options options);
+
+  SharedTemplateCache(const SharedTemplateCache&) = delete;
+  SharedTemplateCache& operator=(const SharedTemplateCache&) = delete;
+
+  TemplateLease checkout(std::uint64_t signature) override;
+  TemplateLease publish(std::unique_ptr<MessageTemplate> tmpl) override;
+
+  Stats stats() const;
+  std::size_t bytes_retained() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  const Options& options() const { return options_; }
+
+  /// Test hooks. Both take every shard lock; call only quiescent or from
+  /// tests — a walk is exactly what the running accounting avoids.
+  std::size_t debug_walk_free_bytes() const;
+  std::size_t replica_count(std::uint64_t signature) const;
+
+ protected:
+  void finish(std::uint64_t signature, std::unique_ptr<MessageTemplate> owned,
+              MessageTemplate* view, std::size_t checkout_bytes,
+              bool invalidate) override;
+
+ private:
+  /// A free (unleased) replica, resident in its shard's LRU list.
+  struct FreeEntry {
+    std::uint64_t signature = 0;
+    std::size_t bytes = 0;  ///< size when admitted — the accounting unit
+    std::unique_ptr<MessageTemplate> tmpl;
+  };
+
+  struct Group {
+    /// Iterators into the shard LRU, most recently returned last.
+    std::vector<std::list<FreeEntry>::iterator> free;
+    std::uint32_t leased = 0;
+    std::size_t replicas() const { return free.size() + leased; }
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<FreeEntry> lru;  ///< front = most recently returned
+    std::unordered_map<std::uint64_t, Group> groups;
+    /// Leased bytes resident in this shard's groups (at checkout size), so
+    /// debug walks can reconcile without touching leased templates.
+    std::size_t leased_bytes = 0;
+  };
+
+  Shard& shard_for(std::uint64_t signature) const {
+    // The structure signature is already a hash; fold the high bits in so
+    // shard selection is not at the mercy of its low-bit quality.
+    const std::uint64_t mixed = signature * 0x9E3779B97F4A7C15ull;
+    return *shards_[(mixed >> 32) & shard_mask_];
+  }
+
+  /// Evicts free replicas (LRU within each shard, shards swept round-robin
+  /// from `start`) until under the byte budget or nothing evictable
+  /// remains. Called unlocked; takes one shard lock at a time.
+  void enforce_budget(std::size_t start);
+
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_mask_ = 0;
+
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> contended_{0};
+  std::atomic<std::uint64_t> clones_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+  std::atomic<std::uint64_t> pins_{0};
+};
+
+}  // namespace bsoap::core

@@ -37,6 +37,7 @@
 
 #include "common/error.hpp"
 #include "core/send_pipeline.hpp"
+#include "core/shared_template_cache.hpp"
 #include "server/accept_queue.hpp"
 #include "server/server_stats.hpp"
 #include "soap/soap_server.hpp"
@@ -68,6 +69,20 @@ struct ServerRuntimeOptions {
   core::TemplateConfig response_tmpl;
   std::size_t response_templates = 16;       ///< per-worker LRU capacity
   std::size_t response_template_bytes = 0;   ///< per-worker byte budget (0 = off)
+
+  /// One process-wide SharedTemplateCache instead of per-worker stores:
+  /// template memory scales with distinct RPC shapes, not workers × shapes,
+  /// and a shape any worker has served is warm for all of them. Workers
+  /// check templates out under a per-signature replica bound
+  /// (clone-on-contention keeps concurrent same-shape sends off the
+  /// first-time path). False (the default) keeps the per-worker stores.
+  bool shared_cache = false;
+  std::size_t shared_cache_shards = 8;
+  /// Replica bound per signature; 0 = auto (max(2, workers/2)).
+  std::size_t shared_cache_replicas = 0;
+  /// Global byte budget across the whole cache (0 = unlimited). Replaces
+  /// response_template_bytes, which is per worker.
+  std::size_t shared_cache_bytes = 0;
 
   /// Creates one request-envelope parser per connection; null uses the full
   /// parser (see core::make_diff_deserializing_options for the differential
@@ -129,6 +144,9 @@ class ServerRuntime {
   std::atomic<bool> draining_{false};
   std::unique_ptr<AcceptQueue> queue_;
   StatsCollector stats_;
+  /// Present only in shared_cache mode. Declared before workers_: the
+  /// worker pipelines point at it, so it must outlive them.
+  std::unique_ptr<core::SharedTemplateCache> shared_cache_;
   std::thread accept_thread_;
   std::vector<std::unique_ptr<Worker>> workers_;
 };

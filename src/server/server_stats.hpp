@@ -38,6 +38,16 @@ struct ServerStats {
   std::uint64_t response_template_bytes = 0;     ///< retained across workers
   std::uint64_t response_template_evictions = 0; ///< count + byte evictions
 
+  // Shared template cache (shared_cache mode; all zero with per-worker
+  // stores). See core::SharedTemplateCache::Stats for field meanings.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_contended = 0;
+  std::uint64_t cache_clones = 0;
+  std::uint64_t cache_retired = 0;
+  std::uint64_t cache_invalidations = 0;
+  std::uint64_t cache_pins = 0;
+
   std::uint64_t responses_total() const {
     return response_first_time + response_content_match +
            response_perfect_match + response_partial_match;

@@ -3,12 +3,14 @@
 // and full request/response loops against the SOAP server.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
 #include "baseline/gsoap_like.hpp"
 #include "common/rng.hpp"
 #include "baseline/xsoap_like.hpp"
 #include "core/client.hpp"
+#include "core/template_builder.hpp"
 #include "http/connection.hpp"
 #include "net/inmemory.hpp"
 #include "net/tcp.hpp"
@@ -190,6 +192,73 @@ TEST(BsoapClient, TemplateStoreByteBudgetEviction) {
   ASSERT_TRUE(newest.ok());
   EXPECT_EQ(newest.value().match, MatchKind::kContentMatch);
   (void)server.next_call();
+}
+
+TEST(BsoapClient, ByteBudgetEnforcedAfterInPlaceTemplateGrowth) {
+  auto [client_t, server_t] = net::make_inmemory_transports();
+  BsoapClientConfig config;
+  config.max_templates = 16;
+  // Exact stuffing so longer values force in-place expansion (growth).
+  config.tmpl.stuffing.mode = StuffingPolicy::Mode::kExact;
+  BsoapClient client(*client_t, config);
+  CapturingServer server(*server_t);
+
+  // Two shapes of short values fit the budget comfortably...
+  std::vector<double> growing(40, 1.0);
+  ASSERT_TRUE(client.send_call(soap::make_double_array_call(growing)).ok());
+  (void)server.next_call();
+  ASSERT_TRUE(
+      client.send_call(soap::make_double_array_call(std::vector<double>(44, 2.0)))
+          .ok());
+  (void)server.next_call();
+  const std::size_t resident = client.store().bytes_retained();
+  ASSERT_EQ(client.store().size(), 2u);
+
+  // ...then pin the budget at the current occupancy and grow the first
+  // template in place: every value expands from 1 to 24 characters, a
+  // partial structural match that pushes the store over budget mid-send.
+  client.store().set_max_bytes(resident);
+  std::fill(growing.begin(), growing.end(), -2.2250738585072014e-308);
+  Result<SendReport> grown =
+      client.send_call(soap::make_double_array_call(growing));
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ(grown.value().match, MatchKind::kPartialStructural);
+  (void)server.next_call();
+
+  // The growth delta was visible to the budget pass: the other shape was
+  // evicted, and the cached byte total agrees with the debug walk.
+  EXPECT_GT(client.store().byte_evictions(), 0u);
+  EXPECT_EQ(client.store().size(), 1u);
+  EXPECT_LE(client.store().bytes_retained(), resident);
+}
+
+TEST(TemplateStore, ClearRoutesThroughTheSingleRemovalPath) {
+  TemplateStore store(8, 0);
+  for (std::size_t n = 10; n < 13; ++n) {
+    store.insert(build_template(
+        soap::make_double_array_call(soap::random_doubles(n, n)),
+        TemplateConfig{}));
+  }
+  ASSERT_EQ(store.size(), 3u);
+  ASSERT_GT(store.bytes_retained(), 0u);
+  const std::uint64_t evictions_before = store.evictions();
+
+  store.clear();
+
+  // Contents are gone, byte accounting is zeroed (the debug cross-check
+  // walk inside bytes_retained() verifies index/LRU/bytes agree), and
+  // clear() is not an eviction — the tallies are history, not contents.
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.bytes_retained(), 0u);
+  EXPECT_EQ(store.evictions(), evictions_before);
+
+  // The store stays usable after clear().
+  MessageTemplate* again = store.insert(build_template(
+      soap::make_double_array_call(soap::random_doubles(10, 10)),
+      TemplateConfig{}));
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(store.find(again->signature), again);
+  EXPECT_EQ(store.bytes_retained(), again->buffer().total_size());
 }
 
 TEST(BsoapClient, ByteBudgetKeepsMostRecentTemplateEvenWhenOversized) {

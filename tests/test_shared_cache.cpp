@@ -1,0 +1,271 @@
+// SharedTemplateCache: checkout-lease semantics, clone-on-contention, the
+// per-signature replica bound, byte-budget eviction with leased pinning,
+// O(1) byte accounting against the walking oracle, recovery interaction,
+// and a multi-thread stress run (wired into the TSan CI job).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/send_pipeline.hpp"
+#include "core/shared_template_cache.hpp"
+#include "core/template_builder.hpp"
+#include "http/connection.hpp"
+#include "net/inmemory.hpp"
+#include "soap/envelope_reader.hpp"
+#include "soap/workload.hpp"
+
+namespace bsoap::core {
+namespace {
+
+using soap::RpcCall;
+
+std::unique_ptr<MessageTemplate> make_template(std::size_t n,
+                                               std::uint64_t seed) {
+  return build_template(soap::make_double_array_call(soap::random_doubles(n, seed)),
+                        TemplateConfig{});
+}
+
+TEST(SharedTemplateCache, MissPublishHitRoundTrip) {
+  SharedTemplateCache cache;
+  auto tmpl = make_template(20, 1);
+  const std::uint64_t sig = tmpl->signature;
+
+  EXPECT_FALSE(cache.checkout(sig));
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  {
+    TemplateLease lease = cache.publish(std::move(tmpl));
+    ASSERT_TRUE(lease);
+    EXPECT_EQ(lease.signature(), sig);
+    EXPECT_EQ(cache.replica_count(sig), 1u);
+    // Leased: a checkout of the same signature finds everything out.
+    EXPECT_FALSE(cache.checkout(sig));
+    EXPECT_EQ(cache.stats().contended, 1u);
+  }  // lease returns on destruction
+
+  TemplateLease hit = cache.checkout(sig);
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->signature, sig);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  hit.release();
+  EXPECT_EQ(cache.bytes_retained(), cache.debug_walk_free_bytes());
+}
+
+TEST(SharedTemplateCache, CloneProvisionsReplicaWhenLastFreeIsTaken) {
+  SharedTemplateCache cache;
+  const std::uint64_t sig = make_template(20, 2)->signature;
+
+  // Two replicas resident (the second via a contended-miss publish).
+  TemplateLease a = cache.publish(make_template(20, 2));
+  TemplateLease b = cache.publish(make_template(20, 2));
+  a.release();
+  b.release();
+  ASSERT_EQ(cache.replica_count(sig), 2u);
+
+  // First checkout leaves one free replica: no clone needed.
+  TemplateLease first = cache.checkout(sig);
+  ASSERT_TRUE(first);
+  EXPECT_EQ(cache.stats().clones, 0u);
+  // Second checkout takes the last free one while another worker holds a
+  // lease: a clone is provisioned so the next checkout still hits.
+  TemplateLease second = cache.checkout(sig);
+  ASSERT_TRUE(second);
+  EXPECT_EQ(cache.stats().clones, 1u);
+  EXPECT_EQ(cache.replica_count(sig), 3u);
+  TemplateLease third = cache.checkout(sig);
+  ASSERT_TRUE(third);
+
+  // The clone is a faithful deep copy, independent of its origin.
+  EXPECT_EQ(third->buffer().linearize(), second->buffer().linearize());
+  EXPECT_TRUE(third->check_invariants());
+
+  first.release();
+  second.release();
+  third.release();
+  EXPECT_EQ(cache.bytes_retained(), cache.debug_walk_free_bytes());
+}
+
+TEST(SharedTemplateCache, ReplicaBoundRetiresSurplusOnReturn) {
+  SharedTemplateCache::Options options;
+  options.max_replicas = 2;
+  SharedTemplateCache cache(options);
+  const std::uint64_t sig = make_template(20, 3)->signature;
+
+  // A contended burst: three workers all publish (miss/contended path).
+  TemplateLease a = cache.publish(make_template(20, 3));
+  TemplateLease b = cache.publish(make_template(20, 3));
+  TemplateLease c = cache.publish(make_template(20, 3));
+  EXPECT_EQ(cache.replica_count(sig), 3u);
+
+  a.release();
+  b.release();
+  c.release();  // over the bound: retired, not re-admitted
+  EXPECT_EQ(cache.replica_count(sig), 2u);
+  EXPECT_EQ(cache.stats().retired, 1u);
+  EXPECT_EQ(cache.bytes_retained(), cache.debug_walk_free_bytes());
+}
+
+TEST(SharedTemplateCache, InvalidateDropsExactlyTheLeasedReplica) {
+  SharedTemplateCache cache;
+  const std::uint64_t sig = make_template(20, 4)->signature;
+  TemplateLease a = cache.publish(make_template(20, 4));
+  TemplateLease b = cache.publish(make_template(20, 4));
+  a.release();
+  b.release();
+  ASSERT_EQ(cache.replica_count(sig), 2u);
+
+  TemplateLease poisoned = cache.checkout(sig);
+  ASSERT_TRUE(poisoned);
+  poisoned.invalidate();
+
+  // The sibling replica — an independent serialization — survives.
+  EXPECT_EQ(cache.replica_count(sig), 1u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_TRUE(cache.checkout(sig));
+  EXPECT_EQ(cache.bytes_retained(), cache.debug_walk_free_bytes());
+}
+
+TEST(SharedTemplateCache, ByteBudgetEvictsFreeReplicasAndPinsLeased) {
+  const std::size_t one_template = make_template(64, 5)->buffer().total_size();
+  SharedTemplateCache::Options options;
+  options.max_bytes = one_template + one_template / 2;  // room for ~1.5
+  SharedTemplateCache cache(options);
+
+  // Two leased templates of distinct shapes: over budget, but nothing is
+  // evictable — the budget pass records a pin and gives up.
+  TemplateLease a = cache.publish(make_template(64, 5));
+  TemplateLease b = cache.publish(make_template(65, 6));
+  EXPECT_GT(cache.bytes_retained(), options.max_bytes);
+  EXPECT_GT(cache.stats().pins, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  const std::uint64_t sig_a = a.signature();
+  const std::uint64_t sig_b = b.signature();
+
+  // Returning a lease makes a replica evictable; the budget pass then
+  // evicts LRU free replicas until under budget.
+  a.release();
+  b.release();
+  EXPECT_LE(cache.bytes_retained(), options.max_bytes);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.replica_count(sig_a) + cache.replica_count(sig_b), 1u);
+  EXPECT_EQ(cache.bytes_retained(), cache.debug_walk_free_bytes());
+}
+
+TEST(SharedTemplateCache, GrowthDeltaFoldsIntoByteAccounting) {
+  SharedTemplateCache cache;
+  TemplateLease lease =
+      cache.publish(build_template(soap::make_double_array_call({1.0, 2.0}),
+                                   TemplateConfig{}));
+  const std::size_t before = cache.bytes_retained();
+  const std::uint64_t sig = lease.signature();
+
+  // Grow the leased replica in place (field expansion), then return it: the
+  // size delta must land in the running total, not require a walk.
+  const char big[] = "-2.2250738585072014e-308";
+  lease->rewrite_value(0, big, sizeof(big) - 1);
+  const std::size_t grown = lease->buffer().total_size();
+  EXPECT_GT(grown, before);
+  lease.release();
+
+  EXPECT_EQ(cache.bytes_retained(), grown);
+  EXPECT_EQ(cache.bytes_retained(), cache.debug_walk_free_bytes());
+  TemplateLease again = cache.checkout(sig);
+  ASSERT_TRUE(again);
+  EXPECT_TRUE(again->check_invariants());
+}
+
+TEST(SharedTemplateCache, TwoPipelinesShareTemplatesThroughOneCache) {
+  SharedTemplateCache cache;
+  SendPipeline::Options options;
+  SendPipeline first(options);
+  SendPipeline second(options);
+  first.set_template_source(&cache);
+  second.set_template_source(&cache);
+
+  auto [t1_client, t1_server] = net::make_inmemory_transports();
+  auto [t2_client, t2_server] = net::make_inmemory_transports();
+  http::HttpConnection sink1(*t1_server);
+  http::HttpConnection sink2(*t2_server);
+
+  const RpcCall call =
+      soap::make_double_array_call(soap::random_doubles(30, 7));
+  SendDestination dest1{t1_client.get(), "/"};
+  SendDestination dest2{t2_client.get(), "/"};
+
+  Result<SendReport> warm = first.send(call, dest1);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.value().match, MatchKind::kFirstTime);
+  ASSERT_TRUE(sink1.read_request().ok());
+
+  // The second pipeline never serialized this shape, but the shared cache
+  // has: its first send already rides the differential path.
+  Result<SendReport> reuse = second.send(call, dest2);
+  ASSERT_TRUE(reuse.ok());
+  EXPECT_EQ(reuse.value().match, MatchKind::kContentMatch);
+  Result<http::HttpRequest> request = sink2.read_request();
+  ASSERT_TRUE(request.ok());
+  Result<RpcCall> parsed = soap::read_rpc_envelope(request.value().body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().params[0].value == call.params[0].value);
+
+  EXPECT_EQ(cache.stats().inserts, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(SharedTemplateCache, ConcurrentCheckoutCloneInvalidateStress) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kShapes = 4;
+  constexpr int kIterations = 400;
+
+  SharedTemplateCache::Options options;
+  options.shards = 4;
+  options.max_replicas = 3;
+  // A budget tight enough that eviction runs concurrently with checkouts.
+  options.max_bytes = 6 * make_template(40, 100)->buffer().total_size();
+  SharedTemplateCache cache(options);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const std::size_t shape = (t + static_cast<std::size_t>(i)) % kShapes;
+        const RpcCall call = soap::make_double_array_call(
+            soap::random_doubles(40 + shape, t * 1000 + static_cast<std::uint64_t>(i)));
+        const std::uint64_t sig = call.structure_signature();
+        TemplateLease lease = cache.checkout(sig);
+        if (!lease) {
+          lease = cache.publish(build_template(call, TemplateConfig{}));
+        } else {
+          // Mutate the leased replica with this thread's values — the data
+          // race TSan would catch if leases were not exclusive.
+          (void)update_template(*lease.get(), call);
+        }
+        ASSERT_TRUE(lease);
+        if (i % 17 == 0) {
+          lease.invalidate();
+        } else {
+          lease.release();
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Quiescent reconciliation: the running total matches a full walk, and no
+  // signature exceeded its replica bound.
+  EXPECT_EQ(cache.bytes_retained(), cache.debug_walk_free_bytes());
+  for (std::size_t shape = 0; shape < kShapes; ++shape) {
+    const RpcCall call = soap::make_double_array_call(
+        soap::random_doubles(40 + shape, 1));
+    EXPECT_LE(cache.replica_count(call.structure_signature()),
+              options.max_replicas);
+  }
+  const SharedTemplateCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.inserts, 0u);
+}
+
+}  // namespace
+}  // namespace bsoap::core
