@@ -26,7 +26,18 @@ it shows up as a timing change:
     each worker count the shared cache must retain strictly fewer template
     bytes than the per-worker stores (at the highest worker count, at most
     half), since one resident set per shape instead of one per worker is
-    the entire point.
+    the entire point;
+  * the "reactor" series (epoll engine, same shared-cache differential
+    setup as "shared") is held to the same steady_first_time bound as the
+    other differential modes — the event engine may not degrade match
+    classification. Its req/s is gated on the idle axis below, not here:
+    two series run seconds apart and single-core CI boxes drift too much
+    for a cross-series ratio to be meaningful;
+  * "ServerIdleConnections/paired/..." points run BOTH engines in
+    alternating windows (drift-immune ratio) under an idle keep-alive
+    fleet: at 0 idle connections the reactor must hold >= 0.95x the
+    blocking engine's req/s, and at >= 1000 idle connections it must be
+    strictly faster (the blocking pool starves there by construction).
 
 Exits non-zero listing every violated series.
 """
@@ -105,6 +116,36 @@ def check_server_throughput(bench, entries):
             errors.append(
                 f"{bench} ServerThroughput workers={top}: shared cache "
                 f"retains {shared:.0f} bytes > 0.5x per-worker ({per:.0f})")
+
+    # The reactor series' req/s is gated on the drift-immune
+    # ServerIdleConnections axis (check_idle_connections), not across
+    # ServerThroughput series; its steady_first_time is covered by the
+    # differential-mode bound above.
+    return errors
+
+
+def check_idle_connections(bench, entries):
+    """Cross-engine gates for the paired ServerIdleConnections axis."""
+    errors = []
+    for entry in entries:
+        if not entry["series"].startswith("ServerIdleConnections/"):
+            continue
+        idle = entry["n"]
+        c = entry.get("counters", {})
+        reactor = c.get("req_per_s_reactor", 0)
+        blocking = c.get("req_per_s_blocking", 0)
+        if idle == 0:
+            if blocking > 0 and reactor < 0.95 * blocking:
+                errors.append(
+                    f"{bench} ServerIdleConnections idle={idle}: reactor "
+                    f"{reactor:.0f} req/s < 0.95x blocking ({blocking:.0f})")
+        elif idle >= 1000:
+            if reactor <= blocking:
+                errors.append(
+                    f"{bench} ServerIdleConnections idle={idle}: reactor "
+                    f"{reactor:.0f} req/s not strictly above blocking "
+                    f"({blocking:.0f}) — idle fleet no longer starves the "
+                    f"pool alone")
     return errors
 
 
@@ -124,6 +165,9 @@ def main() -> int:
         errors.extend(
             check_server_throughput(doc.get("bench", path),
                                     doc.get("entries", [])))
+        errors.extend(
+            check_idle_connections(doc.get("bench", path),
+                                   doc.get("entries", [])))
     if errors:
         print(f"match-kind check FAILED ({len(errors)} violation(s)):")
         for e in errors:

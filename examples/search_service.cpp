@@ -59,7 +59,9 @@ Result<soap::Value> handle_search(const soap::RpcCall& call) {
 
 int main() {
   // One worker keeps the demo deterministic: all responses share a single
-  // template store, so the match-kind sequence is easy to read.
+  // template store, so the match-kind sequence is easy to read. The epoll
+  // engine serves the same wire bytes: set `options.io_model =
+  // server::IoModel::kReactor` to run this demo on it.
   server::ServerRuntimeOptions options;
   options.workers = 1;
   auto server = server::ServerRuntime::start(handle_search, options);

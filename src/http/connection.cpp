@@ -135,14 +135,19 @@ Status HttpConnection::read_body_raw(const std::vector<Header>& headers,
 }
 
 Result<HttpRequest> HttpConnection::read_request() {
-  Result<std::string> head = read_head();
-  if (!head.ok()) return head.error();
-  Result<HttpRequest> request = parse_request_head(head.value());
-  if (!request.ok()) return request.error();
-  BSOAP_RETURN_IF_ERROR(
-      read_body(request.value().headers, /*is_request=*/true,
-                &request.value().body));
-  return request;
+  // Requests go through the shared resumable parser (the same one the
+  // reactor drives from readiness events), fed one recv at a time: no part
+  // of the server assumes a request arrives in one read.
+  char tmp[16 * 1024];
+  for (;;) {
+    BSOAP_RETURN_IF_ERROR(request_parser_.resume());
+    if (request_parser_.done()) return request_parser_.take();
+    Result<std::size_t> got = transport_.recv(tmp, sizeof(tmp));
+    if (!got.ok()) return got.error();
+    if (got.value() == 0) return request_parser_.eof_error();
+    BSOAP_RETURN_IF_ERROR(request_parser_.feed(tmp, got.value()));
+    if (request_parser_.done()) return request_parser_.take();
+  }
 }
 
 Result<HttpResponse> HttpConnection::read_response() {

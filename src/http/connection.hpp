@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "http/framer.hpp"
 #include "http/http_message.hpp"
+#include "http/request_parser.hpp"
 #include "net/transport.hpp"
 
 namespace bsoap::http {
@@ -32,8 +33,9 @@ class HttpConnection {
 
   Status send_response(HttpResponse head, std::string_view body);
 
-  /// Reads one request. Error code kClosed indicates the peer closed the
-  /// connection cleanly between requests (keep-alive end).
+  /// Reads one request via the resumable RequestParser (shared with the
+  /// reactor's readiness-driven path). Error code kClosed indicates the
+  /// peer closed the connection cleanly between requests (keep-alive end).
   Result<HttpRequest> read_request();
 
   Result<HttpResponse> read_response();
@@ -51,7 +53,8 @@ class HttpConnection {
   Status buffer_at_least(std::size_t n);
 
   net::Transport& transport_;
-  std::string inbuf_;
+  std::string inbuf_;            ///< response-side read buffer
+  RequestParser request_parser_; ///< request-side incremental parser
 };
 
 }  // namespace bsoap::http

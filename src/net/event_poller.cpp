@@ -1,0 +1,101 @@
+#include "net/event_poller.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bsoap::net {
+namespace {
+
+Error errno_error(const char* what) {
+  return Error{ErrorCode::kIoError,
+               std::string(what) + ": " + std::strerror(errno)};
+}
+
+std::uint32_t epoll_mask(bool read, bool write) {
+  std::uint32_t events = EPOLLRDHUP;
+  if (read) events |= EPOLLIN;
+  if (write) events |= EPOLLOUT;
+  return events;
+}
+
+}  // namespace
+
+Result<EventPoller> EventPoller::create() {
+  Fd epfd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epfd.valid()) return errno_error("epoll_create1");
+  return EventPoller(std::move(epfd));
+}
+
+Status EventPoller::add(int fd, std::uint64_t tag, bool read, bool write) {
+  epoll_event ev{};
+  ev.events = epoll_mask(read, write);
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return errno_error("epoll_ctl(ADD)");
+  }
+  return Status{};
+}
+
+Status EventPoller::modify(int fd, std::uint64_t tag, bool read, bool write) {
+  epoll_event ev{};
+  ev.events = epoll_mask(read, write);
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return errno_error("epoll_ctl(MOD)");
+  }
+  return Status{};
+}
+
+Status EventPoller::remove(int fd) {
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_DEL, fd, nullptr) < 0) {
+    return errno_error("epoll_ctl(DEL)");
+  }
+  return Status{};
+}
+
+Result<std::size_t> EventPoller::wait(std::span<Event> out, int timeout_ms) {
+  if (out.empty()) return std::size_t{0};
+  constexpr std::size_t kMaxBatch = 128;
+  epoll_event raw[kMaxBatch];
+  const int cap =
+      static_cast<int>(out.size() < kMaxBatch ? out.size() : kMaxBatch);
+  for (;;) {
+    const int n = ::epoll_wait(epfd_.get(), raw, cap, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      Event& e = out[static_cast<std::size_t>(i)];
+      e.tag = raw[i].data.u64;
+      e.readable = (raw[i].events & EPOLLIN) != 0;
+      e.writable = (raw[i].events & EPOLLOUT) != 0;
+      e.hangup = (raw[i].events & (EPOLLHUP | EPOLLRDHUP | EPOLLERR)) != 0;
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
+Result<WakeupFd> WakeupFd::create() {
+  Fd fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!fd.valid()) return errno_error("eventfd");
+  return WakeupFd(std::move(fd));
+}
+
+void WakeupFd::signal() noexcept {
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(fd_.get(), &one, sizeof(one));
+}
+
+void WakeupFd::drain() noexcept {
+  std::uint64_t counter = 0;
+  [[maybe_unused]] const ssize_t n =
+      ::read(fd_.get(), &counter, sizeof(counter));
+}
+
+}  // namespace bsoap::net

@@ -1,0 +1,75 @@
+// Readiness notification for the reactor: a thin RAII wrapper over
+// epoll_create1/ctl/wait plus an eventfd-based cross-thread wakeup.
+//
+// EventPoller is level-triggered (the reactor re-reads/re-writes until
+// EAGAIN, so level semantics cannot lose events) and carries one opaque
+// 64-bit tag per registered descriptor — the reactor stores connection ids
+// there so an event resolves to its connection without an fd-keyed lookup.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/error.hpp"
+#include "net/socket.hpp"
+
+namespace bsoap::net {
+
+class EventPoller {
+ public:
+  /// One readiness event: the registered tag plus what the fd is ready for.
+  /// `hangup`/`error` fold EPOLLHUP/EPOLLRDHUP/EPOLLERR; the reactor treats
+  /// them as "readable" (the next read observes EOF or the error).
+  struct Event {
+    std::uint64_t tag = 0;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;
+  };
+
+  static Result<EventPoller> create();
+
+  Status add(int fd, std::uint64_t tag, bool read, bool write);
+  Status modify(int fd, std::uint64_t tag, bool read, bool write);
+  Status remove(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = until an event) and fills `out`.
+  /// Returns the number of events delivered (0 on timeout). EINTR retries
+  /// internally.
+  Result<std::size_t> wait(std::span<Event> out, int timeout_ms);
+
+  EventPoller(EventPoller&&) noexcept = default;
+  EventPoller& operator=(EventPoller&&) noexcept = default;
+
+ private:
+  explicit EventPoller(Fd epfd) : epfd_(std::move(epfd)) {}
+
+  Fd epfd_;
+};
+
+/// Cross-thread wakeup for an EventPoller loop: worker threads signal() when
+/// they push a completion; the loop registers fd() for reads and drain()s
+/// the counter when it fires. Signals coalesce (eventfd is a counter), so a
+/// burst of completions costs one wakeup.
+class WakeupFd {
+ public:
+  static Result<WakeupFd> create();
+
+  /// Async-signal-safe enough for worker threads: one 8-byte write.
+  void signal() noexcept;
+
+  /// Consumes all pending signals. Call when fd() reports readable.
+  void drain() noexcept;
+
+  int fd() const { return fd_.get(); }
+
+  WakeupFd(WakeupFd&&) noexcept = default;
+  WakeupFd& operator=(WakeupFd&&) noexcept = default;
+
+ private:
+  explicit WakeupFd(Fd fd) : fd_(std::move(fd)) {}
+
+  Fd fd_;
+};
+
+}  // namespace bsoap::net

@@ -1,5 +1,6 @@
 #include "net/socket.hpp"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -65,6 +66,44 @@ void arm_quickack(int fd) noexcept {
 #else
   (void)fd;
 #endif
+}
+
+Status set_nonblocking(int fd, bool enabled) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return errno_error("fcntl(F_GETFL)");
+  const int want = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0) {
+    return errno_error("fcntl(F_SETFL)");
+  }
+  return Status{};
+}
+
+Result<IoResult> read_nonblocking(int fd, char* out, std::size_t n) {
+  for (;;) {
+    const ssize_t got = ::read(fd, out, n);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return IoResult{0, /*would_block=*/true};
+      }
+      return errno_error("read");
+    }
+    return IoResult{static_cast<std::size_t>(got), false};
+  }
+}
+
+Result<IoResult> write_nonblocking(int fd, const char* data, std::size_t n) {
+  for (;;) {
+    const ssize_t written = ::write(fd, data, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return IoResult{0, /*would_block=*/true};
+      }
+      return errno_error("write");
+    }
+    return IoResult{static_cast<std::size_t>(written), false};
+  }
 }
 
 Status write_all(int fd, const char* data, std::size_t n) {

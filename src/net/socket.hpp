@@ -60,6 +60,26 @@ Status apply_paper_socket_options(int fd);
 /// non-TCP sockets.
 void arm_quickack(int fd) noexcept;
 
+/// Outcome of one non-blocking I/O attempt on a readiness-driven socket.
+/// `would_block` distinguishes EAGAIN (retry when the poller reports the fd
+/// ready again) from real progress; on reads, n == 0 with would_block ==
+/// false is end-of-stream.
+struct IoResult {
+  std::size_t n = 0;
+  bool would_block = false;
+};
+
+/// Sets (or clears) O_NONBLOCK on the descriptor.
+Status set_nonblocking(int fd, bool enabled = true);
+
+/// One read attempt that reports EAGAIN instead of blocking. The fd should
+/// be non-blocking; on a blocking fd this simply blocks like read_some.
+Result<IoResult> read_nonblocking(int fd, char* out, std::size_t n);
+
+/// One write attempt: writes as much as the socket buffer accepts and
+/// reports the shortfall via would_block rather than spinning.
+Result<IoResult> write_nonblocking(int fd, const char* data, std::size_t n);
+
 /// Blocking write of the whole buffer, retrying on EINTR / short writes.
 Status write_all(int fd, const char* data, std::size_t n);
 

@@ -35,7 +35,9 @@ Result<TcpListener> TcpListener::bind(std::uint16_t port) {
   if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
     return errno_error("getsockname");
   }
-  if (::listen(fd.get(), 16) < 0) return errno_error("listen");
+  // Backlog sized for bursts of keep-alive clients (the reactor admits
+  // thousands of connections; the kernel queue must not be the bottleneck).
+  if (::listen(fd.get(), 128) < 0) return errno_error("listen");
   return TcpListener(std::move(fd), ntohs(addr.sin_port));
 }
 
@@ -44,6 +46,23 @@ Result<std::unique_ptr<Transport>> TcpListener::accept() {
     const int client = ::accept(fd_.get(), nullptr, nullptr);
     if (client < 0) {
       if (errno == EINTR) continue;
+      return errno_error("accept");
+    }
+    Fd cfd(client);
+    BSOAP_RETURN_IF_ERROR(apply_paper_socket_options(cfd.get()));
+    return std::unique_ptr<Transport>(
+        std::make_unique<SocketTransport>(std::move(cfd)));
+  }
+}
+
+Result<std::unique_ptr<Transport>> TcpListener::try_accept() {
+  for (;;) {
+    const int client = ::accept(fd_.get(), nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return std::unique_ptr<Transport>{};  // nothing pending
+      }
       return errno_error("accept");
     }
     Fd cfd(client);

@@ -21,6 +21,18 @@ class TcpListener {
   /// Blocks until a client connects; paper socket options are applied.
   Result<std::unique_ptr<Transport>> accept();
 
+  /// Non-blocking accept for readiness-driven servers: returns nullptr when
+  /// no connection is pending (the listener must be set non-blocking first).
+  /// Accepted sockets get the paper options and are left in blocking mode;
+  /// the caller flips them via Transport::set_nonblocking.
+  Result<std::unique_ptr<Transport>> try_accept();
+
+  /// Switches the listening socket to non-blocking mode (for try_accept
+  /// driven by an EventPoller).
+  Status set_nonblocking() { return net::set_nonblocking(fd_.get()); }
+
+  int native_handle() const { return fd_.get(); }
+
   TcpListener(TcpListener&&) noexcept = default;
   TcpListener& operator=(TcpListener&&) noexcept = default;
 

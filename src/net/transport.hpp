@@ -23,6 +23,30 @@ class Transport {
   virtual Status send_slices(std::span<const ConstSlice> slices) = 0;
   virtual Result<std::size_t> recv(char* out, std::size_t n) = 0;
 
+  /// Switches the transport to (or from) non-blocking mode, arming the
+  /// EAGAIN-aware recv_some/send_some below. Transports without a readiness
+  /// notion report kUnsupported; callers fall back to the blocking path.
+  virtual Status set_nonblocking(bool enabled) {
+    (void)enabled;
+    return Error{ErrorCode::kUnsupported, "transport has no non-blocking mode"};
+  }
+
+  /// One read attempt: would_block instead of blocking when no bytes are
+  /// buffered. On a blocking transport this degenerates to recv().
+  virtual Result<IoResult> recv_some(char* out, std::size_t n) {
+    Result<std::size_t> got = recv(out, n);
+    if (!got.ok()) return got.error();
+    return IoResult{got.value(), false};
+  }
+
+  /// One write attempt: transfers as much as the peer window accepts and
+  /// reports the shortfall via would_block. On a blocking transport this
+  /// writes everything.
+  virtual Result<IoResult> send_some(const char* data, std::size_t n) {
+    BSOAP_RETURN_IF_ERROR(send(data, n));
+    return IoResult{n, false};
+  }
+
   /// Closes the write side so the peer sees end-of-stream.
   virtual void shutdown_send() = 0;
 
@@ -50,6 +74,15 @@ class SocketTransport final : public Transport {
   }
   Result<std::size_t> recv(char* out, std::size_t n) override {
     return read_some(fd_.get(), out, n);
+  }
+  Status set_nonblocking(bool enabled) override {
+    return net::set_nonblocking(fd_.get(), enabled);
+  }
+  Result<IoResult> recv_some(char* out, std::size_t n) override {
+    return read_nonblocking(fd_.get(), out, n);
+  }
+  Result<IoResult> send_some(const char* data, std::size_t n) override {
+    return write_nonblocking(fd_.get(), data, n);
   }
   void shutdown_send() override;
   void shutdown_both() override;

@@ -1,0 +1,136 @@
+// Single source of truth for the server's connection deadlines.
+//
+// Both connection engines enforce the same two-phase timeout policy:
+//
+//   idle phase — between requests; expiry means the keep-alive connection
+//                sat unused past `idle` and should be closed.
+//   read phase — entered at the first byte of a request; expiry means the
+//                client stalled mid-request (slowloris); the whole request
+//                must arrive within `read`.
+//
+// PacedTransport (the blocking path) polls its socket in `slice`-sized
+// waits so a blocked read periodically re-checks the deadline and the drain
+// flag; the Reactor keys its deadline heap on the same ConnDeadline and
+// derives its epoll_wait timeout with the same clamp arithmetic. Keeping
+// the phase switch and the wait computation here is what makes the two
+// paths time out identically.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+namespace bsoap::server {
+
+/// The server's per-connection timeout policy.
+struct Timeouts {
+  std::chrono::milliseconds idle{30000};  ///< between requests
+  std::chrono::milliseconds read{10000};  ///< whole-request arrival
+  std::chrono::milliseconds slice{20};    ///< poll/wakeup granularity
+};
+
+/// One connection's current deadline: which phase it is in and when it
+/// expires. Values are computed from a caller-supplied `now` so callers
+/// that already read the clock (poll loops, heap maintenance) pay for it
+/// once.
+class ConnDeadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit ConnDeadline(const Timeouts& timeouts) : timeouts_(timeouts) {
+    begin_idle(Clock::now());
+  }
+
+  /// Re-arms the idle deadline; call before waiting for the next request.
+  void begin_idle(Clock::time_point now) {
+    idle_phase_ = true;
+    at_ = now + timeouts_.idle;
+  }
+
+  /// Switches to the read deadline; call at the first byte of a request.
+  void begin_read(Clock::time_point now) {
+    idle_phase_ = false;
+    at_ = now + timeouts_.read;
+  }
+
+  bool idle_phase() const { return idle_phase_; }
+  Clock::time_point at() const { return at_; }
+  bool expired(Clock::time_point now) const { return now >= at_; }
+
+  /// Milliseconds a blocking wait may sleep before it must re-check state:
+  /// one poll slice, shortened so the wait never overshoots the deadline
+  /// (the +1 rounds the sub-millisecond remainder up; a wait of at least
+  /// 1 ms keeps EINTR-heavy loops from spinning).
+  int wait_ms(Clock::time_point now) const {
+    return clamp_wait_ms(at_, now, timeouts_.slice);
+  }
+
+  static int clamp_wait_ms(Clock::time_point deadline, Clock::time_point now,
+                           std::chrono::milliseconds slice) {
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const auto wait = std::min<std::chrono::milliseconds::rep>(
+        slice.count(), remaining.count() + 1);
+    return wait > 0 ? static_cast<int>(wait) : 1;
+  }
+
+ private:
+  Timeouts timeouts_;
+  bool idle_phase_ = true;
+  Clock::time_point at_;
+};
+
+/// Min-heap of (deadline, tag) the reactor keys its epoll_wait timeout on.
+/// Entries are lazily deleted: re-arming a tag pushes a new entry and the
+/// stale one is skipped at expiry (the caller compares the popped time
+/// against the connection's current ConnDeadline::at()). A stale heap top
+/// only causes an early wakeup, never a missed deadline.
+class DeadlineHeap {
+ public:
+  using Clock = ConnDeadline::Clock;
+
+  void arm(Clock::time_point at, std::uint64_t tag) { heap_.push({at, tag}); }
+
+  /// Earliest armed entry (possibly stale), or nullopt when empty.
+  std::optional<Clock::time_point> next() const {
+    if (heap_.empty()) return std::nullopt;
+    return heap_.top().at;
+  }
+
+  /// Pops every entry due at `now` and calls fn(tag, at). The callback
+  /// decides staleness; expired tags whose connection re-armed or closed
+  /// are simply ignored there.
+  template <typename Fn>
+  void expire(Clock::time_point now, Fn&& fn) {
+    while (!heap_.empty() && heap_.top().at <= now) {
+      const Entry e = heap_.top();
+      heap_.pop();
+      fn(e.tag, e.at);
+    }
+  }
+
+  /// epoll_wait timeout in ms until the earliest entry: -1 (block until an
+  /// event) when empty, else the same round-up arithmetic as the blocking
+  /// path's poll slices so both engines observe deadlines with identical
+  /// latency bounds.
+  int wait_ms(Clock::time_point now, std::chrono::milliseconds slice) const {
+    if (heap_.empty()) return -1;
+    return ConnDeadline::clamp_wait_ms(heap_.top().at, now, slice);
+  }
+
+  std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Clock::time_point at;
+    std::uint64_t tag;
+    bool operator>(const Entry& other) const { return at > other.at; }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+};
+
+}  // namespace bsoap::server

@@ -1,0 +1,36 @@
+#include "server/fault_render.hpp"
+
+#include "http/connection.hpp"
+#include "http/http_message.hpp"
+#include "soap/soap_server.hpp"
+
+namespace bsoap::server {
+
+std::string render_fault_response(int status, const char* reason,
+                                  const char* fault_code,
+                                  const std::string& detail) {
+  http::HttpResponse head;
+  head.status = status;
+  head.reason = reason;
+  head.headers.push_back(
+      http::Header{"Content-Type", "text/xml; charset=utf-8"});
+  const std::string body = soap::serialize_rpc_fault(fault_code, detail);
+  http::content_length_framer().add_headers(head.headers, body.size());
+  return http::serialize_response_head(head) + body;
+}
+
+std::string render_overload_response() {
+  http::HttpResponse head;
+  head.status = 503;
+  head.reason = "Service Unavailable";
+  head.headers.push_back(
+      http::Header{"Content-Type", "text/xml; charset=utf-8"});
+  head.headers.push_back(http::Header{"Connection", "close"});
+  head.headers.push_back(http::Header{"Retry-After", "1"});
+  const std::string body =
+      soap::serialize_rpc_fault("SOAP-ENV:Server", "server overloaded");
+  http::content_length_framer().add_headers(head.headers, body.size());
+  return http::serialize_response_head(head) + body;
+}
+
+}  // namespace bsoap::server

@@ -1,0 +1,25 @@
+// Renders the server's HTTP fault answers as complete wire bytes.
+//
+// Both connection engines answer errors through these helpers — the
+// blocking path writes the returned string in one send, the reactor queues
+// it on the connection's write drain — so a 400/500/503 is byte-for-byte
+// identical whichever engine produced it (the reactor equivalence tests
+// assert exactly that).
+#pragma once
+
+#include <string>
+
+namespace bsoap::server {
+
+/// Head + SOAP fault envelope for `status`, framed with Content-Length,
+/// exactly as HttpConnection::send_response would put it on the wire.
+std::string render_fault_response(int status, const char* reason,
+                                  const char* fault_code,
+                                  const std::string& detail);
+
+/// The overload answer: 503 with Connection: close and Retry-After, sent to
+/// connections the server refuses to serve (admission cap, full queue,
+/// drain).
+std::string render_overload_response();
+
+}  // namespace bsoap::server

@@ -2,7 +2,6 @@
 
 #include <poll.h>
 
-#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -13,25 +12,20 @@ Result<std::size_t> PacedTransport::recv(char* out, std::size_t n) {
   if (fd < 0) return inner_->recv(out, n);  // no pollable handle: plain read
 
   for (;;) {
-    if (idle_phase_ && drain_ != nullptr &&
+    if (deadline_.idle_phase() && drain_ != nullptr &&
         drain_->load(std::memory_order_acquire)) {
       return std::size_t{0};  // draining between requests: clean EOF
     }
     const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline_) {
+    if (deadline_.expired(now)) {
       return Error{ErrorCode::kTimeout,
-                   idle_phase_ ? "idle timeout" : "read timeout"};
+                   deadline_.idle_phase() ? "idle timeout" : "read timeout"};
     }
-    const auto remaining =
-        std::chrono::duration_cast<std::chrono::milliseconds>(deadline_ - now);
-    const int wait_ms = static_cast<int>(
-        std::min<std::chrono::milliseconds::rep>(timeouts_.slice.count(),
-                                                 remaining.count() + 1));
     struct pollfd p;
     p.fd = fd;
     p.events = POLLIN;
     p.revents = 0;
-    const int r = ::poll(&p, 1, wait_ms > 0 ? wait_ms : 1);
+    const int r = ::poll(&p, 1, deadline_.wait_ms(now));
     if (r < 0) {
       if (errno == EINTR) continue;
       return Error{ErrorCode::kIoError,
@@ -39,10 +33,9 @@ Result<std::size_t> PacedTransport::recv(char* out, std::size_t n) {
     }
     if (r == 0) continue;  // slice elapsed: re-check drain flag and deadline
     Result<std::size_t> got = inner_->recv(out, n);
-    if (got.ok() && got.value() > 0 && idle_phase_) {
+    if (got.ok() && got.value() > 0 && deadline_.idle_phase()) {
       // First byte of a request: switch from idle to read deadline.
-      idle_phase_ = false;
-      deadline_ = std::chrono::steady_clock::now() + timeouts_.read;
+      deadline_.begin_read(std::chrono::steady_clock::now());
     }
     return got;
   }

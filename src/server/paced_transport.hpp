@@ -4,14 +4,8 @@
 // worker forever. PacedTransport polls the socket in short slices so every
 // blocked read periodically observes (a) the drain flag — a keep-alive
 // connection waiting between requests ends cleanly when the runtime stops —
-// and (b) one of two deadlines:
-//
-//   idle phase  — between requests. Expiry means the connection is idle
-//                 past ServerRuntimeOptions::idle_timeout; the worker
-//                 closes it and takes the next connection off the queue.
-//   read phase  — entered at the first byte of a request. Expiry means the
-//                 client stalled mid-request (slowloris); the whole request
-//                 must arrive within read_timeout.
+// and (b) the idle/read deadline pair defined by server::Timeouts (see
+// deadline.hpp, which the Reactor's timer heap shares).
 //
 // Sends pass through untouched. Non-socket transports (native_handle < 0)
 // fall back to plain blocking reads.
@@ -22,34 +16,26 @@
 #include <memory>
 
 #include "net/transport.hpp"
+#include "server/deadline.hpp"
 
 namespace bsoap::server {
 
 class PacedTransport final : public net::Transport {
  public:
-  struct Timeouts {
-    std::chrono::milliseconds idle{30000};
-    std::chrono::milliseconds read{10000};
-    std::chrono::milliseconds slice{20};  ///< poll granularity
-  };
+  using Timeouts = server::Timeouts;
 
   /// `drain` (optional) is checked during idle waits; when it becomes true
   /// the next idle recv returns 0 (clean end-of-stream).
   PacedTransport(std::unique_ptr<net::Transport> inner, Timeouts timeouts,
                  const std::atomic<bool>* drain)
-      : inner_(std::move(inner)), timeouts_(timeouts), drain_(drain) {
-    begin_idle();
-  }
+      : inner_(std::move(inner)), deadline_(timeouts), drain_(drain) {}
 
   /// Re-arms the idle deadline; call before waiting for the next request.
-  void begin_idle() {
-    idle_phase_ = true;
-    deadline_ = std::chrono::steady_clock::now() + timeouts_.idle;
-  }
+  void begin_idle() { deadline_.begin_idle(std::chrono::steady_clock::now()); }
 
   /// True if the transport was in the between-requests wait when the last
   /// timeout fired (distinguishes idle eviction from a stalled request).
-  bool timed_out_idle() const { return idle_phase_; }
+  bool timed_out_idle() const { return deadline_.idle_phase(); }
 
   using net::Transport::send;
   Status send(const char* data, std::size_t n) override {
@@ -65,10 +51,8 @@ class PacedTransport final : public net::Transport {
 
  private:
   std::unique_ptr<net::Transport> inner_;
-  Timeouts timeouts_;
+  ConnDeadline deadline_;
   const std::atomic<bool>* drain_;
-  bool idle_phase_ = true;
-  std::chrono::steady_clock::time_point deadline_;
 };
 
 }  // namespace bsoap::server

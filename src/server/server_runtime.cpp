@@ -4,6 +4,7 @@
 
 #include "http/connection.hpp"
 #include "net/tcp.hpp"
+#include "server/fault_render.hpp"
 #include "server/paced_transport.hpp"
 #include "soap/envelope_reader.hpp"
 
@@ -35,8 +36,14 @@ Result<std::unique_ptr<ServerRuntime>> ServerRuntime::start(
   server->handler_ = std::move(handler);
   server->options_ = std::move(options);
   server->port_ = listener.value().port();
-  server->queue_ =
-      std::make_unique<AcceptQueue>(server->options_.accept_backlog);
+  const bool reactor_mode = server->options_.io_model == IoModel::kReactor;
+  if (reactor_mode) {
+    server->dispatch_ =
+        std::make_unique<DispatchQueue>(server->options_.accept_backlog);
+  } else {
+    server->queue_ =
+        std::make_unique<AcceptQueue>(server->options_.accept_backlog);
+  }
 
   core::SendPipeline::Options pipeline_options;
   pipeline_options.tmpl = server->options_.response_tmpl;
@@ -62,6 +69,31 @@ Result<std::unique_ptr<ServerRuntime>> ServerRuntime::start(
       worker->pipeline->set_template_source(server->shared_cache_.get());
     }
     server->workers_.push_back(std::move(worker));
+  }
+  if (reactor_mode) {
+    Reactor::Options reactor_options;
+    reactor_options.max_connections = server->options_.max_connections;
+    reactor_options.timeouts.idle = server->options_.idle_timeout;
+    reactor_options.timeouts.read = server->options_.read_timeout;
+    reactor_options.timeouts.slice = server->options_.poll_slice;
+    reactor_options.make_parser = server->options_.make_parser
+                                      ? server->options_.make_parser
+                                      : make_full_parser;
+    reactor_options.overload_response = render_overload_response();
+    Result<std::unique_ptr<Reactor>> reactor =
+        Reactor::start(std::move(listener.value()), std::move(reactor_options),
+                       server->dispatch_.get(), &server->stats_);
+    if (!reactor.ok()) {
+      server->dispatch_->close();
+      return reactor.error();
+    }
+    server->reactor_ = std::move(reactor.value());
+    for (auto& worker : server->workers_) {
+      worker->thread = std::thread([srv = server.get(), w = worker.get()] {
+        srv->reactor_worker_loop(*w);
+      });
+    }
+    return server;
   }
   for (auto& worker : server->workers_) {
     worker->thread = std::thread(
@@ -109,6 +141,49 @@ void ServerRuntime::worker_loop(Worker& worker) {
   }
 }
 
+void ServerRuntime::reactor_worker_loop(Worker& worker) {
+  for (;;) {
+    std::optional<DispatchJob> job = dispatch_->pop();
+    if (!job.has_value()) return;  // queue closed and drained
+    // Serialize through the identical pipeline the blocking path uses, into
+    // a buffer. A false return means the response could not be fully
+    // produced — hand back whatever bytes exist (the blocking path would
+    // have written the same prefix) and close, keeping the two engines'
+    // wire behavior aligned.
+    CaptureTransport capture;
+    const bool keep =
+        answer_request(worker, job->body, *job->parser, capture);
+    std::string bytes = capture.take();
+    // Write directly while the connection is parked in Dispatched — the
+    // reactor holds no epoll interest on it, so this thread has the socket
+    // to itself. The common whole-response write keeps the reactor loop off
+    // the client's latency path; an EAGAIN remainder rides the completion
+    // back for EPOLLOUT-driven drain.
+    std::size_t off = 0;
+    bool write_error = false;
+    while (off < bytes.size()) {
+      Result<net::IoResult> sent =
+          job->transport->send_some(bytes.data() + off, bytes.size() - off);
+      if (!sent.ok()) {
+        write_error = true;
+        break;
+      }
+      off += sent.value().n;
+      if (sent.value().would_block) break;
+    }
+    Completion completion;
+    completion.conn_id = job->conn_id;
+    completion.keep_alive = keep;
+    if (write_error) {
+      completion.write_error = true;
+    } else if (off < bytes.size()) {
+      stats_.partial_writes.fetch_add(1, std::memory_order_relaxed);
+      completion.bytes = bytes.substr(off);
+    }
+    reactor_->complete(std::move(completion));
+  }
+}
+
 void ServerRuntime::serve_connection(
     Worker& worker, std::unique_ptr<net::Transport> raw_transport) {
   PacedTransport::Timeouts timeouts;
@@ -142,95 +217,93 @@ void ServerRuntime::serve_connection(
       break;  // kClosed: keep-alive ended cleanly
     }
 
-    Result<const soap::RpcCall*> call = parser(request.value().body);
-    if (!call.ok()) {
-      // The HTTP framing was intact, so the connection stays usable: answer
-      // 400 + fault and keep serving.
-      stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
-      stats_.faults.fetch_add(1, std::memory_order_relaxed);
-      if (!send_fault(transport, 400, "Bad Request", "SOAP-ENV:Client",
-                      call.error().to_string())) {
-        break;
-      }
-      if (draining_.load(std::memory_order_acquire)) break;
-      continue;
-    }
-
-    Result<soap::Value> result = handler_(*call.value());
-    if (!result.ok()) {
-      stats_.faults.fetch_add(1, std::memory_order_relaxed);
-      if (!send_fault(transport, 500, "Internal Server Error",
-                      "SOAP-ENV:Server", result.error().to_string())) {
-        break;
-      }
-    } else {
-      soap::RpcCall response;
-      response.method = call.value()->method + "Response";
-      response.service_namespace = call.value()->service_namespace;
-      response.params.push_back(
-          soap::Param{"return", std::move(result.value())});
-
-      core::SendDestination dest;
-      dest.transport = &transport;
-      // Count before the write: once the client has read its response, the
-      // request is visible in stats() (tests rely on that ordering).
-      stats_.requests.fetch_add(1, std::memory_order_relaxed);
-      Result<core::SendReport> sent =
-          worker.pipeline->send_response(response, dest);
-      if (!sent.ok()) {
-        stats_.requests.fetch_sub(1, std::memory_order_relaxed);
-        break;
-      }
-      stats_.record_response(sent.value().match);
-      if (shared_cache_ == nullptr) {
-        const core::TemplateStore& store = worker.pipeline->store();
-        worker.template_bytes.store(store.bytes_retained(),
-                                    std::memory_order_relaxed);
-        worker.template_evictions.store(
-            store.evictions() + store.byte_evictions(),
-            std::memory_order_relaxed);
-      }
-      // Shared-cache gauges are read straight off the cache in stats().
+    if (!answer_request(worker, request.value().body, parser, transport)) {
+      break;  // the write failed: the connection is dead
     }
     if (draining_.load(std::memory_order_acquire)) break;
   }
   stats_.active.fetch_sub(1, std::memory_order_relaxed);
 }
 
+bool ServerRuntime::answer_request(Worker& worker, std::string_view body,
+                                   soap::EnvelopeParser& parser,
+                                   net::Transport& transport) {
+  Result<const soap::RpcCall*> call = parser(body);
+  if (!call.ok()) {
+    // The HTTP framing was intact, so the connection stays usable: answer
+    // 400 + fault and keep serving.
+    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    stats_.faults.fetch_add(1, std::memory_order_relaxed);
+    return send_fault(transport, 400, "Bad Request", "SOAP-ENV:Client",
+                      call.error().to_string());
+  }
+
+  Result<soap::Value> result = handler_(*call.value());
+  if (!result.ok()) {
+    stats_.faults.fetch_add(1, std::memory_order_relaxed);
+    return send_fault(transport, 500, "Internal Server Error",
+                      "SOAP-ENV:Server", result.error().to_string());
+  }
+
+  soap::RpcCall response;
+  response.method = call.value()->method + "Response";
+  response.service_namespace = call.value()->service_namespace;
+  response.params.push_back(soap::Param{"return", std::move(result.value())});
+
+  core::SendDestination dest;
+  dest.transport = &transport;
+  // Count before the write: once the client has read its response, the
+  // request is visible in stats() (tests rely on that ordering).
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  Result<core::SendReport> sent =
+      worker.pipeline->send_response(response, dest);
+  if (!sent.ok()) {
+    stats_.requests.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  stats_.record_response(sent.value().match);
+  if (shared_cache_ == nullptr) {
+    const core::TemplateStore& store = worker.pipeline->store();
+    worker.template_bytes.store(store.bytes_retained(),
+                                std::memory_order_relaxed);
+    worker.template_evictions.store(
+        store.evictions() + store.byte_evictions(), std::memory_order_relaxed);
+  }
+  // Shared-cache gauges are read straight off the cache in stats().
+  return true;
+}
+
 bool ServerRuntime::send_fault(net::Transport& transport, int status,
                                const char* reason, const char* fault_code,
                                const std::string& detail) {
-  http::HttpResponse head;
-  head.status = status;
-  head.reason = reason;
-  head.headers.push_back(
-      http::Header{"Content-Type", "text/xml; charset=utf-8"});
-  http::HttpConnection conn(transport);
-  return conn.send_response(std::move(head),
-                            soap::serialize_rpc_fault(fault_code, detail))
+  // Rendered through the same helper the reactor queues on its write drain,
+  // so a fault is byte-identical whichever engine answered.
+  return transport
+      .send(render_fault_response(status, reason, fault_code, detail))
       .ok();
 }
 
 void ServerRuntime::reject_with_503(
     std::unique_ptr<net::Transport> transport) {
-  http::HttpResponse head;
-  head.status = 503;
-  head.reason = "Service Unavailable";
-  head.headers.push_back(
-      http::Header{"Content-Type", "text/xml; charset=utf-8"});
-  head.headers.push_back(http::Header{"Connection", "close"});
-  head.headers.push_back(http::Header{"Retry-After", "1"});
-  http::HttpConnection conn(*transport);
-  (void)conn.send_response(
-      std::move(head),
-      soap::serialize_rpc_fault("SOAP-ENV:Server", "server overloaded"));
+  (void)transport->send(render_overload_response());
   transport->shutdown_send();
 }
 
 ServerStats ServerRuntime::stats() const {
   ServerStats s = stats_.snapshot();
-  s.queue_depth = queue_->depth();
-  s.queue_high_water = queue_->high_water();
+  if (reactor_ != nullptr) {
+    s.queue_depth = dispatch_->depth();
+    s.queue_high_water = dispatch_->high_water();
+    s.completion_queue_depth_hw = reactor_->completion_queue_high_water();
+    const Reactor::StateGauges g = reactor_->state_gauges();
+    s.conns_idle = g.idle;
+    s.conns_reading = g.reading;
+    s.conns_dispatched = g.dispatched;
+    s.conns_writing = g.writing;
+  } else {
+    s.queue_depth = queue_->depth();
+    s.queue_high_water = queue_->high_water();
+  }
   if (shared_cache_ != nullptr) {
     const core::SharedTemplateCache::Stats c = shared_cache_->stats();
     s.response_template_bytes = c.bytes_retained;
@@ -256,6 +329,19 @@ ServerStats ServerRuntime::stats() const {
 void ServerRuntime::stop() {
   if (stopping_.exchange(true)) return;
   draining_.store(true, std::memory_order_release);
+  if (reactor_ != nullptr) {
+    // Order matters: the reactor exits only once every connection is gone,
+    // and dispatched connections wait for worker completions — so workers
+    // must keep running until the reactor has finished. Then closing the
+    // dispatch queue (already empty) releases the workers.
+    reactor_->begin_drain();
+    reactor_->join();
+    dispatch_->close();
+    for (auto& worker : workers_) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+    return;
+  }
   // Wake the blocking accept(); the loop observes stopping_ and exits.
   (void)net::tcp_connect(port_);
   if (accept_thread_.joinable()) accept_thread_.join();

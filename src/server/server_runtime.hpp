@@ -25,6 +25,21 @@
 // connections get 503, idle keep-alive connections end at their next poll
 // slice, and every request already being processed is answered before its
 // worker exits. No accepted in-flight request is dropped.
+//
+// Two connection engines sit in front of the same worker pool, selected by
+// ServerRuntimeOptions::io_model:
+//
+//   kBlocking — the pool model above: a worker owns one connection at a
+//     time and blocks in paced reads between its requests.
+//   kReactor  — an epoll loop (server/reactor.hpp) owns every connection;
+//     workers only ever see complete requests (via a bounded DispatchQueue)
+//     and serialize responses into a capture buffer the loop drains by
+//     readiness. Idle keep-alive connections cost a registered fd instead
+//     of a blocked worker, so thousands of them no longer starve the pool.
+//
+// Both engines share the request parser, the deadline policy, the fault
+// rendering, and this class's per-request core (answer_request), so a given
+// request sequence produces byte-identical responses on either.
 #pragma once
 
 #include <atomic>
@@ -39,6 +54,7 @@
 #include "core/send_pipeline.hpp"
 #include "core/shared_template_cache.hpp"
 #include "server/accept_queue.hpp"
+#include "server/reactor.hpp"
 #include "server/server_stats.hpp"
 #include "soap/soap_server.hpp"
 
@@ -47,6 +63,12 @@ class TcpListener;
 }  // namespace bsoap::net
 
 namespace bsoap::server {
+
+/// Which connection engine fronts the worker pool.
+enum class IoModel {
+  kBlocking,  ///< thread-per-served-connection, paced blocking reads
+  kReactor,   ///< epoll readiness loop, workers see only complete requests
+};
 
 struct ServerRuntimeOptions {
   /// Fixed worker pool size: at most this many connections are served
@@ -57,6 +79,11 @@ struct ServerRuntimeOptions {
   std::size_t accept_backlog = 64;
   /// Cap on open connections (queued + serving); admission beyond it is 503.
   std::size_t max_connections = 128;
+
+  /// Connection engine. kReactor multiplexes every connection onto one
+  /// epoll loop; mostly-idle keep-alive fleets scale with fds, not worker
+  /// threads. Request/response bytes are identical either way.
+  IoModel io_model = IoModel::kBlocking;
 
   std::chrono::milliseconds idle_timeout{30000};  ///< between requests
   std::chrono::milliseconds read_timeout{10000};  ///< whole-request arrival
@@ -129,8 +156,17 @@ class ServerRuntime {
 
   void accept_loop(net::TcpListener& listener);
   void worker_loop(Worker& worker);
+  void reactor_worker_loop(Worker& worker);
   void serve_connection(Worker& worker,
                         std::unique_ptr<net::Transport> transport);
+  /// The per-request core both engines share: SOAP parse (400 + fault on
+  /// failure), handler dispatch (500 + fault on failure), differential
+  /// response serialization, stats. Writes into `transport` — the live
+  /// socket on the blocking path, a CaptureTransport on the reactor path —
+  /// so the bytes are identical by construction. Returns false when the
+  /// write failed and the connection must close.
+  bool answer_request(Worker& worker, std::string_view body,
+                      soap::EnvelopeParser& parser, net::Transport& transport);
   /// Serializes a SOAP fault and sends it with the given HTTP status.
   /// Returns false if the write failed (connection is dead).
   bool send_fault(net::Transport& transport, int status, const char* reason,
@@ -142,7 +178,9 @@ class ServerRuntime {
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> draining_{false};
-  std::unique_ptr<AcceptQueue> queue_;
+  std::unique_ptr<AcceptQueue> queue_;    ///< kBlocking engine
+  std::unique_ptr<DispatchQueue> dispatch_;  ///< kReactor engine
+  std::unique_ptr<Reactor> reactor_;         ///< kReactor engine
   StatsCollector stats_;
   /// Present only in shared_cache mode. Declared before workers_: the
   /// worker pipelines point at it, so it must outlive them.

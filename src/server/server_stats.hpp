@@ -21,9 +21,21 @@ struct ServerStats {
   std::uint64_t read_timeouts = 0; ///< closed mid-request by the read timeout
   std::uint64_t drained = 0;       ///< queued connections closed at stop()
 
-  // Accept queue.
-  std::uint64_t queue_depth = 0;      ///< connections waiting for a worker
+  // Accept queue (blocking path) / dispatch queue (reactor path).
+  std::uint64_t queue_depth = 0;      ///< connections/requests waiting for a worker
   std::uint64_t queue_high_water = 0; ///< deepest the queue has been
+
+  // Reactor core (io_model = Reactor; all zero on the blocking path).
+  std::uint64_t epoll_wakeups = 0;    ///< epoll_wait returns (events or timeout)
+  std::uint64_t ready_events = 0;     ///< readiness events delivered
+  std::uint64_t partial_reads = 0;    ///< read rounds that left a request incomplete
+  std::uint64_t partial_writes = 0;   ///< write rounds that left response bytes queued
+  std::uint64_t completion_queue_depth_hw = 0; ///< deepest the completion queue has been
+  // Per-state connection gauges (point-in-time).
+  std::uint64_t conns_idle = 0;       ///< keep-alive, between requests
+  std::uint64_t conns_reading = 0;    ///< mid-request (head or body)
+  std::uint64_t conns_dispatched = 0; ///< request handed to the worker pool
+  std::uint64_t conns_writing = 0;    ///< response draining via readiness
 
   // Requests.
   std::uint64_t requests = 0;     ///< answered with a result envelope
@@ -93,6 +105,10 @@ class StatsCollector {
     s.requests = requests.load(std::memory_order_relaxed);
     s.faults = faults.load(std::memory_order_relaxed);
     s.bad_requests = bad_requests.load(std::memory_order_relaxed);
+    s.epoll_wakeups = epoll_wakeups.load(std::memory_order_relaxed);
+    s.ready_events = ready_events.load(std::memory_order_relaxed);
+    s.partial_reads = partial_reads.load(std::memory_order_relaxed);
+    s.partial_writes = partial_writes.load(std::memory_order_relaxed);
     s.response_first_time =
         response_first_time.load(std::memory_order_relaxed);
     s.response_content_match =
@@ -113,6 +129,10 @@ class StatsCollector {
   std::atomic<std::uint64_t> requests{0};
   std::atomic<std::uint64_t> faults{0};
   std::atomic<std::uint64_t> bad_requests{0};
+  std::atomic<std::uint64_t> epoll_wakeups{0};
+  std::atomic<std::uint64_t> ready_events{0};
+  std::atomic<std::uint64_t> partial_reads{0};
+  std::atomic<std::uint64_t> partial_writes{0};
   std::atomic<std::uint64_t> response_first_time{0};
   std::atomic<std::uint64_t> response_content_match{0};
   std::atomic<std::uint64_t> response_perfect_match{0};
