@@ -37,7 +37,15 @@ it shows up as a timing change:
     alternating windows (drift-immune ratio) under an idle keep-alive
     fleet: at 0 idle connections the reactor must hold >= 0.95x the
     blocking engine's req/s, and at >= 1000 idle connections it must be
-    strictly faster (the blocking pool starves there by construction).
+    strictly faster (the blocking pool starves there by construction);
+  * "DiffWire/..." series (bench_diffwire) are gated across series: at
+    1 per-mille dirty values the patch series' measured on-wire bytes per
+    request must be <= 0.1x the full-send series' (the diff-wire protocol's
+    reason to exist), every DiffWire entry must report failed == 0 —
+    including the NACK-storm series, whose whole point is that replica
+    loss degrades to full sends instead of failed requests — and the
+    nackstorm series must actually have seen NACKs (else the storm never
+    exercised the fallback).
 
 Exits non-zero listing every violated series.
 """
@@ -149,6 +157,37 @@ def check_idle_connections(bench, entries):
     return errors
 
 
+def check_diffwire(bench, entries):
+    """Cross-series gates for bench_diffwire (see module doc)."""
+    points = {}  # (mode, permille) -> counters
+    errors = []
+    for entry in entries:
+        series = entry["series"]
+        if not series.startswith("DiffWire/"):
+            continue
+        mode = series.split("/")[1]
+        c = entry.get("counters", {})
+        points[(mode, entry["n"])] = c
+        if c.get("failed", 0):
+            errors.append(
+                f"{bench} {series}/{entry['n']}: {c['failed']:.0f} failed "
+                f"request(s) — diff-wire may never fail an invoke")
+        if mode == "nackstorm" and not c.get("patch_nacks", 0):
+            errors.append(
+                f"{bench} {series}/{entry['n']}: NACK storm saw zero NACKs "
+                f"— the fallback path went unexercised")
+
+    if ("patch", 1) in points and ("full", 1) in points:
+        patch = points[("patch", 1)].get("wire_bytes_per_req", 0)
+        full = points[("full", 1)].get("wire_bytes_per_req", 0)
+        if full > 0 and patch > 0.1 * full:
+            errors.append(
+                f"{bench} DiffWire at 1 per-mille dirty: patch sends cost "
+                f"{patch:.0f} wire bytes/req > 0.1x full sends "
+                f"({full:.0f})")
+    return errors
+
+
 def main() -> int:
     if len(sys.argv) < 2:
         print(__doc__)
@@ -168,6 +207,8 @@ def main() -> int:
         errors.extend(
             check_idle_connections(doc.get("bench", path),
                                    doc.get("entries", [])))
+        errors.extend(
+            check_diffwire(doc.get("bench", path), doc.get("entries", [])))
     if errors:
         print(f"match-kind check FAILED ({len(errors)} violation(s)):")
         for e in errors:

@@ -1,6 +1,7 @@
 #include "core/client.hpp"
 
 #include "core/template_builder.hpp"
+#include "diffwire/wire_format.hpp"
 #include "http/connection.hpp"
 #include "soap/envelope_reader.hpp"
 #include "soap/soap_server.hpp"
@@ -22,7 +23,12 @@ BsoapClient::BsoapClient(net::Dialer dial, BsoapClientConfig config)
       pipeline_(pipeline_options(config_)),
       pool_(net::ConnectionPool::Options{config_.max_idle_connections,
                                          std::move(dial)}),
-      sender_(pipeline_, pool_, config_.retry, config_.endpoint_path) {}
+      sender_(pipeline_, pool_, config_.retry, config_.endpoint_path) {
+  if (config_.diffwire) {
+    diffwire_ = std::make_unique<diffwire::ClientSession>();
+    pipeline_.set_diffwire(diffwire_.get());
+  }
+}
 
 BsoapClient::BsoapClient(net::Transport& transport, BsoapClientConfig config)
     : config_(std::move(config)),
@@ -30,6 +36,10 @@ BsoapClient::BsoapClient(net::Transport& transport, BsoapClientConfig config)
       pool_(net::ConnectionPool::Options{/*max_idle=*/1, /*dial=*/nullptr}),
       sender_(pipeline_, pool_, config_.retry, config_.endpoint_path) {
   pool_.add(std::make_unique<net::BorrowedTransport>(transport));
+  if (config_.diffwire) {
+    diffwire_ = std::make_unique<diffwire::ClientSession>();
+    pipeline_.set_diffwire(diffwire_.get());
+  }
 }
 
 Result<SendReport> BsoapClient::send_call(const soap::RpcCall& call) {
@@ -40,24 +50,46 @@ Result<SendReport> BsoapClient::send_call(const soap::RpcCall& call) {
 }
 
 Result<soap::Value> BsoapClient::invoke(const soap::RpcCall& call) {
-  Result<resilience::SendOutcome> outcome = sender_.send(call);
-  if (!outcome.ok()) return outcome.error();
-  net::ConnectionPool::Lease& lease = outcome.value().lease;
-  // Read the response off the connection the send succeeded on. A failed
-  // read leaves the stream mid-response, so the lease is discarded (the
-  // Lease destructor's default) rather than checked back in.
-  http::HttpConnection connection(lease.transport());
-  Result<http::HttpResponse> response = connection.read_response();
-  if (!response.ok()) return response.error();
-  lease.checkin();
-  if (response.value().status != 200) {
-    return Error{ErrorCode::kProtocolError,
-                 "HTTP status " + std::to_string(response.value().status)};
+  for (int attempt = 0;; ++attempt) {
+    Result<resilience::SendOutcome> outcome = sender_.send(call);
+    if (!outcome.ok()) return outcome.error();
+    net::ConnectionPool::Lease& lease = outcome.value().lease;
+    // Read the response off the connection the send succeeded on. A failed
+    // read leaves the stream mid-response, so the lease is discarded (the
+    // Lease destructor's default) rather than checked back in.
+    http::HttpConnection connection(lease.transport());
+    Result<http::HttpResponse> response = connection.read_response();
+    if (!response.ok()) return response.error();
+    lease.checkin();
+    http::HttpResponse& resp = response.value();
+    if (diffwire_ != nullptr) {
+      const http::Header* diff = resp.find(diffwire::kDiffHeader);
+      const http::Header* id_header = resp.find(diffwire::kTemplateHeader);
+      std::uint64_t id = 0;
+      const bool has_id = id_header != nullptr &&
+                          diffwire::parse_template_id(id_header->value, &id);
+      if (diff != nullptr && has_id) {
+        if (diff->value == diffwire::kNackValue) {
+          // The server cannot apply against its replica (evicted, epoch
+          // gap, checksum). Unpin and resend the same call in full — the
+          // retry re-offers, so the replica chain restarts cleanly. A
+          // second nack means the server rejects even full sends: give up.
+          diffwire_->note_nack(id);
+          if (attempt == 0) continue;
+          return Error{ErrorCode::kProtocolError,
+                       "diff-wire nack after full-send fallback"};
+        }
+        if (diff->value == diffwire::kAckValue) diffwire_->note_ack(id);
+      }
+    }
+    if (resp.status != 200) {
+      return Error{ErrorCode::kProtocolError,
+                   "HTTP status " + std::to_string(resp.status)};
+    }
+    Result<soap::RpcCall> envelope = soap::read_rpc_envelope(resp.body);
+    if (!envelope.ok()) return envelope.error();
+    return soap::extract_rpc_result(envelope.value(), call.method);
   }
-  Result<soap::RpcCall> envelope =
-      soap::read_rpc_envelope(response.value().body);
-  if (!envelope.ok()) return envelope.error();
-  return soap::extract_rpc_result(envelope.value(), call.method);
 }
 
 std::unique_ptr<BoundMessage> BsoapClient::bind(soap::RpcCall call) {

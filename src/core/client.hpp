@@ -66,6 +66,12 @@ struct BsoapClientConfig {
   resilience::RetryPolicy retry;
   /// Idle keep-alive connections the pool retains.
   std::size_t max_idle_connections = 4;
+  /// Negotiate the diff-wire patch protocol: full sends offer the call's
+  /// template for pinning, and once the server acks, non-structural updates
+  /// cross the wire as binary patch frames (dirty runs only). Acks and
+  /// nacks ride on responses, so only invoke() completes the negotiation;
+  /// send_call never reads responses and keeps sending full bodies.
+  bool diffwire = false;
 
   /// The framing in effect after the deprecated http_chunked shim.
   http::Framing effective_framing() const {
@@ -103,6 +109,10 @@ struct BsoapClientConfig {
   }
   BsoapClientConfig& with_max_idle_connections(std::size_t n) {
     max_idle_connections = n;
+    return *this;
+  }
+  BsoapClientConfig& with_diffwire(bool on) {
+    diffwire = on;
     return *this;
   }
 };
@@ -148,6 +158,11 @@ class BsoapClient {
   /// benchmarks).
   net::ConnectionPool& pool() { return pool_; }
 
+  /// Diff-wire negotiation counters, or nullptr when config.diffwire is off.
+  const diffwire::ClientDiffStats* diffwire_stats() const {
+    return diffwire_ != nullptr ? &diffwire_->stats() : nullptr;
+  }
+
  private:
   friend class BoundMessage;
 
@@ -155,6 +170,10 @@ class BsoapClient {
   SendPipeline pipeline_;
   net::ConnectionPool pool_;
   resilience::ResilientSender sender_;
+  /// Per-client diff-wire session (templates this client believes the
+  /// server has pinned). Owns a unique wire-ID token so two clients sending
+  /// the same call shape pin distinct replicas.
+  std::unique_ptr<diffwire::ClientSession> diffwire_;
 };
 
 /// A message with explicit update tracking. Mutations go through setters

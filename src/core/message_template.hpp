@@ -144,6 +144,17 @@ class UpdateJournal {
   /// True when the armed update touched nothing (rollback would be a no-op).
   bool empty() const { return records_.empty() && !structural_; }
 
+  /// Appends the DUT indices the armed update touched, in record order (a
+  /// leaf may appear more than once if it was re-recorded). While the
+  /// update is non-structural these indices' regions have stable positions
+  /// and widths, so their post-update bytes are exactly the dirty runs a
+  /// diff-wire patch frame needs to carry.
+  void touched_fields(std::vector<std::uint32_t>& out) const {
+    out.clear();
+    out.reserve(records_.size());
+    for (const FieldRecord& rec : records_) out.push_back(rec.idx);
+  }
+
   // --- rewrite-engine hooks. Single-threaded: the parallel segment update
   // is disabled while a journal is armed. ---
   void mark_structural() { structural_ = true; }

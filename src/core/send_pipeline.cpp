@@ -1,6 +1,9 @@
 #include "core/send_pipeline.hpp"
 
+#include <algorithm>
+
 #include "common/timing.hpp"
+#include "diffwire/wire_format.hpp"
 
 namespace bsoap::core {
 namespace {
@@ -222,6 +225,76 @@ Recovery SendPipeline::recover_failed_send() {
   return Recovery::kNone;
 }
 
+void SendPipeline::build_patch_frame(MessageTemplate& tmpl,
+                                     std::uint64_t wire_id, std::uint32_t epoch,
+                                     SendReport* report) {
+  const buffer::ChunkedBuffer& buf = tmpl.buffer();
+
+  patch_runs_.clear();
+  if (report->match != MatchKind::kContentMatch) {
+    // A BufPos is chunk-relative; absolute body offsets need the chunks'
+    // base offsets. Prefix-sum every chunk (append_slices skips empty ones,
+    // so slice order cannot be reused here).
+    chunk_offsets_.clear();
+    chunk_offsets_.reserve(buf.chunk_count());
+    std::size_t running = 0;
+    for (std::size_t i = 0; i < buf.chunk_count(); ++i) {
+      chunk_offsets_.push_back(running);
+      running += buf.chunk_view(i).size();
+    }
+
+    // The journal records every touched field in rewrite order, possibly
+    // with repeats; ascending DUT index is document order, which is
+    // ascending body offset — exactly what run merging wants.
+    journal_->touched_fields(touched_scratch_);
+    std::sort(touched_scratch_.begin(), touched_scratch_.end());
+    touched_scratch_.erase(
+        std::unique(touched_scratch_.begin(), touched_scratch_.end()),
+        touched_scratch_.end());
+
+    for (const std::uint32_t idx : touched_scratch_) {
+      const DutEntry& e = tmpl.dut()[idx];
+      const std::uint32_t abs = static_cast<std::uint32_t>(
+          chunk_offsets_[e.pos.chunk] + e.pos.offset);
+      const std::uint32_t len = e.field_width + e.close_tag_len;
+      if (!patch_runs_.empty() &&
+          patch_runs_.back().offset + patch_runs_.back().length == abs) {
+        // Adjacent fields coalesce; read_at crosses chunk boundaries, so a
+        // merged run only needs the first field's position.
+        patch_runs_.back().length += len;
+      } else {
+        patch_runs_.push_back(PatchRunScratch{abs, len, e.pos});
+      }
+    }
+  }
+
+  std::uint64_t checksum = diffwire::kFnvOffset;
+  for (std::size_t i = 0; i < buf.chunk_count(); ++i) {
+    checksum = diffwire::fnv1a(buf.chunk_view(i), checksum);
+  }
+
+  diffwire::PatchHeader header;
+  header.flags = patch_runs_.empty() ? diffwire::kFlagReplay : std::uint8_t{0};
+  header.template_id = wire_id;
+  header.epoch = epoch;
+  header.run_count = static_cast<std::uint32_t>(patch_runs_.size());
+  header.body_len = static_cast<std::uint32_t>(buf.total_size());
+  header.checksum = checksum;
+
+  patch_buf_.clear();
+  diffwire::append_patch_header(patch_buf_, header);
+  for (const PatchRunScratch& r : patch_runs_) {
+    diffwire::append_run_header(patch_buf_, r.offset, r.length);
+    const std::size_t at = patch_buf_.size();
+    patch_buf_.resize(at + r.length);
+    buf.read_at(r.pos, patch_buf_.data() + at, r.length);
+  }
+
+  report->patch_send = true;
+  report->patch_replay = patch_runs_.empty();
+  report->patch_runs = header.run_count;
+}
+
 Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
                                      const std::string& method,
                                      const SendDestination& dest,
@@ -229,11 +302,75 @@ Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
   BSOAP_ASSERT(dest.transport != nullptr);
   StageClock clock(observer_);
 
-  body_slices_.clear();
-  tmpl.buffer().append_slices(body_slices_);
   const std::size_t envelope_bytes = tmpl.buffer().total_size();
+  report->body_bytes_logical = envelope_bytes;
 
   const http::Framer& framing = framer();
+
+  // Diff-wire: decide patch vs full+offer. A patch is sound only when the
+  // receiver's pinned replica still matches byte positions — a content match
+  // always, a perfect structural match only when the armed journal proves
+  // the update moved nothing (the journal's records are then exactly the
+  // dirty runs). Everything else falls back to a full send that re-offers.
+  std::uint64_t wire_id = 0;
+  bool offer = false;
+  if (diffwire_ != nullptr && head_kind == HeadKind::kRequest) {
+    wire_id = diffwire_->wire_id(tmpl.signature);
+    std::uint32_t epoch = 0;
+    const bool patch_safe =
+        report->match == MatchKind::kContentMatch ||
+        (report->match == MatchKind::kPerfectStructural &&
+         journal_ != nullptr && journal_->armed() && !journal_->structural());
+    if (patch_safe && diffwire_->should_patch(wire_id, &epoch)) {
+      build_patch_frame(tmpl, wire_id, epoch, report);
+
+      http::HttpRequest head;
+      head.method = "POST";
+      head.target = std::string(dest.path);
+      head.headers.push_back(http::Header{"Host", "localhost"});
+      head.headers.push_back(
+          http::Header{"Content-Type", diffwire::kPatchContentType});
+      head.headers.push_back(http::Header{"SOAPAction", "\"" + method + "\""});
+      head.headers.push_back(
+          http::Header{diffwire::kDiffHeader, diffwire::kPatchValue});
+      if (dest.extra_headers != nullptr) {
+        for (const http::Header& h : *dest.extra_headers) {
+          head.headers.push_back(h);
+        }
+      }
+      framing.add_headers(head.headers, patch_buf_.size());
+      head_text_ = http::serialize_request_head(head);
+
+      body_slices_.clear();
+      body_slices_.push_back(
+          net::ConstSlice{patch_buf_.data(), patch_buf_.size()});
+      wire_slices_.clear();
+      wire_slices_.push_back(
+          net::ConstSlice{head_text_.data(), head_text_.size()});
+      framing.frame_body(body_slices_, &wire_slices_, &frame_scratch_);
+
+      std::size_t wire_bytes = 0;
+      for (const net::ConstSlice& s : wire_slices_) wire_bytes += s.len;
+      clock.lap(SendStage::kFrame, wire_bytes);
+
+      BSOAP_RETURN_IF_ERROR(dest.transport->send_slices(wire_slices_));
+      clock.lap(SendStage::kWrite, wire_bytes);
+
+      // The frame left the socket: advance the epoch optimistically. If the
+      // server never applies it, the resulting epoch gap NACKs the next
+      // patch and the sender falls back to a full send.
+      diffwire_->note_patch_sent(wire_id, envelope_bytes, patch_buf_.size(),
+                                 report->patch_replay);
+      report->envelope_bytes = patch_buf_.size();
+      report->wire_bytes = wire_bytes;
+      return Status{};
+    }
+    offer = true;
+  }
+
+  body_slices_.clear();
+  tmpl.buffer().append_slices(body_slices_);
+
   if (head_kind == HeadKind::kRequest) {
     http::HttpRequest head;
     head.method = "POST";
@@ -242,12 +379,28 @@ Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
     head.headers.push_back(
         http::Header{"Content-Type", "text/xml; charset=utf-8"});
     head.headers.push_back(http::Header{"SOAPAction", "\"" + method + "\""});
+    if (offer) {
+      head.headers.push_back(
+          http::Header{diffwire::kDiffHeader, diffwire::kOfferValue});
+      head.headers.push_back(http::Header{
+          diffwire::kTemplateHeader, diffwire::format_template_id(wire_id)});
+    }
+    if (dest.extra_headers != nullptr) {
+      for (const http::Header& h : *dest.extra_headers) {
+        head.headers.push_back(h);
+      }
+    }
     framing.add_headers(head.headers, envelope_bytes);
     head_text_ = http::serialize_request_head(head);
   } else {
     http::HttpResponse head;
     head.headers.push_back(
         http::Header{"Content-Type", "text/xml; charset=utf-8"});
+    if (dest.extra_headers != nullptr) {
+      for (const http::Header& h : *dest.extra_headers) {
+        head.headers.push_back(h);
+      }
+    }
     framing.add_headers(head.headers, envelope_bytes);
     head_text_ = http::serialize_response_head(head);
   }
@@ -263,6 +416,7 @@ Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
   BSOAP_RETURN_IF_ERROR(dest.transport->send_slices(wire_slices_));
   clock.lap(SendStage::kWrite, wire_bytes);
 
+  if (offer) diffwire_->note_offer_sent(wire_id);
   report->envelope_bytes = envelope_bytes;
   report->wire_bytes = wire_bytes;
   return Status{};

@@ -33,6 +33,7 @@
 #include "core/diff_serializer.hpp"
 #include "core/template_builder.hpp"
 #include "core/template_store.hpp"
+#include "diffwire/negotiator.hpp"
 #include "http/framer.hpp"
 #include "net/transport.hpp"
 #include "soap/value.hpp"
@@ -62,8 +63,20 @@ const char* recovery_name(Recovery recovery) noexcept;
 struct SendReport {
   MatchKind match = MatchKind::kFirstTime;
   UpdateResult update;
-  std::size_t envelope_bytes = 0;  ///< serialized SOAP envelope size
-  std::size_t wire_bytes = 0;      ///< envelope + HTTP head + framing bytes
+  /// HTTP body payload bytes actually sent: the serialized envelope on a
+  /// full send, the patch frame on a diff-wire patch send.
+  std::size_t envelope_bytes = 0;
+  /// Actual on-wire bytes: HTTP head + framing + the payload above. A patch
+  /// send reports the patch frame's wire cost, not the logical envelope.
+  std::size_t wire_bytes = 0;
+  /// Size of the serialized envelope the receiver observes — identical for
+  /// full and patch sends, so benches can report logical vs wire bytes.
+  std::size_t body_bytes_logical = 0;
+  /// Diff-wire: this send crossed the wire as a patch frame (replay = a
+  /// content match's header-only frame carrying zero runs).
+  bool patch_send = false;
+  bool patch_replay = false;
+  std::uint32_t patch_runs = 0;  ///< dirty runs the patch frame carried
   /// Send attempts a retrying sender made (1 = first try succeeded; always
   /// 1 when sent through a bare SendPipeline).
   std::uint32_t attempts = 1;
@@ -148,6 +161,10 @@ class StageTimings final : public SendObserver {
 struct SendDestination {
   net::Transport* transport = nullptr;
   std::string_view path = "/";
+  /// Appended to the HTTP head verbatim (after the standard headers, before
+  /// framing). The server runtime rides diff-wire acks on its responses
+  /// through this. Null = none.
+  const std::vector<http::Header>* extra_headers = nullptr;
 };
 
 class SendPipeline {
@@ -200,6 +217,14 @@ class SendPipeline {
     return framer_override_ != nullptr ? *framer_override_
                                        : http::framer_for(options_.framing);
   }
+
+  /// Installs (or clears, with nullptr) the diff-wire negotiation session.
+  /// While set, request-kind sends participate in the diff-wire protocol:
+  /// full sends carry the pinning offer headers, and a send whose update
+  /// stayed non-structural against a pinned template goes out as a binary
+  /// patch frame (dirty runs only) instead of the full envelope. The
+  /// session must outlive the sends it covers.
+  void set_diffwire(diffwire::ClientSession* session) { diffwire_ = session; }
 
   /// Installs (or clears, with nullptr) the recovery journal a retrying
   /// sender provides. While installed, the update stage records pre-rewrite
@@ -263,12 +288,18 @@ class SendPipeline {
     return template_source_ != nullptr ? *template_source_ : store_;
   }
 
+  /// Gathers the patch frame for a diff-wire patch send into patch_buf_
+  /// (dirty runs from the armed journal, or a header-only replay frame).
+  void build_patch_frame(MessageTemplate& tmpl, std::uint64_t wire_id,
+                         std::uint32_t epoch, SendReport* report);
+
   Options options_;
   TemplateStore store_;
   TemplateStoreLike* template_source_ = nullptr;
   SendObserver* observer_ = nullptr;
   const http::Framer* framer_override_ = nullptr;
   UpdateJournal* journal_ = nullptr;
+  diffwire::ClientSession* diffwire_ = nullptr;
   RecoveryContext recovery_ctx_ = RecoveryContext::kNone;
   MessageTemplate* recovery_tmpl_ = nullptr;
   /// The checkout covering the current differential send. Held across the
@@ -283,6 +314,16 @@ class SendPipeline {
   std::vector<net::ConstSlice> wire_slices_;
   std::vector<std::string> frame_scratch_;
   std::string head_text_;
+  // Diff-wire patch scratch:
+  struct PatchRunScratch {
+    std::uint32_t offset = 0;  ///< absolute offset into the logical body
+    std::uint32_t length = 0;
+    buffer::BufPos pos;        ///< where the run's bytes start in the buffer
+  };
+  std::string patch_buf_;
+  std::vector<std::uint32_t> touched_scratch_;
+  std::vector<PatchRunScratch> patch_runs_;
+  std::vector<std::size_t> chunk_offsets_;
 };
 
 }  // namespace bsoap::core

@@ -1,0 +1,112 @@
+#include "diffwire/replica_store.hpp"
+
+#include <cstring>
+
+namespace bsoap::diffwire {
+
+bool ReplicaStore::pin(std::uint64_t id, std::string_view body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    bytes_ -= it->second->body.size();
+    it->second->body.assign(body);
+    it->second->epoch = 0;
+    bytes_ += body.size();
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++counters_.repins;
+    enforce_budget_locked();
+    return true;
+  }
+  lru_.push_front(Replica{id, std::string(body), 0});
+  index_[id] = lru_.begin();
+  bytes_ += body.size();
+  ++counters_.pins;
+  enforce_budget_locked();
+  return false;
+}
+
+Status ReplicaStore::apply(const PatchFrame& frame, std::string* reconstructed) {
+  const PatchHeader& h = frame.header;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(h.template_id);
+  if (it == index_.end()) {
+    ++counters_.nacks;
+    return Error{ErrorCode::kNotFound, "template not pinned"};
+  }
+  Replica& replica = *it->second;
+  if (h.epoch != replica.epoch + 1) {
+    return nack_locked(it->second, h.template_id,
+                       "epoch " + std::to_string(h.epoch) + " != expected " +
+                           std::to_string(replica.epoch + 1));
+  }
+  if (h.body_len != replica.body.size()) {
+    return nack_locked(it->second, h.template_id, "body length mismatch");
+  }
+  for (const PatchRun& run : frame.runs) {
+    if (run.length > replica.body.size() ||
+        run.offset > replica.body.size() - run.length) {
+      return nack_locked(it->second, h.template_id, "run out of bounds");
+    }
+  }
+  // All runs bounds-checked: apply, then verify before exposing the result.
+  for (const PatchRun& run : frame.runs) {
+    std::memcpy(replica.body.data() + run.offset, run.data, run.length);
+  }
+  if (fnv1a(replica.body) != h.checksum) {
+    return nack_locked(it->second, h.template_id, "checksum mismatch");
+  }
+  replica.epoch = h.epoch;
+  reconstructed->assign(replica.body);
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++counters_.applies;
+  if (h.replay() || frame.runs.empty()) ++counters_.replays;
+  return Status{};
+}
+
+bool ReplicaStore::invalidate(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  remove_locked(it->second);
+  return true;
+}
+
+void ReplicaStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+ReplicaStore::Stats ReplicaStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counters_;
+  s.pinned_replicas = lru_.size();
+  s.pinned_bytes = bytes_;
+  return s;
+}
+
+Status ReplicaStore::nack_locked(LruIter it, std::uint64_t id,
+                                 const std::string& reason) {
+  (void)id;
+  remove_locked(it);
+  ++counters_.nacks;
+  return Error{ErrorCode::kProtocolError, reason};
+}
+
+void ReplicaStore::remove_locked(LruIter it) {
+  bytes_ -= it->body.size();
+  index_.erase(it->id);
+  lru_.erase(it);
+}
+
+void ReplicaStore::enforce_budget_locked() {
+  while (lru_.size() > 1 &&
+         (lru_.size() > options_.max_replicas ||
+          (options_.max_bytes != 0 && bytes_ > options_.max_bytes))) {
+    remove_locked(std::prev(lru_.end()));
+    ++counters_.evictions;
+  }
+}
+
+}  // namespace bsoap::diffwire

@@ -1,0 +1,103 @@
+// Receiver-side pinned replicas for the diff-wire protocol.
+//
+// The receiver's half of template pinning: the last full body seen for each
+// template ID, kept verbatim so a patch frame reconstructs the sender's
+// current envelope by overwriting dirty runs in place. The store is shared
+// by every worker (blocking pool or reactor dispatch), so one mutex guards
+// the map — a patch apply is short (a few memcpys plus one checksum pass)
+// and requests for one template arrive serialized per connection anyway.
+//
+// Every validation failure is a NACK, and a NACK erases the replica: the
+// sender's next send is a full body with a fresh offer, which re-pins at
+// epoch 0. That makes the protocol self-healing — worst case it degrades to
+// today's full-body sends, never to a corrupted reconstruction:
+//
+//   unknown ID          the offer was evicted or never arrived
+//   epoch mismatch      a patch was lost, replayed, or another sender
+//                       re-pinned the ID
+//   body_len mismatch   structural drift (should be unreachable: structural
+//                       updates fall back to full sends)
+//   run out of bounds   malformed or mis-matched frame
+//   checksum mismatch   any divergence the epoch chain missed
+//
+// Replicas are LRU-bounded by count and bytes, like TemplateStore: a pin
+// past the budget evicts the least recently used replica, whose sender
+// simply falls back to a full send on its next patch (NACK → re-pin).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "diffwire/wire_format.hpp"
+
+namespace bsoap::diffwire {
+
+class ReplicaStore {
+ public:
+  struct Options {
+    std::size_t max_replicas = 64;
+    std::size_t max_bytes = 0;  ///< 0 = no byte budget
+  };
+
+  ReplicaStore() = default;
+  explicit ReplicaStore(const Options& options) : options_(options) {}
+
+  /// Pins (or re-pins) `body` under `id` at epoch 0. Returns true when the
+  /// ID was already pinned — a re-offer, i.e. the sender fell back to a
+  /// full send after a NACK, invalidation or structural update.
+  bool pin(std::uint64_t id, std::string_view body);
+
+  /// Applies a decoded patch frame onto the pinned replica: validates ID,
+  /// epoch, body length, run bounds and the whole-body checksum, then
+  /// copies the reconstructed body into `reconstructed` and advances the
+  /// replica's epoch. On any validation failure the replica is erased and
+  /// an error describing the NACK reason is returned (kNotFound for an
+  /// unknown ID, kProtocolError otherwise).
+  Status apply(const PatchFrame& frame, std::string* reconstructed);
+
+  /// Drops one replica (true if it was pinned). Test/ops hook: the next
+  /// patch for the ID NACKs, driving the sender's full-send fallback.
+  bool invalidate(std::uint64_t id);
+
+  /// Drops every replica (NACK-storm injection for tests and benches).
+  void clear();
+
+  struct Stats {
+    std::uint64_t pins = 0;     ///< offers accepted (first pin per ID)
+    std::uint64_t repins = 0;   ///< offers that replaced a pinned replica
+    std::uint64_t applies = 0;  ///< patch frames applied (incl. replays)
+    std::uint64_t replays = 0;  ///< header-only frames (run_count 0)
+    std::uint64_t nacks = 0;    ///< rejected frames (replica erased)
+    std::uint64_t evictions = 0;
+    std::uint64_t pinned_replicas = 0;  ///< gauge
+    std::uint64_t pinned_bytes = 0;     ///< gauge
+  };
+  Stats stats() const;
+
+ private:
+  struct Replica {
+    std::uint64_t id = 0;
+    std::string body;
+    std::uint32_t epoch = 0;
+  };
+  using LruIter = std::list<Replica>::iterator;
+
+  /// Erases under the held lock and counts the NACK.
+  Status nack_locked(LruIter it, std::uint64_t id, const std::string& reason);
+  void remove_locked(LruIter it);
+  void enforce_budget_locked();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::list<Replica> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, LruIter> index_;
+  std::size_t bytes_ = 0;
+  Stats counters_;
+};
+
+}  // namespace bsoap::diffwire

@@ -1,0 +1,151 @@
+// Diff-wire protocol: frame format and negotiation header constants.
+//
+// Differential serialization (the paper) saves serialization CPU, but every
+// send still ships the full envelope; the diff-wire protocol extends the
+// saving to the socket. Client and server pin a template by ID (negotiated
+// over HTTP headers on a full send), after which a non-structural update
+// crosses the wire as a binary patch frame carrying only the dirty runs the
+// update stage already computed — the Jelly-Patch idea applied to bSOAP's
+// DUT runs. A content match degenerates to a header-only "replay" frame.
+//
+// Negotiation rides custom headers on the normal SOAP POST / response:
+//
+//   full send   C→S   X-BSoap-Diff: v1          offer: pin this body under
+//                     X-BSoap-Template: <16hex> the given template ID
+//   response    S→C   X-BSoap-Diff: ack         replica pinned (epoch 0)
+//                     X-BSoap-Template: <16hex>
+//   patch send  C→S   Content-Type: application/x-bsoap-patch
+//                     X-BSoap-Diff: patch       body = one PatchFrame
+//   nack        S→C   HTTP 409 +
+//                     X-BSoap-Diff: nack        replica unusable: sender
+//                     X-BSoap-Template: <16hex> must fall back to full+offer
+//
+// Every full send (first-time or structural fallback) re-offers, so the
+// replica is re-pinned at epoch 0 whenever the patch chain breaks. Patch
+// frames carry an epoch the receiver checks strictly (+1 per applied
+// frame); a lost or replayed frame therefore NACKs instead of silently
+// corrupting the replica, and the whole-body FNV-1a checksum backstops the
+// epoch chain.
+//
+// Binary frame layout (all integers little-endian):
+//
+//   offset  size  field
+//        0     4  magic "BSDP"
+//        4     1  version (1)
+//        5     1  flags (bit0 = replay: run_count is 0, body unchanged)
+//        6     2  reserved (0)
+//        8     8  template_id
+//       16     4  epoch
+//       20     4  run_count
+//       24     4  body_len      (reconstructed body size; patches never
+//                                change the length — structural updates
+//                                fall back to full sends)
+//       28     8  checksum      (FNV-1a 64 over the reconstructed body)
+//       36   ...  run_count × { offset u32, length u32, bytes[length] }
+//
+// This layer is deliberately core-free: it knows HTTP headers and bytes,
+// not templates. SendPipeline extracts runs from its update journal and
+// hands generic (offset, length) records down here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bsoap::diffwire {
+
+// --- negotiation headers ---------------------------------------------------
+
+inline constexpr const char* kDiffHeader = "X-BSoap-Diff";
+inline constexpr const char* kTemplateHeader = "X-BSoap-Template";
+inline constexpr const char* kOfferValue = "v1";
+inline constexpr const char* kAckValue = "ack";
+inline constexpr const char* kNackValue = "nack";
+inline constexpr const char* kPatchValue = "patch";
+inline constexpr const char* kPatchContentType = "application/x-bsoap-patch";
+
+/// HTTP status a NACK answer carries (the patch conflicted with the
+/// receiver's replica state).
+inline constexpr int kNackStatus = 409;
+
+/// Template IDs travel as fixed-width 16-digit lowercase hex.
+std::string format_template_id(std::uint64_t id);
+/// Parses a 16-digit hex template ID; false on malformed input.
+bool parse_template_id(std::string_view text, std::uint64_t* id);
+
+// --- checksum --------------------------------------------------------------
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ull;
+
+/// FNV-1a 64. `state` chains calls, so a chunked body hashes without being
+/// linearized: h = fnv1a(c0); h = fnv1a(c1, h); ...
+inline std::uint64_t fnv1a(const char* data, std::size_t n,
+                           std::uint64_t state = kFnvOffset) {
+  for (std::size_t i = 0; i < n; ++i) {
+    state ^= static_cast<unsigned char>(data[i]);
+    state *= kFnvPrime;
+  }
+  return state;
+}
+inline std::uint64_t fnv1a(std::string_view text,
+                           std::uint64_t state = kFnvOffset) {
+  return fnv1a(text.data(), text.size(), state);
+}
+
+// --- patch frames ----------------------------------------------------------
+
+inline constexpr char kMagic[4] = {'B', 'S', 'D', 'P'};
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kFlagReplay = 0x01;
+inline constexpr std::size_t kFrameHeaderSize = 36;
+inline constexpr std::size_t kRunHeaderSize = 8;
+
+struct PatchHeader {
+  std::uint8_t version = kVersion;
+  std::uint8_t flags = 0;
+  std::uint64_t template_id = 0;
+  std::uint32_t epoch = 0;
+  std::uint32_t run_count = 0;
+  std::uint32_t body_len = 0;
+  std::uint64_t checksum = 0;
+
+  bool replay() const { return (flags & kFlagReplay) != 0; }
+};
+
+/// One decoded run record; `data` points into the frame the patch was
+/// decoded from and is valid only while that buffer lives.
+struct PatchRun {
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+  const char* data = nullptr;
+};
+
+struct PatchFrame {
+  PatchHeader header;
+  std::vector<PatchRun> runs;
+};
+
+/// Appends the 36-byte frame header. The writer appends run records after
+/// it: append_run_header then exactly `length` payload bytes each.
+void append_patch_header(std::string& out, const PatchHeader& header);
+void append_run_header(std::string& out, std::uint32_t offset,
+                       std::uint32_t length);
+
+/// Decodes a complete frame (an HTTP request body). Validates magic,
+/// version and exact length; run bounds against body_len are the
+/// ReplicaStore's job (it owns the replica the offsets index).
+Result<PatchFrame> decode_patch(std::string_view body);
+
+// --- canned responses ------------------------------------------------------
+
+/// Renders the full HTTP 409 NACK answer (headers above + a short plain
+/// text body), Content-Length framed so the sender's response reader stays
+/// in sync and the connection survives.
+std::string render_nack_response(std::uint64_t template_id,
+                                 std::string_view reason);
+
+}  // namespace bsoap::diffwire

@@ -253,10 +253,9 @@ void Reactor::drive_read(Conn& conn) {
 }
 
 void Reactor::dispatch_request(Conn& conn) {
-  http::HttpRequest request = conn.parser.take();
   DispatchJob job;
   job.conn_id = conn.id;
-  job.body = std::move(request.body);
+  job.request = conn.parser.take();
   job.parser = &conn.envelope_parser;
   job.transport = conn.transport.get();
   if (!dispatch_->try_push(std::move(job))) {

@@ -94,7 +94,10 @@ class CaptureTransport final : public net::Transport {
 /// remainder rides the completion back for readiness-driven drain.
 struct DispatchJob {
   std::uint64_t conn_id = 0;
-  std::string body;
+  /// The complete parsed request. Workers need the head as well as the
+  /// body: the diff-wire content type and negotiation headers decide
+  /// whether the body is a SOAP envelope or a patch frame.
+  http::HttpRequest request;
   soap::EnvelopeParser* parser = nullptr;
   net::Transport* transport = nullptr;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "diffwire/wire_format.hpp"
 #include "http/connection.hpp"
 #include "net/tcp.hpp"
 #include "server/fault_render.hpp"
@@ -61,6 +62,13 @@ Result<std::unique_ptr<ServerRuntime>> ServerRuntime::start(
     cache_options.max_bytes = server->options_.shared_cache_bytes;
     server->shared_cache_ =
         std::make_unique<core::SharedTemplateCache>(cache_options);
+  }
+  if (server->options_.diffwire) {
+    diffwire::ReplicaStore::Options replica_options;
+    replica_options.max_replicas = server->options_.diffwire_replicas;
+    replica_options.max_bytes = server->options_.diffwire_replica_bytes;
+    server->replicas_ =
+        std::make_unique<diffwire::ReplicaStore>(replica_options);
   }
   for (std::size_t i = 0; i < server->options_.workers; ++i) {
     auto worker = std::make_unique<Worker>();
@@ -152,7 +160,7 @@ void ServerRuntime::reactor_worker_loop(Worker& worker) {
     // wire behavior aligned.
     CaptureTransport capture;
     const bool keep =
-        answer_request(worker, job->body, *job->parser, capture);
+        answer_request(worker, job->request, *job->parser, capture);
     std::string bytes = capture.take();
     // Write directly while the connection is parked in Dispatched — the
     // reactor holds no epoll interest on it, so this thread has the socket
@@ -217,7 +225,7 @@ void ServerRuntime::serve_connection(
       break;  // kClosed: keep-alive ended cleanly
     }
 
-    if (!answer_request(worker, request.value().body, parser, transport)) {
+    if (!answer_request(worker, request.value(), parser, transport)) {
       break;  // the write failed: the connection is dead
     }
     if (draining_.load(std::memory_order_acquire)) break;
@@ -225,9 +233,71 @@ void ServerRuntime::serve_connection(
   stats_.active.fetch_sub(1, std::memory_order_relaxed);
 }
 
-bool ServerRuntime::answer_request(Worker& worker, std::string_view body,
+bool ServerRuntime::answer_request(Worker& worker,
+                                   const http::HttpRequest& request,
                                    soap::EnvelopeParser& parser,
                                    net::Transport& transport) {
+  std::string_view body = request.body;
+  std::string reconstructed;  // patch sends: the replayed envelope
+  // Diff-wire: reconstruct patch frames against the pinned replica, and pin
+  // (or re-pin) full bodies the client offers. The ack rides back on this
+  // request's response via extra_headers.
+  std::vector<http::Header> diff_headers;
+  const std::vector<http::Header>* extra_headers = nullptr;
+  if (replicas_ != nullptr) {
+    const http::Header* content_type = request.find("Content-Type");
+    if (content_type != nullptr &&
+        content_type->value == diffwire::kPatchContentType) {
+      Result<diffwire::PatchFrame> frame = diffwire::decode_patch(body);
+      if (!frame.ok()) {
+        // Malformed frame. The HTTP framing was intact, so the connection
+        // stays usable; the 409 tells the sender to fall back to full.
+        stats_.patch_nacks.fetch_add(1, std::memory_order_relaxed);
+        return transport
+            .send(diffwire::render_nack_response(0, frame.error().message))
+            .ok();
+      }
+      const diffwire::PatchHeader& header = frame.value().header;
+      const Status applied = replicas_->apply(frame.value(), &reconstructed);
+      if (!applied.ok()) {
+        // Unknown template, epoch gap, bad bounds or checksum: the replica
+        // (if any) has been dropped; the sender re-offers on its fallback.
+        stats_.patch_nacks.fetch_add(1, std::memory_order_relaxed);
+        return transport
+            .send(diffwire::render_nack_response(header.template_id,
+                                                 applied.error().message))
+            .ok();
+      }
+      stats_.patch_sends.fetch_add(1, std::memory_order_relaxed);
+      if (header.replay()) {
+        stats_.patch_replays.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (reconstructed.size() > body.size()) {
+        stats_.bytes_saved.fetch_add(reconstructed.size() - body.size(),
+                                     std::memory_order_relaxed);
+      }
+      body = reconstructed;
+    } else {
+      const http::Header* diff = request.find(diffwire::kDiffHeader);
+      const http::Header* id_header = request.find(diffwire::kTemplateHeader);
+      std::uint64_t id = 0;
+      if (diff != nullptr && diff->value == diffwire::kOfferValue &&
+          id_header != nullptr &&
+          diffwire::parse_template_id(id_header->value, &id)) {
+        if (replicas_->pin(id, body)) {
+          // Re-pin of a known template: the client fell back to a full
+          // send after a nack or a structural update.
+          stats_.fallback_full_sends.fetch_add(1, std::memory_order_relaxed);
+        }
+        diff_headers.push_back(
+            http::Header{diffwire::kDiffHeader, diffwire::kAckValue});
+        diff_headers.push_back(http::Header{
+            diffwire::kTemplateHeader, diffwire::format_template_id(id)});
+        extra_headers = &diff_headers;
+      }
+    }
+  }
+
   Result<const soap::RpcCall*> call = parser(body);
   if (!call.ok()) {
     // The HTTP framing was intact, so the connection stays usable: answer
@@ -252,6 +322,7 @@ bool ServerRuntime::answer_request(Worker& worker, std::string_view body,
 
   core::SendDestination dest;
   dest.transport = &transport;
+  dest.extra_headers = extra_headers;
   // Count before the write: once the client has read its response, the
   // request is visible in stats() (tests rely on that ordering).
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
@@ -303,6 +374,11 @@ ServerStats ServerRuntime::stats() const {
   } else {
     s.queue_depth = queue_->depth();
     s.queue_high_water = queue_->high_water();
+  }
+  if (replicas_ != nullptr) {
+    const diffwire::ReplicaStore::Stats r = replicas_->stats();
+    s.diff_pinned_replicas = r.pinned_replicas;
+    s.diff_pinned_bytes = r.pinned_bytes;
   }
   if (shared_cache_ != nullptr) {
     const core::SharedTemplateCache::Stats c = shared_cache_->stats();

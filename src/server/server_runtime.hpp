@@ -53,6 +53,7 @@
 #include "common/error.hpp"
 #include "core/send_pipeline.hpp"
 #include "core/shared_template_cache.hpp"
+#include "diffwire/replica_store.hpp"
 #include "server/accept_queue.hpp"
 #include "server/reactor.hpp"
 #include "server/server_stats.hpp"
@@ -111,6 +112,14 @@ struct ServerRuntimeOptions {
   /// response_template_bytes, which is per worker.
   std::size_t shared_cache_bytes = 0;
 
+  /// Accept the diff-wire patch protocol: pin request bodies clients offer
+  /// (X-BSoap-Diff: v1), apply patch frames onto the pinned replicas, and
+  /// NACK (HTTP 409) anything unusable so the client falls back to full
+  /// sends. Non-negotiating clients are unaffected either way.
+  bool diffwire = true;
+  std::size_t diffwire_replicas = 64;      ///< pinned bodies retained (LRU)
+  std::size_t diffwire_replica_bytes = 0;  ///< byte budget (0 = unlimited)
+
   /// Creates one request-envelope parser per connection; null uses the full
   /// parser (see core::make_diff_deserializing_options for the differential
   /// one).
@@ -136,6 +145,10 @@ class ServerRuntime {
   std::uint16_t port() const { return port_; }
 
   ServerStats stats() const;
+
+  /// The diff-wire replica store, or nullptr when options.diffwire is off.
+  /// Exposed so tests can invalidate replicas to force NACK fallbacks.
+  diffwire::ReplicaStore* replicas() { return replicas_.get(); }
 
   /// Graceful drain: stops accepting, answers queued connections 503,
   /// finishes every in-flight request, joins all threads. Idempotent.
@@ -165,7 +178,7 @@ class ServerRuntime {
   /// socket on the blocking path, a CaptureTransport on the reactor path —
   /// so the bytes are identical by construction. Returns false when the
   /// write failed and the connection must close.
-  bool answer_request(Worker& worker, std::string_view body,
+  bool answer_request(Worker& worker, const http::HttpRequest& request,
                       soap::EnvelopeParser& parser, net::Transport& transport);
   /// Serializes a SOAP fault and sends it with the given HTTP status.
   /// Returns false if the write failed (connection is dead).
@@ -185,6 +198,9 @@ class ServerRuntime {
   /// Present only in shared_cache mode. Declared before workers_: the
   /// worker pipelines point at it, so it must outlive them.
   std::unique_ptr<core::SharedTemplateCache> shared_cache_;
+  /// Diff-wire pinned request bodies (options.diffwire). Thread-safe;
+  /// shared by every worker. Declared before workers_ so it outlives them.
+  std::unique_ptr<diffwire::ReplicaStore> replicas_;
   std::thread accept_thread_;
   std::vector<std::unique_ptr<Worker>> workers_;
 };

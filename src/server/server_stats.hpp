@@ -50,6 +50,16 @@ struct ServerStats {
   std::uint64_t response_template_bytes = 0;     ///< retained across workers
   std::uint64_t response_template_evictions = 0; ///< count + byte evictions
 
+  // Diff-wire patch protocol (request side; all zero with diffwire off or
+  // no negotiating clients).
+  std::uint64_t patch_sends = 0;     ///< patch frames applied onto a replica
+  std::uint64_t patch_replays = 0;   ///< of those, header-only replay frames
+  std::uint64_t patch_nacks = 0;     ///< frames answered 409 (replica unusable)
+  std::uint64_t fallback_full_sends = 0; ///< full-body re-offers after a pin
+  std::uint64_t bytes_saved = 0;     ///< logical body bytes minus patch bytes
+  std::uint64_t diff_pinned_replicas = 0; ///< gauge: replicas currently pinned
+  std::uint64_t diff_pinned_bytes = 0;    ///< gauge: bytes those replicas hold
+
   // Shared template cache (shared_cache mode; all zero with per-worker
   // stores). See core::SharedTemplateCache::Stats for field meanings.
   std::uint64_t cache_hits = 0;
@@ -117,6 +127,12 @@ class StatsCollector {
         response_perfect_match.load(std::memory_order_relaxed);
     s.response_partial_match =
         response_partial_match.load(std::memory_order_relaxed);
+    s.patch_sends = patch_sends.load(std::memory_order_relaxed);
+    s.patch_replays = patch_replays.load(std::memory_order_relaxed);
+    s.patch_nacks = patch_nacks.load(std::memory_order_relaxed);
+    s.fallback_full_sends =
+        fallback_full_sends.load(std::memory_order_relaxed);
+    s.bytes_saved = bytes_saved.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -137,6 +153,11 @@ class StatsCollector {
   std::atomic<std::uint64_t> response_content_match{0};
   std::atomic<std::uint64_t> response_perfect_match{0};
   std::atomic<std::uint64_t> response_partial_match{0};
+  std::atomic<std::uint64_t> patch_sends{0};
+  std::atomic<std::uint64_t> patch_replays{0};
+  std::atomic<std::uint64_t> patch_nacks{0};
+  std::atomic<std::uint64_t> fallback_full_sends{0};
+  std::atomic<std::uint64_t> bytes_saved{0};
 };
 
 }  // namespace bsoap::server

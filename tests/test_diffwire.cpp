@@ -1,0 +1,606 @@
+// Diff-wire protocol tests: frame encode/decode round-trips, ReplicaStore
+// validation and NACK semantics, byte-identical reconstruction of pipeline
+// patch sends (parsed back through http::RequestParser at every byte
+// boundary), end-to-end client/server negotiation on both connection
+// engines, NACK -> full-send -> re-pin recovery, fault injection with zero
+// failed requests, and an 8-worker shared-cache stress (TSan-covered).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/client.hpp"
+#include "core/send_pipeline.hpp"
+#include "diffwire/replica_store.hpp"
+#include "diffwire/wire_format.hpp"
+#include "http/request_parser.hpp"
+#include "net/fault_injection.hpp"
+#include "net/tcp.hpp"
+#include "server/reactor.hpp"
+#include "server/server_runtime.hpp"
+#include "soap/workload.hpp"
+
+namespace bsoap::diffwire {
+namespace {
+
+using namespace std::chrono_literals;
+using core::BsoapClient;
+using core::BsoapClientConfig;
+using soap::RpcCall;
+using soap::Value;
+
+template <typename Pred>
+bool wait_for(Pred pred, std::chrono::milliseconds timeout = 5000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+/// Stuffed numeric fields: every double rewrite stays in place, so repeat
+/// sends are perfect structural matches — the patch-eligible steady state.
+core::TemplateConfig stuffed_config() {
+  core::TemplateConfig cfg;
+  cfg.stuffing.mode = core::StuffingPolicy::Mode::kTypeMax;
+  cfg.stuffing.stuff_on_expand = true;
+  return cfg;
+}
+
+Result<Value> sum_handler(const RpcCall& call) {
+  if (call.method != "sendData") {
+    return Error{ErrorCode::kNotFound, "no method"};
+  }
+  double total = 0;
+  for (const double v : call.params[0].value.doubles()) total += v;
+  return Value::from_double(total);
+}
+
+double sum_of(const std::vector<double>& values) {
+  double total = 0;
+  for (const double v : values) total += v;
+  return total;
+}
+
+/// Feeds the captured wire bytes through the incremental request parser one
+/// byte at a time — a patch frame must survive any packetization.
+http::HttpRequest parse_bytewise(const std::string& wire) {
+  http::RequestParser parser;
+  for (const char c : wire) {
+    const Status fed = parser.feed(&c, 1);
+    EXPECT_TRUE(fed.ok()) << fed.error().to_string();
+  }
+  EXPECT_TRUE(parser.done());
+  return parser.take();
+}
+
+/// Sends `call` through `pipeline` into a capture buffer; returns the wire
+/// bytes and the report.
+std::pair<std::string, core::SendReport> capture_send(
+    core::SendPipeline& pipeline, const RpcCall& call) {
+  server::CaptureTransport capture;
+  core::SendDestination dest;
+  dest.transport = &capture;
+  Result<core::SendReport> report = pipeline.send(call, dest);
+  EXPECT_TRUE(report.ok()) << report.error().to_string();
+  return {capture.take(), report.value()};
+}
+
+// --- wire format -----------------------------------------------------------
+
+TEST(DiffWireFormat, TemplateIdHexRoundTrip) {
+  EXPECT_EQ(format_template_id(0), "0000000000000000");
+  EXPECT_EQ(format_template_id(0xdeadbeef01020304ull), "deadbeef01020304");
+  std::uint64_t id = 0;
+  EXPECT_TRUE(parse_template_id("deadbeef01020304", &id));
+  EXPECT_EQ(id, 0xdeadbeef01020304ull);
+  EXPECT_FALSE(parse_template_id("deadbeef0102030", &id));    // short
+  EXPECT_FALSE(parse_template_id("deadbeef010203045", &id));  // long
+  EXPECT_FALSE(parse_template_id("deadbeef0102030g", &id));   // non-hex
+}
+
+TEST(DiffWireFormat, PatchFrameRoundTrip) {
+  PatchHeader header;
+  header.template_id = 0x1122334455667788ull;
+  header.epoch = 7;
+  header.run_count = 2;
+  header.body_len = 100;
+  header.checksum = fnv1a("the reconstructed body");
+
+  std::string frame;
+  append_patch_header(frame, header);
+  append_run_header(frame, 10, 3);
+  frame += "abc";
+  append_run_header(frame, 90, 5);
+  frame += "defgh";
+
+  Result<PatchFrame> decoded = decode_patch(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded.value().header.template_id, header.template_id);
+  EXPECT_EQ(decoded.value().header.epoch, 7u);
+  EXPECT_EQ(decoded.value().header.body_len, 100u);
+  EXPECT_EQ(decoded.value().header.checksum, header.checksum);
+  EXPECT_FALSE(decoded.value().header.replay());
+  ASSERT_EQ(decoded.value().runs.size(), 2u);
+  EXPECT_EQ(decoded.value().runs[0].offset, 10u);
+  EXPECT_EQ(std::string(decoded.value().runs[0].data, 3), "abc");
+  EXPECT_EQ(decoded.value().runs[1].offset, 90u);
+  EXPECT_EQ(std::string(decoded.value().runs[1].data, 5), "defgh");
+
+  // Truncation, trailing garbage and a bad magic all refuse to decode.
+  EXPECT_FALSE(decode_patch(frame.substr(0, frame.size() - 1)).ok());
+  EXPECT_FALSE(decode_patch(frame + "x").ok());
+  std::string bad_magic = frame;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(decode_patch(bad_magic).ok());
+  EXPECT_FALSE(decode_patch("").ok());
+}
+
+// --- replica store ---------------------------------------------------------
+
+/// Builds a valid frame patching `replica` into `updated` with one run.
+std::string make_patch(std::uint64_t id, std::uint32_t epoch,
+                       const std::string& updated, std::uint32_t run_offset,
+                       std::uint32_t run_length) {
+  PatchHeader header;
+  header.template_id = id;
+  header.epoch = epoch;
+  header.run_count = 1;
+  header.body_len = static_cast<std::uint32_t>(updated.size());
+  header.checksum = fnv1a(updated);
+  std::string frame;
+  append_patch_header(frame, header);
+  append_run_header(frame, run_offset, run_length);
+  frame.append(updated.data() + run_offset, run_length);
+  return frame;
+}
+
+TEST(ReplicaStore, AppliesRunsAndAdvancesEpoch) {
+  ReplicaStore store;
+  EXPECT_FALSE(store.pin(42, "hello world"));  // first pin, not a re-pin
+  EXPECT_TRUE(store.pin(42, "hello world"));   // re-pin reported
+
+  const std::string v1 = "hello earth";
+  Result<PatchFrame> frame = decode_patch(make_patch(42, 1, v1, 6, 5));
+  ASSERT_TRUE(frame.ok());
+  std::string reconstructed;
+  ASSERT_TRUE(store.apply(frame.value(), &reconstructed).ok());
+  EXPECT_EQ(reconstructed, v1);
+
+  // Epoch chains: the next frame must carry 2.
+  const std::string v2 = "hellooearth";
+  Result<PatchFrame> next = decode_patch(make_patch(42, 2, v2, 0, 6));
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(store.apply(next.value(), &reconstructed).ok());
+  EXPECT_EQ(reconstructed, v2);
+
+  const ReplicaStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.pins, 1u);
+  EXPECT_EQ(stats.repins, 1u);
+  EXPECT_EQ(stats.applies, 2u);
+  EXPECT_EQ(stats.pinned_replicas, 1u);
+  EXPECT_EQ(stats.pinned_bytes, 11u);
+}
+
+TEST(ReplicaStore, EveryValidationFailureNacksAndErases) {
+  // Unknown ID.
+  {
+    ReplicaStore store;
+    Result<PatchFrame> frame = decode_patch(make_patch(1, 1, "xx", 0, 1));
+    std::string out;
+    const Status applied = store.apply(frame.value(), &out);
+    EXPECT_FALSE(applied.ok());
+    EXPECT_EQ(applied.error().code, ErrorCode::kNotFound);
+  }
+  // Epoch gap (a lost patch): replica erased, so a later correct-looking
+  // frame NACKs too — the sender must re-pin with a full send.
+  {
+    ReplicaStore store;
+    store.pin(1, "hello");
+    Result<PatchFrame> gap = decode_patch(make_patch(1, 2, "hellp", 4, 1));
+    std::string out;
+    EXPECT_FALSE(store.apply(gap.value(), &out).ok());
+    Result<PatchFrame> ok_frame = decode_patch(make_patch(1, 1, "hellp", 4, 1));
+    const Status after = store.apply(ok_frame.value(), &out);
+    EXPECT_FALSE(after.ok());
+    EXPECT_EQ(after.error().code, ErrorCode::kNotFound);
+    EXPECT_EQ(store.stats().nacks, 2u);
+    EXPECT_EQ(store.stats().pinned_replicas, 0u);
+  }
+  // Body length mismatch.
+  {
+    ReplicaStore store;
+    store.pin(1, "hello");
+    Result<PatchFrame> frame = decode_patch(make_patch(1, 1, "hello!", 0, 1));
+    std::string out;
+    EXPECT_FALSE(store.apply(frame.value(), &out).ok());
+  }
+  // Run out of bounds.
+  {
+    ReplicaStore store;
+    store.pin(1, "hello");
+    PatchHeader header;
+    header.template_id = 1;
+    header.epoch = 1;
+    header.run_count = 1;
+    header.body_len = 5;
+    header.checksum = fnv1a("hello");
+    std::string frame;
+    append_patch_header(frame, header);
+    append_run_header(frame, 4, 2);  // [4, 6) exceeds the 5-byte replica
+    frame += "xy";
+    Result<PatchFrame> decoded = decode_patch(frame);
+    ASSERT_TRUE(decoded.ok());
+    std::string out;
+    EXPECT_FALSE(store.apply(decoded.value(), &out).ok());
+  }
+  // Checksum mismatch.
+  {
+    ReplicaStore store;
+    store.pin(1, "hello");
+    std::string frame = make_patch(1, 1, "hellp", 4, 1);
+    frame[28] ^= 0x5a;  // corrupt the checksum field
+    Result<PatchFrame> decoded = decode_patch(frame);
+    ASSERT_TRUE(decoded.ok());
+    std::string out;
+    EXPECT_FALSE(store.apply(decoded.value(), &out).ok());
+    EXPECT_EQ(store.stats().pinned_replicas, 0u);
+  }
+}
+
+TEST(ReplicaStore, LruEvictionUnderCountBudget) {
+  ReplicaStore::Options options;
+  options.max_replicas = 2;
+  ReplicaStore store(options);
+  store.pin(1, "one");
+  store.pin(2, "two");
+  store.pin(3, "three");  // evicts 1 (least recently used)
+  EXPECT_EQ(store.stats().evictions, 1u);
+  EXPECT_EQ(store.stats().pinned_replicas, 2u);
+  std::string out;
+  Result<PatchFrame> frame = decode_patch(make_patch(1, 1, "onx", 2, 1));
+  EXPECT_EQ(store.apply(frame.value(), &out).error().code,
+            ErrorCode::kNotFound);
+}
+
+// --- pipeline patch sends reconstruct byte-for-byte ------------------------
+
+TEST(DiffWirePipeline, PatchSendsReconstructByteIdentical) {
+  core::SendPipeline::Options options;
+  options.tmpl = stuffed_config();
+  core::SendPipeline pipeline(options);
+  core::UpdateJournal journal;
+  pipeline.set_journal(&journal);
+  ClientSession session(/*token=*/7);
+  pipeline.set_diffwire(&session);
+
+  // A reference pipeline without diff-wire produces the logical body the
+  // receiver must observe at every step.
+  core::SendPipeline reference(options);
+
+  std::vector<double> values = soap::doubles_with_serialized_length(64, 17, 1);
+  const RpcCall call1 = soap::make_double_array_call(values);
+  const std::uint64_t wire_id = session.wire_id(call1.structure_signature());
+
+  // First send: full body + offer headers.
+  auto [full_wire, full_report] = capture_send(pipeline, call1);
+  EXPECT_FALSE(full_report.patch_send);
+  http::HttpRequest full_request = parse_bytewise(full_wire);
+  ASSERT_NE(full_request.find(kDiffHeader), nullptr);
+  EXPECT_EQ(full_request.find(kDiffHeader)->value, kOfferValue);
+  std::uint64_t offered_id = 0;
+  ASSERT_NE(full_request.find(kTemplateHeader), nullptr);
+  ASSERT_TRUE(
+      parse_template_id(full_request.find(kTemplateHeader)->value, &offered_id));
+  EXPECT_EQ(offered_id, wire_id);
+  auto [ref_wire1, ref_report1] = capture_send(reference, call1);
+  EXPECT_EQ(full_request.body, parse_bytewise(ref_wire1).body);
+  EXPECT_EQ(full_report.body_bytes_logical, full_request.body.size());
+
+  // Receiver pins; sender learns of the ack.
+  ReplicaStore store;
+  store.pin(wire_id, full_request.body);
+  session.note_ack(wire_id);
+
+  // Changed values: a perfect structural match goes out as a patch frame.
+  bsoap::Rng rng(99);
+  values[3] = soap::double_with_serialized_length(rng, 17);
+  values[4] = soap::double_with_serialized_length(rng, 9);
+  values[60] = soap::double_with_serialized_length(rng, 23);
+  const RpcCall call2 = soap::make_double_array_call(values);
+  auto [patch_wire, patch_report] = capture_send(pipeline, call2);
+  EXPECT_TRUE(patch_report.patch_send);
+  EXPECT_FALSE(patch_report.patch_replay);
+  EXPECT_EQ(patch_report.match, core::MatchKind::kPerfectStructural);
+  EXPECT_GE(patch_report.patch_runs, 1u);
+
+  http::HttpRequest patch_request = parse_bytewise(patch_wire);
+  ASSERT_NE(patch_request.find("Content-Type"), nullptr);
+  EXPECT_EQ(patch_request.find("Content-Type")->value, kPatchContentType);
+  Result<PatchFrame> frame = decode_patch(patch_request.body);
+  ASSERT_TRUE(frame.ok()) << frame.error().to_string();
+  EXPECT_EQ(frame.value().header.epoch, 1u);
+
+  std::string reconstructed;
+  ASSERT_TRUE(store.apply(frame.value(), &reconstructed).ok());
+  auto [ref_wire2, ref_report2] = capture_send(reference, call2);
+  const std::string expected = parse_bytewise(ref_wire2).body;
+  EXPECT_EQ(reconstructed, expected);  // byte-for-byte
+  EXPECT_EQ(patch_report.body_bytes_logical, expected.size());
+  // The patch frame is far smaller than the envelope it replaces.
+  EXPECT_LT(patch_report.envelope_bytes, expected.size() / 2);
+  EXPECT_LT(patch_report.wire_bytes, full_report.wire_bytes / 2);
+
+  // Unchanged resend: a content match degenerates to a header-only replay.
+  auto [replay_wire, replay_report] = capture_send(pipeline, call2);
+  EXPECT_TRUE(replay_report.patch_send);
+  EXPECT_TRUE(replay_report.patch_replay);
+  EXPECT_EQ(replay_report.patch_runs, 0u);
+  Result<PatchFrame> replay = decode_patch(parse_bytewise(replay_wire).body);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.value().header.replay());
+  EXPECT_EQ(replay.value().header.epoch, 2u);
+  ASSERT_TRUE(store.apply(replay.value(), &reconstructed).ok());
+  EXPECT_EQ(reconstructed, expected);
+
+  const ClientDiffStats& stats = session.stats();
+  EXPECT_EQ(stats.offers_sent, 1u);
+  EXPECT_EQ(stats.acks, 1u);
+  EXPECT_EQ(stats.patch_sends, 2u);
+  EXPECT_EQ(stats.patch_replays, 1u);
+  EXPECT_GT(stats.bytes_saved, 0u);
+}
+
+TEST(DiffWirePipeline, StructuralUpdateFallsBackToFullSendAndReoffers) {
+  core::SendPipeline::Options options;  // exact stuffing: growth must shift
+  core::SendPipeline pipeline(options);
+  core::UpdateJournal journal;
+  pipeline.set_journal(&journal);
+  ClientSession session(/*token=*/11);
+  pipeline.set_diffwire(&session);
+
+  std::vector<double> values{1.0, 2.0, 3.0};
+  auto [wire1, report1] = capture_send(
+      pipeline, soap::make_double_array_call(values));
+  const std::uint64_t wire_id = session.wire_id(
+      soap::make_double_array_call(values).structure_signature());
+  session.note_ack(wire_id);
+
+  // A longer value outgrows its exact-width field: the update is
+  // structural, so the send must NOT go out as a patch.
+  values[1] = 2.000000000000004;
+  auto [wire2, report2] = capture_send(
+      pipeline, soap::make_double_array_call(values));
+  EXPECT_FALSE(report2.patch_send);
+  http::HttpRequest request = parse_bytewise(wire2);
+  ASSERT_NE(request.find(kDiffHeader), nullptr);
+  EXPECT_EQ(request.find(kDiffHeader)->value, kOfferValue);  // re-offers
+  EXPECT_EQ(session.stats().offers_sent, 2u);
+  EXPECT_EQ(session.stats().patch_sends, 0u);
+}
+
+// --- end-to-end ------------------------------------------------------------
+
+BsoapClientConfig diff_client_config() {
+  BsoapClientConfig cfg;
+  cfg.tmpl = stuffed_config();
+  cfg.diffwire = true;
+  return cfg;
+}
+
+net::Dialer tcp_dialer(std::uint16_t port) {
+  return [port] { return net::tcp_connect(port); };
+}
+
+/// Drives `iters` invokes with a few values mutated per step; every result
+/// must match the locally computed sum (proving the server reconstructed
+/// the envelope the client meant to send).
+void drive_mutating_invokes(BsoapClient& client, int iters,
+                            std::uint64_t seed) {
+  std::vector<double> values = soap::doubles_with_serialized_length(64, 17, seed);
+  bsoap::Rng rng(seed ^ 0xabcdef);
+  for (int i = 0; i < iters; ++i) {
+    values[static_cast<std::size_t>(i) % values.size()] =
+        soap::double_with_serialized_length(rng, 17);
+    Result<Value> result = client.invoke(soap::make_double_array_call(values));
+    ASSERT_TRUE(result.ok()) << "iter " << i << ": "
+                             << result.error().to_string();
+    EXPECT_EQ(result.value().as_double(), sum_of(values)) << "iter " << i;
+  }
+}
+
+TEST(DiffWireEndToEnd, BlockingEnginePinsPatchesAndReplays) {
+  server::ServerRuntimeOptions options;
+  options.workers = 1;
+  Result<std::unique_ptr<server::ServerRuntime>> server =
+      server::ServerRuntime::start(sum_handler, options);
+  ASSERT_TRUE(server.ok());
+
+  BsoapClient client(tcp_dialer(server.value()->port()),
+                     diff_client_config());
+  drive_mutating_invokes(client, 10, 5);
+
+  // Invoke 1 pinned (full + offer + ack), 2..10 were patch frames.
+  const ClientDiffStats* cs = client.diffwire_stats();
+  ASSERT_NE(cs, nullptr);
+  EXPECT_EQ(cs->offers_sent, 1u);
+  EXPECT_EQ(cs->acks, 1u);
+  EXPECT_EQ(cs->patch_sends, 9u);
+  EXPECT_EQ(cs->patch_nacks, 0u);
+  EXPECT_GT(cs->bytes_saved, 0u);
+
+  // A different array length is a new shape: its first invoke pins a
+  // second replica, and the unchanged resend crosses as a header-only
+  // replay frame.
+  std::vector<double> fixed{1.0, 2.0, 4.0};
+  const RpcCall repeat = soap::make_double_array_call(fixed);
+  ASSERT_TRUE(client.invoke(repeat).ok());  // full + offer (new shape)
+  ASSERT_TRUE(client.invoke(repeat).ok());  // content match -> replay
+  EXPECT_GT(client.diffwire_stats()->patch_replays, 0u);
+
+  ASSERT_TRUE(wait_for([&] {
+    return server.value()->stats().patch_sends >= 10u;
+  }));
+  const server::ServerStats stats = server.value()->stats();
+  EXPECT_EQ(stats.patch_nacks, 0u);
+  EXPECT_EQ(stats.fallback_full_sends, 0u);
+  EXPECT_GT(stats.patch_replays, 0u);
+  EXPECT_GT(stats.bytes_saved, 0u);
+  EXPECT_EQ(stats.diff_pinned_replicas, 2u);
+  EXPECT_GT(stats.diff_pinned_bytes, 0u);
+  EXPECT_EQ(stats.requests, 12u);
+  EXPECT_EQ(stats.faults, 0u);
+  server.value()->stop();
+}
+
+TEST(DiffWireEndToEnd, NackRecoveryFallsBackToFullSendAndRepins) {
+  server::ServerRuntimeOptions options;
+  options.workers = 1;
+  Result<std::unique_ptr<server::ServerRuntime>> server =
+      server::ServerRuntime::start(sum_handler, options);
+  ASSERT_TRUE(server.ok());
+
+  BsoapClient client(tcp_dialer(server.value()->port()),
+                     diff_client_config());
+  drive_mutating_invokes(client, 5, 21);
+  EXPECT_EQ(client.diffwire_stats()->patch_sends, 4u);
+
+  // Simulate replica loss (restart/eviction): the next patch NACKs, the
+  // client falls back to a full send within the same invoke, and re-pins.
+  server.value()->replicas()->clear();
+  drive_mutating_invokes(client, 3, 22);
+
+  const ClientDiffStats* cs = client.diffwire_stats();
+  EXPECT_EQ(cs->patch_nacks, 1u);
+  EXPECT_EQ(cs->fallback_full_sends, 1u);
+  EXPECT_EQ(cs->offers_sent, 2u);
+  EXPECT_EQ(cs->acks, 2u);
+  // 4 before the nack, the nacked frame itself (counted at send time),
+  // and 2 after the re-pin.
+  EXPECT_EQ(cs->patch_sends, 7u);
+
+  ASSERT_TRUE(wait_for(
+      [&] { return server.value()->stats().patch_nacks == 1u; }));
+  const server::ServerStats stats = server.value()->stats();
+  // clear() erased the replica, so the post-NACK full send is a fresh pin,
+  // not a re-pin — fallback_full_sends counts offers that *replace* a
+  // live replica (structural fallbacks), which never happened here.
+  EXPECT_EQ(stats.fallback_full_sends, 0u);
+  EXPECT_EQ(stats.faults, 0u);
+  server.value()->stop();
+}
+
+TEST(DiffWireEndToEnd, ReactorEngineSpeaksTheSameProtocol) {
+  server::ServerRuntimeOptions options;
+  options.workers = 2;
+  options.io_model = server::IoModel::kReactor;
+  Result<std::unique_ptr<server::ServerRuntime>> server =
+      server::ServerRuntime::start(sum_handler, options);
+  ASSERT_TRUE(server.ok());
+
+  BsoapClient client(tcp_dialer(server.value()->port()),
+                     diff_client_config());
+  drive_mutating_invokes(client, 10, 31);
+  EXPECT_EQ(client.diffwire_stats()->patch_sends, 9u);
+  EXPECT_EQ(client.diffwire_stats()->patch_nacks, 0u);
+
+  // NACK recovery works identically on the reactor engine.
+  server.value()->replicas()->clear();
+  drive_mutating_invokes(client, 3, 32);
+  EXPECT_EQ(client.diffwire_stats()->patch_nacks, 1u);
+  EXPECT_EQ(client.diffwire_stats()->acks, 2u);
+
+  ASSERT_TRUE(wait_for(
+      [&] { return server.value()->stats().patch_sends >= 11u; }));
+  EXPECT_EQ(server.value()->stats().faults, 0u);
+  server.value()->stop();
+}
+
+TEST(DiffWireEndToEnd, InjectedWriteFaultsNeverFailARequest) {
+  server::ServerRuntimeOptions options;
+  options.workers = 2;
+  Result<std::unique_ptr<server::ServerRuntime>> server =
+      server::ServerRuntime::start(sum_handler, options);
+  ASSERT_TRUE(server.ok());
+
+  // Every dialed connection injects probabilistic short writes (each dial
+  // gets a distinct seed so retries do not replay the same fault). A patch
+  // that dies mid-write is rolled back and retried; if the server applied
+  // it anyway, the epoch gap NACKs the retry and the invoke falls back to a
+  // full send — either way the request must succeed.
+  const std::uint16_t port = server.value()->port();
+  auto dial_count = std::make_shared<std::atomic<std::uint64_t>>(0);
+  net::Dialer dial = [port, dial_count]()
+      -> Result<std::unique_ptr<net::Transport>> {
+    Result<std::unique_ptr<net::Transport>> conn = net::tcp_connect(port);
+    if (!conn.ok()) return conn.error();
+    net::FaultPlan plan;
+    plan.write_failure_rate = 0.15;
+    plan.seed = 1000 + dial_count->fetch_add(1);
+    return std::unique_ptr<net::Transport>(
+        std::make_unique<net::FaultInjectingTransport>(
+            std::move(conn.value()), plan));
+  };
+  BsoapClient client(dial, diff_client_config());
+  drive_mutating_invokes(client, 60, 41);  // asserts every invoke succeeds
+
+  const ClientDiffStats* cs = client.diffwire_stats();
+  EXPECT_GT(cs->patch_sends, 0u);
+  EXPECT_EQ(server.value()->stats().faults, 0u);
+  server.value()->stop();
+}
+
+TEST(DiffWireEndToEnd, EightWorkerSharedCacheStress) {
+  server::ServerRuntimeOptions options;
+  options.workers = 8;
+  options.shared_cache = true;
+  Result<std::unique_ptr<server::ServerRuntime>> server =
+      server::ServerRuntime::start(sum_handler, options);
+  ASSERT_TRUE(server.ok());
+
+  // Eight clients patching concurrently: distinct session tokens mean
+  // distinct wire IDs, so the same call shape pins eight separate replicas
+  // instead of clobbering one.
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 40;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      BsoapClient client(tcp_dialer(server.value()->port()),
+                         diff_client_config());
+      std::vector<double> values = soap::doubles_with_serialized_length(
+          32, 17, 100 + static_cast<std::uint64_t>(t));
+      bsoap::Rng rng(200 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kItersPerThread; ++i) {
+        values[static_cast<std::size_t>(i) % values.size()] =
+            soap::double_with_serialized_length(rng, 17);
+        Result<Value> result =
+            client.invoke(soap::make_double_array_call(values));
+        if (!result.ok() || result.value().as_double() != sum_of(values)) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+      if (client.diffwire_stats()->patch_sends == 0) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const server::ServerStats stats = server.value()->stats();
+  EXPECT_EQ(stats.diff_pinned_replicas, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(stats.patch_nacks, 0u);
+  EXPECT_EQ(stats.faults, 0u);
+  server.value()->stop();
+}
+
+}  // namespace
+}  // namespace bsoap::diffwire
