@@ -1,0 +1,157 @@
+// A/B benchmark for the vectorized textconv kernels on the differential
+// update path, plus a zero-copy gate for the reactor write path.
+//
+// Textconv/UpdateAB — update_dirty_fields over a type-max-stuffed double
+// PSM template with a contiguous 1% dirty window, run as interleaved
+// scalar/vectorized round pairs (the tier flips via set_textconv_tier
+// between halves of every iteration). Interleaving makes the reported
+// ratio immune to the slow drift and bursty interference that make two
+// separately-run series incomparable on shared CI boxes; the counter
+// `update_ratio` is the median over per-pair ratios, which a handful of
+// preempted rounds cannot move. Serial bulk update (cfg.bulk.parallel =
+// false) so the ratio measures the kernels, not thread-pool dilution.
+//
+// Textconv/ReactorZeroCopy — MCM resends through the reactor engine with a
+// synchronously-draining client; the server's write_copied_bytes counter
+// must stay exactly 0 (every response left via the direct slice path, no
+// EAGAIN tail was copied). check_match_kinds.py gates both counters.
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/client.hpp"
+#include "core/diff_serializer.hpp"
+#include "core/message_template.hpp"
+#include "core/template_builder.hpp"
+#include "server/server_runtime.hpp"
+#include "soap/workload.hpp"
+#include "textconv/swar.hpp"
+
+namespace {
+
+using namespace bsoap;
+using namespace bsoap::bench;
+using Clock = std::chrono::steady_clock;
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                   values.end());
+  return values[values.size() / 2];
+}
+
+void register_update_ab() {
+  register_series(
+      "Textconv/UpdateAB/Double",
+      [](benchmark::State& state, std::size_t n) {
+        core::TemplateConfig cfg;
+        cfg.stuffing.mode = core::StuffingPolicy::Mode::kTypeMax;
+        cfg.bulk.parallel = false;
+        const std::size_t block = std::max<std::size_t>(1, n / 100);
+        auto tmpl = core::build_template(
+            soap::make_double_array_call(
+                soap::doubles_with_serialized_length(n, 17, 1)),
+            cfg);
+        // Three same-width value pools so consecutive rounds always rewrite
+        // real digits instead of matching the previous round's bytes.
+        std::vector<soap::RpcCall> calls;
+        for (int s = 2; s < 5; ++s) {
+          calls.push_back(soap::make_double_array_call(
+              soap::doubles_with_serialized_length(n, 17, s)));
+        }
+        const std::size_t base_span = n - block + 1;
+
+        std::size_t round = 0;
+        auto run_round = [&](bool vectorized) {
+          textconv::set_textconv_tier(vectorized
+                                          ? textconv::detect_textconv_tier()
+                                          : textconv::TextconvTier::kScalar);
+          const soap::RpcCall& call = calls[round % calls.size()];
+          const std::size_t base = (round * block * 7) % base_span;
+          for (std::size_t i = base; i < base + block; ++i) {
+            tmpl->dut().mark_dirty(i);
+          }
+          const auto t0 = Clock::now();
+          (void)core::update_dirty_fields(*tmpl, call);
+          const auto t1 = Clock::now();
+          ++round;
+          return static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count());
+        };
+
+        // Untimed warmup pairs: fault in the template pages and settle the
+        // branch predictors before the first measured pair.
+        for (int w = 0; w < 4; ++w) (void)run_round(w & 1);
+
+        std::vector<double> scalar_ns;
+        std::vector<double> vector_ns;
+        for (auto _ : state) {
+          const double s = run_round(false);
+          const double v = run_round(true);
+          scalar_ns.push_back(s);
+          vector_ns.push_back(v);
+          state.SetIterationTime(v / 1e9);
+        }
+        textconv::set_textconv_tier(textconv::detect_textconv_tier());
+
+        std::vector<double> ratios;
+        double scalar_sum = 0;
+        double vector_sum = 0;
+        for (std::size_t i = 0; i < scalar_ns.size(); ++i) {
+          if (vector_ns[i] > 0) ratios.push_back(scalar_ns[i] / vector_ns[i]);
+          scalar_sum += scalar_ns[i];
+          vector_sum += vector_ns[i];
+        }
+        const double pairs = static_cast<double>(scalar_ns.size());
+        const double fields = pairs * static_cast<double>(block);
+        state.counters["update_ratio"] = median_of(std::move(ratios));
+        state.counters["scalar_ns_per_field"] =
+            fields > 0 ? scalar_sum / fields : 0.0;
+        state.counters["vectorized_ns_per_field"] =
+            fields > 0 ? vector_sum / fields : 0.0;
+      },
+      /*manual_time=*/true);
+}
+
+void register_reactor_zerocopy() {
+  register_series(
+      "Textconv/ReactorZeroCopy/Double",
+      [](benchmark::State& state, std::size_t n) {
+        soap::RpcHandler echo =
+            [](const soap::RpcCall& call) -> Result<soap::Value> {
+          const auto view = call.params[0].value.doubles();
+          return soap::Value::from_double_array(
+              std::vector<double>(view.begin(), view.end()));
+        };
+        server::ServerRuntimeOptions options;
+        options.workers = 1;
+        options.io_model = server::IoModel::kReactor;
+        auto server = must(server::ServerRuntime::start(echo, options));
+        auto transport = must(net::tcp_connect(server->port()));
+        core::BsoapClient client(*transport);
+        const soap::RpcCall call = soap::make_double_array_call(
+            soap::doubles_with_serialized_length(n, 17, 1));
+        (void)must(client.invoke(call));  // first-time template build
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(must(client.invoke(call)));
+        }
+        const server::ServerStats stats = server->stats();
+        state.counters["write_copied_bytes"] =
+            static_cast<double>(stats.write_copied_bytes);
+        state.counters["partial_writes"] =
+            static_cast<double>(stats.partial_writes);
+        transport->shutdown_send();
+        server->stop();
+      });
+}
+
+void register_figure() {
+  register_update_ab();
+  register_reactor_zerocopy();
+}
+
+}  // namespace
+
+BSOAP_BENCH_MAIN(register_figure)

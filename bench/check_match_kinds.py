@@ -188,6 +188,44 @@ def check_diffwire(bench, entries):
     return errors
 
 
+def check_textconv(bench, entries):
+    """Gates for the vectorized-textconv A/B and zero-copy write series.
+
+    * "Textconv/UpdateAB/..." (and the paired ablation series) record the
+      median per-pair scalar/vectorized ratio of the differential update
+      stage; the vectorized tier must hold >= 1.2x at n >= 10000 and
+      >= 1.3x at n >= 50000 (where the bulk rewrite fully dominates fixed
+      costs; measured ~1.45x). Smaller n are informational — CI smoke runs
+      with BSOAP_BENCH_MAX_N=1000 never reach the gate.
+    * "Textconv/ReactorZeroCopy/..." resends through the reactor engine
+      with a synchronously-draining client: write_copied_bytes must be
+      exactly 0 at every size — any copied byte means a response left via
+      the flatten/EAGAIN path instead of the direct slice write.
+    """
+    errors = []
+    for entry in entries:
+        series = entry["series"]
+        c = entry.get("counters", {})
+        if series.startswith("Textconv/UpdateAB/"):
+            ratio = c.get("update_ratio", 0)
+            floor = 1.3 if entry["n"] >= 50000 else (
+                1.2 if entry["n"] >= 10000 else 0)
+            if floor and ratio < floor:
+                errors.append(
+                    f"{bench} {series}/{entry['n']}: vectorized update "
+                    f"speedup {ratio:.2f}x < {floor}x — the SWAR/SIMD "
+                    f"kernels regressed or the scalar path is being "
+                    f"dispatched")
+        if series.startswith("Textconv/ReactorZeroCopy/"):
+            copied = c.get("write_copied_bytes", -1)
+            if copied != 0:
+                errors.append(
+                    f"{bench} {series}/{entry['n']}: write_copied_bytes="
+                    f"{copied:.0f} — reactor responses must leave via the "
+                    f"zero-copy slice path when the client drains promptly")
+    return errors
+
+
 def main() -> int:
     if len(sys.argv) < 2:
         print(__doc__)
@@ -209,6 +247,8 @@ def main() -> int:
                                    doc.get("entries", [])))
         errors.extend(
             check_diffwire(doc.get("bench", path), doc.get("entries", [])))
+        errors.extend(
+            check_textconv(doc.get("bench", path), doc.get("entries", [])))
     if errors:
         print(f"match-kind check FAILED ({len(errors)} violation(s)):")
         for e in errors:

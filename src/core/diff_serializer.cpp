@@ -151,11 +151,9 @@ void compare_double_part(MessageTemplate& tmpl, const ArraySegment& seg,
                           eb + static_cast<std::uint32_t>(e));
       });
   const auto t1 = Clock::now();
-  char text[textconv::kMaxDoubleChars];
   for (const RunRange& r : runs) {
     for (std::uint32_t k = r.first; k < r.second; ++k) {
-      const int len = textconv::write_double(text, next[k]);
-      w.rewrite(seg.first_leaf + k, text, static_cast<std::uint32_t>(len));
+      w.rewrite_double(seg.first_leaf + k, next[k]);
       dut[seg.first_leaf + k].shadow.d = next[k];
     }
     std::memcpy(shadow + r.first, next + r.first,
@@ -181,11 +179,9 @@ void compare_int_part(MessageTemplate& tmpl, const ArraySegment& seg,
                           eb + static_cast<std::uint32_t>(e));
       });
   const auto t1 = Clock::now();
-  char text[textconv::kMaxInt32Chars];
   for (const RunRange& r : runs) {
     for (std::uint32_t k = r.first; k < r.second; ++k) {
-      const int len = textconv::write_i32(text, next[k]);
-      w.rewrite(seg.first_leaf + k, text, static_cast<std::uint32_t>(len));
+      w.rewrite_i32(seg.first_leaf + k, next[k]);
       dut[seg.first_leaf + k].shadow.i = next[k];
     }
     std::memcpy(shadow + r.first, next + r.first,
@@ -211,7 +207,6 @@ void compare_mio_part(MessageTemplate& tmpl, const ArraySegment& seg,
                           eb + static_cast<std::uint32_t>(e));
       });
   const auto t1 = Clock::now();
-  char text[textconv::kMaxDoubleChars];
   for (const RunRange& r : runs) {
     for (std::uint32_t k = r.first; k < r.second; ++k) {
       // Per-field compare within the dirty element, matching what the
@@ -220,19 +215,16 @@ void compare_mio_part(MessageTemplate& tmpl, const ArraySegment& seg,
       soap::Mio& sv = shadow[k];
       const std::uint32_t leaf = seg.first_leaf + 3 * k;
       if (nv.x != sv.x) {
-        const int len = textconv::write_i32(text, nv.x);
-        w.rewrite(leaf, text, static_cast<std::uint32_t>(len));
+        w.rewrite_i32(leaf, nv.x);
         dut[leaf].shadow.i = nv.x;
       }
       if (nv.y != sv.y) {
-        const int len = textconv::write_i32(text, nv.y);
-        w.rewrite(leaf + 1, text, static_cast<std::uint32_t>(len));
+        w.rewrite_i32(leaf + 1, nv.y);
         dut[leaf + 1].shadow.i = nv.y;
       }
       if (std::bit_cast<std::uint64_t>(nv.value) !=
           std::bit_cast<std::uint64_t>(sv.value)) {
-        const int len = textconv::write_double(text, nv.value);
-        w.rewrite(leaf + 2, text, static_cast<std::uint32_t>(len));
+        w.rewrite_double(leaf + 2, nv.value);
         dut[leaf + 2].shadow.d = nv.value;
       }
       sv = nv;
@@ -260,12 +252,10 @@ void dirty_double_part(MessageTemplate& tmpl, const ArraySegment& seg,
                                              static_cast<std::uint32_t>(e));
                          });
   const auto t1 = Clock::now();
-  char text[textconv::kMaxDoubleChars];
   for (const RunRange& r : runs) {
     for (std::uint32_t i = r.first; i < r.second; ++i) {
       const std::uint32_t k = i - seg.first_leaf;
-      const int len = textconv::write_double(text, next[k]);
-      w.rewrite(i, text, static_cast<std::uint32_t>(len));
+      w.rewrite_double(i, next[k]);
       dut[i].shadow.d = next[k];
       shadow[k] = next[k];
     }
@@ -292,12 +282,10 @@ void dirty_int_part(MessageTemplate& tmpl, const ArraySegment& seg,
                                              static_cast<std::uint32_t>(e));
                          });
   const auto t1 = Clock::now();
-  char text[textconv::kMaxInt32Chars];
   for (const RunRange& r : runs) {
     for (std::uint32_t i = r.first; i < r.second; ++i) {
       const std::uint32_t k = i - seg.first_leaf;
-      const int len = textconv::write_i32(text, next[k]);
-      w.rewrite(i, text, static_cast<std::uint32_t>(len));
+      w.rewrite_i32(i, next[k]);
       dut[i].shadow.i = next[k];
       shadow[k] = next[k];
     }
@@ -324,33 +312,26 @@ void dirty_mio_part(MessageTemplate& tmpl, const ArraySegment& seg,
                                              static_cast<std::uint32_t>(e));
                          });
   const auto t1 = Clock::now();
-  char text[textconv::kMaxDoubleChars];
   for (const RunRange& r : runs) {
     for (std::uint32_t i = r.first; i < r.second; ++i) {
       const std::uint32_t off = i - seg.first_leaf;
       const std::uint32_t k = off / 3;
       switch (off % 3) {
-        case 0: {
-          const int len = textconv::write_i32(text, next[k].x);
-          w.rewrite(i, text, static_cast<std::uint32_t>(len));
+        case 0:
+          w.rewrite_i32(i, next[k].x);
           dut[i].shadow.i = next[k].x;
           shadow[k].x = next[k].x;
           break;
-        }
-        case 1: {
-          const int len = textconv::write_i32(text, next[k].y);
-          w.rewrite(i, text, static_cast<std::uint32_t>(len));
+        case 1:
+          w.rewrite_i32(i, next[k].y);
           dut[i].shadow.i = next[k].y;
           shadow[k].y = next[k].y;
           break;
-        }
-        default: {
-          const int len = textconv::write_double(text, next[k].value);
-          w.rewrite(i, text, static_cast<std::uint32_t>(len));
+        default:
+          w.rewrite_double(i, next[k].value);
           dut[i].shadow.d = next[k].value;
           shadow[k].value = next[k].value;
           break;
-        }
       }
     }
   }
@@ -457,13 +438,11 @@ void dirty_double_serial(MessageTemplate& tmpl, const ArraySegment& seg,
   double* shadow = dut.double_plane(seg);
   MessageTemplate::RunWriter w(tmpl, tmpl.stats());
   const auto t0 = Clock::now();
-  char text[textconv::kMaxDoubleChars];
   fused_dirty_scan(
       dut, seg.first_leaf, seg.first_leaf + seg.leaf_count(), tm,
       [&](std::size_t i) {
         const std::size_t k = i - seg.first_leaf;
-        const int len = textconv::write_double(text, next[k]);
-        w.rewrite(i, text, static_cast<std::uint32_t>(len));
+        w.rewrite_double(i, next[k]);
         dut[i].shadow.d = next[k];
         shadow[k] = next[k];
       });
@@ -477,13 +456,11 @@ void dirty_int_serial(MessageTemplate& tmpl, const ArraySegment& seg,
   std::int32_t* shadow = dut.int_plane(seg);
   MessageTemplate::RunWriter w(tmpl, tmpl.stats());
   const auto t0 = Clock::now();
-  char text[textconv::kMaxInt32Chars];
   fused_dirty_scan(
       dut, seg.first_leaf, seg.first_leaf + seg.leaf_count(), tm,
       [&](std::size_t i) {
         const std::size_t k = i - seg.first_leaf;
-        const int len = textconv::write_i32(text, next[k]);
-        w.rewrite(i, text, static_cast<std::uint32_t>(len));
+        w.rewrite_i32(i, next[k]);
         dut[i].shadow.i = next[k];
         shadow[k] = next[k];
       });
@@ -497,34 +474,27 @@ void dirty_mio_serial(MessageTemplate& tmpl, const ArraySegment& seg,
   soap::Mio* shadow = dut.mio_plane(seg);
   MessageTemplate::RunWriter w(tmpl, tmpl.stats());
   const auto t0 = Clock::now();
-  char text[textconv::kMaxDoubleChars];
   fused_dirty_scan(
       dut, seg.first_leaf, seg.first_leaf + seg.leaf_count(), tm,
       [&](std::size_t i) {
         const std::size_t off = i - seg.first_leaf;
         const std::size_t k = off / 3;
         switch (off % 3) {
-          case 0: {
-            const int len = textconv::write_i32(text, next[k].x);
-            w.rewrite(i, text, static_cast<std::uint32_t>(len));
+          case 0:
+            w.rewrite_i32(i, next[k].x);
             dut[i].shadow.i = next[k].x;
             shadow[k].x = next[k].x;
             break;
-          }
-          case 1: {
-            const int len = textconv::write_i32(text, next[k].y);
-            w.rewrite(i, text, static_cast<std::uint32_t>(len));
+          case 1:
+            w.rewrite_i32(i, next[k].y);
             dut[i].shadow.i = next[k].y;
             shadow[k].y = next[k].y;
             break;
-          }
-          default: {
-            const int len = textconv::write_double(text, next[k].value);
-            w.rewrite(i, text, static_cast<std::uint32_t>(len));
+          default:
+            w.rewrite_double(i, next[k].value);
             dut[i].shadow.d = next[k].value;
             shadow[k].value = next[k].value;
             break;
-          }
         }
       });
   tm.leaves += seg.leaf_count();

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#include "textconv/dtoa.hpp"
+#include "textconv/itoa.hpp"
+#include "textconv/swar.hpp"
+
 namespace bsoap::core {
 namespace {
 
@@ -251,6 +255,110 @@ void MessageTemplate::RunWriter::rewrite(std::size_t idx, const char* text,
   ++stats_.tag_shifts;
   stats_.bytes_rewritten += e.field_width + e.close_tag_len;
   e.serialized_len = len;
+}
+
+void MessageTemplate::RunWriter::rewrite_padded(std::size_t idx,
+                                                const char* text,
+                                                std::uint32_t len) {
+  DutEntry& e = tmpl_.dut()[idx];
+  if (len > e.field_width) {
+    BSOAP_ASSERT(&stats_ == &tmpl_.stats());
+    tmpl_.rewrite_value(idx, text, len);
+    chunk_ = kNoChunk;
+    return;
+  }
+  if (UpdateJournal* journal = tmpl_.journal()) {
+    journal->record_field(tmpl_, idx);
+  }
+  if (e.pos.chunk != chunk_) {
+    chunk_ = e.pos.chunk;
+    base_ = tmpl_.buffer().at(buffer::BufPos{chunk_, 0});
+  }
+  char* p = base_ + e.pos.offset;
+  ++stats_.value_rewrites;
+  if (len == e.serialized_len) {
+    textconv::swar::copy_digits(p, text, len);
+    stats_.bytes_rewritten += len;
+    return;
+  }
+  // Tag shift, all wide exact stores. The tag save reads from the buffer
+  // (whose readable extent past the region is not guaranteed), so it stays
+  // a bounded memcpy; the local is padded so the store side can go wide.
+  char tag[kMaxCloseTag + 8];
+  BSOAP_ASSERT(e.close_tag_len <= kMaxCloseTag);
+  std::memcpy(tag, p + e.serialized_len, e.close_tag_len);
+  textconv::swar::copy_digits(p, text, len);
+  textconv::swar::copy_digits(p + len, tag, e.close_tag_len);
+  textconv::swar::fill_spaces(p + len + e.close_tag_len, e.field_width - len);
+  ++stats_.tag_shifts;
+  stats_.bytes_rewritten += e.field_width + e.close_tag_len;
+  e.serialized_len = len;
+}
+
+template <typename Convert>
+void MessageTemplate::RunWriter::rewrite_convert(std::size_t idx,
+                                                 std::uint32_t max_chars,
+                                                 Convert conv) {
+  DutEntry& e = tmpl_.dut()[idx];
+  if (e.field_width >= max_chars) [[likely]] {
+    // Type-max stuffed field: every value fits, so the converter's exact
+    // wide stores land straight in the buffer region — no scratch copy.
+    // The closing tag is captured first because a longer value overwrites
+    // its leading bytes.
+    if (UpdateJournal* journal = tmpl_.journal()) {
+      journal->record_field(tmpl_, idx);
+    }
+    if (e.pos.chunk != chunk_) {
+      chunk_ = e.pos.chunk;
+      base_ = tmpl_.buffer().at(buffer::BufPos{chunk_, 0});
+    }
+    char* p = base_ + e.pos.offset;
+    ++stats_.value_rewrites;
+    char tag[kMaxCloseTag + 8];
+    BSOAP_ASSERT(e.close_tag_len <= kMaxCloseTag);
+    std::memcpy(tag, p + e.serialized_len, e.close_tag_len);
+    const std::uint32_t len = conv(p);
+    if (len == e.serialized_len) {
+      stats_.bytes_rewritten += len;
+      return;
+    }
+    textconv::swar::copy_digits(p + len, tag, e.close_tag_len);
+    textconv::swar::fill_spaces(p + len + e.close_tag_len,
+                                e.field_width - len);
+    ++stats_.tag_shifts;
+    stats_.bytes_rewritten += e.field_width + e.close_tag_len;
+    e.serialized_len = len;
+    return;
+  }
+  // Padded so rewrite_padded's wide copy may read (never write) a full
+  // word from any offset below the produced length.
+  char text[textconv::kMaxDoubleChars + 8];
+  const std::uint32_t len = conv(text);
+  rewrite_padded(idx, text, len);
+}
+
+void MessageTemplate::RunWriter::rewrite_double(std::size_t idx, double v) {
+  if (textconv::textconv_vectorized()) {
+    rewrite_convert(idx, textconv::kMaxDoubleChars, [v](char* out) {
+      return static_cast<std::uint32_t>(textconv::write_double(out, v));
+    });
+    return;
+  }
+  char text[textconv::kMaxDoubleChars];
+  const int len = textconv::write_double(text, v);
+  rewrite(idx, text, static_cast<std::uint32_t>(len));
+}
+
+void MessageTemplate::RunWriter::rewrite_i32(std::size_t idx, std::int32_t v) {
+  if (textconv::textconv_vectorized()) {
+    rewrite_convert(idx, textconv::kMaxInt32Chars, [v](char* out) {
+      return static_cast<std::uint32_t>(textconv::write_i32(out, v));
+    });
+    return;
+  }
+  char text[textconv::kMaxInt32Chars];
+  const int len = textconv::write_i32(text, v);
+  rewrite(idx, text, static_cast<std::uint32_t>(len));
 }
 
 std::unique_ptr<MessageTemplate> MessageTemplate::clone() const {

@@ -221,7 +221,26 @@ class MessageTemplate {
 
     void rewrite(std::size_t idx, const char* text, std::uint32_t len);
 
+    /// Typed variants: convert `v` to text and rewrite entry `idx`. On the
+    /// vectorized textconv tier the value copy, the shifted closing tag and
+    /// the whitespace pad are all written with wide exact stores (no
+    /// per-field libc memcpy/memset); on the scalar tier bytes and counters
+    /// match write_* into scratch + rewrite() exactly.
+    void rewrite_double(std::size_t idx, double v);
+    void rewrite_i32(std::size_t idx, std::int32_t v);
+
    private:
+    /// rewrite() for conversion scratch that is readable 8 bytes past
+    /// `len` (wide copies may over-read, never over-write).
+    void rewrite_padded(std::size_t idx, const char* text, std::uint32_t len);
+
+    /// Vectorized-tier body of the typed rewrites: when the field is
+    /// stuffed to at least `max_chars` (every value fits), `conv` writes
+    /// the value text straight into the template buffer; otherwise it
+    /// converts into scratch and the generic path runs.
+    template <typename Convert>
+    void rewrite_convert(std::size_t idx, std::uint32_t max_chars,
+                         Convert conv);
     static constexpr std::uint32_t kNoChunk = 0xffffffffu;
 
     MessageTemplate& tmpl_;

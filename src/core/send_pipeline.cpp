@@ -225,9 +225,11 @@ Recovery SendPipeline::recover_failed_send() {
   return Recovery::kNone;
 }
 
-void SendPipeline::build_patch_frame(MessageTemplate& tmpl,
-                                     std::uint64_t wire_id, std::uint32_t epoch,
-                                     SendReport* report) {
+std::size_t SendPipeline::build_patch_frame(MessageTemplate& tmpl,
+                                            std::uint64_t wire_id,
+                                            std::uint32_t epoch,
+                                            SendReport* report,
+                                            bool slice_body) {
   const buffer::ChunkedBuffer& buf = tmpl.buffer();
 
   patch_runs_.clear();
@@ -283,16 +285,62 @@ void SendPipeline::build_patch_frame(MessageTemplate& tmpl,
 
   patch_buf_.clear();
   diffwire::append_patch_header(patch_buf_, header);
-  for (const PatchRunScratch& r : patch_runs_) {
-    diffwire::append_run_header(patch_buf_, r.offset, r.length);
-    const std::size_t at = patch_buf_.size();
-    patch_buf_.resize(at + r.length);
-    buf.read_at(r.pos, patch_buf_.data() + at, r.length);
+  body_slices_.clear();
+  std::size_t total = 0;
+  if (!slice_body) {
+    for (const PatchRunScratch& r : patch_runs_) {
+      diffwire::append_run_header(patch_buf_, r.offset, r.length);
+      const std::size_t at = patch_buf_.size();
+      patch_buf_.resize(at + r.length);
+      buf.read_at(r.pos, patch_buf_.data() + at, r.length);
+    }
+    total = patch_buf_.size();
+    body_slices_.push_back(
+        net::ConstSlice{patch_buf_.data(), patch_buf_.size()});
+  } else {
+    // Pass 1: every run header into patch_buf_ first — taking slices while
+    // still appending would dangle them on a reallocation.
+    patch_hdr_ends_.clear();
+    patch_hdr_ends_.reserve(patch_runs_.size());
+    for (const PatchRunScratch& r : patch_runs_) {
+      diffwire::append_run_header(patch_buf_, r.offset, r.length);
+      patch_hdr_ends_.push_back(patch_buf_.size());
+    }
+    total = patch_buf_.size();
+    // Pass 2: interleave patch_buf_ segments with the runs' bytes read in
+    // place from the template buffer, splitting at chunk boundaries. The
+    // first segment carries the patch header along with run 0's header.
+    std::size_t prev = 0;
+    for (std::size_t i = 0; i < patch_runs_.size(); ++i) {
+      const PatchRunScratch& r = patch_runs_[i];
+      body_slices_.push_back(net::ConstSlice{patch_buf_.data() + prev,
+                                             patch_hdr_ends_[i] - prev});
+      prev = patch_hdr_ends_[i];
+      std::size_t chunk = r.pos.chunk;
+      std::size_t off = r.pos.offset;
+      std::size_t n = r.length;
+      total += n;
+      while (n > 0) {
+        const std::string_view view = buf.chunk_view(chunk);
+        const std::size_t take = std::min<std::size_t>(n, view.size() - off);
+        if (take > 0) {
+          body_slices_.push_back(net::ConstSlice{view.data() + off, take});
+        }
+        n -= take;
+        ++chunk;
+        off = 0;
+      }
+    }
+    if (patch_runs_.empty()) {  // replay frame: header only
+      body_slices_.push_back(
+          net::ConstSlice{patch_buf_.data(), patch_buf_.size()});
+    }
   }
 
   report->patch_send = true;
   report->patch_replay = patch_runs_.empty();
   report->patch_runs = header.run_count;
+  return total;
 }
 
 Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
@@ -322,7 +370,9 @@ Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
         (report->match == MatchKind::kPerfectStructural &&
          journal_ != nullptr && journal_->armed() && !journal_->structural());
     if (patch_safe && diffwire_->should_patch(wire_id, &epoch)) {
-      build_patch_frame(tmpl, wire_id, epoch, report);
+      const bool slice_body = &framing == &http::content_length_framer();
+      const std::size_t patch_bytes =
+          build_patch_frame(tmpl, wire_id, epoch, report, slice_body);
 
       http::HttpRequest head;
       head.method = "POST";
@@ -338,12 +388,12 @@ Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
           head.headers.push_back(h);
         }
       }
-      framing.add_headers(head.headers, patch_buf_.size());
+      framing.add_headers(head.headers, patch_bytes);
       head_text_ = http::serialize_request_head(head);
 
-      body_slices_.clear();
-      body_slices_.push_back(
-          net::ConstSlice{patch_buf_.data(), patch_buf_.size()});
+      // body_slices_ was filled by build_patch_frame; the run bytes may be
+      // referenced in place from the template buffer, which stays valid
+      // (and unmutated — the lease is still out) across this write.
       wire_slices_.clear();
       wire_slices_.push_back(
           net::ConstSlice{head_text_.data(), head_text_.size()});
@@ -359,9 +409,9 @@ Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
       // The frame left the socket: advance the epoch optimistically. If the
       // server never applies it, the resulting epoch gap NACKs the next
       // patch and the sender falls back to a full send.
-      diffwire_->note_patch_sent(wire_id, envelope_bytes, patch_buf_.size(),
+      diffwire_->note_patch_sent(wire_id, envelope_bytes, patch_bytes,
                                  report->patch_replay);
-      report->envelope_bytes = patch_buf_.size();
+      report->envelope_bytes = patch_bytes;
       report->wire_bytes = wire_bytes;
       return Status{};
     }

@@ -288,10 +288,18 @@ class SendPipeline {
     return template_source_ != nullptr ? *template_source_ : store_;
   }
 
-  /// Gathers the patch frame for a diff-wire patch send into patch_buf_
-  /// (dirty runs from the armed journal, or a header-only replay frame).
-  void build_patch_frame(MessageTemplate& tmpl, std::uint64_t wire_id,
-                         std::uint32_t epoch, SendReport* report);
+  /// Gathers the patch frame for a diff-wire patch send (dirty runs from
+  /// the armed journal, or a header-only replay frame) into body_slices_,
+  /// returning the frame's total byte count. With `slice_body` set, only
+  /// the patch header and run headers are materialized (in patch_buf_);
+  /// each run's bytes are referenced as sub-slices of the template buffer
+  /// — zero copies, sound because the write completes while the template
+  /// lease is held. Otherwise the whole frame is flattened into patch_buf_
+  /// (the chunked framer wraps each body slice as one HTTP chunk, so slice
+  /// emission would change its wire bytes).
+  std::size_t build_patch_frame(MessageTemplate& tmpl, std::uint64_t wire_id,
+                                std::uint32_t epoch, SendReport* report,
+                                bool slice_body);
 
   Options options_;
   TemplateStore store_;
@@ -324,6 +332,7 @@ class SendPipeline {
   std::vector<std::uint32_t> touched_scratch_;
   std::vector<PatchRunScratch> patch_runs_;
   std::vector<std::size_t> chunk_offsets_;
+  std::vector<std::size_t> patch_hdr_ends_;  ///< run-header ends in patch_buf_
 };
 
 }  // namespace bsoap::core

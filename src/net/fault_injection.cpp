@@ -60,11 +60,53 @@ Status FaultInjectingTransport::send(const char* data, std::size_t n) {
 
 Status FaultInjectingTransport::send_slices(
     std::span<const ConstSlice> slices) {
-  // Per-slice forwarding keeps the byte-exact cut semantics; the inner
-  // transport still sees contiguous writes in order.
+  // One gathered write is one fault opportunity: a real transport turns the
+  // whole slice list into a single writev, so the drop probability must not
+  // scale with how finely the sender sliced the same bytes. A cut lands at
+  // a byte offset across the logical stream, preserving the byte-exact
+  // short-write semantics.
+  if (broken_) return Error{ErrorCode::kClosed, kBrokenMsg};
+  maybe_latency_spike();
+  std::size_t total = 0;
+  for (const ConstSlice& s : slices) total += s.len;
+  std::size_t cut = total + 1;  // past the end: no cut
+  if (plan_.write_failure_rate > 0.0 &&
+      rng_.next_unit_double() < plan_.write_failure_rate) {
+    cut = static_cast<std::size_t>(rng_.next_below(total + 1));
+  }
+  if (plan_.fail_after_bytes > 0) {
+    const std::uint64_t remaining =
+        forwarded_ >= plan_.fail_after_bytes
+            ? 0
+            : plan_.fail_after_bytes - forwarded_;
+    if (total > remaining) cut = std::min<std::size_t>(cut, remaining);
+  }
+  if (cut <= total) {
+    std::size_t left = cut;
+    for (const ConstSlice& s : slices) {
+      const std::size_t take = std::min(left, s.len);
+      if (take > 0) {
+        const Status st = inner_->send(s.data, take);
+        if (!st.ok()) break;
+        forwarded_ += take;
+      }
+      left -= take;
+      if (left == 0) break;
+    }
+    broken_ = true;
+    inner_->shutdown_both();
+    return Error{ErrorCode::kIoError,
+                 "fault injection: connection dropped after " +
+                     std::to_string(forwarded_) + " bytes"};
+  }
   for (const ConstSlice& s : slices) {
     if (s.len == 0) continue;
-    BSOAP_RETURN_IF_ERROR(send(s.data, s.len));
+    const Status st = inner_->send(s.data, s.len);
+    if (!st.ok()) {
+      broken_ = true;
+      return st;
+    }
+    forwarded_ += s.len;
   }
   return Status{};
 }

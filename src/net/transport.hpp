@@ -47,6 +47,26 @@ class Transport {
     return IoResult{n, false};
   }
 
+  /// Slice-preserving send_some: drains as many of the slices as the peer
+  /// window accepts (n = total bytes written, in slice order) and reports
+  /// the shortfall via would_block. Socket transports gather the slices
+  /// into one writev; the default walks them through send_some.
+  virtual Result<IoResult> send_slices_some(
+      std::span<const ConstSlice> slices) {
+    std::size_t total = 0;
+    for (const ConstSlice& s : slices) {
+      std::size_t off = 0;
+      while (off < s.len) {
+        Result<IoResult> sent = send_some(s.data + off, s.len - off);
+        if (!sent.ok()) return sent.error();
+        off += sent.value().n;
+        total += sent.value().n;
+        if (sent.value().would_block) return IoResult{total, true};
+      }
+    }
+    return IoResult{total, false};
+  }
+
   /// Closes the write side so the peer sees end-of-stream.
   virtual void shutdown_send() = 0;
 
@@ -60,6 +80,11 @@ class Transport {
   Status send(std::string_view text) { return send(text.data(), text.size()); }
 };
 
+/// MSG_ZEROCOPY pays page-pinning setup per send; below this size the
+/// copy through the socket buffer is cheaper than the pin + completion
+/// round-trip (kernel guidance says ~10 KB; we round up a little).
+inline constexpr std::size_t kZeroCopyMinBytes = 16 * 1024;
+
 /// Transport backed by a connected socket (TCP or Unix).
 class SocketTransport final : public Transport {
  public:
@@ -70,6 +95,16 @@ class SocketTransport final : public Transport {
     return write_all(fd_.get(), data, n);
   }
   Status send_slices(std::span<const ConstSlice> slices) override {
+    if (zerocopy_) {
+      std::size_t total = 0;
+      for (const ConstSlice& s : slices) total += s.len;
+      if (total >= kZeroCopyMinBytes) {
+        Result<bool> zc = writev_all_zerocopy(fd_.get(), slices);
+        if (!zc.ok()) return zc.error();
+        if (zc.value()) return Status{};
+        zerocopy_ = false;  // kernel refused outright: stop asking
+      }
+    }
     return writev_all(fd_.get(), slices);
   }
   Result<std::size_t> recv(char* out, std::size_t n) override {
@@ -84,14 +119,29 @@ class SocketTransport final : public Transport {
   Result<IoResult> send_some(const char* data, std::size_t n) override {
     return write_nonblocking(fd_.get(), data, n);
   }
+  Result<IoResult> send_slices_some(
+      std::span<const ConstSlice> slices) override {
+    return writev_nonblocking(fd_.get(), slices);
+  }
   void shutdown_send() override;
   void shutdown_both() override;
   int native_handle() const override { return fd_.get(); }
 
   int fd() const { return fd_.get(); }
 
+  /// Opts large send_slices() calls (>= kZeroCopyMinBytes) into
+  /// MSG_ZEROCOPY. No-op where the socket does not support it; a kernel
+  /// that later refuses the flag demotes the transport back to the
+  /// copying path silently. Returns whether zerocopy is now armed.
+  bool enable_zerocopy() {
+    zerocopy_ = arm_zerocopy(fd_.get());
+    return zerocopy_;
+  }
+  bool zerocopy_enabled() const { return zerocopy_; }
+
  private:
   Fd fd_;
+  bool zerocopy_ = false;
 };
 
 /// Creates a connected AF_UNIX socketpair with the paper's socket options.

@@ -23,11 +23,13 @@
 // into epoll_wait's timeout.
 //
 // Workers serialize the response through the identical SendPipeline/
-// shared-cache path as the blocking engine, into a CaptureTransport, then
-// write the bytes directly to the parked connection's socket (exclusive
-// while Dispatched — the reactor holds no epoll interest there), keeping
-// the loop off the client's latency path; only an EAGAIN tail rides the
-// eventfd-signaled completion queue back for readiness-driven drain.
+// shared-cache path as the blocking engine, straight onto the parked
+// connection's socket through a DirectSliceTransport (exclusive while
+// Dispatched — the reactor holds no epoll interest there): the pipeline's
+// slice list goes out as one gathered writev with no flatten, keeping the
+// loop off the client's latency path; only an EAGAIN tail is copied and
+// rides the eventfd-signaled completion queue back for readiness-driven
+// drain.
 // Overload (admission cap, full dispatch queue) and drain answers reuse
 // the blocking path's rendered fault bytes, so every response is
 // byte-for-byte identical across engines.
@@ -55,10 +57,9 @@
 
 namespace bsoap::server {
 
-/// Transport that buffers instead of writing. Reactor-mode workers
-/// serialize responses through exactly the same pipeline code as the
-/// blocking path, into this sink; the reactor drains the captured bytes via
-/// readiness. Writes cannot fail, so a worker never blocks on a slow peer.
+/// Transport that buffers instead of writing (tests capture wire bytes
+/// through it; the reactor workers now write directly via
+/// DirectSliceTransport below).
 class CaptureTransport final : public net::Transport {
  public:
   using net::Transport::send;
@@ -79,6 +80,68 @@ class CaptureTransport final : public net::Transport {
 
  private:
   std::string buf_;
+};
+
+/// Zero-copy worker→socket handoff. Wraps the parked connection's
+/// non-blocking socket; the send pipeline's write stage lands here while
+/// the worker still holds the template lease, so the response's ConstSlice
+/// list — head, template chunks, framing — goes to the socket as one
+/// gathered writev with no intermediate flatten. Only what the socket
+/// buffer refuses (EAGAIN) is copied: the template mutates after the lease
+/// returns, so the unwritten tail must be snapshotted for the reactor's
+/// EPOLLOUT drain. `copied_bytes()` counts exactly those bytes — zero on
+/// the happy path.
+///
+/// A socket error fails the send like the blocking path's transport would;
+/// later sends on the same (now dead) connection short-circuit.
+class DirectSliceTransport final : public net::Transport {
+ public:
+  using net::Transport::send;
+  explicit DirectSliceTransport(net::Transport& inner) : inner_(inner) {}
+
+  Status send(const char* data, std::size_t n) override {
+    const net::ConstSlice slice{data, n};
+    return send_slices(std::span<const net::ConstSlice>(&slice, 1));
+  }
+  Status send_slices(std::span<const net::ConstSlice> slices) override {
+    if (write_error_) {
+      return Error{ErrorCode::kIoError, "connection write already failed"};
+    }
+    std::size_t skip = 0;
+    if (tail_.empty()) {
+      Result<net::IoResult> sent = inner_.send_slices_some(slices);
+      if (!sent.ok()) {
+        write_error_ = true;
+        return sent.error();
+      }
+      if (!sent.value().would_block) return Status{};
+      skip = sent.value().n;
+    }
+    // Socket buffer full: copy the unwritten suffix for readiness-driven
+    // drain. Once a tail exists every later byte must queue behind it.
+    for (const net::ConstSlice& s : slices) {
+      if (skip >= s.len) {
+        skip -= s.len;
+        continue;
+      }
+      tail_.append(s.data + skip, s.len - skip);
+      skip = 0;
+    }
+    return Status{};
+  }
+  Result<std::size_t> recv(char* /*out*/, std::size_t /*n*/) override {
+    return Error{ErrorCode::kUnsupported, "direct transport is write-only"};
+  }
+  void shutdown_send() override {}
+
+  bool write_error() const { return write_error_; }
+  std::size_t copied_bytes() const { return tail_.size(); }
+  std::string take_tail() { return std::move(tail_); }
+
+ private:
+  net::Transport& inner_;
+  std::string tail_;
+  bool write_error_ = false;
 };
 
 /// One fully-received request on its way to the worker pool. The envelope

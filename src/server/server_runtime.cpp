@@ -153,40 +153,29 @@ void ServerRuntime::reactor_worker_loop(Worker& worker) {
   for (;;) {
     std::optional<DispatchJob> job = dispatch_->pop();
     if (!job.has_value()) return;  // queue closed and drained
-    // Serialize through the identical pipeline the blocking path uses, into
-    // a buffer. A false return means the response could not be fully
-    // produced — hand back whatever bytes exist (the blocking path would
-    // have written the same prefix) and close, keeping the two engines'
-    // wire behavior aligned.
-    CaptureTransport capture;
-    const bool keep =
-        answer_request(worker, job->request, *job->parser, capture);
-    std::string bytes = capture.take();
-    // Write directly while the connection is parked in Dispatched — the
+    // Serialize through the identical pipeline the blocking path uses,
+    // writing directly while the connection is parked in Dispatched — the
     // reactor holds no epoll interest on it, so this thread has the socket
-    // to itself. The common whole-response write keeps the reactor loop off
-    // the client's latency path; an EAGAIN remainder rides the completion
-    // back for EPOLLOUT-driven drain.
-    std::size_t off = 0;
-    bool write_error = false;
-    while (off < bytes.size()) {
-      Result<net::IoResult> sent =
-          job->transport->send_some(bytes.data() + off, bytes.size() - off);
-      if (!sent.ok()) {
-        write_error = true;
-        break;
-      }
-      off += sent.value().n;
-      if (sent.value().would_block) break;
-    }
+    // to itself. The pipeline's write stage gathers the response slices
+    // (head + template chunks) into writev calls with no flatten; only an
+    // EAGAIN remainder is copied and rides the completion back for
+    // EPOLLOUT-driven drain. A false return means the response could not
+    // be fully produced; whatever prefix reached the socket matches what
+    // the blocking path would have written, so the engines' wire behavior
+    // stays aligned.
+    DirectSliceTransport direct(*job->transport);
+    const bool keep =
+        answer_request(worker, job->request, *job->parser, direct);
     Completion completion;
     completion.conn_id = job->conn_id;
     completion.keep_alive = keep;
-    if (write_error) {
+    if (direct.write_error()) {
       completion.write_error = true;
-    } else if (off < bytes.size()) {
+    } else if (direct.copied_bytes() > 0) {
       stats_.partial_writes.fetch_add(1, std::memory_order_relaxed);
-      completion.bytes = bytes.substr(off);
+      stats_.write_copied_bytes.fetch_add(direct.copied_bytes(),
+                                          std::memory_order_relaxed);
+      completion.bytes = direct.take_tail();
     }
     reactor_->complete(std::move(completion));
   }

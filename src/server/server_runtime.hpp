@@ -175,9 +175,10 @@ class ServerRuntime {
   /// The per-request core both engines share: SOAP parse (400 + fault on
   /// failure), handler dispatch (500 + fault on failure), differential
   /// response serialization, stats. Writes into `transport` — the live
-  /// socket on the blocking path, a CaptureTransport on the reactor path —
-  /// so the bytes are identical by construction. Returns false when the
-  /// write failed and the connection must close.
+  /// socket on the blocking path, a DirectSliceTransport over the parked
+  /// socket on the reactor path — so the bytes are identical by
+  /// construction. Returns false when the write failed and the connection
+  /// must close.
   bool answer_request(Worker& worker, const http::HttpRequest& request,
                       soap::EnvelopeParser& parser, net::Transport& transport);
   /// Serializes a SOAP fault and sends it with the given HTTP status.

@@ -30,6 +30,8 @@ struct ServerStats {
   std::uint64_t ready_events = 0;     ///< readiness events delivered
   std::uint64_t partial_reads = 0;    ///< read rounds that left a request incomplete
   std::uint64_t partial_writes = 0;   ///< write rounds that left response bytes queued
+  std::uint64_t write_copied_bytes = 0; ///< response bytes copied for EPOLLOUT drain
+                                        ///< (EAGAIN tails; 0 = fully zero-copy)
   std::uint64_t completion_queue_depth_hw = 0; ///< deepest the completion queue has been
   // Per-state connection gauges (point-in-time).
   std::uint64_t conns_idle = 0;       ///< keep-alive, between requests
@@ -119,6 +121,8 @@ class StatsCollector {
     s.ready_events = ready_events.load(std::memory_order_relaxed);
     s.partial_reads = partial_reads.load(std::memory_order_relaxed);
     s.partial_writes = partial_writes.load(std::memory_order_relaxed);
+    s.write_copied_bytes =
+        write_copied_bytes.load(std::memory_order_relaxed);
     s.response_first_time =
         response_first_time.load(std::memory_order_relaxed);
     s.response_content_match =
@@ -149,6 +153,7 @@ class StatsCollector {
   std::atomic<std::uint64_t> ready_events{0};
   std::atomic<std::uint64_t> partial_reads{0};
   std::atomic<std::uint64_t> partial_writes{0};
+  std::atomic<std::uint64_t> write_copied_bytes{0};
   std::atomic<std::uint64_t> response_first_time{0};
   std::atomic<std::uint64_t> response_content_match{0};
   std::atomic<std::uint64_t> response_perfect_match{0};

@@ -1,10 +1,13 @@
 #include "textconv/dtoa.hpp"
 
+#include <array>
+#include <bit>
 #include <cstring>
 
 #include "common/error.hpp"
 #include "textconv/itoa.hpp"
 #include "textconv/pow10cache.hpp"
+#include "textconv/swar.hpp"
 
 namespace bsoap::textconv {
 namespace {
@@ -30,7 +33,7 @@ DiyFp diyfp_from_double(double value) {
                static_cast<int>(raw_exponent) - kExponentBias};
 }
 
-DiyFp normalize(DiyFp v) {
+DiyFp normalize_scalar(DiyFp v) {
   while ((v.f & (1ull << 63)) == 0) {
     v.f <<= 1;
     --v.e;
@@ -38,11 +41,22 @@ DiyFp normalize(DiyFp v) {
   return v;
 }
 
+// Branchless normalize: one countl_zero instead of up to 11 shift-test
+// iterations (subnormals shift furthest). Same result for every nonzero f.
+DiyFp normalize_fast(DiyFp v) {
+  const int shift = std::countl_zero(v.f);
+  return DiyFp{v.f << shift, v.e - shift};
+}
+
+DiyFp normalize(DiyFp v, bool fast) {
+  return fast ? normalize_fast(v) : normalize_scalar(v);
+}
+
 /// Computes the normalized boundaries m- and m+ of the rounding interval
 /// around `v`: every real in (m-, m+) rounds to this double.
-void normalized_boundaries(DiyFp v, DiyFp* minus, DiyFp* plus) {
+void normalized_boundaries(DiyFp v, DiyFp* minus, DiyFp* plus, bool fast) {
   DiyFp pl{(v.f << 1) + 1, v.e - 1};
-  pl = normalize(pl);
+  pl = normalize(pl, fast);
   DiyFp mi;
   if (v.f == kHiddenBit && v.e != 1 - kExponentBias) {
     // Lower neighbour is in the next binade: the interval is asymmetric.
@@ -55,36 +69,6 @@ void normalized_boundaries(DiyFp v, DiyFp* minus, DiyFp* plus) {
   *minus = mi;
   *plus = pl;
 }
-
-int count_decimal_digits_u32(std::uint32_t n) {
-  return decimal_digits_u32(n);
-}
-
-constexpr std::uint32_t kPow10U32[] = {1u,       10u,       100u,     1000u,
-                                       10000u,   100000u,   1000000u, 10000000u,
-                                       100000000u, 1000000000u};
-
-constexpr std::uint64_t kPow10U64[] = {
-    1ull,
-    10ull,
-    100ull,
-    1000ull,
-    10000ull,
-    100000ull,
-    1000000ull,
-    10000000ull,
-    100000000ull,
-    1000000000ull,
-    10000000000ull,
-    100000000000ull,
-    1000000000000ull,
-    10000000000000ull,
-    100000000000000ull,
-    1000000000000000ull,
-    10000000000000000ull,
-    100000000000000000ull,
-    1000000000000000000ull,
-    10000000000000000000ull};
 
 /// Nudges the last generated digit towards w (the exact scaled value) while
 /// remaining inside the rounding interval — this is what makes the output
@@ -99,16 +83,17 @@ void grisu_round(char* buffer, int len, std::uint64_t delta,
   }
 }
 
-void digit_gen(DiyFp w, DiyFp mp, std::uint64_t delta, DecimalDigits* out) {
+void digit_gen_scalar(DiyFp w, DiyFp mp, std::uint64_t delta,
+                      DecimalDigits* out) {
   const DiyFp one{1ull << -mp.e, mp.e};
   const std::uint64_t wp_w = mp.sub(w).f;
   std::uint32_t p1 = static_cast<std::uint32_t>(mp.f >> -one.e);
   std::uint64_t p2 = mp.f & (one.f - 1);
-  int kappa = count_decimal_digits_u32(p1);
+  int kappa = scalar::decimal_digits_u32(p1);
   int len = 0;
 
   while (kappa > 0) {
-    const std::uint32_t div = kPow10U32[kappa - 1];
+    const std::uint32_t div = swar::kPow10U32[kappa - 1];
     const std::uint32_t d = p1 / div;
     p1 %= div;
     if (d != 0 || len != 0) out->digits[len++] = static_cast<char>('0' + d);
@@ -134,28 +119,138 @@ void digit_gen(DiyFp w, DiyFp mp, std::uint64_t delta, DecimalDigits* out) {
       out->k += kappa;
       out->length = len;
       grisu_round(out->digits, len, delta, p2, one.f,
-                  wp_w * kPow10U64[-kappa]);
+                  wp_w * swar::kPow10U64[-kappa]);
       return;
     }
   }
 }
 
-}  // namespace
+// The scalar integral loop above runs a serial chain of ~5 hardware divides
+// by RUNTIME powers of ten (the compiler cannot strength-reduce a variable
+// divisor), plus an early-exit test per digit — the single hottest sequence
+// in PSM double updates. The exit test is rest <= delta with
+// rest = (p1 mod 10^kappa) << -e + p2. Two loop invariants collapse it:
+//   * delta < one.f (= 2^-e) holds for every normal double — delta is ~2
+//     units of the scaled significand's last place, around 2^11, while
+//     2^-e >= 2^34 — so any nonzero remainder alone exceeds delta;
+//   * p2 and delta do not change inside the integral loop, so when
+//     p2 > delta the zero-remainder case cannot exit either.
+// Under those two conditions NO integral-loop exit can ever fire and the
+// whole divide/check chain is exactly "emit the digits of p1": one SWAR
+// ascii conversion. The remaining cases (subnormal-wide intervals,
+// trailing-zero significands with tiny p2) fall back to the reference loop,
+// so the output is byte-identical by construction; the differential tests
+// in tests/test_textconv.cpp hold it to that.
+void digit_gen_fast(DiyFp w, DiyFp mp, std::uint64_t delta,
+                    DecimalDigits* out) {
+  const DiyFp one{1ull << -mp.e, mp.e};
+  const std::uint64_t wp_w = mp.sub(w).f;
+  const std::uint32_t p1 = static_cast<std::uint32_t>(mp.f >> -one.e);
+  std::uint64_t p2 = mp.f & (one.f - 1);
 
-void grisu2(double value, DecimalDigits* out) noexcept {
+  if (delta >= one.f || p2 <= delta) {
+    digit_gen_scalar(w, mp, delta, out);
+    return;
+  }
+
+  int len = 0;
+  if (p1 != 0) {
+    const int nd = swar::digits_u32(p1);
+    if (nd <= 8) {
+      swar::store_exact(out->digits, swar::ascii8(p1) >> ((8 - nd) * 8),
+                        static_cast<unsigned>(nd));
+    } else {
+      const std::uint32_t head = p1 / 100000000u;  // constant divisor
+      swar::store_exact(out->digits,
+                        swar::ascii8(head) >> ((8 - (nd - 8)) * 8),
+                        static_cast<unsigned>(nd - 8));
+      swar::store8(out->digits + nd - 8, swar::ascii8(p1 % 100000000u));
+    }
+    len = nd;
+  }
+
+  // Fractional digits: the recurrence is already multiply-only (x10 per
+  // digit; x100 pairing would overflow — p2 < 2^60 gives no headroom proof
+  // for delta*100), and its exit test must run per digit, so it is shared
+  // with the scalar loop. (A batch-parallel form computing digit m straight
+  // from p2 * 10^m mod 2^s was measured no faster: out-of-order execution
+  // already hides the 4-cycle serial chain under the stores and checks.)
+  int kappa = 0;
+  for (;;) {
+    p2 *= 10;
+    delta *= 10;
+    const int d = static_cast<int>(p2 >> -one.e);
+    if (d != 0 || len != 0) out->digits[len++] = static_cast<char>('0' + d);
+    p2 &= one.f - 1;
+    --kappa;
+    if (p2 < delta) {
+      out->k += kappa;
+      out->length = len;
+      grisu_round(out->digits, len, delta, p2, one.f,
+                  wp_w * swar::kPow10U64[-kappa]);
+      return;
+    }
+  }
+}
+
+// The q estimate below costs a serial int->double convert, double divide
+// and double->int convert per conversion, followed by up to three guarded
+// cached_pow10 lookups — and its inputs depend ONLY on w_plus.e, which for
+// normalized boundaries spans a small fixed range. The fast tier replaces
+// the whole sequence with one table lookup whose entries are precomputed by
+// running the EXACT scalar estimate + correction loops per exponent, so the
+// chosen power (and therefore every output byte) cannot diverge.
+constexpr int kScaleMinE = -1140;  // subnormal boundaries bottom out at -1137
+constexpr int kScaleMaxE = 965;    // DBL_MAX boundaries top out at 960
+struct ScaledPow10 {
+  std::uint64_t f;
+  std::int32_t e;
+  std::int32_t q;
+};
+
+int estimate_q(int plus_e) {
+  // Pick q so that the scaled product exponent lands in [kAlpha, kGamma]:
+  // we need w_plus.e + c.e + 64 in that window and c.e ~ q*log2(10) - 63.
+  return static_cast<int>(((kAlpha + kGamma) / 2 - 64 + 63 - plus_e) /
+                          3.3219280948873623);
+}
+
+const ScaledPow10* scale_table() {
+  static const auto* table = [] {
+    auto* t = new std::array<ScaledPow10, kScaleMaxE - kScaleMinE + 1>;
+    for (int e = kScaleMinE; e <= kScaleMaxE; ++e) {
+      int q = estimate_q(e);
+      DiyFp c = cached_pow10(q);
+      while (e + c.e + 64 < kAlpha) c = cached_pow10(++q);
+      while (e + c.e + 64 > kGamma) c = cached_pow10(--q);
+      (*t)[static_cast<std::size_t>(e - kScaleMinE)] = {
+          c.f, c.e, static_cast<std::int32_t>(q)};
+    }
+    return t;
+  }();
+  return table->data();
+}
+
+void grisu2_impl(double value, DecimalDigits* out, bool fast) {
   BSOAP_ASSERT(value > 0.0);
   const DiyFp v = diyfp_from_double(value);
   DiyFp w_minus, w_plus;
-  normalized_boundaries(v, &w_minus, &w_plus);
-  const DiyFp w = normalize(v);
+  normalized_boundaries(v, &w_minus, &w_plus, fast);
+  const DiyFp w = normalize(v, fast);
 
-  // Pick q so that the scaled product exponent lands in [kAlpha, kGamma]:
-  // we need w_plus.e + c.e + 64 in that window and c.e ~ q*log2(10) - 63.
-  int q = static_cast<int>(((kAlpha + kGamma) / 2 - 64 + 63 - w_plus.e) /
-                           3.3219280948873623);
-  DiyFp c = cached_pow10(q);
-  while (w_plus.e + c.e + 64 < kAlpha) c = cached_pow10(++q);
-  while (w_plus.e + c.e + 64 > kGamma) c = cached_pow10(--q);
+  int q;
+  DiyFp c;
+  if (fast) {
+    BSOAP_ASSERT(w_plus.e >= kScaleMinE && w_plus.e <= kScaleMaxE);
+    const ScaledPow10& s = scale_table()[w_plus.e - kScaleMinE];
+    c = DiyFp{s.f, s.e};
+    q = s.q;
+  } else {
+    q = estimate_q(w_plus.e);
+    c = cached_pow10(q);
+    while (w_plus.e + c.e + 64 < kAlpha) c = cached_pow10(++q);
+    while (w_plus.e + c.e + 64 > kGamma) c = cached_pow10(--q);
+  }
 
   const DiyFp W = w.mul(c);
   DiyFp Wp = w_plus.mul(c);
@@ -167,47 +262,79 @@ void grisu2(double value, DecimalDigits* out) noexcept {
 
   out->k = -q;
   out->length = 0;
-  digit_gen(W, Wp, Wp.f - Wm.f, out);
+  if (fast) {
+    digit_gen_fast(W, Wp, Wp.f - Wm.f, out);
+  } else {
+    digit_gen_scalar(W, Wp, Wp.f - Wm.f, out);
+  }
 }
 
-int format_decimal(char* out, const char* digits, int length, int k) noexcept {
+// `padded` says digits points into a DecimalDigits buffer (8-byte reads
+// past the digit count are in-bounds), letting the fast tier replace the
+// variable-length memcpy calls with inline wide copies. The public
+// format_decimal takes arbitrary caller buffers and must pass false.
+int format_decimal_impl(char* out, const char* digits, int length, int k,
+                        bool fast, bool padded) {
+  const auto copy = [&](char* dst, const char* src, int n) {
+    if (fast && padded) {
+      swar::copy_digits(dst, src, static_cast<unsigned>(n));
+    } else {
+      std::memcpy(dst, src, static_cast<std::size_t>(n));
+    }
+  };
   char* p = out;
   const int point = length + k;  // value = 0.digits * 10^point
 
   if (length <= point && point <= 17) {
     // 1234000 — digits followed by trailing zeros.
-    std::memcpy(p, digits, static_cast<std::size_t>(length));
+    copy(p, digits, length);
     p += length;
-    for (int i = length; i < point; ++i) *p++ = '0';
+    if (fast) {
+      // Wide zero fill; exact-length stores (a variable-length memset here
+      // costs a libc call at every site).
+      swar::fill_zeros(p, static_cast<unsigned>(point - length));  // <= 16
+      p += point - length;
+    } else {
+      for (int i = length; i < point; ++i) *p++ = '0';
+    }
   } else if (0 < point && point < length) {
     // 12.34 — decimal point inside the digit string.
-    std::memcpy(p, digits, static_cast<std::size_t>(point));
+    copy(p, digits, point);
     p += point;
     *p++ = '.';
-    std::memcpy(p, digits + point, static_cast<std::size_t>(length - point));
+    copy(p, digits + point, length - point);
     p += length - point;
   } else if (-4 < point && point <= 0) {
     // 0.0001234 — leading zeros after the decimal point.
     *p++ = '0';
     *p++ = '.';
-    for (int i = 0; i < -point; ++i) *p++ = '0';
-    std::memcpy(p, digits, static_cast<std::size_t>(length));
+    if (fast) {
+      swar::fill_zeros(p, static_cast<unsigned>(-point));  // <= 3 bytes
+      p += -point;
+    } else {
+      for (int i = 0; i < -point; ++i) *p++ = '0';
+    }
+    copy(p, digits, length);
     p += length;
   } else {
     // 1.234e-308 — scientific notation.
     *p++ = digits[0];
     if (length > 1) {
       *p++ = '.';
-      std::memcpy(p, digits + 1, static_cast<std::size_t>(length - 1));
+      copy(p, digits + 1, length - 1);
       p += length - 1;
     }
     *p++ = 'e';
-    p += write_i32(p, point - 1);
+    // The exponent write lands at out + 20 in the worst case
+    // ("-2.2250738585072014e" + up to 4 chars = exactly kMaxDoubleChars):
+    // both write_i32 tiers store exactly their returned length, so this
+    // never touches byte 24.
+    p += fast ? write_i32(p, point - 1) : scalar::write_i32(p, point - 1);
   }
   return static_cast<int>(p - out);
 }
 
-int write_double(char* out, double value) noexcept {
+int write_double_impl(char* out, double value, bool fast) {
   std::uint64_t bits;
   std::memcpy(&bits, &value, sizeof(bits));
   const bool negative = (bits >> 63) != 0;
@@ -234,16 +361,49 @@ int write_double(char* out, double value) noexcept {
   double magnitude = value;
   if (negative) magnitude = -magnitude;
   DecimalDigits dec;
-  grisu2(magnitude, &dec);
-  p += format_decimal(p, dec.digits, dec.length, dec.k);
+  grisu2_impl(magnitude, &dec, fast);
+  p += format_decimal_impl(p, dec.digits, dec.length, dec.k, fast,
+                           /*padded=*/true);
   const int total = static_cast<int>(p - out);
   BSOAP_ASSERT(total <= kMaxDoubleChars);
   return total;
+}
+
+}  // namespace
+
+void grisu2(double value, DecimalDigits* out) noexcept {
+  grisu2_impl(value, out, textconv_vectorized());
+}
+
+int format_decimal(char* out, const char* digits, int length, int k) noexcept {
+  return format_decimal_impl(out, digits, length, k, textconv_vectorized(),
+                             /*padded=*/false);
+}
+
+int write_double(char* out, double value) noexcept {
+  return write_double_impl(out, value, textconv_vectorized());
 }
 
 int serialized_length_double(double value) noexcept {
   char scratch[kMaxDoubleChars];
   return write_double(scratch, value);
 }
+
+namespace scalar {
+
+void grisu2(double value, DecimalDigits* out) noexcept {
+  grisu2_impl(value, out, false);
+}
+
+int format_decimal(char* out, const char* digits, int length, int k) noexcept {
+  return format_decimal_impl(out, digits, length, k, false,
+                             /*padded=*/false);
+}
+
+int write_double(char* out, double value) noexcept {
+  return write_double_impl(out, value, false);
+}
+
+}  // namespace scalar
 
 }  // namespace bsoap::textconv

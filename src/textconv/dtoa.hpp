@@ -18,9 +18,11 @@
 namespace bsoap::textconv {
 
 /// Decimal significand/exponent pair: value ~= digits * 10^k where `digits`
-/// is the integer formed by digits[0..length).
+/// is the integer formed by digits[0..length). Grisu emits at most 20
+/// digits; the buffer is padded to 28 so the vectorized formatter may read
+/// (never write) full 8-byte words from any digit offset.
 struct DecimalDigits {
-  char digits[20];
+  char digits[28];
   int length = 0;
   int k = 0;
 };
@@ -42,5 +44,15 @@ int write_double(char* out, double value) noexcept;
 
 /// Length write_double would produce (writes into scratch storage).
 int serialized_length_double(double value) noexcept;
+
+/// The pre-vectorization scalar path (runtime-divisor digit loop, byte-wise
+/// zero fills), kept callable as the differential-test reference and the
+/// BSOAP_FORCE_SCALAR_TEXTCONV kill-switch target. Identical bytes to the
+/// top-level functions on every input.
+namespace scalar {
+void grisu2(double value, DecimalDigits* out) noexcept;
+int format_decimal(char* out, const char* digits, int length, int k) noexcept;
+int write_double(char* out, double value) noexcept;
+}  // namespace scalar
 
 }  // namespace bsoap::textconv

@@ -1,5 +1,7 @@
 #include "textconv/itoa.hpp"
 
+#include "textconv/swar.hpp"
+
 namespace bsoap::textconv {
 namespace {
 
@@ -38,6 +40,8 @@ int write_unsigned(char* out, U value, int len) {
 
 }  // namespace
 
+namespace scalar {
+
 int decimal_digits_u32(std::uint32_t v) noexcept {
   // Branchy but branch-predictor friendly: small values dominate in practice.
   if (v < 10) return 1;
@@ -65,11 +69,50 @@ int decimal_digits_u64(std::uint64_t v) noexcept {
 }
 
 int write_u32(char* out, std::uint32_t value) noexcept {
-  return write_unsigned(out, value, decimal_digits_u32(value));
+  return write_unsigned(out, value, scalar::decimal_digits_u32(value));
 }
 
 int write_u64(char* out, std::uint64_t value) noexcept {
-  return write_unsigned(out, value, decimal_digits_u64(value));
+  return write_unsigned(out, value, scalar::decimal_digits_u64(value));
+}
+
+int write_i32(char* out, std::int32_t value) noexcept {
+  std::uint32_t magnitude = static_cast<std::uint32_t>(value);
+  if (value < 0) {
+    *out++ = '-';
+    magnitude = 0u - magnitude;
+    return 1 + scalar::write_u32(out, magnitude);
+  }
+  return scalar::write_u32(out, magnitude);
+}
+
+int write_i64(char* out, std::int64_t value) noexcept {
+  std::uint64_t magnitude = static_cast<std::uint64_t>(value);
+  if (value < 0) {
+    *out++ = '-';
+    magnitude = 0ull - magnitude;
+    return 1 + scalar::write_u64(out, magnitude);
+  }
+  return scalar::write_u64(out, magnitude);
+}
+
+}  // namespace scalar
+
+int decimal_digits_u32(std::uint32_t v) noexcept { return value_width_u32(v); }
+
+int decimal_digits_u64(std::uint64_t v) noexcept { return value_width_u64(v); }
+
+int write_u32(char* out, std::uint32_t value) noexcept {
+  if (textconv_vectorized()) return swar::write_u32(out, value);
+  return scalar::write_u32(out, value);
+}
+
+int write_u64(char* out, std::uint64_t value) noexcept {
+  const TextconvTier tier = textconv_tier();
+  if (tier != TextconvTier::kScalar) {
+    return swar::write_u64(out, value, tier == TextconvTier::kSse2);
+  }
+  return scalar::write_u64(out, value);
 }
 
 int write_i32(char* out, std::int32_t value) noexcept {
@@ -93,19 +136,11 @@ int write_i64(char* out, std::int64_t value) noexcept {
 }
 
 int serialized_length_i32(std::int32_t value) noexcept {
-  const int sign = value < 0 ? 1 : 0;
-  const std::uint32_t magnitude =
-      value < 0 ? 0u - static_cast<std::uint32_t>(value)
-                : static_cast<std::uint32_t>(value);
-  return sign + decimal_digits_u32(magnitude);
+  return value_width_i32(value);
 }
 
 int serialized_length_i64(std::int64_t value) noexcept {
-  const int sign = value < 0 ? 1 : 0;
-  const std::uint64_t magnitude =
-      value < 0 ? 0ull - static_cast<std::uint64_t>(value)
-                : static_cast<std::uint64_t>(value);
-  return sign + decimal_digits_u64(magnitude);
+  return value_width_i64(value);
 }
 
 }  // namespace bsoap::textconv

@@ -7,6 +7,10 @@
 // widths so that later updates never need to shift the message.
 #pragma once
 
+#include <cstdint>
+
+#include "textconv/swar.hpp"
+
 namespace bsoap::textconv {
 
 inline constexpr int kMaxInt32Chars = 11;   // "-2147483648"
@@ -21,5 +25,32 @@ inline constexpr int kMaxMioChars = kMaxInt32Chars + kMaxInt32Chars + kMaxDouble
 inline constexpr int kMinMioChars = 3;    // "0", "0", "0"
 inline constexpr int kMinDoubleChars = 1; // "0"
 inline constexpr int kMinInt32Chars = 1;  // "0"
+
+/// Serialized width (sign + digits) of an integer value — the quantity the
+/// stuffing policy and segment-fit checks compare against the kMax*Chars
+/// bounds above. Branchless (see swar.hpp); tier-independent, since every
+/// tier produces identical bytes.
+inline int value_width_u32(std::uint32_t v) noexcept {
+  return swar::digits_u32(v);
+}
+
+inline int value_width_u64(std::uint64_t v) noexcept {
+  return swar::digits_u64(v);
+}
+
+inline int value_width_i32(std::int32_t v) noexcept {
+  const std::uint32_t sign = v < 0 ? 1u : 0u;
+  const std::uint32_t magnitude =
+      v < 0 ? 0u - static_cast<std::uint32_t>(v) : static_cast<std::uint32_t>(v);
+  return static_cast<int>(sign) + swar::digits_u32(magnitude);
+}
+
+inline int value_width_i64(std::int64_t v) noexcept {
+  const std::uint64_t sign = v < 0 ? 1u : 0u;
+  const std::uint64_t magnitude =
+      v < 0 ? 0ull - static_cast<std::uint64_t>(v)
+            : static_cast<std::uint64_t>(v);
+  return static_cast<int>(sign) + swar::digits_u64(magnitude);
+}
 
 }  // namespace bsoap::textconv

@@ -6,6 +6,7 @@
 // workers).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -154,6 +155,132 @@ TEST(Reactor, ByteIdenticalToBlockingOverKeepAliveSequence) {
   EXPECT_EQ(reactor.stats.requests, 5u);
   EXPECT_EQ(reactor.stats.faults, 2u);  // SOAP parse 400 + handler 500
   EXPECT_EQ(reactor.stats.bad_requests, 1u);
+
+  // Small responses on a drained loopback socket never hit EAGAIN: the
+  // worker's direct writes must land without copying a single byte for the
+  // EPOLLOUT drain path.
+  EXPECT_EQ(reactor.stats.write_copied_bytes, 0u);
+}
+
+// The EAGAIN tail path in isolation: an inner transport that accepts a
+// fixed byte budget per gathered write forces DirectSliceTransport to park
+// the remainder. Only the unsent suffix may be copied, the copy must
+// reproduce the original byte stream exactly, and a clean send copies
+// nothing.
+TEST(Reactor, DirectSliceTransportCopiesOnlyTheEagainTail) {
+  class ThrottledInner final : public net::Transport {
+   public:
+    using net::Transport::send;
+    explicit ThrottledInner(std::size_t budget) : budget_(budget) {}
+    Status send(const char* data, std::size_t n) override {
+      accepted_.append(data, n);
+      return Status{};
+    }
+    Status send_slices(std::span<const net::ConstSlice> slices) override {
+      for (const net::ConstSlice& s : slices) accepted_.append(s.data, s.len);
+      return Status{};
+    }
+    Result<net::IoResult> send_slices_some(
+        std::span<const net::ConstSlice> slices) override {
+      std::size_t total = 0;
+      for (const net::ConstSlice& s : slices) {
+        const std::size_t take = std::min(s.len, budget_);
+        accepted_.append(s.data, take);
+        total += take;
+        budget_ -= take;
+        if (take < s.len) return net::IoResult{total, true};
+      }
+      return net::IoResult{total, false};
+    }
+    Result<std::size_t> recv(char*, std::size_t) override {
+      return Error{ErrorCode::kUnsupported, "write-only"};
+    }
+    void shutdown_send() override {}
+    std::string accepted_;
+    std::size_t budget_;
+  };
+
+  const std::string part1 = "<xml>differential ";
+  const std::string part2 = "serialization ";
+  const std::string part3 = "tail</xml>";
+  const std::vector<net::ConstSlice> slices{
+      net::ConstSlice{part1.data(), part1.size()},
+      net::ConstSlice{part2.data(), part2.size()},
+      net::ConstSlice{part3.data(), part3.size()}};
+  const std::string all = part1 + part2 + part3;
+
+  // Budget cuts mid-slice-2: the accepted prefix plus the parked tail must
+  // re-assemble the exact wire bytes, and only the tail was copied.
+  ThrottledInner inner(part1.size() + 4);
+  DirectSliceTransport direct(inner);
+  ASSERT_TRUE(direct.send_slices(slices).ok());
+  EXPECT_EQ(inner.accepted_, all.substr(0, part1.size() + 4));
+  EXPECT_EQ(direct.copied_bytes(), all.size() - part1.size() - 4);
+  // A follow-up write while a tail is parked must append to the tail (the
+  // socket is not writable; ordering would invert otherwise).
+  ASSERT_TRUE(direct.send("-trailer").ok());
+  EXPECT_EQ(inner.accepted_ + direct.take_tail(), all + "-trailer");
+  EXPECT_FALSE(direct.write_error());
+
+  // A clean send through an unthrottled inner copies nothing.
+  ThrottledInner roomy(1 << 20);
+  DirectSliceTransport clean(roomy);
+  ASSERT_TRUE(clean.send_slices(slices).ok());
+  EXPECT_EQ(roomy.accepted_, all);
+  EXPECT_EQ(clean.copied_bytes(), 0u);
+}
+
+// Multi-megabyte responses against a deliberately slow reader: the direct
+// write path will stall on socket buffers and ride the EPOLLOUT tail, and
+// the reassembled stream must still be byte-identical to the blocking
+// engine's.
+TEST(Reactor, LargeResponsesByteIdenticalUnderSlowReader) {
+  soap::RpcHandler fill_handler = [](const RpcCall& call) -> Result<Value> {
+    if (call.method != "fill") return Error{ErrorCode::kNotFound, "no method"};
+    const std::size_t n =
+        static_cast<std::size_t>(call.params[0].value.doubles()[0]);
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i) values[i] = 0.25 * static_cast<double>(i);
+    return Value::from_double_array(std::move(values));
+  };
+  RpcCall fill;
+  fill.method = "fill";
+  fill.service_namespace = "urn:calc";
+  fill.params.push_back(
+      soap::Param{"n", Value::from_double_array({60000.0})});
+  const std::string wire = raw_request(envelope_for(fill));
+
+  auto run_slow = [&](IoModel model) {
+    ServerRuntimeOptions options;
+    options.workers = 1;
+    options.io_model = model;
+    Result<std::unique_ptr<ServerRuntime>> server =
+        ServerRuntime::start(fill_handler, options);
+    EXPECT_TRUE(server.ok());
+    Result<std::unique_ptr<net::Transport>> transport =
+        net::tcp_connect(server.value()->port());
+    EXPECT_TRUE(transport.ok());
+    EXPECT_TRUE(transport.value()->send(wire).ok());
+    transport.value()->shutdown_send();
+    // Drain in small sips so the server-side socket buffer fills and the
+    // worker's nonblocking write actually stalls.
+    std::string all;
+    char buf[8 * 1024];
+    for (;;) {
+      Result<std::size_t> got = transport.value()->recv(buf, sizeof(buf));
+      if (!got.ok() || got.value() == 0) break;
+      all.append(buf, got.value());
+      std::this_thread::sleep_for(1ms);
+    }
+    EXPECT_TRUE(wait_for([&] { return server.value()->stats().active == 0; }));
+    server.value()->stop();
+    return all;
+  };
+
+  const std::string blocking = run_slow(IoModel::kBlocking);
+  const std::string reactor = run_slow(IoModel::kReactor);
+  EXPECT_GT(blocking.size(), 1024u * 1024u);  // genuinely larger than buffers
+  EXPECT_EQ(blocking, reactor);
 }
 
 TEST(Reactor, UnparseableHttpGets400AndCloseOnBothEngines) {

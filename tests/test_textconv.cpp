@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <string>
@@ -13,6 +14,7 @@
 #include "textconv/itoa.hpp"
 #include "textconv/parse.hpp"
 #include "textconv/pow10cache.hpp"
+#include "textconv/swar.hpp"
 #include "textconv/widths.hpp"
 
 namespace bsoap::textconv {
@@ -334,6 +336,189 @@ TEST_P(DtoaWidthSweep, ConstructibleAtEveryWidth) {
 
 INSTANTIATE_TEST_SUITE_P(Widths, DtoaWidthSweep,
                          ::testing::Values(17, 18, 20, 22, 23, 24));
+
+// --- vectorized tier vs scalar reference ------------------------------------
+//
+// The SWAR/SSE2 conversion tiers must be byte-identical to the scalar code
+// they replace: the differential-serialization invariants (serialized_len,
+// content matches, patch checksums) all assume one value has exactly one
+// lexical form.
+
+/// Pins the dispatch tier for one test and restores CPU detection after.
+class TierGuard {
+ public:
+  explicit TierGuard(TextconvTier tier) { set_textconv_tier(tier); }
+  ~TierGuard() { set_textconv_tier(detect_textconv_tier()); }
+};
+
+TEST(TextconvTiers, KillSwitchAndOverride) {
+  TierGuard guard(TextconvTier::kScalar);
+  EXPECT_FALSE(textconv_vectorized());
+  set_textconv_tier(detect_textconv_tier());
+#if defined(__SSE2__)
+  EXPECT_EQ(textconv_tier(), TextconvTier::kSse2);
+#else
+  EXPECT_EQ(textconv_tier(), TextconvTier::kSwar);
+#endif
+  EXPECT_TRUE(textconv_vectorized());
+}
+
+TEST(TextconvTiers, IntegerBoundariesMatchScalar) {
+  TierGuard guard(detect_textconv_tier());
+  char fast[kMaxInt64Chars + 8];
+  char ref[kMaxInt64Chars];
+  // 10^k - 1, 10^k, 10^k + 1 for every k: the digit-width estimate's only
+  // interesting inputs, and the head/group splits in write_u64.
+  std::uint64_t p = 1;
+  for (int k = 0; k <= 19; ++k) {
+    for (const std::uint64_t v : {p - 1, p, p + 1}) {
+      const int lf = write_u64(fast, v);
+      const int lr = scalar::write_u64(ref, v);
+      ASSERT_EQ(lf, lr) << v;
+      ASSERT_EQ(std::memcmp(fast, ref, static_cast<std::size_t>(lf)), 0) << v;
+      if (v <= std::numeric_limits<std::uint32_t>::max()) {
+        const std::uint32_t v32 = static_cast<std::uint32_t>(v);
+        const int lf32 = write_u32(fast, v32);
+        const int lr32 = scalar::write_u32(ref, v32);
+        ASSERT_EQ(lf32, lr32) << v32;
+        ASSERT_EQ(std::memcmp(fast, ref, static_cast<std::size_t>(lf32)), 0);
+      }
+    }
+    if (k < 19) p *= 10;
+  }
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{-1},
+        static_cast<std::int64_t>(std::numeric_limits<std::int32_t>::min()),
+        std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max()}) {
+    const int lf = write_i64(fast, v);
+    const int lr = scalar::write_i64(ref, v);
+    ASSERT_EQ(lf, lr) << v;
+    ASSERT_EQ(std::memcmp(fast, ref, static_cast<std::size_t>(lf)), 0) << v;
+  }
+  const std::uint64_t umax = std::numeric_limits<std::uint64_t>::max();
+  ASSERT_EQ(write_u64(fast, umax), scalar::write_u64(ref, umax));
+  ASSERT_EQ(std::memcmp(fast, ref, 20), 0);
+}
+
+TEST(TextconvTiers, IntegerRandomSweepMatchesScalar) {
+  TierGuard guard(detect_textconv_tier());
+  Rng rng(2024);
+  char fast[kMaxInt64Chars + 8];
+  char ref[kMaxInt64Chars];
+  for (int i = 0; i < 200000; ++i) {
+    // Stratify across digit counts: raw next_u64 almost never produces
+    // short numbers.
+    const std::uint64_t raw = rng.next_u64();
+    const std::uint64_t v =
+        i % 20 == 19 ? raw : raw % swar::kPow10U64[1 + i % 19];
+    const int lf = write_u64(fast, v);
+    const int lr = scalar::write_u64(ref, v);
+    ASSERT_EQ(lf, lr) << v;
+    ASSERT_EQ(std::memcmp(fast, ref, static_cast<std::size_t>(lf)), 0) << v;
+    const std::int32_t s32 = rng.next_i32();
+    const int lf32 = write_i32(fast, s32);
+    const int lr32 = scalar::write_i32(ref, s32);
+    ASSERT_EQ(lf32, lr32) << s32;
+    ASSERT_EQ(std::memcmp(fast, ref, static_cast<std::size_t>(lf32)), 0);
+  }
+}
+
+TEST(TextconvTiers, DoubleSpotValuesMatchScalar) {
+  TierGuard guard(detect_textconv_tier());
+  char fast[kMaxDoubleChars + 8];
+  char ref[kMaxDoubleChars];
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.0,
+                          0.1,
+                          3.14,
+                          -2.5,
+                          1e22,
+                          1e-7,
+                          5e-324,  // smallest subnormal
+                          -2.2250738585072014e-308,
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::quiet_NaN()};
+  for (const double v : cases) {
+    const int lf = write_double(fast, v);
+    const int lr = scalar::write_double(ref, v);
+    ASSERT_EQ(lf, lr) << v;
+    ASSERT_EQ(std::memcmp(fast, ref, static_cast<std::size_t>(lf)), 0) << v;
+  }
+}
+
+TEST(TextconvTiers, DoubleRandomSweepMatchesScalar) {
+  TierGuard guard(detect_textconv_tier());
+  Rng rng(2025);
+  char fast[kMaxDoubleChars + 8];
+  char ref[kMaxDoubleChars];
+  for (int i = 0; i < 300000; ++i) {
+    double v;
+    if (i % 10 == 9) {
+      // Subnormals and near-boundary exponents.
+      const std::uint64_t bits = rng.next_u64() & 0x800fffffffffffffull;
+      std::memcpy(&v, &bits, sizeof(v));
+    } else {
+      v = rng.next_finite_double();
+    }
+    const int lf = write_double(fast, v);
+    const int lr = scalar::write_double(ref, v);
+    ASSERT_EQ(lf, lr) << v;
+    ASSERT_EQ(std::memcmp(fast, ref, static_cast<std::size_t>(lf)), 0) << v;
+  }
+}
+
+TEST(SwarKernels, ExactStoresNeverWritePastLength) {
+  // store_exact / fill_* promise to write exactly n bytes; a wide store
+  // that strayed past the end would corrupt the closing tag of a stuffed
+  // field. Sentinel bytes around the target region catch any stray write.
+  char buf[48];
+  for (unsigned n = 0; n <= 8; ++n) {
+    std::memset(buf, '#', sizeof(buf));
+    swar::store_exact(buf + 8, 0x3132333435363738ull, n);
+    for (unsigned i = 0; i < n; ++i) EXPECT_EQ(buf[8 + i], '8' - static_cast<char>(i));
+    EXPECT_EQ(buf[8 + n], '#') << n;
+    EXPECT_EQ(buf[7], '#');
+  }
+  for (unsigned n = 0; n <= 24; ++n) {
+    std::memset(buf, '#', sizeof(buf));
+    swar::fill_spaces(buf + 8, n);
+    for (unsigned i = 0; i < n; ++i) EXPECT_EQ(buf[8 + i], ' ');
+    EXPECT_EQ(buf[8 + n], '#') << n;
+    std::memset(buf, '#', sizeof(buf));
+    swar::fill_zeros(buf + 8, n);
+    for (unsigned i = 0; i < n; ++i) EXPECT_EQ(buf[8 + i], '0');
+    EXPECT_EQ(buf[8 + n], '#') << n;
+  }
+  // copy_digits: dst written for exactly n (src readable 8 past, which the
+  // 48-byte buffer provides).
+  const char src[32] = "abcdefghijklmnopqrstu";
+  for (unsigned n = 0; n <= 20; ++n) {
+    std::memset(buf, '#', sizeof(buf));
+    swar::copy_digits(buf + 8, src, n);
+    for (unsigned i = 0; i < n; ++i) EXPECT_EQ(buf[8 + i], src[i]);
+    EXPECT_EQ(buf[8 + n], '#') << n;
+  }
+}
+
+TEST(SwarKernels, Ascii8AllDigitPairs) {
+  // ascii8's lane algebra against the obvious reference, at every 2-digit
+  // pair in every lane position plus random values.
+  Rng rng(99);
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint32_t v = static_cast<std::uint32_t>(rng.next_below(100000000));
+    const std::uint64_t packed = swar::ascii8(v);
+    char expect[9];
+    std::snprintf(expect, sizeof(expect), "%08u", v);
+    char got[8];
+    swar::store8(got, packed);
+    ASSERT_EQ(std::memcmp(got, expect, 8), 0) << v;
+  }
+}
 
 }  // namespace
 }  // namespace bsoap::textconv
