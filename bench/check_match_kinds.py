@@ -45,7 +45,15 @@ it shows up as a timing change:
     including the NACK-storm series, whose whole point is that replica
     loss degrades to full sends instead of failed requests — and the
     nackstorm series must actually have seen NACKs (else the storm never
-    exercised the fallback).
+    exercised the fallback);
+  * "WireCompress/..." series (bench_compress) are gated across series at
+    every dirty rate: the preset full re-offer series must measure <= 0.5x
+    the identity full series' on-wire bytes per request (the >= 2x
+    reduction the template-preset DEFLATE layer exists for), the preset
+    patch series' payload bytes must be <= 1.0x the identity patch series'
+    (per-message fallback guarantees a coded frame never costs more than
+    the raw frame; payload, not wire, since a coded patch carries two
+    extra headers), and every WireCompress entry must report failed == 0.
 
 Exits non-zero listing every violated series.
 """
@@ -188,6 +196,49 @@ def check_diffwire(bench, entries):
     return errors
 
 
+def check_wire_compress(bench, entries):
+    """Cross-series gates for bench_compress (see module doc)."""
+    points = {}  # (mode, permille) -> counters
+    errors = []
+    for entry in entries:
+        series = entry["series"]
+        if not series.startswith("WireCompress/"):
+            continue
+        mode = series.split("/")[1]
+        c = entry.get("counters", {})
+        points[(mode, entry["n"])] = c
+        if c.get("failed", 0):
+            errors.append(
+                f"{bench} {series}/{entry['n']}: {c['failed']:.0f} failed "
+                f"request(s) — wire compression may never fail an invoke")
+
+    for (mode, permille), c in points.items():
+        if mode != "fullpreset" or ("fullid", permille) not in points:
+            continue
+        preset = c.get("wire_bytes_per_req", 0)
+        identity = points[("fullid", permille)].get("wire_bytes_per_req", 0)
+        if identity > 0 and preset > 0.5 * identity:
+            errors.append(
+                f"{bench} WireCompress at {permille} per-mille dirty: preset "
+                f"full re-offers cost {preset:.0f} wire bytes/req > 0.5x "
+                f"identity full sends ({identity:.0f}) — the template-preset "
+                f"window no longer pays for itself")
+
+    for (mode, permille), c in points.items():
+        if mode != "patchpreset" or ("patchid", permille) not in points:
+            continue
+        preset = c.get("payload_bytes_per_req", 0)
+        identity = points[("patchid", permille)].get(
+            "payload_bytes_per_req", 0)
+        if identity > 0 and preset > identity:
+            errors.append(
+                f"{bench} WireCompress at {permille} per-mille dirty: preset "
+                f"patch payloads cost {preset:.0f} bytes/req > identity "
+                f"patches ({identity:.0f}) — the per-message fallback is "
+                f"not holding")
+    return errors
+
+
 def check_textconv(bench, entries):
     """Gates for the vectorized-textconv A/B and zero-copy write series.
 
@@ -247,6 +298,9 @@ def main() -> int:
                                    doc.get("entries", [])))
         errors.extend(
             check_diffwire(doc.get("bench", path), doc.get("entries", [])))
+        errors.extend(
+            check_wire_compress(doc.get("bench", path),
+                                doc.get("entries", [])))
         errors.extend(
             check_textconv(doc.get("bench", path), doc.get("entries", [])))
     if errors:

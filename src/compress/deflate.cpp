@@ -194,20 +194,25 @@ std::uint32_t hash3(const unsigned char* p) {
   return (v * 0x9E3779B1u) >> (32 - kHashBits);
 }
 
-}  // namespace
+/// Emits one fixed-Huffman DEFLATE block over data[start..n). Positions
+/// before `start` are history only (a preset dictionary): they are inserted
+/// into the hash chains so matches can reach back into them, but produce no
+/// output themselves. `head`/`prev` must arrive reset (-1-filled, `prev`
+/// sized n).
+void deflate_fixed_block(BitWriter* out, const unsigned char* data,
+                         std::size_t n, std::size_t start,
+                         std::vector<std::int32_t>& head,
+                         std::vector<std::int32_t>& prev) {
+  out->put(1, 1);  // BFINAL
+  out->put(1, 2);  // BTYPE = 01 (fixed Huffman)
 
-std::string deflate(std::string_view input) {
-  BitWriter out;
-  out.put(1, 1);  // BFINAL
-  out.put(1, 2);  // BTYPE = 01 (fixed Huffman)
+  for (std::size_t k = 0; k + kMinMatch <= n && k < start; ++k) {
+    const std::uint32_t h = hash3(data + k);
+    prev[k] = head[h];
+    head[h] = static_cast<std::int32_t>(k);
+  }
 
-  const auto* data = reinterpret_cast<const unsigned char*>(input.data());
-  const std::size_t n = input.size();
-
-  std::vector<std::int32_t> head(kHashSize, -1);
-  std::vector<std::int32_t> prev(n, -1);
-
-  std::size_t i = 0;
+  std::size_t i = start;
   while (i < n) {
     int best_length = 0;
     int best_distance = 0;
@@ -236,8 +241,8 @@ std::string deflate(std::string_view input) {
     }
 
     if (best_length >= kMinMatch) {
-      encode_length(&out, best_length);
-      encode_distance(&out, best_distance);
+      encode_length(out, best_length);
+      encode_distance(out, best_distance);
       // Insert the skipped positions so later matches can reference them.
       const std::size_t end = i + static_cast<std::size_t>(best_length);
       for (std::size_t k = i + 1; k < end && k + kMinMatch <= n; ++k) {
@@ -248,14 +253,80 @@ std::string deflate(std::string_view input) {
       i = end;
     } else {
       const FixedCode fc = fixed_literal_code(data[i]);
-      out.put_huffman(fc.code, fc.length);
+      out->put_huffman(fc.code, fc.length);
       ++i;
     }
   }
 
   const FixedCode eob = fixed_literal_code(256);
-  out.put_huffman(eob.code, eob.length);
+  out->put_huffman(eob.code, eob.length);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Adler-32 (RFC 1950).
+// ---------------------------------------------------------------------------
+
+std::uint32_t adler32(std::string_view data, std::uint32_t seed) noexcept {
+  constexpr std::uint32_t kMod = 65521;
+  std::uint32_t a = seed & 0xFFFF;
+  std::uint32_t b = (seed >> 16) & 0xFFFF;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    // 5552 is the largest n with 255*n*(n+1)/2 + (n+1)*(kMod-1) < 2^32.
+    const std::size_t chunk = std::min<std::size_t>(5552, data.size() - i);
+    for (std::size_t k = 0; k < chunk; ++k) {
+      a += static_cast<unsigned char>(data[i + k]);
+      b += a;
+    }
+    a %= kMod;
+    b %= kMod;
+    i += chunk;
+  }
+  return (b << 16) | a;
+}
+
+// ---------------------------------------------------------------------------
+// DeflateStream: reusable compressor with preset history.
+// ---------------------------------------------------------------------------
+
+void DeflateStream::preset(std::string_view dict) {
+  if (dict.size() > kWindowSize) {
+    dict = dict.substr(dict.size() - kWindowSize);
+  }
+  dict_.assign(dict);
+  dict_id_ = dict_.empty() ? 0 : adler32(dict_);
+}
+
+std::string DeflateStream::compress(std::string_view input) {
+  const unsigned char* data;
+  std::size_t n;
+  std::size_t start;
+  if (dict_.empty()) {
+    data = reinterpret_cast<const unsigned char*>(input.data());
+    n = input.size();
+    start = 0;
+  } else {
+    // Dictionary and input must be contiguous so matches can span the seam.
+    work_.assign(dict_);
+    work_.append(input);
+    data = reinterpret_cast<const unsigned char*>(work_.data());
+    n = work_.size();
+    start = dict_.size();
+  }
+
+  head_.assign(kHashSize, -1);
+  prev_.assign(n, -1);
+
+  BitWriter out;
+  deflate_fixed_block(&out, data, n, start, head_, prev_);
   return out.take();
+}
+
+std::string deflate(std::string_view input) {
+  DeflateStream stream;
+  return stream.compress(input);
 }
 
 // ---------------------------------------------------------------------------
@@ -463,9 +534,20 @@ Status inflate_dynamic_header(BitReader* in, HuffDecoder* literals,
 
 }  // namespace
 
-Result<std::string> inflate(std::string_view input, std::size_t max_output) {
+Result<std::string> inflate(std::string_view input, std::size_t max_output,
+                            std::string_view dict) {
+  if (dict.size() > kWindowSize) {
+    dict = dict.substr(dict.size() - kWindowSize);
+  }
   BitReader in(input);
-  std::string out;
+  // The dictionary seeds the back-reference window exactly as if it had
+  // been decoded first; it is stripped before returning, and the output
+  // bound applies to the stream's own bytes only.
+  std::string out(dict);
+  const std::size_t limit =
+      max_output > static_cast<std::size_t>(-1) - dict.size()
+          ? static_cast<std::size_t>(-1)
+          : max_output + dict.size();
   for (;;) {
     Result<std::uint32_t> bfinal = in.take(1);
     if (!bfinal.ok()) return bfinal.error();
@@ -488,7 +570,7 @@ Result<std::string> inflate(std::string_view input, std::size_t max_output) {
         if (static_cast<std::uint16_t>(~len) != nlen) {
           return Error{ErrorCode::kParseError, "deflate: stored LEN/NLEN"};
         }
-        if (out.size() + len > max_output) {
+        if (out.size() + len > limit) {
           return Error{ErrorCode::kOutOfRange, "deflate: output limit"};
         }
         const std::size_t old = out.size();
@@ -499,7 +581,7 @@ Result<std::string> inflate(std::string_view input, std::size_t max_output) {
       case 1:  // fixed Huffman
         BSOAP_RETURN_IF_ERROR(inflate_block(&in, fixed_literal_decoder(),
                                             fixed_distance_decoder(), &out,
-                                            max_output));
+                                            limit));
         break;
       case 2: {  // dynamic Huffman
         HuffDecoder literals;
@@ -507,18 +589,21 @@ Result<std::string> inflate(std::string_view input, std::size_t max_output) {
         BSOAP_RETURN_IF_ERROR(
             inflate_dynamic_header(&in, &literals, &distances));
         BSOAP_RETURN_IF_ERROR(
-            inflate_block(&in, literals, distances, &out, max_output));
+            inflate_block(&in, literals, distances, &out, limit));
         break;
       }
       default:
         return Error{ErrorCode::kParseError, "deflate: reserved block type"};
     }
-    if (bfinal.value() != 0) return out;
+    if (bfinal.value() != 0) {
+      out.erase(0, dict.size());
+      return out;
+    }
   }
 }
 
 // ---------------------------------------------------------------------------
-// CRC-32 and the gzip wrapper.
+// CRC-32, the zlib wrapper, the gzip wrapper.
 // ---------------------------------------------------------------------------
 
 std::uint32_t crc32(std::string_view data, std::uint32_t seed) noexcept {
@@ -538,6 +623,92 @@ std::uint32_t crc32(std::string_view data, std::uint32_t seed) noexcept {
     crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
+}
+
+namespace {
+
+void append_be32(std::string& out, std::uint32_t value) {
+  for (int i = 3; i >= 0; --i) {
+    out += static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+}
+
+std::uint32_t read_be32(std::string_view data, std::size_t offset) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value = (value << 8) |
+            static_cast<unsigned char>(data[offset + static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+constexpr unsigned char kZlibFlagDict = 0x20;  // FDICT
+
+}  // namespace
+
+std::string zlib_compress(DeflateStream& stream, std::string_view input) {
+  std::string out;
+  // CMF: CM=8 (deflate), CINFO=7 (32 KiB window).
+  const unsigned char cmf = 0x78;
+  unsigned char flg = stream.has_dictionary() ? kZlibFlagDict : 0;
+  const unsigned rem = (static_cast<unsigned>(cmf) * 256u + flg) % 31u;
+  if (rem != 0) flg = static_cast<unsigned char>(flg + (31u - rem));
+  out += static_cast<char>(cmf);
+  out += static_cast<char>(flg);
+  if (stream.has_dictionary()) append_be32(out, stream.dictionary_id());
+  out += stream.compress(input);
+  append_be32(out, adler32(input));
+  return out;
+}
+
+std::string zlib_compress(std::string_view input, std::string_view dict) {
+  DeflateStream stream;
+  stream.preset(dict);
+  return zlib_compress(stream, input);
+}
+
+Result<std::string> zlib_decompress(std::string_view input,
+                                    std::size_t max_output,
+                                    std::string_view dict) {
+  if (input.size() < 6) {
+    return Error{ErrorCode::kParseError, "zlib: truncated"};
+  }
+  const unsigned char cmf = static_cast<unsigned char>(input[0]);
+  const unsigned char flg = static_cast<unsigned char>(input[1]);
+  if ((cmf & 0x0F) != 8) {
+    return Error{ErrorCode::kParseError, "zlib: bad method"};
+  }
+  if ((static_cast<unsigned>(cmf) * 256u + flg) % 31u != 0) {
+    return Error{ErrorCode::kParseError, "zlib: bad header check"};
+  }
+  std::size_t offset = 2;
+  std::string_view effective_dict;
+  if (flg & kZlibFlagDict) {
+    if (input.size() < 10) {
+      return Error{ErrorCode::kParseError, "zlib: truncated"};
+    }
+    const std::uint32_t dictid = read_be32(input, 2);
+    offset = 6;
+    std::string_view d = dict;
+    if (d.size() > kWindowSize) d = d.substr(d.size() - kWindowSize);
+    if (d.empty() || adler32(d) != dictid) {
+      return Error{ErrorCode::kInvalidArgument, "zlib: dictionary mismatch"};
+    }
+    effective_dict = d;
+  }
+  if (input.size() < offset + 4) {
+    return Error{ErrorCode::kParseError, "zlib: truncated"};
+  }
+
+  Result<std::string> body = inflate(
+      input.substr(offset, input.size() - offset - 4), max_output,
+      effective_dict);
+  if (!body.ok()) return body.error();
+
+  if (adler32(body.value()) != read_be32(input, input.size() - 4)) {
+    return Error{ErrorCode::kParseError, "zlib: Adler-32 mismatch"};
+  }
+  return body;
 }
 
 std::string gzip_compress(std::string_view input) {

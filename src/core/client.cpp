@@ -11,9 +11,13 @@ namespace bsoap::core {
 namespace {
 
 SendPipeline::Options pipeline_options(const BsoapClientConfig& config) {
-  return SendPipeline::Options{config.tmpl, config.differential,
-                               config.max_templates, config.max_template_bytes,
-                               config.effective_framing()};
+  return SendPipeline::Options{config.tmpl,
+                               config.differential,
+                               config.max_templates,
+                               config.max_template_bytes,
+                               config.effective_framing(),
+                               config.coding,
+                               config.coding_min_bytes};
 }
 
 }  // namespace
@@ -79,7 +83,16 @@ Result<soap::Value> BsoapClient::invoke(const soap::RpcCall& call) {
           return Error{ErrorCode::kProtocolError,
                        "diff-wire nack after full-send fallback"};
         }
-        if (diff->value == diffwire::kAckValue) diffwire_->note_ack(id);
+        if (diff->value == diffwire::kAckValue) {
+          diffwire_->note_ack(id);
+          // Preset-coding ack: subsequent sends under this pin may go out
+          // compressed against the pin generation's dictionary.
+          const http::Header* coding_ack = resp.find(diffwire::kCodingHeader);
+          if (coding_ack != nullptr &&
+              coding_ack->value == diffwire::kCodingPresetValue) {
+            diffwire_->note_coding_ack(id);
+          }
+        }
       }
     }
     if (resp.status != 200) {

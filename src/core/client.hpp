@@ -72,6 +72,16 @@ struct BsoapClientConfig {
   /// nacks ride on responses, so only invoke() completes the negotiation;
   /// send_call never reads responses and keeps sending full bodies.
   bool diffwire = false;
+  /// Content coding for request payloads. kGzip/kDeflate compress every
+  /// full body; kDeflatePreset — the second differential layer — presets
+  /// the DEFLATE window from the diff-wire pin generation, so patch frames
+  /// and full re-offers shrink against bytes the server already holds
+  /// (requires diffwire and invoke(), which reads the server's coding ack;
+  /// without them it degrades to identity). Any coded send falls back to
+  /// identity per message when compression does not shrink the payload.
+  http::ContentCoding coding = http::ContentCoding::kIdentity;
+  /// Request payloads smaller than this are never compressed.
+  std::size_t coding_min_bytes = 256;
 
   /// The framing in effect after the deprecated http_chunked shim.
   http::Framing effective_framing() const {
@@ -113,6 +123,12 @@ struct BsoapClientConfig {
   }
   BsoapClientConfig& with_diffwire(bool on) {
     diffwire = on;
+    return *this;
+  }
+  BsoapClientConfig& with_compression(http::ContentCoding c,
+                                      std::size_t min_body_bytes = 256) {
+    coding = c;
+    coding_min_bytes = min_body_bytes;
     return *this;
   }
 };

@@ -8,6 +8,15 @@
 namespace bsoap::core {
 namespace {
 
+/// DEFLATE window size: the dictionary a preset re-offer compresses against
+/// (and the tail of the body recorded for the next generation).
+constexpr std::size_t kDictTailBytes = 32 * 1024;
+
+std::string_view dict_tail(std::string_view body) {
+  if (body.size() <= kDictTailBytes) return body;
+  return body.substr(body.size() - kDictTailBytes);
+}
+
 /// Times the stages only when an observer is installed: the unobserved hot
 /// path pays no clock reads beyond one at construction.
 class StageClock {
@@ -343,6 +352,24 @@ std::size_t SendPipeline::build_patch_frame(MessageTemplate& tmpl,
   return total;
 }
 
+bool SendPipeline::encode_payload(http::ContentCoding coding,
+                                  std::string_view raw, std::string_view dict,
+                                  SendReport* report) {
+  if (raw.size() < options_.coding_min_bytes) return false;
+  StopWatch watch;
+  if (coding == http::ContentCoding::kDeflatePreset) {
+    deflate_stream_.preset(dict);
+    coded_buf_ = compress::zlib_compress(deflate_stream_, raw);
+  } else {
+    coded_buf_ = http::coding_for(coding).encode(raw);
+  }
+  report->coding_ns += watch.elapsed_ns();
+  if (coded_buf_.size() >= raw.size()) return false;  // identity fallback
+  report->coding = coding;
+  report->coding_bytes_saved += raw.size() - coded_buf_.size();
+  return true;
+}
+
 Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
                                      const std::string& method,
                                      const SendDestination& dest,
@@ -370,9 +397,27 @@ Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
         (report->match == MatchKind::kPerfectStructural &&
          journal_ != nullptr && journal_->armed() && !journal_->structural());
     if (patch_safe && diffwire_->should_patch(wire_id, &epoch)) {
-      const bool slice_body = &framing == &http::content_length_framer();
+      // With preset coding acked, the frame is flattened (no zero-copy
+      // slices) so it can run through the compressor against the pin
+      // generation's dictionary.
+      const bool preset_ready =
+          options_.coding == http::ContentCoding::kDeflatePreset &&
+          diffwire_->coding_ready(wire_id);
+      const bool slice_body =
+          !preset_ready && &framing == &http::content_length_framer();
       const std::size_t patch_bytes =
           build_patch_frame(tmpl, wire_id, epoch, report, slice_body);
+      bool coded = false;
+      if (preset_ready) {
+        coded = encode_payload(http::ContentCoding::kDeflatePreset, patch_buf_,
+                               diffwire_->dictionary(wire_id), report);
+        if (coded) {
+          body_slices_.clear();
+          body_slices_.push_back(
+              net::ConstSlice{coded_buf_.data(), coded_buf_.size()});
+        }
+      }
+      const std::size_t payload_bytes = coded ? coded_buf_.size() : patch_bytes;
 
       http::HttpRequest head;
       head.method = "POST";
@@ -383,12 +428,24 @@ Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
       head.headers.push_back(http::Header{"SOAPAction", "\"" + method + "\""});
       head.headers.push_back(
           http::Header{diffwire::kDiffHeader, diffwire::kPatchValue});
+      if (options_.coding != http::ContentCoding::kIdentity) {
+        head.headers.push_back(
+            http::Header{"Accept-Encoding", "deflate, gzip"});
+      }
+      if (coded) {
+        // A coded body's template ID is unreadable before decoding, so it
+        // rides the header; the server decodes against that pin's dictionary.
+        head.headers.push_back(http::Header{
+            "Content-Encoding", http::coding_name(report->coding)});
+        head.headers.push_back(http::Header{
+            diffwire::kTemplateHeader, diffwire::format_template_id(wire_id)});
+      }
       if (dest.extra_headers != nullptr) {
         for (const http::Header& h : *dest.extra_headers) {
           head.headers.push_back(h);
         }
       }
-      framing.add_headers(head.headers, patch_bytes);
+      framing.add_headers(head.headers, payload_bytes);
       head_text_ = http::serialize_request_head(head);
 
       // body_slices_ was filled by build_patch_frame; the run bytes may be
@@ -409,9 +466,9 @@ Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
       // The frame left the socket: advance the epoch optimistically. If the
       // server never applies it, the resulting epoch gap NACKs the next
       // patch and the sender falls back to a full send.
-      diffwire_->note_patch_sent(wire_id, envelope_bytes, patch_bytes,
+      diffwire_->note_patch_sent(wire_id, envelope_bytes, payload_bytes,
                                  report->patch_replay);
-      report->envelope_bytes = patch_bytes;
+      report->envelope_bytes = payload_bytes;
       report->wire_bytes = wire_bytes;
       return Status{};
     }
@@ -421,6 +478,43 @@ Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
   body_slices_.clear();
   tmpl.buffer().append_slices(body_slices_);
 
+  // Wire compression. dest.coding (the server's per-request Accept-Encoding
+  // pick) overrides the configured coding; preset coding only applies to
+  // diff-wire offers (it needs a pinned generation on both sides) and
+  // otherwise degrades to identity. A preset offer flattens the body even
+  // before the coding is acked — the flat bytes seed the next generation's
+  // dictionary either way.
+  http::ContentCoding coding = dest.coding != http::ContentCoding::kIdentity
+                                   ? dest.coding
+                                   : options_.coding;
+  const bool preset_offer =
+      offer && options_.coding == http::ContentCoding::kDeflatePreset;
+  if (coding == http::ContentCoding::kDeflatePreset && !preset_offer) {
+    coding = http::ContentCoding::kIdentity;
+  }
+  bool coded = false;
+  if (coding != http::ContentCoding::kIdentity || preset_offer) {
+    const buffer::ChunkedBuffer& buf = tmpl.buffer();
+    flat_buf_.clear();
+    for (std::size_t i = 0; i < buf.chunk_count(); ++i) {
+      flat_buf_.append(buf.chunk_view(i));
+    }
+    if (preset_offer) {
+      if (diffwire_->coding_ready(wire_id)) {
+        coded = encode_payload(http::ContentCoding::kDeflatePreset, flat_buf_,
+                               diffwire_->dictionary(wire_id), report);
+      }
+    } else {
+      coded = encode_payload(coding, flat_buf_, {}, report);
+    }
+    if (coded) {
+      body_slices_.clear();
+      body_slices_.push_back(
+          net::ConstSlice{coded_buf_.data(), coded_buf_.size()});
+    }
+  }
+  const std::size_t payload_bytes = coded ? coded_buf_.size() : envelope_bytes;
+
   if (head_kind == HeadKind::kRequest) {
     http::HttpRequest head;
     head.method = "POST";
@@ -429,29 +523,47 @@ Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
     head.headers.push_back(
         http::Header{"Content-Type", "text/xml; charset=utf-8"});
     head.headers.push_back(http::Header{"SOAPAction", "\"" + method + "\""});
+    if (options_.coding != http::ContentCoding::kIdentity) {
+      // A coding-configured client also accepts coded responses.
+      head.headers.push_back(
+          http::Header{"Accept-Encoding", "deflate, gzip"});
+    }
     if (offer) {
       head.headers.push_back(
           http::Header{diffwire::kDiffHeader, diffwire::kOfferValue});
       head.headers.push_back(http::Header{
           diffwire::kTemplateHeader, diffwire::format_template_id(wire_id)});
+      if (preset_offer) {
+        // Ask the server to ack preset coding for this pin.
+        head.headers.push_back(http::Header{diffwire::kCodingHeader,
+                                            diffwire::kCodingPresetValue});
+      }
+    }
+    if (coded) {
+      head.headers.push_back(http::Header{
+          "Content-Encoding", http::coding_name(report->coding)});
     }
     if (dest.extra_headers != nullptr) {
       for (const http::Header& h : *dest.extra_headers) {
         head.headers.push_back(h);
       }
     }
-    framing.add_headers(head.headers, envelope_bytes);
+    framing.add_headers(head.headers, payload_bytes);
     head_text_ = http::serialize_request_head(head);
   } else {
     http::HttpResponse head;
     head.headers.push_back(
         http::Header{"Content-Type", "text/xml; charset=utf-8"});
+    if (coded) {
+      head.headers.push_back(http::Header{
+          "Content-Encoding", http::coding_name(report->coding)});
+    }
     if (dest.extra_headers != nullptr) {
       for (const http::Header& h : *dest.extra_headers) {
         head.headers.push_back(h);
       }
     }
-    framing.add_headers(head.headers, envelope_bytes);
+    framing.add_headers(head.headers, payload_bytes);
     head_text_ = http::serialize_response_head(head);
   }
   wire_slices_.clear();
@@ -466,8 +578,15 @@ Status SendPipeline::frame_and_write(MessageTemplate& tmpl,
   BSOAP_RETURN_IF_ERROR(dest.transport->send_slices(wire_slices_));
   clock.lap(SendStage::kWrite, wire_bytes);
 
-  if (offer) diffwire_->note_offer_sent(wire_id);
-  report->envelope_bytes = envelope_bytes;
+  if (offer) {
+    diffwire_->note_offer_sent(wire_id);
+    if (preset_offer) {
+      // This offer's body is the pin generation the server just (re)pinned:
+      // its tail is the dictionary both sides preset until the next offer.
+      diffwire_->set_dictionary(wire_id, dict_tail(flat_buf_));
+    }
+  }
+  report->envelope_bytes = payload_bytes;
   report->wire_bytes = wire_bytes;
   return Status{};
 }

@@ -30,10 +30,12 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "compress/deflate.hpp"
 #include "core/diff_serializer.hpp"
 #include "core/template_builder.hpp"
 #include "core/template_store.hpp"
 #include "diffwire/negotiator.hpp"
+#include "http/content_coding.hpp"
 #include "http/framer.hpp"
 #include "net/transport.hpp"
 #include "soap/value.hpp"
@@ -82,6 +84,15 @@ struct SendReport {
   std::uint32_t attempts = 1;
   /// Worst recovery applied across failed attempts of this send.
   Recovery recovery = Recovery::kNone;
+  /// Content coding the payload actually went out under. kIdentity covers
+  /// the per-message fallback: a body whose compressed form was not smaller
+  /// ships raw even when a coding was configured.
+  http::ContentCoding coding = http::ContentCoding::kIdentity;
+  /// Raw payload bytes minus coded payload bytes (0 on identity sends).
+  std::size_t coding_bytes_saved = 0;
+  /// CPU spent compressing this send's payload (includes attempts that
+  /// fell back to identity — the cost was paid either way).
+  std::int64_t coding_ns = 0;
 };
 
 /// Hook through the pipeline stages. Observers must not throw; they run on
@@ -165,6 +176,10 @@ struct SendDestination {
   /// framing). The server runtime rides diff-wire acks on its responses
   /// through this. Null = none.
   const std::vector<http::Header>* extra_headers = nullptr;
+  /// Per-send coding override (kIdentity = use Options::coding). The server
+  /// runtime sets this from the request's Accept-Encoding so each response
+  /// is coded per what its client advertised.
+  http::ContentCoding coding = http::ContentCoding::kIdentity;
 };
 
 class SendPipeline {
@@ -183,6 +198,17 @@ class SendPipeline {
     /// How template chunks are delimited on the wire (Content-Length or
     /// HTTP/1.1 chunked transfer encoding).
     http::Framing framing = http::Framing::kContentLength;
+    /// Content coding for payloads (kIdentity = none). kGzip/kDeflate
+    /// compress every full body; kDeflatePreset additionally presets the
+    /// DEFLATE window from the diff-wire pin generation's bytes, so patch
+    /// frames and structural-fallback re-offers shrink against what the
+    /// receiver already holds (requires a diff-wire session; without one it
+    /// degrades to identity). Every coded send falls back to identity when
+    /// compression does not shrink the payload.
+    http::ContentCoding coding = http::ContentCoding::kIdentity;
+    /// Payloads smaller than this skip compression outright — the coding
+    /// header plus stream overhead dominates tiny bodies.
+    std::size_t coding_min_bytes = 256;
   };
 
   explicit SendPipeline(Options options);
@@ -301,6 +327,14 @@ class SendPipeline {
                                 std::uint32_t epoch, SendReport* report,
                                 bool slice_body);
 
+  /// Compresses `raw` into coded_buf_ under `coding` (kDeflatePreset runs
+  /// the reusable DeflateStream preset with `dict`). Returns true when the
+  /// coded bytes should replace the raw payload — false when the payload is
+  /// under coding_min_bytes or compression did not shrink it (per-message
+  /// identity fallback). Fills the report's coding fields either way.
+  bool encode_payload(http::ContentCoding coding, std::string_view raw,
+                      std::string_view dict, SendReport* report);
+
   Options options_;
   TemplateStore store_;
   TemplateStoreLike* template_source_ = nullptr;
@@ -329,6 +363,10 @@ class SendPipeline {
     buffer::BufPos pos;        ///< where the run's bytes start in the buffer
   };
   std::string patch_buf_;
+  // Wire-compression scratch (reused like the buffers above):
+  compress::DeflateStream deflate_stream_;
+  std::string flat_buf_;   ///< body flattened for compression / dict capture
+  std::string coded_buf_;  ///< compressed payload when coding applies
   std::vector<std::uint32_t> touched_scratch_;
   std::vector<PatchRunScratch> patch_runs_;
   std::vector<std::size_t> chunk_offsets_;

@@ -26,6 +26,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 
 namespace bsoap::diffwire {
@@ -109,6 +111,42 @@ class ClientSession {
   /// lets the response reader ack without re-deriving the signature.
   std::uint64_t last_offer() const { return last_offer_; }
 
+  // --- preset wire compression (the second differential layer) -----------
+
+  /// Records the dictionary for `id`'s current pin generation: the tail of
+  /// the full body that went out with the offer, i.e. the bytes the server
+  /// pinned. Both sides preset the DEFLATE window from this generation's
+  /// bytes until the next re-offer replaces it. No-op for an unknown ID
+  /// (call after note_offer_sent).
+  void set_dictionary(std::uint64_t id, std::string_view dict) {
+    const auto it = states_.find(id);
+    if (it == states_.end()) return;
+    it->second.dict.assign(dict);
+  }
+
+  /// The server acked preset coding for `id` (kCodingHeader on a response).
+  void note_coding_ack(std::uint64_t id) {
+    const auto it = states_.find(id);
+    if (it == states_.end()) return;
+    it->second.coding_acked = true;
+  }
+
+  /// True when sends under `id` may go out preset-coded: the server acked
+  /// the coding and a pin-generation dictionary is held. A NACK erases the
+  /// entry (note_nack), so a stale dictionary can never outlive its pin.
+  bool coding_ready(std::uint64_t id) const {
+    const auto it = states_.find(id);
+    return it != states_.end() && it->second.coding_acked &&
+           !it->second.dict.empty();
+  }
+
+  /// The current pin generation's dictionary (empty view when none).
+  std::string_view dictionary(std::uint64_t id) const {
+    const auto it = states_.find(id);
+    return it != states_.end() ? std::string_view(it->second.dict)
+                               : std::string_view{};
+  }
+
   const ClientDiffStats& stats() const { return stats_; }
 
  private:
@@ -116,6 +154,12 @@ class ClientSession {
   struct Entry {
     State state = State::kOffered;
     std::uint32_t next_epoch = 1;
+    /// Preset-coding state: the pin generation's dictionary bytes and
+    /// whether the server acked the coding. coding_acked survives re-offers
+    /// (the server re-acks on every offer response; if its replica is gone
+    /// the preset body NACKs and note_nack clears everything).
+    std::string dict;
+    bool coding_acked = false;
   };
 
   /// splitmix64 finalizer: spreads signature ^ token over all 64 bits.

@@ -2,27 +2,71 @@
 
 #include <cstring>
 
+#include "compress/deflate.hpp"
+
 namespace bsoap::diffwire {
+
+namespace {
+/// DEFLATE window size: a preset dictionary beyond this is unreachable.
+constexpr std::size_t kMaxDictBytes = 32 * 1024;
+
+std::string_view dict_tail(std::string_view body) {
+  if (body.size() <= kMaxDictBytes) return body;
+  return body.substr(body.size() - kMaxDictBytes);
+}
+}  // namespace
 
 bool ReplicaStore::pin(std::uint64_t id, std::string_view body) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(id);
   if (it != index_.end()) {
-    bytes_ -= it->second->body.size();
-    it->second->body.assign(body);
-    it->second->epoch = 0;
-    bytes_ += body.size();
+    Replica& replica = *it->second;
+    bytes_ -= replica.body.size() + replica.dict.size();
+    replica.body.assign(body);
+    replica.epoch = 0;
+    replica.dict.assign(options_.retain_dictionaries ? dict_tail(body)
+                                                     : std::string_view{});
+    bytes_ += replica.body.size() + replica.dict.size();
     lru_.splice(lru_.begin(), lru_, it->second);
     ++counters_.repins;
     enforce_budget_locked();
     return true;
   }
-  lru_.push_front(Replica{id, std::string(body), 0});
+  lru_.push_front(Replica{id, std::string(body), 0,
+                          options_.retain_dictionaries
+                              ? std::string(dict_tail(body))
+                              : std::string{}});
   index_[id] = lru_.begin();
-  bytes_ += body.size();
+  bytes_ += lru_.front().body.size() + lru_.front().dict.size();
   ++counters_.pins;
   enforce_budget_locked();
   return false;
+}
+
+Result<std::string> ReplicaStore::decode_preset(std::uint64_t id,
+                                                std::string_view body,
+                                                std::size_t max_output) {
+  std::string dict;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(id);
+    if (it == index_.end()) {
+      ++counters_.nacks;
+      return Error{ErrorCode::kNotFound, "template not pinned"};
+    }
+    dict = it->second->dict;  // copy: the inflate runs outside the lock
+  }
+  Result<std::string> decoded = compress::zlib_decompress(body, max_output, dict);
+  if (decoded.ok()) return decoded;
+  // Undecodable preset body: same treatment as a bad patch frame — erase
+  // the replica so the NACK answer drives the sender's full-send re-pin.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(id);
+    if (it != index_.end()) remove_locked(it->second);
+    ++counters_.nacks;
+  }
+  return decoded.error();
 }
 
 Status ReplicaStore::apply(const PatchFrame& frame, std::string* reconstructed) {
@@ -95,7 +139,7 @@ Status ReplicaStore::nack_locked(LruIter it, std::uint64_t id,
 }
 
 void ReplicaStore::remove_locked(LruIter it) {
-  bytes_ -= it->body.size();
+  bytes_ -= it->body.size() + it->dict.size();
   index_.erase(it->id);
   lru_.erase(it);
 }

@@ -42,6 +42,11 @@ class ReplicaStore {
   struct Options {
     std::size_t max_replicas = 64;
     std::size_t max_bytes = 0;  ///< 0 = no byte budget
+    /// Keep a preset-compression dictionary (the pin-generation body tail,
+    /// ≤ 32 KiB) alongside each replica so preset-coded bodies can be
+    /// decoded. Dictionary bytes count against max_bytes. Enabled by the
+    /// server when the deflate-preset coding is on.
+    bool retain_dictionaries = false;
   };
 
   ReplicaStore() = default;
@@ -59,6 +64,16 @@ class ReplicaStore {
   /// an error describing the NACK reason is returned (kNotFound for an
   /// unknown ID, kProtocolError otherwise).
   Status apply(const PatchFrame& frame, std::string* reconstructed);
+
+  /// Decodes a preset-coded (zlib FDICT) body against `id`'s pin-generation
+  /// dictionary. The dictionary is copied under the lock and the inflate
+  /// runs outside it, so a large body never stalls other workers. Any
+  /// failure — unknown ID (kNotFound), dictionary mismatch, corrupt stream,
+  /// `max_output` exceeded — erases the replica and counts a NACK, exactly
+  /// like a bad patch frame: the sender falls back to an identity full send
+  /// and re-pins.
+  Result<std::string> decode_preset(std::uint64_t id, std::string_view body,
+                                    std::size_t max_output);
 
   /// Drops one replica (true if it was pinned). Test/ops hook: the next
   /// patch for the ID NACKs, driving the sender's full-send fallback.
@@ -84,6 +99,11 @@ class ReplicaStore {
     std::uint64_t id = 0;
     std::string body;
     std::uint32_t epoch = 0;
+    /// Pin-generation dictionary: the tail (≤ 32 KiB) of the body as it was
+    /// pinned. Fixed until the next re-pin — `body` mutates under patches,
+    /// but both sides preset from the offer-time bytes, so the dictionary
+    /// must not follow.
+    std::string dict;
   };
   using LruIter = std::list<Replica>::iterator;
 

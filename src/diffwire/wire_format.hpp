@@ -67,6 +67,20 @@ inline constexpr const char* kNackValue = "nack";
 inline constexpr const char* kPatchValue = "patch";
 inline constexpr const char* kPatchContentType = "application/x-bsoap-patch";
 
+// Second differential layer: template-preset wire compression. A client
+// willing to preset-code adds `X-BSoap-Coding: deflate-preset` to its
+// offers; the server echoes the header on the ack when the coding is
+// enabled. Once acked, patch frames and structural-fallback full re-offers
+// go out zlib-compressed with the DEFLATE window preset from the pinned
+// generation's body (RFC 1950 FDICT — the DICTID commits both sides to the
+// same dictionary bytes). A preset-coded body carries its template ID in
+// kTemplateHeader, since the in-band ID is unreadable before decoding; a
+// body the receiver cannot decode (replica evicted, dictionary drift)
+// NACKs like any other replica conflict, so the coding inherits the
+// protocol's full-send self-healing.
+inline constexpr const char* kCodingHeader = "X-BSoap-Coding";
+inline constexpr const char* kCodingPresetValue = "deflate-preset";
+
 /// HTTP status a NACK answer carries (the patch conflicted with the
 /// receiver's replica state).
 inline constexpr int kNackStatus = 409;

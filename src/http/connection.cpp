@@ -23,13 +23,24 @@ Status HttpConnection::send_request(HttpRequest head,
   return transport_.send_slices(wire);
 }
 
+Status HttpConnection::send_request(HttpRequest head, std::string_view body,
+                                    ContentCoding coding,
+                                    std::string_view dict) {
+  if (coding == ContentCoding::kIdentity) {
+    const net::ConstSlice slices[] = {net::ConstSlice{body.data(), body.size()}};
+    return send_request(std::move(head), slices);
+  }
+  const ContentCoder& coder = coding_for(coding);
+  const std::string encoded = coder.encode(body, dict);
+  head.headers.push_back(Header{"Content-Encoding", coder.name()});
+  const net::ConstSlice slices[] = {
+      net::ConstSlice{encoded.data(), encoded.size()}};
+  return send_request(std::move(head), slices);
+}
+
 Status HttpConnection::send_request_gzip(HttpRequest head,
                                          std::string_view body) {
-  const std::string compressed = compress::gzip_compress(body);
-  head.headers.push_back(Header{"Content-Encoding", "gzip"});
-  const net::ConstSlice slices[] = {
-      net::ConstSlice{compressed.data(), compressed.size()}};
-  return send_request(std::move(head), slices);
+  return send_request(std::move(head), body, ContentCoding::kGzip);
 }
 
 Status HttpConnection::send_response(HttpResponse head, std::string_view body) {
@@ -81,9 +92,17 @@ Result<std::string> HttpConnection::read_head() {
 Status HttpConnection::read_body(const std::vector<Header>& headers,
                                  bool is_request, std::string* body) {
   BSOAP_RETURN_IF_ERROR(read_body_raw(headers, is_request, body));
-  if (const Header* encoding = find_header(headers, "Content-Encoding");
-      encoding != nullptr && encoding->value == "gzip") {
-    Result<std::string> inflated = compress::gzip_decompress(*body);
+  if (const Header* encoding = find_header(headers, "Content-Encoding")) {
+    Result<std::string> inflated{std::string{}};
+    if (encoding->value == "gzip") {
+      inflated = compress::gzip_decompress(*body, max_inflate_bytes_);
+    } else if (encoding->value == "deflate") {
+      inflated = compress::zlib_decompress(*body, max_inflate_bytes_);
+    } else {
+      // Unknown codings (including deflate-preset, which needs a dictionary
+      // only the diff-wire layer holds) pass through undecoded.
+      return Status{};
+    }
     if (!inflated.ok()) return inflated.error();
     *body = std::move(inflated.value());
   }

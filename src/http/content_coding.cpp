@@ -1,0 +1,117 @@
+#include "http/content_coding.hpp"
+
+#include "compress/deflate.hpp"
+
+namespace bsoap::http {
+namespace {
+
+class IdentityCoder final : public ContentCoder {
+ public:
+  const char* name() const noexcept override { return "identity"; }
+  std::string encode(std::string_view body,
+                     std::string_view /*dict*/) const override {
+    return std::string(body);
+  }
+  Result<std::string> decode(std::string_view body, std::size_t max_output,
+                             std::string_view /*dict*/) const override {
+    if (body.size() > max_output) {
+      return Error{ErrorCode::kOutOfRange, "identity: output limit"};
+    }
+    return std::string(body);
+  }
+};
+
+class GzipCoder final : public ContentCoder {
+ public:
+  const char* name() const noexcept override { return "gzip"; }
+  std::string encode(std::string_view body,
+                     std::string_view /*dict*/) const override {
+    return compress::gzip_compress(body);
+  }
+  Result<std::string> decode(std::string_view body, std::size_t max_output,
+                             std::string_view /*dict*/) const override {
+    return compress::gzip_decompress(body, max_output);
+  }
+};
+
+class DeflateCoder final : public ContentCoder {
+ public:
+  const char* name() const noexcept override { return "deflate"; }
+  std::string encode(std::string_view body,
+                     std::string_view /*dict*/) const override {
+    return compress::zlib_compress(body);
+  }
+  Result<std::string> decode(std::string_view body, std::size_t max_output,
+                             std::string_view /*dict*/) const override {
+    return compress::zlib_decompress(body, max_output);
+  }
+};
+
+class DeflatePresetCoder final : public ContentCoder {
+ public:
+  const char* name() const noexcept override { return "deflate-preset"; }
+  std::string encode(std::string_view body,
+                     std::string_view dict) const override {
+    return compress::zlib_compress(body, dict);
+  }
+  Result<std::string> decode(std::string_view body, std::size_t max_output,
+                             std::string_view dict) const override {
+    return compress::zlib_decompress(body, max_output, dict);
+  }
+};
+
+char ascii_lower(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool token_equals(std::string_view token, std::string_view expected) noexcept {
+  while (!token.empty() && (token.front() == ' ' || token.front() == '\t')) {
+    token.remove_prefix(1);
+  }
+  while (!token.empty() && (token.back() == ' ' || token.back() == '\t')) {
+    token.remove_suffix(1);
+  }
+  if (token.size() != expected.size()) return false;
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (ascii_lower(token[i]) != expected[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const ContentCoder& coding_for(ContentCoding coding) noexcept {
+  static const IdentityCoder identity;
+  static const GzipCoder gzip;
+  static const DeflateCoder deflate;
+  static const DeflatePresetCoder preset;
+  switch (coding) {
+    case ContentCoding::kGzip:
+      return gzip;
+    case ContentCoding::kDeflate:
+      return deflate;
+    case ContentCoding::kDeflatePreset:
+      return preset;
+    case ContentCoding::kIdentity:
+      break;
+  }
+  return identity;
+}
+
+const char* coding_name(ContentCoding coding) noexcept {
+  return coding_for(coding).name();
+}
+
+bool parse_coding(std::string_view token, ContentCoding* out) noexcept {
+  for (const ContentCoding coding :
+       {ContentCoding::kIdentity, ContentCoding::kGzip, ContentCoding::kDeflate,
+        ContentCoding::kDeflatePreset}) {
+    if (token_equals(token, coding_name(coding))) {
+      *out = coding;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace bsoap::http

@@ -1,0 +1,62 @@
+// HTTP content codings (Content-Encoding / Accept-Encoding).
+//
+// A ContentCoder decides how a message body is encoded on the wire —
+// identity, gzip (RFC 1952), deflate (RFC 1950 zlib, per the HTTP
+// "deflate" token), or the bSOAP extension "deflate-preset": a zlib stream
+// whose DEFLATE window is preset from a dictionary both sides already hold
+// (the pinned diff-wire template), so a body near-identical to the
+// dictionary compresses to almost nothing. Mirrors the Framer/framer_for
+// design: config surfaces name a ContentCoding, coding_for() maps it to a
+// process-wide stateless instance, and encoding headers are chosen from
+// coding_name() and nowhere else.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace bsoap::http {
+
+/// Named coding choice for configuration surfaces (the Framing counterpart).
+enum class ContentCoding {
+  kIdentity,
+  kGzip,
+  kDeflate,        ///< zlib stream, HTTP "deflate" token
+  kDeflatePreset,  ///< zlib + FDICT: window preset from a shared dictionary
+};
+
+class ContentCoder {
+ public:
+  virtual ~ContentCoder() = default;
+
+  /// The Content-Encoding / Accept-Encoding token.
+  virtual const char* name() const noexcept = 0;
+
+  /// Encodes `body` for the wire. `dict` is used only by the preset coding
+  /// (ignored elsewhere); it must be the same bytes the decoder will pass.
+  virtual std::string encode(std::string_view body,
+                             std::string_view dict = {}) const = 0;
+
+  /// Decodes a wire body. `max_output` bounds decompression bombs
+  /// (kOutOfRange when exceeded). The preset coding fails with
+  /// kInvalidArgument when `dict` does not hash to the stream's DICTID —
+  /// a clean error, never garbage output.
+  virtual Result<std::string> decode(std::string_view body,
+                                     std::size_t max_output,
+                                     std::string_view dict = {}) const = 0;
+};
+
+/// Process-wide stateless instance for a coding (the framer_for
+/// counterpart). Every ContentCoding value maps to exactly one.
+const ContentCoder& coding_for(ContentCoding coding) noexcept;
+
+/// The HTTP token for a coding ("identity", "gzip", "deflate",
+/// "deflate-preset").
+const char* coding_name(ContentCoding coding) noexcept;
+
+/// Parses an encoding token (case-insensitive, surrounding spaces ignored);
+/// false on an unknown coding.
+bool parse_coding(std::string_view token, ContentCoding* out) noexcept;
+
+}  // namespace bsoap::http

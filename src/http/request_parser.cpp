@@ -93,11 +93,20 @@ Status RequestParser::advance_body() {
 
 Status RequestParser::finish_body() {
   if (const Header* encoding =
-          find_header(request_.headers, "Content-Encoding");
-      encoding != nullptr && encoding->value == "gzip") {
-    Result<std::string> inflated = compress::gzip_decompress(request_.body);
-    if (!inflated.ok()) return inflated.error();
-    request_.body = std::move(inflated.value());
+          find_header(request_.headers, "Content-Encoding")) {
+    if (encoding->value == "gzip") {
+      Result<std::string> inflated =
+          compress::gzip_decompress(request_.body, max_inflate_bytes_);
+      if (!inflated.ok()) return inflated.error();
+      request_.body = std::move(inflated.value());
+    } else if (encoding->value == "deflate") {
+      Result<std::string> inflated =
+          compress::zlib_decompress(request_.body, max_inflate_bytes_);
+      if (!inflated.ok()) return inflated.error();
+      request_.body = std::move(inflated.value());
+    }
+    // Other codings (deflate-preset needs a dictionary only the diff-wire
+    // layer holds) pass through undecoded for the upper layer.
   }
   state_ = State::kDone;
   return Status{};

@@ -14,7 +14,7 @@
 // (pipelined next requests) are retained and consumed by the next cycle.
 // Framing matches HttpConnection's historical behavior exactly — head
 // through the blank line, then Content-Length or chunked body, transparent
-// gzip Content-Encoding — including error codes and messages, so the 400
+// gzip/deflate Content-Encoding — including error codes and messages, so the 400
 // responses the server sends are byte-identical whichever engine parsed.
 #pragma once
 
@@ -36,6 +36,12 @@ class RequestParser {
 
   State state() const { return state_; }
   bool done() const { return state_ == State::kDone; }
+
+  /// Caps what a compressed (gzip/deflate) request body may inflate to —
+  /// the decompression-bomb bound, plumbed from server options. An
+  /// oversized body fails the feed with kOutOfRange ("deflate: output
+  /// limit"), which the engines answer with 413 instead of 400.
+  void set_max_inflate_bytes(std::size_t bound) { max_inflate_bytes_ = bound; }
 
   /// True once any byte of the current request has been buffered — the
   /// idle→read deadline transition (a connection with a started request is
@@ -72,6 +78,7 @@ class RequestParser {
   Status finish_body();
 
   State state_ = State::kHead;
+  std::size_t max_inflate_bytes_ = 1u << 30;
   std::string buf_;            ///< unconsumed input
   std::size_t head_scanned_ = 0;  ///< blank-line search resume point
   HttpRequest request_;

@@ -19,6 +19,15 @@ std::string render_fault_response(int status, const char* reason,
   return http::serialize_response_head(head) + body;
 }
 
+std::string render_parse_failure_response(const Error& error) {
+  if (error.code == ErrorCode::kOutOfRange) {
+    return render_fault_response(413, "Payload Too Large", "SOAP-ENV:Client",
+                                 error.to_string());
+  }
+  return render_fault_response(400, "Bad Request", "SOAP-ENV:Client",
+                               error.to_string());
+}
+
 std::string render_overload_response() {
   http::HttpResponse head;
   head.status = 503;

@@ -9,6 +9,8 @@
 
 #include <string>
 
+#include "common/error.hpp"
+
 namespace bsoap::server {
 
 /// Head + SOAP fault envelope for `status`, framed with Content-Length,
@@ -16,6 +18,13 @@ namespace bsoap::server {
 std::string render_fault_response(int status, const char* reason,
                                   const char* fault_code,
                                   const std::string& detail);
+
+/// The answer to a request that failed to parse: 413 Payload Too Large when
+/// the error is the decompression bound (kOutOfRange — a compressed body
+/// inflating past the server's max_inflate_bytes), 400 Bad Request
+/// otherwise. Both are Client faults; both engines answer through this so
+/// the bytes match.
+std::string render_parse_failure_response(const Error& error);
 
 /// The overload answer: 503 with Connection: close and Retry-After, sent to
 /// connections the server refuses to serve (admission cap, full queue,

@@ -154,6 +154,7 @@ void Reactor::add_connection(std::unique_ptr<net::Transport> transport,
   conn->fd = transport->native_handle();
   conn->transport = std::move(transport);
   conn->admitted = admitted;
+  conn->parser.set_max_inflate_bytes(options_.max_inflate_bytes);
   if (admitted) conn->envelope_parser = options_.make_parser();
 
   Conn& ref = *conn;
@@ -187,9 +188,7 @@ void Reactor::drive_read(Conn& conn) {
     Status resumed = conn.parser.resume();
     if (!resumed.ok()) {
       stats_->bad_requests.fetch_add(1, std::memory_order_relaxed);
-      start_write(conn,
-                  render_fault_response(400, "Bad Request", "SOAP-ENV:Client",
-                                        resumed.error().to_string()),
+      start_write(conn, render_parse_failure_response(resumed.error()),
                   /*keep_alive=*/false);
       return;
     }
@@ -220,9 +219,7 @@ void Reactor::drive_read(Conn& conn) {
       const Error eof = conn.parser.eof_error();
       if (eof.code == ErrorCode::kProtocolError) {
         stats_->bad_requests.fetch_add(1, std::memory_order_relaxed);
-        start_write(conn,
-                    render_fault_response(400, "Bad Request",
-                                          "SOAP-ENV:Client", eof.to_string()),
+        start_write(conn, render_parse_failure_response(eof),
                     /*keep_alive=*/false);
       } else {
         close_conn(conn);  // kClosed: keep-alive (or mid-body) ended cleanly
@@ -239,9 +236,7 @@ void Reactor::drive_read(Conn& conn) {
     Status fed = conn.parser.feed(tmp, got.value().n);
     if (!fed.ok()) {
       stats_->bad_requests.fetch_add(1, std::memory_order_relaxed);
-      start_write(conn,
-                  render_fault_response(400, "Bad Request", "SOAP-ENV:Client",
-                                        fed.error().to_string()),
+      start_write(conn, render_parse_failure_response(fed.error()),
                   /*keep_alive=*/false);
       return;
     }

@@ -238,6 +238,9 @@ class Reactor {
     /// Creates one request-envelope parser per connection (never null here;
     /// ServerRuntime substitutes its default full parser).
     std::function<soap::EnvelopeParser()> make_parser;
+    /// Decompression-bomb bound for compressed request bodies, plumbed into
+    /// every connection's RequestParser; an oversized body answers 413.
+    std::size_t max_inflate_bytes = 1u << 30;
     /// Prebuilt overload answer (render_overload_response()), written with
     /// Connection: close to connections the reactor refuses.
     std::string overload_response;

@@ -25,6 +25,46 @@ soap::EnvelopeParser make_full_parser() {
   };
 }
 
+bool coding_enabled(const std::vector<http::ContentCoding>& codings,
+                    http::ContentCoding coding) {
+  return std::find(codings.begin(), codings.end(), coding) != codings.end();
+}
+
+/// Picks the response coding from the request's Accept-Encoding ∩ the
+/// server's enabled codings; deflate wins over gzip (smaller framing, same
+/// compressor). Unknown tokens and q-values are ignored — absent or
+/// unusable offers mean identity, never an error.
+http::ContentCoding negotiate_response_coding(
+    const http::HttpRequest& request,
+    const std::vector<http::ContentCoding>& codings) {
+  const http::Header* accept = request.find("Accept-Encoding");
+  if (accept == nullptr) return http::ContentCoding::kIdentity;
+  bool wants_gzip = false;
+  bool wants_deflate = false;
+  std::string_view rest = accept->value;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view token = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    // Strip any ";q=..." parameter; a q=0 refusal is rare enough that
+    // treating it as an offer only costs a per-message fallback check.
+    const std::size_t semi = token.find(';');
+    if (semi != std::string_view::npos) token = token.substr(0, semi);
+    http::ContentCoding coding;
+    if (!http::parse_coding(token, &coding)) continue;
+    wants_gzip |= coding == http::ContentCoding::kGzip;
+    wants_deflate |= coding == http::ContentCoding::kDeflate;
+  }
+  if (wants_deflate && coding_enabled(codings, http::ContentCoding::kDeflate)) {
+    return http::ContentCoding::kDeflate;
+  }
+  if (wants_gzip && coding_enabled(codings, http::ContentCoding::kGzip)) {
+    return http::ContentCoding::kGzip;
+  }
+  return http::ContentCoding::kIdentity;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<ServerRuntime>> ServerRuntime::start(
@@ -67,6 +107,8 @@ Result<std::unique_ptr<ServerRuntime>> ServerRuntime::start(
     diffwire::ReplicaStore::Options replica_options;
     replica_options.max_replicas = server->options_.diffwire_replicas;
     replica_options.max_bytes = server->options_.diffwire_replica_bytes;
+    replica_options.retain_dictionaries = coding_enabled(
+        server->options_.codings, http::ContentCoding::kDeflatePreset);
     server->replicas_ =
         std::make_unique<diffwire::ReplicaStore>(replica_options);
   }
@@ -87,6 +129,7 @@ Result<std::unique_ptr<ServerRuntime>> ServerRuntime::start(
     reactor_options.make_parser = server->options_.make_parser
                                       ? server->options_.make_parser
                                       : make_full_parser;
+    reactor_options.max_inflate_bytes = server->options_.max_inflate_bytes;
     reactor_options.overload_response = render_overload_response();
     Result<std::unique_ptr<Reactor>> reactor =
         Reactor::start(std::move(listener.value()), std::move(reactor_options),
@@ -189,6 +232,7 @@ void ServerRuntime::serve_connection(
   timeouts.slice = options_.poll_slice;
   PacedTransport transport(std::move(raw_transport), timeouts, &draining_);
   http::HttpConnection conn(transport);
+  conn.set_max_inflate_bytes(options_.max_inflate_bytes);
 
   soap::EnvelopeParser parser =
       options_.make_parser ? options_.make_parser() : make_full_parser();
@@ -206,10 +250,10 @@ void ServerRuntime::serve_connection(
         }
       } else if (code != ErrorCode::kClosed) {
         // Unparseable HTTP head or framing: the stream is out of sync, so
-        // answer 400 with a fault envelope and close.
+        // answer 400 (or 413 when the decompression bound tripped) with a
+        // fault envelope and close.
         stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
-        send_fault(transport, 400, "Bad Request", "SOAP-ENV:Client",
-                   request.error().to_string());
+        (void)transport.send(render_parse_failure_response(request.error()));
       }
       break;  // kClosed: keep-alive ended cleanly
     }
@@ -228,12 +272,45 @@ bool ServerRuntime::answer_request(Worker& worker,
                                    net::Transport& transport) {
   std::string_view body = request.body;
   std::string reconstructed;  // patch sends: the replayed envelope
+  std::string preset_decoded;  // preset-coded sends: the inflated body
   // Diff-wire: reconstruct patch frames against the pinned replica, and pin
   // (or re-pin) full bodies the client offers. The ack rides back on this
   // request's response via extra_headers.
   std::vector<http::Header> diff_headers;
   const std::vector<http::Header>* extra_headers = nullptr;
   if (replicas_ != nullptr) {
+    // Second differential layer: a preset-coded body (full re-offer or
+    // patch frame) decodes against the pinned generation's dictionary
+    // before any of the logic below sees it. Anything undecodable — no
+    // template header, coding disabled, replica evicted, dictionary drift,
+    // bound exceeded — NACKs, which makes the client fall back to an
+    // identity full send and re-pin.
+    if (const http::Header* encoding = request.find("Content-Encoding");
+        encoding != nullptr &&
+        encoding->value == diffwire::kCodingPresetValue) {
+      const http::Header* id_header = request.find(diffwire::kTemplateHeader);
+      std::uint64_t id = 0;
+      if (!coding_enabled(options_.codings,
+                          http::ContentCoding::kDeflatePreset) ||
+          id_header == nullptr ||
+          !diffwire::parse_template_id(id_header->value, &id)) {
+        stats_.patch_nacks.fetch_add(1, std::memory_order_relaxed);
+        return transport
+            .send(diffwire::render_nack_response(id, "preset coding unusable"))
+            .ok();
+      }
+      Result<std::string> decoded =
+          replicas_->decode_preset(id, body, options_.max_inflate_bytes);
+      if (!decoded.ok()) {
+        stats_.patch_nacks.fetch_add(1, std::memory_order_relaxed);
+        return transport
+            .send(diffwire::render_nack_response(id,
+                                                 decoded.error().message))
+            .ok();
+      }
+      preset_decoded = std::move(decoded.value());
+      body = preset_decoded;
+    }
     const http::Header* content_type = request.find("Content-Type");
     if (content_type != nullptr &&
         content_type->value == diffwire::kPatchContentType) {
@@ -261,9 +338,12 @@ bool ServerRuntime::answer_request(Worker& worker,
       if (header.replay()) {
         stats_.patch_replays.fetch_add(1, std::memory_order_relaxed);
       }
-      if (reconstructed.size() > body.size()) {
-        stats_.bytes_saved.fetch_add(reconstructed.size() - body.size(),
-                                     std::memory_order_relaxed);
+      if (reconstructed.size() > request.body.size()) {
+        // Against the actual wire payload, so a preset-coded frame's
+        // compression saving counts too.
+        stats_.bytes_saved.fetch_add(
+            reconstructed.size() - request.body.size(),
+            std::memory_order_relaxed);
       }
       body = reconstructed;
     } else {
@@ -282,6 +362,18 @@ bool ServerRuntime::answer_request(Worker& worker,
             http::Header{diffwire::kDiffHeader, diffwire::kAckValue});
         diff_headers.push_back(http::Header{
             diffwire::kTemplateHeader, diffwire::format_template_id(id)});
+        // Ack the preset-coding offer when enabled: subsequent sends under
+        // this pin may arrive deflate-preset coded. Re-acked on every
+        // re-offer (the client's coding state survives re-pins).
+        const http::Header* coding_offer =
+            request.find(diffwire::kCodingHeader);
+        if (coding_offer != nullptr &&
+            coding_offer->value == diffwire::kCodingPresetValue &&
+            coding_enabled(options_.codings,
+                           http::ContentCoding::kDeflatePreset)) {
+          diff_headers.push_back(http::Header{diffwire::kCodingHeader,
+                                              diffwire::kCodingPresetValue});
+        }
         extra_headers = &diff_headers;
       }
     }
@@ -312,6 +404,7 @@ bool ServerRuntime::answer_request(Worker& worker,
   core::SendDestination dest;
   dest.transport = &transport;
   dest.extra_headers = extra_headers;
+  dest.coding = negotiate_response_coding(request, options_.codings);
   // Count before the write: once the client has read its response, the
   // request is visible in stats() (tests rely on that ordering).
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
@@ -322,6 +415,18 @@ bool ServerRuntime::answer_request(Worker& worker,
     return false;
   }
   stats_.record_response(sent.value().match);
+  if (sent.value().coding != http::ContentCoding::kIdentity) {
+    stats_.compressed_sends.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (sent.value().coding_bytes_saved > 0) {
+    stats_.coding_bytes_saved.fetch_add(sent.value().coding_bytes_saved,
+                                        std::memory_order_relaxed);
+  }
+  if (sent.value().coding_ns > 0) {
+    stats_.coding_cpu_ns.fetch_add(
+        static_cast<std::uint64_t>(sent.value().coding_ns),
+        std::memory_order_relaxed);
+  }
   if (shared_cache_ == nullptr) {
     const core::TemplateStore& store = worker.pipeline->store();
     worker.template_bytes.store(store.bytes_retained(),

@@ -54,6 +54,7 @@
 #include "core/send_pipeline.hpp"
 #include "core/shared_template_cache.hpp"
 #include "diffwire/replica_store.hpp"
+#include "http/content_coding.hpp"
 #include "server/accept_queue.hpp"
 #include "server/reactor.hpp"
 #include "server/server_stats.hpp"
@@ -119,6 +120,20 @@ struct ServerRuntimeOptions {
   bool diffwire = true;
   std::size_t diffwire_replicas = 64;      ///< pinned bodies retained (LRU)
   std::size_t diffwire_replica_bytes = 0;  ///< byte budget (0 = unlimited)
+
+  /// Content codings the server participates in. Responses are coded per
+  /// the request's Accept-Encoding (deflate preferred over gzip when both
+  /// are offered and enabled); kDeflatePreset additionally acks client
+  /// preset-coding offers and decodes preset-coded request bodies against
+  /// the pinned replica's dictionary (requires diffwire). Clients that
+  /// negotiate nothing are unaffected, so all three default on.
+  std::vector<http::ContentCoding> codings{http::ContentCoding::kGzip,
+                                           http::ContentCoding::kDeflate,
+                                           http::ContentCoding::kDeflatePreset};
+  /// Decompression-bomb bound: the most a compressed request body (gzip,
+  /// deflate or deflate-preset) may inflate to. An oversized body is
+  /// answered 413 Payload Too Large with a Client fault.
+  std::size_t max_inflate_bytes = 1u << 30;
 
   /// Creates one request-envelope parser per connection; null uses the full
   /// parser (see core::make_diff_deserializing_options for the differential

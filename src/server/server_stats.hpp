@@ -62,6 +62,12 @@ struct ServerStats {
   std::uint64_t diff_pinned_replicas = 0; ///< gauge: replicas currently pinned
   std::uint64_t diff_pinned_bytes = 0;    ///< gauge: bytes those replicas hold
 
+  // Wire compression (response content coding; all zero when no client
+  // offers Accept-Encoding or every coded attempt fell back to identity).
+  std::uint64_t compressed_sends = 0;    ///< responses sent content-coded
+  std::uint64_t coding_bytes_saved = 0;  ///< raw minus coded payload bytes
+  std::uint64_t coding_cpu_ns = 0;       ///< CPU spent compressing payloads
+
   // Shared template cache (shared_cache mode; all zero with per-worker
   // stores). See core::SharedTemplateCache::Stats for field meanings.
   std::uint64_t cache_hits = 0;
@@ -137,6 +143,10 @@ class StatsCollector {
     s.fallback_full_sends =
         fallback_full_sends.load(std::memory_order_relaxed);
     s.bytes_saved = bytes_saved.load(std::memory_order_relaxed);
+    s.compressed_sends = compressed_sends.load(std::memory_order_relaxed);
+    s.coding_bytes_saved =
+        coding_bytes_saved.load(std::memory_order_relaxed);
+    s.coding_cpu_ns = coding_cpu_ns.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -163,6 +173,9 @@ class StatsCollector {
   std::atomic<std::uint64_t> patch_nacks{0};
   std::atomic<std::uint64_t> fallback_full_sends{0};
   std::atomic<std::uint64_t> bytes_saved{0};
+  std::atomic<std::uint64_t> compressed_sends{0};
+  std::atomic<std::uint64_t> coding_bytes_saved{0};
+  std::atomic<std::uint64_t> coding_cpu_ns{0};
 };
 
 }  // namespace bsoap::server

@@ -207,7 +207,9 @@ TEST(HttpConnection, GzipRequestBodyTransparentlyDecoded) {
 
   HttpRequest head;
   head.target = "/compressed";
-  ASSERT_TRUE(client.send_request_gzip(std::move(head), payload).ok());
+  ASSERT_TRUE(
+      client.send_request(std::move(head), payload, ContentCoding::kGzip)
+          .ok());
   server_thread.join();
 }
 
