@@ -1,10 +1,22 @@
 // Ablation: differential deserialization (paper Section 6 future work).
 //
-// Server-side receive cost for a stream of similar messages:
+// Server-side receive cost for a stream of similar messages, measured on
+// the SAME code paths the server runtime drives (core::DiffDeserializer,
+// which ParsedReplica wraps under the replica lease):
 //   * FullParse    — conventional envelope parse every message;
-//   * ContentHit   — identical message, one memcmp against the cache;
-//   * FastParse    — a few same-width values changed, only those regions
-//                    re-parsed.
+//   * ContentHit   — identical message through the connection-level diff
+//                    parser: one memcmp against the cache;
+//   * Replay       — the server's header-only replay path: apply_runs with
+//                    zero runs (no memcmp — the patch checksum already
+//                    proved the body unchanged);
+//   * FastParse    — 5% same-width values changed, delivered as the dirty
+//                    runs a patch frame carries: apply_runs re-parses only
+//                    the touched leaf regions.
+// The end-to-end counterpart (real round trips, both engines) is
+// bench_diffdeser; this figure isolates the deserializer itself.
+#include <span>
+#include <vector>
+
 #include "bench/bench_common.hpp"
 #include "buffer/sinks.hpp"
 #include "core/diff_deserializer.hpp"
@@ -21,6 +33,31 @@ std::string serialize(const soap::RpcCall& call) {
   buffer::StringSink sink;
   soap::write_rpc_envelope(sink, call);
   return sink.take();
+}
+
+/// Byte-diffs two same-length documents into the dirty runs a patch frame
+/// would carry, merging runs separated by at most `merge_gap` unchanged
+/// bytes (the shape SendPipeline's journal produces).
+std::vector<core::DiffDeserializer::DirtyRun> byte_diff_runs(
+    const std::string& old_doc, const std::string& fresh,
+    std::size_t merge_gap) {
+  std::vector<core::DiffDeserializer::DirtyRun> runs;
+  std::size_t i = 0;
+  while (i < old_doc.size()) {
+    if (old_doc[i] == fresh[i]) {
+      ++i;
+      continue;
+    }
+    const std::size_t begin = i;
+    while (i < old_doc.size() && old_doc[i] != fresh[i]) ++i;
+    if (!runs.empty() &&
+        begin - (runs.back().offset + runs.back().length) <= merge_gap) {
+      runs.back().length = i - runs.back().offset;
+    } else {
+      runs.push_back(core::DiffDeserializer::DirtyRun{begin, i - begin});
+    }
+  }
+  return runs;
 }
 
 void register_figure() {
@@ -48,13 +85,33 @@ void register_figure() {
                     }
                   });
 
+  register_series("AblationDiffDeser/Replay/Double",
+                  [](benchmark::State& state, std::size_t n) {
+                    const std::string doc = serialize(soap::make_double_array_call(
+                        soap::doubles_with_serialized_length(n, 18, 1)));
+                    core::DiffDeserializer deser;
+                    (void)deser.prime(doc);
+                    for (auto _ : state) {
+                      Result<core::DiffDeserializer::ApplyReport> report =
+                          deser.apply_runs(doc, {});
+                      BSOAP_ASSERT(report.ok());
+                      benchmark::DoNotOptimize(&deser.call());
+                    }
+                    state.counters["content_hits"] =
+                        static_cast<double>(deser.stats().content_hits);
+                  });
+
   register_series(
       "AblationDiffDeser/FastParse_5pctChanged/Double",
       [](benchmark::State& state, std::size_t n) {
         auto values = soap::doubles_with_serialized_length(n, 18, 1);
+        const std::string base =
+            serialize(soap::make_double_array_call(values));
         core::DiffDeserializer deser;
-        (void)deser.parse(serialize(soap::make_double_array_call(values)));
-        // Pre-generate alternating documents with 5% same-width changes.
+        (void)deser.prime(base);
+        // Pre-generate alternating documents with 5% same-width changes,
+        // plus the dirty runs each transition would carry in a patch frame
+        // (run extraction is the sender's cost, not the receiver's).
         const auto pool = soap::doubles_with_serialized_length(n, 18, 2);
         const std::size_t changes = n >= 20 ? n / 20 : 1;
         std::vector<std::string> docs;
@@ -66,15 +123,24 @@ void register_figure() {
           }
           docs.push_back(serialize(soap::make_double_array_call(v)));
         }
+        std::vector<std::vector<core::DiffDeserializer::DirtyRun>> runs = {
+            byte_diff_runs(docs[1], docs[0], 18),
+            byte_diff_runs(docs[0], docs[1], 18)};
         bool flip = false;
+        // First transition: base -> docs[0].
+        (void)deser.apply_runs(docs[0], byte_diff_runs(base, docs[0], 18));
         for (auto _ : state) {
           flip = !flip;
-          Result<const soap::RpcCall*> call = deser.parse(docs[flip ? 0 : 1]);
-          BSOAP_ASSERT(call.ok());
-          benchmark::DoNotOptimize(call.value());
+          const std::size_t next = flip ? 1 : 0;
+          Result<core::DiffDeserializer::ApplyReport> report =
+              deser.apply_runs(docs[next], runs[next]);
+          BSOAP_ASSERT(report.ok());
+          benchmark::DoNotOptimize(&deser.call());
         }
         state.counters["fast_parses"] =
             static_cast<double>(deser.stats().fast_parses);
+        state.counters["demotions"] =
+            static_cast<double>(deser.stats().demotions);
       });
 }
 

@@ -46,6 +46,11 @@ it shows up as a timing change:
     loss degrades to full sends instead of failed requests — and the
     nackstorm series must actually have seen NACKs (else the storm never
     exercised the fallback);
+  * "DiffDeser/..." series (bench_diffdeser) are gated across series: at
+    <= 1% dirty the fused fast-parse receive stage must be >= 5x faster
+    than the always-full-parse baseline (both engines), clean fast-parse
+    series must see zero demotions, the replay series must be pure content
+    hits, and every DiffDeser entry must report failed == 0;
   * "WireCompress/..." series (bench_compress) are gated across series at
     every dirty rate: the preset full re-offer series must measure <= 0.5x
     the identity full series' on-wire bytes per request (the >= 2x
@@ -196,6 +201,69 @@ def check_diffwire(bench, entries):
     return errors
 
 
+def check_diffdeser(bench, entries):
+    """Cross-series gates for bench_diffdeser.
+
+    * every DiffDeser entry must report failed == 0;
+    * at <= 1% dirty (permille 1 and 10) the fast-parse series' receive
+      parse stage must be >= 5x faster than the full-parse baseline at the
+      same dirty rate, on both engines — the tentpole ratio differential
+      deserialization exists for;
+    * clean fast-parse series must report zero demotions (same-width
+      rewrites never touch structural bytes, so any demotion means the
+      region map or the run intersection broke);
+    * the replay series must serve from the cache alone: content hits > 0,
+      zero fast parses, and exactly the warmup's one full parse.
+    """
+    points = {}  # (mode, permille) -> counters
+    errors = []
+    for entry in entries:
+        series = entry["series"]
+        if not series.startswith("DiffDeser/"):
+            continue
+        mode = series.split("/")[1]
+        c = entry.get("counters", {})
+        points[(mode, entry["n"])] = c
+        if c.get("failed", 0):
+            errors.append(
+                f"{bench} {series}/{entry['n']}: {c['failed']:.0f} failed "
+                f"request(s) — differential deserialization may never fail "
+                f"an invoke")
+        if mode.endswith("fastparse") and c.get("demotions", 0):
+            errors.append(
+                f"{bench} {series}/{entry['n']}: {c['demotions']:.0f} "
+                f"demotion(s) on a clean same-width series — the leaf "
+                f"region map or run intersection regressed")
+
+    for fast_mode, full_mode in (("fastparse", "fullparse"),
+                                 ("reactor_fastparse", "reactor_fullparse")):
+        for permille in (1, 10):
+            if ((fast_mode, permille) not in points
+                    or (full_mode, permille) not in points):
+                continue
+            fast = points[(fast_mode, permille)].get("parse_ns_per_req", 0)
+            full = points[(full_mode, permille)].get("parse_ns_per_req", 0)
+            if full > 0 and fast * 5 > full:
+                errors.append(
+                    f"{bench} DiffDeser at {permille} per-mille dirty "
+                    f"({fast_mode}): fast parse {fast:.0f} ns/req is not "
+                    f">= 5x faster than full parse ({full:.0f} ns/req)")
+
+    for (mode, permille), c in points.items():
+        if mode != "replay":
+            continue
+        if (not c.get("content_hits", 0) or c.get("fast_parses", 0)
+                or c.get("full_parses", 0) != 1 or c.get("demotions", 0)):
+            errors.append(
+                f"{bench} DiffDeser/replay/{permille}: replays must be pure "
+                f"content hits, got content_hits="
+                f"{c.get('content_hits', 0):.0f} "
+                f"fast={c.get('fast_parses', 0):.0f} "
+                f"full={c.get('full_parses', 0):.0f} "
+                f"demotions={c.get('demotions', 0):.0f}")
+    return errors
+
+
 def check_wire_compress(bench, entries):
     """Cross-series gates for bench_compress (see module doc)."""
     points = {}  # (mode, permille) -> counters
@@ -298,6 +366,8 @@ def main() -> int:
                                    doc.get("entries", [])))
         errors.extend(
             check_diffwire(doc.get("bench", path), doc.get("entries", [])))
+        errors.extend(
+            check_diffdeser(doc.get("bench", path), doc.get("entries", [])))
         errors.extend(
             check_wire_compress(doc.get("bench", path),
                                 doc.get("entries", [])))

@@ -1,5 +1,6 @@
 #include "core/diff_deserializer.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "soap/envelope_reader.hpp"
@@ -49,6 +50,87 @@ Result<const soap::RpcCall*> DiffDeserializer::parse(
   return &cached_call_;
 }
 
+Status DiffDeserializer::prime(std::string_view document) {
+  return full_parse(document);
+}
+
+Result<DiffDeserializer::ApplyReport> DiffDeserializer::demote(
+    std::string_view document) {
+  ++stats_.demotions;
+  BSOAP_RETURN_IF_ERROR(full_parse(document));
+  ApplyReport report;
+  report.path = ApplyPath::kFullParse;
+  report.demoted = true;
+  return report;
+}
+
+Result<DiffDeserializer::ApplyReport> DiffDeserializer::apply_runs(
+    std::string_view document, std::span<const DirtyRun> runs) {
+  if (!cache_valid_) {
+    BSOAP_RETURN_IF_ERROR(full_parse(document));
+    return ApplyReport{ApplyPath::kFullParse, 0, false};
+  }
+  if (document.size() != cached_doc_.size() || !fast_path_usable_) {
+    return demote(document);
+  }
+  if (runs.empty()) {
+    ++stats_.content_hits;
+    return ApplyReport{ApplyPath::kContentHit, 0, false};
+  }
+
+  // Intersect each run with the leaf-region map. Bytes of a run that fall
+  // outside every region are structural: a patch may cover them (runs span
+  // the close tag after a widened value) but must not change them.
+  touched_.clear();
+  for (const DirtyRun& run : runs) {
+    if (run.length == 0) continue;
+    if (run.offset > document.size() ||
+        run.length > document.size() - run.offset) {
+      return demote(document);
+    }
+    std::size_t cursor = run.offset;
+    const std::size_t run_end = run.offset + run.length;
+    while (cursor < run_end) {
+      // First region whose end lies past the cursor.
+      const auto it = std::upper_bound(
+          regions_.begin(), regions_.end(), cursor,
+          [](std::size_t pos, const LeafRegion& r) { return pos < r.end; });
+      const std::size_t next_begin =
+          it == regions_.end() ? document.size() : it->begin;
+      if (cursor < next_begin) {
+        const std::size_t seg_end = std::min(run_end, next_begin);
+        if (std::memcmp(document.data() + cursor, cached_doc_.data() + cursor,
+                        seg_end - cursor) != 0) {
+          return demote(document);  // a structural byte changed
+        }
+        cursor = seg_end;
+        continue;
+      }
+      touched_.push_back(static_cast<std::size_t>(it - regions_.begin()));
+      cursor = std::min(run_end, it->end);
+    }
+  }
+  std::sort(touched_.begin(), touched_.end());
+  touched_.erase(std::unique(touched_.begin(), touched_.end()),
+                 touched_.end());
+
+  for (const DirtyRun& run : runs) {
+    if (run.length == 0) continue;
+    std::memcpy(cached_doc_.data() + run.offset, document.data() + run.offset,
+                run.length);
+  }
+  for (const std::size_t index : touched_) {
+    const LeafRegion& r = regions_[index];
+    const std::string_view fresh =
+        std::string_view(cached_doc_).substr(r.begin, r.end - r.begin);
+    const Status st = reparse_slot(index, fresh);
+    if (!st.ok()) return demote(document);
+  }
+  ++stats_.fast_parses;
+  stats_.regions_reparsed += touched_.size();
+  return ApplyReport{ApplyPath::kFastParse, touched_.size(), false};
+}
+
 bool DiffDeserializer::skeleton_matches(std::string_view document) const {
   // Compare every byte outside the value regions.
   std::size_t cursor = 0;
@@ -71,46 +153,51 @@ Status DiffDeserializer::reparse_changed_regions(std::string_view document) {
         std::string_view(cached_doc_).substr(r.begin, r.end - r.begin);
     if (fresh == old) continue;
     ++stats_.regions_reparsed;
+    BSOAP_RETURN_IF_ERROR(reparse_slot(i, fresh));
+  }
+  return Status{};
+}
 
-    const LeafSlot& slot = slots_[i];
-    const std::string_view lexical = trim(fresh);
-    switch (slot.kind) {
-      case LeafSlot::Kind::kInt32: {
-        Result<std::int32_t> v = textconv::parse_i32(lexical);
-        if (!v.ok()) return v.error();
-        *static_cast<std::int32_t*>(slot.target) = v.value();
-        break;
+Status DiffDeserializer::reparse_slot(std::size_t index,
+                                      std::string_view fresh) {
+  const LeafSlot& slot = slots_[index];
+  const std::string_view lexical = trim(fresh);
+  switch (slot.kind) {
+    case LeafSlot::Kind::kInt32: {
+      Result<std::int32_t> v = textconv::parse_i32(lexical);
+      if (!v.ok()) return v.error();
+      *static_cast<std::int32_t*>(slot.target) = v.value();
+      break;
+    }
+    case LeafSlot::Kind::kInt64: {
+      Result<std::int64_t> v = textconv::parse_i64(lexical);
+      if (!v.ok()) return v.error();
+      *static_cast<std::int64_t*>(slot.target) = v.value();
+      break;
+    }
+    case LeafSlot::Kind::kDouble: {
+      Result<double> v = textconv::parse_double(lexical);
+      if (!v.ok()) return v.error();
+      *static_cast<double*>(slot.target) = v.value();
+      break;
+    }
+    case LeafSlot::Kind::kBool: {
+      if (lexical == "true" || lexical == "1") {
+        *static_cast<bool*>(slot.target) = true;
+      } else if (lexical == "false" || lexical == "0") {
+        *static_cast<bool*>(slot.target) = false;
+      } else {
+        return Error{ErrorCode::kParseError, "bad boolean region"};
       }
-      case LeafSlot::Kind::kInt64: {
-        Result<std::int64_t> v = textconv::parse_i64(lexical);
-        if (!v.ok()) return v.error();
-        *static_cast<std::int64_t*>(slot.target) = v.value();
-        break;
+      break;
+    }
+    case LeafSlot::Kind::kString: {
+      std::string decoded;
+      if (!xml::unescape(fresh, &decoded)) {
+        return Error{ErrorCode::kParseError, "bad string region"};
       }
-      case LeafSlot::Kind::kDouble: {
-        Result<double> v = textconv::parse_double(lexical);
-        if (!v.ok()) return v.error();
-        *static_cast<double*>(slot.target) = v.value();
-        break;
-      }
-      case LeafSlot::Kind::kBool: {
-        if (lexical == "true" || lexical == "1") {
-          *static_cast<bool*>(slot.target) = true;
-        } else if (lexical == "false" || lexical == "0") {
-          *static_cast<bool*>(slot.target) = false;
-        } else {
-          return Error{ErrorCode::kParseError, "bad boolean region"};
-        }
-        break;
-      }
-      case LeafSlot::Kind::kString: {
-        std::string decoded;
-        if (!xml::unescape(fresh, &decoded)) {
-          return Error{ErrorCode::kParseError, "bad string region"};
-        }
-        *static_cast<std::string*>(slot.target) = std::move(decoded);
-        break;
-      }
+      *static_cast<std::string*>(slot.target) = std::move(decoded);
+      break;
     }
   }
   return Status{};
@@ -175,7 +262,13 @@ void DiffDeserializer::collect_slots() {
 Status DiffDeserializer::full_parse(std::string_view document) {
   ++stats_.full_parses;
   Result<soap::RpcCall> call = soap::read_rpc_envelope(document);
-  if (!call.ok()) return call.error();
+  if (!call.ok()) {
+    // The cache may already be torn (apply_runs copies run bytes before
+    // re-parsing leaves); never serve it after a failed re-prime.
+    cache_valid_ = false;
+    fast_path_usable_ = false;
+    return call.error();
+  }
   cached_call_ = std::move(call.value());
   cached_doc_.assign(document);
   cache_valid_ = true;

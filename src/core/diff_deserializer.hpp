@@ -8,11 +8,24 @@
 // changed lexicals instead of the whole envelope. An identical document is a
 // content hit and costs one memcmp.
 //
-// The fast path degrades gracefully: any skeleton mismatch, length change or
-// unsupported shape falls back to a full parse (and re-primes the cache).
+// Two entry points share the cache:
+//
+//   parse(document)      — trusts nothing: memcmp for a content hit, then a
+//                          full skeleton scan before the region fast path.
+//   apply_runs(doc, runs) — trusts the caller that every byte outside `runs`
+//                          equals the cached document (the diff-wire patch
+//                          checksum proves exactly this), so the fast path
+//                          touches only the dirty bytes: intersect the runs
+//                          with the leaf-region map, re-parse touched leaves
+//                          in place, and never walk the full message.
+//
+// Both paths degrade gracefully: any skeleton mismatch, length change,
+// structural byte inside a run, or unsupported shape demotes to a full parse
+// (which re-primes the cache and rebuilds the region map).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,13 +42,72 @@ class DiffDeserializer {
     std::uint64_t content_hits = 0;   ///< document identical to cached
     std::uint64_t fast_parses = 0;    ///< skeleton matched, regions re-parsed
     std::uint64_t regions_reparsed = 0;
+    std::uint64_t demotions = 0;  ///< cached parse present but unusable
+  };
+
+  /// One leaf's byte span in the cached document (text content of a
+  /// childless element, absolute body offsets, [begin, end)). Regions are
+  /// sorted by begin and stay valid across apply_runs() epochs because
+  /// patches never change the body length.
+  struct LeafRegion {
+    std::size_t begin;
+    std::size_t end;
+  };
+
+  /// One contiguous dirty byte span of a patched document.
+  struct DirtyRun {
+    std::size_t offset;
+    std::size_t length;
+  };
+
+  /// How apply_runs() satisfied a request.
+  enum class ApplyPath : std::uint8_t {
+    kContentHit,  ///< no dirty bytes: cached call returned untouched
+    kFastParse,   ///< only touched leaves re-parsed
+    kFullParse,   ///< whole envelope parsed (first sight or demotion)
+  };
+
+  struct ApplyReport {
+    ApplyPath path = ApplyPath::kFullParse;
+    std::size_t leaves_reparsed = 0;
+    bool demoted = false;  ///< a usable cache had to be thrown away
   };
 
   /// Parses `document`, reusing the cached parse when possible. The returned
-  /// pointer stays valid until the next parse() call.
+  /// pointer stays valid until the next parse()/prime()/apply_runs() call.
   Result<const soap::RpcCall*> parse(std::string_view document);
 
+  /// Unconditional full parse that (re)primes the cache. Equivalent to the
+  /// slow path of parse() without the content-hit/skeleton probes.
+  Status prime(std::string_view document);
+
+  /// Updates the cached parse for `document`, which must equal the cached
+  /// document outside `runs` (byte-verified upstream — the diff-wire patch
+  /// checksum covers the whole reconstructed body). Only run bytes are
+  /// examined: runs fully inside leaf regions re-parse just those leaves;
+  /// structural bytes covered by a run must be byte-identical (patch runs
+  /// legitimately span the close tag after a widened value) or the request
+  /// demotes to a full parse. Empty `runs` is a content hit.
+  Result<ApplyReport> apply_runs(std::string_view document,
+                                 std::span<const DirtyRun> runs);
+
+  /// The cached call; valid only when primed().
+  const soap::RpcCall& call() const { return cached_call_; }
+  bool primed() const { return cache_valid_; }
+  bool fast_path_usable() const { return fast_path_usable_; }
+
+  /// Leaf-region map of the cached document (absolute offsets, sorted).
+  std::span<const LeafRegion> regions() const { return regions_; }
+
   const Stats& stats() const { return stats_; }
+
+  /// Drains the counters: returns the totals accumulated since the last
+  /// take and zeroes them, so periodic aggregation never double-counts.
+  Stats take_stats() {
+    Stats out = stats_;
+    stats_ = Stats{};
+    return out;
+  }
 
   /// Forgets the cached message.
   void reset();
@@ -48,20 +120,18 @@ class DiffDeserializer {
     void* target;  ///< pointer into cached_call_ (stable storage)
   };
 
-  struct LeafRegion {
-    std::size_t begin;
-    std::size_t end;
-  };
-
   Status full_parse(std::string_view document);
+  Result<ApplyReport> demote(std::string_view document);
   bool skeleton_matches(std::string_view document) const;
   Status reparse_changed_regions(std::string_view document);
+  Status reparse_slot(std::size_t index, std::string_view fresh);
   void collect_slots();
 
   std::string cached_doc_;
   soap::RpcCall cached_call_;
   std::vector<LeafRegion> regions_;
   std::vector<LeafSlot> slots_;
+  std::vector<std::size_t> touched_;  ///< apply_runs scratch (region indices)
   bool cache_valid_ = false;
   bool fast_path_usable_ = false;
   Stats stats_;

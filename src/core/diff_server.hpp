@@ -24,16 +24,19 @@ class DiffDeserCollector {
     full_parses_.fetch_add(stats.full_parses, std::memory_order_relaxed);
     content_hits_.fetch_add(stats.content_hits, std::memory_order_relaxed);
     fast_parses_.fetch_add(stats.fast_parses, std::memory_order_relaxed);
+    demotions_.fetch_add(stats.demotions, std::memory_order_relaxed);
   }
 
   std::uint64_t full_parses() const { return full_parses_.load(); }
   std::uint64_t content_hits() const { return content_hits_.load(); }
   std::uint64_t fast_parses() const { return fast_parses_.load(); }
+  std::uint64_t demotions() const { return demotions_.load(); }
 
  private:
   std::atomic<std::uint64_t> full_parses_{0};
   std::atomic<std::uint64_t> content_hits_{0};
   std::atomic<std::uint64_t> fast_parses_{0};
+  std::atomic<std::uint64_t> demotions_{0};
 };
 
 /// Per-connection parser factory that parses request envelopes
@@ -44,19 +47,14 @@ inline std::function<soap::EnvelopeParser()> make_diff_parser_factory(
     std::shared_ptr<DiffDeserCollector> collector = nullptr) {
   return [collector]() -> soap::EnvelopeParser {
     auto deser = std::make_shared<DiffDeserializer>();
-    auto last_reported = std::make_shared<DiffDeserializer::Stats>();
-    return [deser, collector, last_reported](
+    return [deser, collector](
                std::string_view body) -> Result<const soap::RpcCall*> {
       Result<const soap::RpcCall*> call = deser->parse(body);
       if (collector != nullptr) {
-        // Report the delta since the previous request.
-        const DiffDeserializer::Stats& now = deser->stats();
-        DiffDeserializer::Stats delta;
-        delta.full_parses = now.full_parses - last_reported->full_parses;
-        delta.content_hits = now.content_hits - last_reported->content_hits;
-        delta.fast_parses = now.fast_parses - last_reported->fast_parses;
-        *last_reported = now;
-        collector->record(delta);
+        // take_stats drains the per-connection counters, so each request's
+        // delta is recorded exactly once — no snapshot subtraction, no
+        // double-counting when several aggregators observe one connection.
+        collector->record(deser->take_stats());
       }
       return call;
     };

@@ -16,8 +16,11 @@ std::string_view dict_tail(std::string_view body) {
 }
 }  // namespace
 
-bool ReplicaStore::pin(std::uint64_t id, std::string_view body) {
+bool ReplicaStore::pin(std::uint64_t id, std::string_view body,
+                       std::uint64_t* generation) {
   std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t gen = ++generation_counter_;
+  if (generation != nullptr) *generation = gen;
   const auto it = index_.find(id);
   if (it != index_.end()) {
     Replica& replica = *it->second;
@@ -26,6 +29,8 @@ bool ReplicaStore::pin(std::uint64_t id, std::string_view body) {
     replica.epoch = 0;
     replica.dict.assign(options_.retain_dictionaries ? dict_tail(body)
                                                      : std::string_view{});
+    replica.generation = gen;
+    replica.attachment.reset();  // it described the replaced body
     bytes_ += replica.body.size() + replica.dict.size();
     lru_.splice(lru_.begin(), lru_, it->second);
     ++counters_.repins;
@@ -35,12 +40,30 @@ bool ReplicaStore::pin(std::uint64_t id, std::string_view body) {
   lru_.push_front(Replica{id, std::string(body), 0,
                           options_.retain_dictionaries
                               ? std::string(dict_tail(body))
-                              : std::string{}});
+                              : std::string{},
+                          gen, nullptr});
   index_[id] = lru_.begin();
   bytes_ += lru_.front().body.size() + lru_.front().dict.size();
   ++counters_.pins;
   enforce_budget_locked();
   return false;
+}
+
+bool ReplicaStore::attach(std::uint64_t id, std::uint64_t generation,
+                          std::shared_ptr<ReplicaAttachment> attachment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(id);
+  if (it == index_.end() || it->second->generation != generation) return false;
+  it->second->attachment = std::move(attachment);
+  return true;
+}
+
+std::shared_ptr<ReplicaAttachment> ReplicaStore::attachment(
+    std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  return it->second->attachment;
 }
 
 Result<std::string> ReplicaStore::decode_preset(std::uint64_t id,
@@ -69,7 +92,8 @@ Result<std::string> ReplicaStore::decode_preset(std::uint64_t id,
   return decoded.error();
 }
 
-Status ReplicaStore::apply(const PatchFrame& frame, std::string* reconstructed) {
+Status ReplicaStore::apply(const PatchFrame& frame, std::string* reconstructed,
+                           ApplyInfo* info) {
   const PatchHeader& h = frame.header;
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(h.template_id);
@@ -101,6 +125,10 @@ Status ReplicaStore::apply(const PatchFrame& frame, std::string* reconstructed) 
   }
   replica.epoch = h.epoch;
   reconstructed->assign(replica.body);
+  if (info != nullptr) {
+    info->attachment = replica.attachment;
+    info->generation = replica.generation;
+  }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++counters_.applies;
   if (h.replay() || frame.runs.empty()) ++counters_.replays;

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -36,6 +37,16 @@
 #include "diffwire/wire_format.hpp"
 
 namespace bsoap::diffwire {
+
+/// Opaque per-replica state a higher layer hangs off a pinned replica —
+/// e.g. the server's cached parse of the replica body. The store only
+/// manages its lifetime: a re-pin drops the attachment (the body it
+/// described is gone) and an eviction or NACK releases the store's
+/// reference, while in-flight holders keep theirs via the shared_ptr.
+class ReplicaAttachment {
+ public:
+  virtual ~ReplicaAttachment() = default;
+};
 
 class ReplicaStore {
  public:
@@ -54,16 +65,39 @@ class ReplicaStore {
 
   /// Pins (or re-pins) `body` under `id` at epoch 0. Returns true when the
   /// ID was already pinned — a re-offer, i.e. the sender fell back to a
-  /// full send after a NACK, invalidation or structural update.
-  bool pin(std::uint64_t id, std::string_view body);
+  /// full send after a NACK, invalidation or structural update. Any pin
+  /// starts a new generation and drops the previous attachment; the new
+  /// generation is written to `*generation` when non-null, for a later
+  /// attach().
+  bool pin(std::uint64_t id, std::string_view body,
+           std::uint64_t* generation = nullptr);
+
+  /// What apply() observed under its lock, for callers that maintain
+  /// per-replica attachments.
+  struct ApplyInfo {
+    std::shared_ptr<ReplicaAttachment> attachment;  ///< null if none attached
+    std::uint64_t generation = 0;
+  };
 
   /// Applies a decoded patch frame onto the pinned replica: validates ID,
   /// epoch, body length, run bounds and the whole-body checksum, then
   /// copies the reconstructed body into `reconstructed` and advances the
   /// replica's epoch. On any validation failure the replica is erased and
   /// an error describing the NACK reason is returned (kNotFound for an
-  /// unknown ID, kProtocolError otherwise).
-  Status apply(const PatchFrame& frame, std::string* reconstructed);
+  /// unknown ID, kProtocolError otherwise). On success `*info` (when
+  /// non-null) receives the replica's attachment and generation.
+  Status apply(const PatchFrame& frame, std::string* reconstructed,
+               ApplyInfo* info = nullptr);
+
+  /// Attaches per-replica state to `id`, but only while the replica is
+  /// still the same pin generation the caller observed — a racing re-pin
+  /// makes the attachment stale (it describes the old body) and the attach
+  /// is refused. Returns true when attached.
+  bool attach(std::uint64_t id, std::uint64_t generation,
+              std::shared_ptr<ReplicaAttachment> attachment);
+
+  /// The current attachment of `id` (test/ops hook; null when absent).
+  std::shared_ptr<ReplicaAttachment> attachment(std::uint64_t id) const;
 
   /// Decodes a preset-coded (zlib FDICT) body against `id`'s pin-generation
   /// dictionary. The dictionary is copied under the lock and the inflate
@@ -104,6 +138,9 @@ class ReplicaStore {
     /// but both sides preset from the offer-time bytes, so the dictionary
     /// must not follow.
     std::string dict;
+    /// Monotonic pin counter: attach() refuses stale generations.
+    std::uint64_t generation = 0;
+    std::shared_ptr<ReplicaAttachment> attachment;
   };
   using LruIter = std::list<Replica>::iterator;
 
@@ -117,6 +154,7 @@ class ReplicaStore {
   std::list<Replica> lru_;  ///< front = most recently used
   std::unordered_map<std::uint64_t, LruIter> index_;
   std::size_t bytes_ = 0;
+  std::uint64_t generation_counter_ = 0;
   Stats counters_;
 };
 

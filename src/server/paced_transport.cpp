@@ -32,12 +32,81 @@ Result<std::size_t> PacedTransport::recv(char* out, std::size_t n) {
                    std::string("poll: ") + std::strerror(errno)};
     }
     if (r == 0) continue;  // slice elapsed: re-check drain flag and deadline
+    if (paced_io_) {
+      Result<net::IoResult> got = inner_->recv_some(out, n);
+      if (!got.ok()) return got.error();
+      if (got.value().would_block) continue;  // spurious readiness: re-poll
+      if (got.value().n > 0 && deadline_.idle_phase()) {
+        // First byte of a request: switch from idle to read deadline.
+        deadline_.begin_read(std::chrono::steady_clock::now());
+      }
+      return got.value().n;
+    }
     Result<std::size_t> got = inner_->recv(out, n);
     if (got.ok() && got.value() > 0 && deadline_.idle_phase()) {
-      // First byte of a request: switch from idle to read deadline.
       deadline_.begin_read(std::chrono::steady_clock::now());
     }
     return got;
+  }
+}
+
+Status PacedTransport::send(const char* data, std::size_t n) {
+  if (!paced_io_) return inner_->send(data, n);
+  const net::ConstSlice slice{data, n};
+  return send_slices(std::span<const net::ConstSlice>(&slice, 1));
+}
+
+Status PacedTransport::send_slices(std::span<const net::ConstSlice> slices) {
+  if (!paced_io_) return inner_->send_slices(slices);
+  const int fd = inner_->native_handle();
+
+  slice_view_.assign(slices.begin(), slices.end());
+  std::size_t index = 0;
+  while (index < slice_view_.size() && slice_view_[index].len == 0) ++index;
+  if (index == slice_view_.size()) return Status{};
+
+  // The whole response must drain within one read-timeout budget: a client
+  // that stops reading releases the worker instead of pinning it.
+  ConnDeadline deadline(timeouts_);
+  deadline.begin_read(std::chrono::steady_clock::now());
+  bool first_round = true;
+  for (;;) {
+    const std::span<const net::ConstSlice> remaining(
+        slice_view_.data() + index, slice_view_.size() - index);
+    Result<net::IoResult> wrote = inner_->send_slices_some(remaining);
+    if (!wrote.ok()) return wrote.error();
+    std::size_t n = wrote.value().n;
+    while (index < slice_view_.size() && n >= slice_view_[index].len) {
+      n -= slice_view_[index].len;
+      ++index;
+    }
+    if (index == slice_view_.size()) return Status{};
+    if (n > 0) {
+      slice_view_[index].data += n;
+      slice_view_[index].len -= n;
+    }
+    if (first_round) {
+      first_round = false;
+      if (partial_writes_ != nullptr) {
+        partial_writes_->fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // The socket buffer is full: wait for writability under the deadline.
+    const auto now = std::chrono::steady_clock::now();
+    if (deadline.expired(now)) {
+      return Error{ErrorCode::kTimeout, "write timeout"};
+    }
+    struct pollfd p;
+    p.fd = fd;
+    p.events = POLLOUT;
+    p.revents = 0;
+    const int r = ::poll(&p, 1, deadline.wait_ms(now));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Error{ErrorCode::kIoError,
+                   std::string("poll: ") + std::strerror(errno)};
+    }
+    // r == 0: slice elapsed — loop re-checks the deadline and retries.
   }
 }
 

@@ -1,4 +1,4 @@
-// Deadline-enforcing Transport wrapper for server-side reads.
+// Deadline-enforcing Transport wrapper for the blocking engine's sockets.
 //
 // Workers read blocking sockets; an abandoned client would otherwise pin a
 // worker forever. PacedTransport polls the socket in short slices so every
@@ -7,13 +7,24 @@
 // and (b) the idle/read deadline pair defined by server::Timeouts (see
 // deadline.hpp, which the Reactor's timer heap shares).
 //
-// Sends pass through untouched. Non-socket transports (native_handle < 0)
-// fall back to plain blocking reads.
+// Writes are slice-direct, the blocking-engine counterpart of the reactor's
+// DirectSliceTransport: the socket is switched to non-blocking and gathered
+// sends loop writev-style kernel calls on the caller's original buffers,
+// advancing a private descriptor view (pointer + length per slice — never a
+// byte copy, so the write_copied_bytes accounting stays at zero) and pacing
+// EAGAIN with POLLOUT waits under the read-timeout budget. A stalled reader
+// therefore costs at most `read` before the connection is dropped, where it
+// previously blocked the worker indefinitely.
+//
+// Non-socket transports (native_handle < 0, or no O_NONBLOCK support) fall
+// back to plain blocking reads and pass-through sends.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "net/transport.hpp"
 #include "server/deadline.hpp"
@@ -25,10 +36,20 @@ class PacedTransport final : public net::Transport {
   using Timeouts = server::Timeouts;
 
   /// `drain` (optional) is checked during idle waits; when it becomes true
-  /// the next idle recv returns 0 (clean end-of-stream).
+  /// the next idle recv returns 0 (clean end-of-stream). `partial_writes`
+  /// (optional) counts gathered sends that needed more than one kernel
+  /// round (the blocking twin of the reactor's partial_writes stat).
   PacedTransport(std::unique_ptr<net::Transport> inner, Timeouts timeouts,
-                 const std::atomic<bool>* drain)
-      : inner_(std::move(inner)), deadline_(timeouts), drain_(drain) {}
+                 const std::atomic<bool>* drain,
+                 std::atomic<std::uint64_t>* partial_writes = nullptr)
+      : inner_(std::move(inner)),
+        timeouts_(timeouts),
+        deadline_(timeouts),
+        drain_(drain),
+        partial_writes_(partial_writes) {
+    const int fd = inner_->native_handle();
+    paced_io_ = fd >= 0 && inner_->set_nonblocking(true).ok();
+  }
 
   /// Re-arms the idle deadline; call before waiting for the next request.
   void begin_idle() { deadline_.begin_idle(std::chrono::steady_clock::now()); }
@@ -37,13 +58,12 @@ class PacedTransport final : public net::Transport {
   /// timeout fired (distinguishes idle eviction from a stalled request).
   bool timed_out_idle() const { return deadline_.idle_phase(); }
 
+  /// True when the socket runs the non-blocking paced path (tests).
+  bool paced_io() const { return paced_io_; }
+
   using net::Transport::send;
-  Status send(const char* data, std::size_t n) override {
-    return inner_->send(data, n);
-  }
-  Status send_slices(std::span<const net::ConstSlice> slices) override {
-    return inner_->send_slices(slices);
-  }
+  Status send(const char* data, std::size_t n) override;
+  Status send_slices(std::span<const net::ConstSlice> slices) override;
   Result<std::size_t> recv(char* out, std::size_t n) override;
   void shutdown_send() override { inner_->shutdown_send(); }
   void shutdown_both() override { inner_->shutdown_both(); }
@@ -51,8 +71,14 @@ class PacedTransport final : public net::Transport {
 
  private:
   std::unique_ptr<net::Transport> inner_;
+  Timeouts timeouts_;
   ConnDeadline deadline_;
   const std::atomic<bool>* drain_;
+  std::atomic<std::uint64_t>* partial_writes_;
+  bool paced_io_ = false;
+  /// Gathered-send descriptor view: copies of the caller's (pointer, len)
+  /// pairs, advanced across kernel rounds. Never the bytes themselves.
+  std::vector<net::ConstSlice> slice_view_;
 };
 
 }  // namespace bsoap::server

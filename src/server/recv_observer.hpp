@@ -1,0 +1,94 @@
+// Receive-side stage instrumentation, the mirror of core::SendObserver.
+//
+// answer_request times its three receive stages only when an observer is
+// installed (ServerRuntimeOptions::recv_observer), so the production path
+// pays nothing:
+//
+//   decode      content-coding inflate of a coded request body
+//   patch_apply patch frame decode + ReplicaStore::apply (reconstruction)
+//   parse       producing the handler-visible RpcCall — full parse, region
+//               fast parse, or the memory read of a content hit
+//
+// Observers run on whichever worker thread served the request and must not
+// throw; RecvStageTimings is the atomic accumulator benches and tests use.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace bsoap::server {
+
+enum class RecvStage : std::uint8_t { kDecode, kPatchApply, kParse };
+inline constexpr std::size_t kRecvStageCount = 3;
+
+class RecvObserver {
+ public:
+  virtual ~RecvObserver() = default;
+
+  /// One call per completed stage: wall time and the bytes the stage
+  /// handled (decode: inflated size; patch_apply: reconstructed body size;
+  /// parse: body size).
+  virtual void on_stage(RecvStage stage, std::int64_t elapsed_ns,
+                        std::size_t bytes) = 0;
+};
+
+/// RecvObserver accumulating per-stage totals across worker threads
+/// (tests, benchmarks). Relaxed atomics: totals are read after the load
+/// completes or as approximate live gauges.
+class RecvStageTimings final : public RecvObserver {
+ public:
+  struct Totals {
+    std::int64_t ns = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t count = 0;
+  };
+  struct Snapshot {
+    Totals decode;
+    Totals patch_apply;
+    Totals parse;
+  };
+
+  void on_stage(RecvStage stage, std::int64_t elapsed_ns,
+                std::size_t bytes) override {
+    Slot& s = slots_[static_cast<std::size_t>(stage)];
+    s.ns.fetch_add(elapsed_ns, std::memory_order_relaxed);
+    s.bytes.fetch_add(bytes, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const {
+    Snapshot out;
+    out.decode = load(RecvStage::kDecode);
+    out.patch_apply = load(RecvStage::kPatchApply);
+    out.parse = load(RecvStage::kParse);
+    return out;
+  }
+
+  void reset() {
+    for (Slot& s : slots_) {
+      s.ns.store(0, std::memory_order_relaxed);
+      s.bytes.store(0, std::memory_order_relaxed);
+      s.count.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::int64_t> ns{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  Totals load(RecvStage stage) const {
+    const Slot& s = slots_[static_cast<std::size_t>(stage)];
+    Totals t;
+    t.ns = s.ns.load(std::memory_order_relaxed);
+    t.bytes = s.bytes.load(std::memory_order_relaxed);
+    t.count = s.count.load(std::memory_order_relaxed);
+    return t;
+  }
+
+  Slot slots_[kRecvStageCount];
+};
+
+}  // namespace bsoap::server

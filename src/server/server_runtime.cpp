@@ -1,7 +1,10 @@
 #include "server/server_runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 
+#include "core/parsed_replica.hpp"
 #include "diffwire/wire_format.hpp"
 #include "http/connection.hpp"
 #include "net/tcp.hpp"
@@ -230,7 +233,8 @@ void ServerRuntime::serve_connection(
   timeouts.idle = options_.idle_timeout;
   timeouts.read = options_.read_timeout;
   timeouts.slice = options_.poll_slice;
-  PacedTransport transport(std::move(raw_transport), timeouts, &draining_);
+  PacedTransport transport(std::move(raw_transport), timeouts, &draining_,
+                           &stats_.partial_writes);
   http::HttpConnection conn(transport);
   conn.set_max_inflate_bytes(options_.max_inflate_bytes);
 
@@ -278,6 +282,21 @@ bool ServerRuntime::answer_request(Worker& worker,
   // request's response via extra_headers.
   std::vector<http::Header> diff_headers;
   const std::vector<http::Header>* extra_headers = nullptr;
+  // Differential deserialization: the decoded patch frame and the replica's
+  // attachment observed under apply()'s lock, carried to the parse stage.
+  std::optional<diffwire::PatchFrame> patch;
+  diffwire::ReplicaStore::ApplyInfo apply_info;
+  bool offered = false;
+  std::uint64_t offer_id = 0;
+  std::uint64_t offer_generation = 0;
+  // Receive-side stage timing, paid only when an observer is installed.
+  RecvObserver* const obs = options_.recv_observer;
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed_ns = [](Clock::time_point begin) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                begin)
+        .count();
+  };
   if (replicas_ != nullptr) {
     // Second differential layer: a preset-coded body (full re-offer or
     // patch frame) decodes against the pinned generation's dictionary
@@ -299,8 +318,14 @@ bool ServerRuntime::answer_request(Worker& worker,
             .send(diffwire::render_nack_response(id, "preset coding unusable"))
             .ok();
       }
+      const Clock::time_point decode_begin =
+          obs != nullptr ? Clock::now() : Clock::time_point{};
       Result<std::string> decoded =
           replicas_->decode_preset(id, body, options_.max_inflate_bytes);
+      if (obs != nullptr) {
+        obs->on_stage(RecvStage::kDecode, elapsed_ns(decode_begin),
+                      decoded.ok() ? decoded.value().size() : 0);
+      }
       if (!decoded.ok()) {
         stats_.patch_nacks.fetch_add(1, std::memory_order_relaxed);
         return transport
@@ -314,6 +339,8 @@ bool ServerRuntime::answer_request(Worker& worker,
     const http::Header* content_type = request.find("Content-Type");
     if (content_type != nullptr &&
         content_type->value == diffwire::kPatchContentType) {
+      const Clock::time_point apply_begin =
+          obs != nullptr ? Clock::now() : Clock::time_point{};
       Result<diffwire::PatchFrame> frame = diffwire::decode_patch(body);
       if (!frame.ok()) {
         // Malformed frame. The HTTP framing was intact, so the connection
@@ -324,7 +351,20 @@ bool ServerRuntime::answer_request(Worker& worker,
             .ok();
       }
       const diffwire::PatchHeader& header = frame.value().header;
-      const Status applied = replicas_->apply(frame.value(), &reconstructed);
+      if (header.body_len > options_.max_inflate_bytes) {
+        // A patch reconstructs a body of body_len bytes regardless of the
+        // frame's own size, so it must honor the same inflation bound
+        // coded full bodies do: 413, not a NACK (the frame may be valid —
+        // the server just refuses to materialize the result).
+        stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+        return transport
+            .send(render_parse_failure_response(
+                Error{ErrorCode::kOutOfRange,
+                      "patch body_len exceeds max_inflate_bytes"}))
+            .ok();
+      }
+      const Status applied =
+          replicas_->apply(frame.value(), &reconstructed, &apply_info);
       if (!applied.ok()) {
         // Unknown template, epoch gap, bad bounds or checksum: the replica
         // (if any) has been dropped; the sender re-offers on its fallback.
@@ -333,6 +373,10 @@ bool ServerRuntime::answer_request(Worker& worker,
             .send(diffwire::render_nack_response(header.template_id,
                                                  applied.error().message))
             .ok();
+      }
+      if (obs != nullptr) {
+        obs->on_stage(RecvStage::kPatchApply, elapsed_ns(apply_begin),
+                      reconstructed.size());
       }
       stats_.patch_sends.fetch_add(1, std::memory_order_relaxed);
       if (header.replay()) {
@@ -346,6 +390,7 @@ bool ServerRuntime::answer_request(Worker& worker,
             std::memory_order_relaxed);
       }
       body = reconstructed;
+      patch = std::move(frame.value());
     } else {
       const http::Header* diff = request.find(diffwire::kDiffHeader);
       const http::Header* id_header = request.find(diffwire::kTemplateHeader);
@@ -353,7 +398,9 @@ bool ServerRuntime::answer_request(Worker& worker,
       if (diff != nullptr && diff->value == diffwire::kOfferValue &&
           id_header != nullptr &&
           diffwire::parse_template_id(id_header->value, &id)) {
-        if (replicas_->pin(id, body)) {
+        offered = true;
+        offer_id = id;
+        if (replicas_->pin(id, body, &offer_generation)) {
           // Re-pin of a known template: the client fell back to a full
           // send after a nack or a structural update.
           stats_.fallback_full_sends.fetch_add(1, std::memory_order_relaxed);
@@ -379,7 +426,79 @@ bool ServerRuntime::answer_request(Worker& worker,
     }
   }
 
-  Result<const soap::RpcCall*> call = parser(body);
+  // Produce the handler's RpcCall. Diff-wire requests go through the
+  // replica's cached parse (ParsedReplica) when differential
+  // deserialization is on and no custom parser is installed; everything
+  // else takes the per-connection parser. The lease must outlive the
+  // handler AND the response write — on the uncontended path the call
+  // points into the shared deserializer the lease's lock protects.
+  const bool fused = replicas_ != nullptr && options_.diff_deserialize &&
+                     !options_.make_parser;
+  core::ParsedReplica::Lease lease;
+  const auto record_deser = [this](
+                                const core::ParsedReplica::ServeReport& r) {
+    switch (r.path) {
+      case core::DiffDeserializer::ApplyPath::kContentHit:
+        stats_.deser_content_hits.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case core::DiffDeserializer::ApplyPath::kFastParse:
+        stats_.deser_fast_parses.fetch_add(1, std::memory_order_relaxed);
+        stats_.deser_leaves_reparsed.fetch_add(r.leaves_reparsed,
+                                               std::memory_order_relaxed);
+        break;
+      case core::DiffDeserializer::ApplyPath::kFullParse:
+        stats_.deser_full_parses.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    if (r.demoted) {
+      stats_.deser_demotions.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  const Clock::time_point parse_begin =
+      obs != nullptr ? Clock::now() : Clock::time_point{};
+  Result<const soap::RpcCall*> call =
+      [&]() -> Result<const soap::RpcCall*> {
+    if (fused && patch.has_value()) {
+      core::ParsedReplica::ServeReport report;
+      auto parsed =
+          std::static_pointer_cast<core::ParsedReplica>(apply_info.attachment);
+      const bool fresh = parsed == nullptr;
+      if (fresh) parsed = std::make_shared<core::ParsedReplica>();
+      Result<core::ParsedReplica::Lease> served =
+          fresh ? core::ParsedReplica::serve_full(parsed, body,
+                                                  patch->header.epoch, &report)
+                : core::ParsedReplica::serve_patch(parsed, body,
+                                                   patch->header.epoch,
+                                                   patch->runs, &report);
+      if (!served.ok()) return served.error();
+      if (fresh) {
+        // Refused when a re-pin raced the parse: the next patch simply
+        // full-parses again. Never a NACK.
+        (void)replicas_->attach(patch->header.template_id,
+                                apply_info.generation, parsed);
+      }
+      record_deser(report);
+      lease = std::move(served.value());
+      return &lease.call();
+    }
+    if (fused && offered) {
+      // The offer's full body serves this request and primes the replica's
+      // cached parse for the patches that follow.
+      core::ParsedReplica::ServeReport report;
+      auto parsed = std::make_shared<core::ParsedReplica>();
+      Result<core::ParsedReplica::Lease> served =
+          core::ParsedReplica::serve_full(parsed, body, 0, &report);
+      if (!served.ok()) return served.error();
+      (void)replicas_->attach(offer_id, offer_generation, parsed);
+      record_deser(report);
+      lease = std::move(served.value());
+      return &lease.call();
+    }
+    return parser(body);
+  }();
+  if (obs != nullptr) {
+    obs->on_stage(RecvStage::kParse, elapsed_ns(parse_begin), body.size());
+  }
   if (!call.ok()) {
     // The HTTP framing was intact, so the connection stays usable: answer
     // 400 + fault and keep serving.

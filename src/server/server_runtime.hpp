@@ -57,6 +57,7 @@
 #include "http/content_coding.hpp"
 #include "server/accept_queue.hpp"
 #include "server/reactor.hpp"
+#include "server/recv_observer.hpp"
 #include "server/server_stats.hpp"
 #include "soap/soap_server.hpp"
 
@@ -120,6 +121,19 @@ struct ServerRuntimeOptions {
   bool diffwire = true;
   std::size_t diffwire_replicas = 64;      ///< pinned bodies retained (LRU)
   std::size_t diffwire_replica_bytes = 0;  ///< byte budget (0 = unlimited)
+
+  /// Differential deserialization: each pinned replica carries a cached
+  /// parse (core::ParsedReplica), so a patch send re-parses only the
+  /// leaves its dirty runs touch and a header-only replay serves the
+  /// handler with zero parse work. Requires diffwire; ignored when
+  /// make_parser installs a custom parser. Non-diff-wire requests always
+  /// take the ordinary full parse.
+  bool diff_deserialize = true;
+
+  /// Optional receive-side stage observer (decode / patch-apply / parse),
+  /// the mirror of core::SendObserver. Null (default) skips all timing.
+  /// Must outlive the runtime; called from worker threads.
+  RecvObserver* recv_observer = nullptr;
 
   /// Content codings the server participates in. Responses are coded per
   /// the request's Accept-Encoding (deflate preferred over gzip when both

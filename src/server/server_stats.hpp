@@ -62,6 +62,17 @@ struct ServerStats {
   std::uint64_t diff_pinned_replicas = 0; ///< gauge: replicas currently pinned
   std::uint64_t diff_pinned_bytes = 0;    ///< gauge: bytes those replicas hold
 
+  // Differential deserialization (receive side; all zero when
+  // diff_deserialize is off, a custom parser is installed, or no client
+  // negotiated diff-wire).
+  std::uint64_t deser_content_hits = 0;  ///< replays served with zero parsing
+  std::uint64_t deser_fast_parses = 0;   ///< only touched leaves re-parsed
+  std::uint64_t deser_full_parses = 0;   ///< whole-envelope parses (offers,
+                                         ///< resyncs and demotions)
+  std::uint64_t deser_leaves_reparsed = 0;
+  std::uint64_t deser_demotions = 0;     ///< fast-parse-eligible requests
+                                         ///< that fell back to a full parse
+
   // Wire compression (response content coding; all zero when no client
   // offers Accept-Encoding or every coded attempt fell back to identity).
   std::uint64_t compressed_sends = 0;    ///< responses sent content-coded
@@ -143,6 +154,13 @@ class StatsCollector {
     s.fallback_full_sends =
         fallback_full_sends.load(std::memory_order_relaxed);
     s.bytes_saved = bytes_saved.load(std::memory_order_relaxed);
+    s.deser_content_hits =
+        deser_content_hits.load(std::memory_order_relaxed);
+    s.deser_fast_parses = deser_fast_parses.load(std::memory_order_relaxed);
+    s.deser_full_parses = deser_full_parses.load(std::memory_order_relaxed);
+    s.deser_leaves_reparsed =
+        deser_leaves_reparsed.load(std::memory_order_relaxed);
+    s.deser_demotions = deser_demotions.load(std::memory_order_relaxed);
     s.compressed_sends = compressed_sends.load(std::memory_order_relaxed);
     s.coding_bytes_saved =
         coding_bytes_saved.load(std::memory_order_relaxed);
@@ -173,6 +191,11 @@ class StatsCollector {
   std::atomic<std::uint64_t> patch_nacks{0};
   std::atomic<std::uint64_t> fallback_full_sends{0};
   std::atomic<std::uint64_t> bytes_saved{0};
+  std::atomic<std::uint64_t> deser_content_hits{0};
+  std::atomic<std::uint64_t> deser_fast_parses{0};
+  std::atomic<std::uint64_t> deser_full_parses{0};
+  std::atomic<std::uint64_t> deser_leaves_reparsed{0};
+  std::atomic<std::uint64_t> deser_demotions{0};
   std::atomic<std::uint64_t> compressed_sends{0};
   std::atomic<std::uint64_t> coding_bytes_saved{0};
   std::atomic<std::uint64_t> coding_cpu_ns{0};

@@ -1,14 +1,20 @@
 // Tests for differential deserialization (Section 6 extension): content
-// hits, fast region re-parses, and graceful fallback to full parsing.
+// hits, fast region re-parses, graceful fallback to full parsing, and the
+// run-guided apply_runs path the server's ParsedReplica drives.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <random>
+#include <span>
 
 #include "buffer/sinks.hpp"
 #include "core/client.hpp"
 #include "core/diff_deserializer.hpp"
 #include "core/diff_server.hpp"
 #include "net/tcp.hpp"
+#include "soap/envelope_reader.hpp"
 #include "soap/soap_server.hpp"
 #include "soap/envelope_writer.hpp"
 #include "soap/workload.hpp"
@@ -22,6 +28,41 @@ std::string serialize(const RpcCall& call) {
   buffer::StringSink sink;
   soap::write_rpc_envelope(sink, call);
   return sink.take();
+}
+
+/// Byte-diffs two same-length documents into dirty runs, merging runs whose
+/// gap of unchanged (structural) bytes is at most `merge_gap` — the shape
+/// SendPipeline::build_patch_frame produces when adjacent fields change.
+std::vector<DiffDeserializer::DirtyRun> byte_diff_runs(std::string_view old_doc,
+                                                       std::string_view fresh,
+                                                       std::size_t merge_gap) {
+  std::vector<DiffDeserializer::DirtyRun> runs;
+  std::size_t i = 0;
+  while (i < old_doc.size()) {
+    if (old_doc[i] == fresh[i]) {
+      ++i;
+      continue;
+    }
+    const std::size_t begin = i;
+    while (i < old_doc.size() && old_doc[i] != fresh[i]) ++i;
+    if (!runs.empty() &&
+        begin - (runs.back().offset + runs.back().length) <= merge_gap) {
+      runs.back().length = i - runs.back().offset;
+    } else {
+      runs.push_back(DiffDeserializer::DirtyRun{begin, i - begin});
+    }
+  }
+  return runs;
+}
+
+/// Value-identity against the always-full-parse oracle, via the canonical
+/// serialization (covers method, namespace, every leaf — and distinguishes
+/// -0.0 from 0.0 while treating two NaNs as equal).
+void expect_matches_oracle(const DiffDeserializer& deser,
+                           std::string_view document) {
+  Result<RpcCall> oracle = soap::read_rpc_envelope(document);
+  ASSERT_TRUE(oracle.ok()) << oracle.error().to_string();
+  EXPECT_EQ(serialize(deser.call()), serialize(oracle.value()));
 }
 
 TEST(DiffDeserializer, ContentHitOnIdenticalDocument) {
@@ -128,6 +169,250 @@ TEST(DiffDeserializer, ScalarParamsDisableFastPathSafely) {
   // Scalar leaves are not slot-addressable: full parse, but still correct.
   EXPECT_EQ(deser.stats().full_parses, 2u);
   EXPECT_EQ(parsed.value()->params[0].value.as_int(), 54321);
+}
+
+TEST(DiffDeserializerApplyRuns, EmptyRunsAreAContentHit) {
+  DiffDeserializer deser;
+  const std::string doc = serialize(
+      soap::make_double_array_call(soap::doubles_with_serialized_length(20, 18, 40)));
+  ASSERT_TRUE(deser.prime(doc).ok());
+  Result<DiffDeserializer::ApplyReport> report = deser.apply_runs(doc, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().path, DiffDeserializer::ApplyPath::kContentHit);
+  EXPECT_EQ(deser.stats().content_hits, 1u);
+  EXPECT_EQ(deser.stats().full_parses, 1u);
+  expect_matches_oracle(deser, doc);
+}
+
+TEST(DiffDeserializerApplyRuns, SingleLeafRunReparsesOneRegion) {
+  DiffDeserializer deser;
+  auto values = soap::doubles_with_serialized_length(30, 18, 41);
+  const std::string doc = serialize(soap::make_double_array_call(values));
+  ASSERT_TRUE(deser.prime(doc).ok());
+  ASSERT_TRUE(deser.fast_path_usable());
+
+  values[7] = soap::doubles_with_serialized_length(1, 18, 42)[0];
+  const std::string fresh = serialize(soap::make_double_array_call(values));
+  ASSERT_EQ(fresh.size(), doc.size());
+  const auto runs = byte_diff_runs(doc, fresh, 0);
+  ASSERT_FALSE(runs.empty());
+
+  Result<DiffDeserializer::ApplyReport> report = deser.apply_runs(fresh, runs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().path, DiffDeserializer::ApplyPath::kFastParse);
+  EXPECT_EQ(report.value().leaves_reparsed, 1u);
+  EXPECT_FALSE(report.value().demoted);
+  expect_matches_oracle(deser, fresh);
+}
+
+TEST(DiffDeserializerApplyRuns, RunCoveringCloseTagFastParses) {
+  // build_patch_frame runs are field_width + close_tag_len wide: the run
+  // covers the leaf AND the (unchanged) structural close-tag bytes after
+  // it. That must still be a fast parse, not a demotion.
+  DiffDeserializer deser;
+  auto values = soap::doubles_with_serialized_length(25, 18, 43);
+  const std::string doc = serialize(soap::make_double_array_call(values));
+  ASSERT_TRUE(deser.prime(doc).ok());
+
+  values[12] = soap::doubles_with_serialized_length(1, 18, 44)[0];
+  const std::string fresh = serialize(soap::make_double_array_call(values));
+  // Gap 18 coalesces the intra-leaf diffs into one run (unchanged digits
+  // inside the lexical would otherwise split it).
+  auto runs = byte_diff_runs(doc, fresh, 18);
+  ASSERT_EQ(runs.size(), 1u);
+  // Widen the run over the close tag and into the next open tag.
+  runs[0].length = std::min(runs[0].length + 12, fresh.size() - runs[0].offset);
+
+  Result<DiffDeserializer::ApplyReport> report = deser.apply_runs(fresh, runs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().path, DiffDeserializer::ApplyPath::kFastParse);
+  EXPECT_EQ(deser.stats().demotions, 0u);
+  expect_matches_oracle(deser, fresh);
+}
+
+TEST(DiffDeserializerApplyRuns, RegionStraddlingRunReparsesBothLeaves) {
+  DiffDeserializer deser;
+  auto values = soap::doubles_with_serialized_length(16, 18, 45);
+  const std::string doc = serialize(soap::make_double_array_call(values));
+  ASSERT_TRUE(deser.prime(doc).ok());
+
+  // Two adjacent leaves change; one merged run straddles the structural
+  // bytes between their regions.
+  auto repl = soap::doubles_with_serialized_length(2, 18, 46);
+  values[5] = repl[0];
+  values[6] = repl[1];
+  const std::string fresh = serialize(soap::make_double_array_call(values));
+  const auto runs = byte_diff_runs(doc, fresh, fresh.size());  // force merge
+  ASSERT_EQ(runs.size(), 1u);
+
+  Result<DiffDeserializer::ApplyReport> report = deser.apply_runs(fresh, runs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().path, DiffDeserializer::ApplyPath::kFastParse);
+  EXPECT_EQ(report.value().leaves_reparsed, 2u);
+  expect_matches_oracle(deser, fresh);
+}
+
+TEST(DiffDeserializerApplyRuns, NanAndNegativeZeroLexicals) {
+  DiffDeserializer deser;
+  auto values = soap::doubles_with_serialized_length(10, 18, 47);
+  const std::string doc = serialize(soap::make_double_array_call(values));
+  ASSERT_TRUE(deser.prime(doc).ok());
+  ASSERT_GE(deser.regions().size(), 4u);
+
+  // Overwrite two leaf regions in place with padded special lexicals: the
+  // xsd:double forms both the fast path and the oracle must agree on.
+  std::string fresh = doc;
+  const auto patch_region = [&](std::size_t index, std::string_view lexical) {
+    const DiffDeserializer::LeafRegion r = deser.regions()[index];
+    const std::size_t width = r.end - r.begin;
+    ASSERT_GE(width, lexical.size());
+    std::string padded(lexical);
+    padded.resize(width, ' ');
+    fresh.replace(r.begin, width, padded);
+  };
+  patch_region(1, "NaN");
+  patch_region(3, "-0.0");
+  const auto runs = byte_diff_runs(doc, fresh, 0);
+
+  Result<DiffDeserializer::ApplyReport> report = deser.apply_runs(fresh, runs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().path, DiffDeserializer::ApplyPath::kFastParse);
+  const std::vector<double>& doubles = deser.call().params[0].value.doubles();
+  EXPECT_TRUE(std::isnan(doubles[1]));
+  EXPECT_TRUE(std::signbit(doubles[3]));
+  EXPECT_EQ(doubles[3], 0.0);
+  expect_matches_oracle(deser, fresh);
+}
+
+TEST(DiffDeserializerApplyRuns, StructuralByteChangeDemotes) {
+  DiffDeserializer deser;
+  auto values = soap::doubles_with_serialized_length(12, 18, 48);
+  const std::string doc = serialize(soap::make_double_array_call(values));
+  ASSERT_TRUE(deser.prime(doc).ok());
+
+  // Flip a byte inside the method element name (structural), with a run
+  // that covers it: the fast path must notice and rebuild via full parse.
+  const std::size_t method_pos = doc.find("sendData");
+  ASSERT_NE(method_pos, std::string::npos);
+  std::string fresh = doc;
+  // Replace both occurrences (open + close tag) so the result stays
+  // well-formed XML and the full parse succeeds.
+  std::size_t pos = 0;
+  while ((pos = fresh.find("sendData", pos)) != std::string::npos) {
+    fresh.replace(pos, 8, "sendDatb");
+    pos += 8;
+  }
+  const auto runs = byte_diff_runs(doc, fresh, 0);
+
+  Result<DiffDeserializer::ApplyReport> report = deser.apply_runs(fresh, runs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().path, DiffDeserializer::ApplyPath::kFullParse);
+  EXPECT_TRUE(report.value().demoted);
+  EXPECT_EQ(deser.stats().demotions, 1u);
+  EXPECT_EQ(deser.call().method, "sendDatb");
+  expect_matches_oracle(deser, fresh);
+}
+
+TEST(DiffDeserializerApplyRuns, SizeChangeDemotes) {
+  DiffDeserializer deser;
+  auto values = soap::doubles_with_serialized_length(12, 18, 49);
+  ASSERT_TRUE(deser.prime(serialize(soap::make_double_array_call(values))).ok());
+  values[0] = 1.0;  // shorter lexical: the document shrinks
+  const std::string fresh = serialize(soap::make_double_array_call(values));
+  Result<DiffDeserializer::ApplyReport> report = deser.apply_runs(fresh, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().path, DiffDeserializer::ApplyPath::kFullParse);
+  EXPECT_TRUE(report.value().demoted);
+  expect_matches_oracle(deser, fresh);
+}
+
+TEST(DiffDeserializerApplyRuns, ReparseFailureDemotesAndInvalidatesCache) {
+  DiffDeserializer deser;
+  auto values = soap::doubles_with_serialized_length(8, 18, 50);
+  const std::string doc = serialize(soap::make_double_array_call(values));
+  ASSERT_TRUE(deser.prime(doc).ok());
+
+  // Garbage inside a leaf region: the typed reparse fails, the demotion's
+  // full parse fails on the same bytes, and the cache must not survive in
+  // the half-updated state.
+  const DiffDeserializer::LeafRegion r = deser.regions()[2];
+  std::string fresh = doc;
+  fresh.replace(r.begin, r.end - r.begin, std::string(r.end - r.begin, '#'));
+  const auto runs = byte_diff_runs(doc, fresh, 0);
+
+  Result<DiffDeserializer::ApplyReport> report = deser.apply_runs(fresh, runs);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(deser.stats().demotions, 1u);
+  EXPECT_FALSE(deser.primed());
+
+  // Recovery: a later full body re-primes cleanly.
+  ASSERT_TRUE(deser.prime(doc).ok());
+  expect_matches_oracle(deser, doc);
+}
+
+TEST(DiffDeserializerApplyRuns, UnprimedFallsBackToFullParse) {
+  DiffDeserializer deser;
+  const std::string doc = serialize(
+      soap::make_double_array_call(soap::doubles_with_serialized_length(6, 18, 51)));
+  const DiffDeserializer::DirtyRun run{0, 1};
+  Result<DiffDeserializer::ApplyReport> report = deser.apply_runs(
+      doc, std::span<const DiffDeserializer::DirtyRun>(&run, 1));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().path, DiffDeserializer::ApplyPath::kFullParse);
+  EXPECT_FALSE(report.value().demoted);
+  expect_matches_oracle(deser, doc);
+}
+
+TEST(DiffDeserializerApplyRuns, RandomizedDirtyRunSweepsMatchOracle) {
+  std::mt19937_64 rng(2026);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 40 + static_cast<std::size_t>(trial) * 23;
+    auto values = soap::doubles_with_serialized_length(
+        n, 18, 500 + static_cast<unsigned>(trial));
+    DiffDeserializer deser;
+    std::string doc = serialize(soap::make_double_array_call(values));
+    ASSERT_TRUE(deser.prime(doc).ok());
+    ASSERT_TRUE(deser.fast_path_usable());
+
+    for (int epoch = 1; epoch <= 10; ++epoch) {
+      const std::size_t dirty =
+          1 + rng() % std::max<std::size_t>(1, n / 3);  // width sweep
+      auto repl = soap::doubles_with_serialized_length(
+          dirty, 18, 1000 + static_cast<unsigned>(trial * 100 + epoch));
+      for (std::size_t k = 0; k < dirty; ++k) values[rng() % n] = repl[k];
+      std::string fresh = serialize(soap::make_double_array_call(values));
+      ASSERT_EQ(fresh.size(), doc.size());
+      // Random merge gaps: single-leaf runs, multi-run merges, and runs
+      // straddling regions across structural bytes all occur.
+      const auto runs = byte_diff_runs(doc, fresh, rng() % 96);
+
+      Result<DiffDeserializer::ApplyReport> report =
+          deser.apply_runs(fresh, runs);
+      ASSERT_TRUE(report.ok());
+      EXPECT_FALSE(report.value().demoted);
+      expect_matches_oracle(deser, fresh);
+      doc = std::move(fresh);
+    }
+    EXPECT_EQ(deser.stats().demotions, 0u);
+    EXPECT_EQ(deser.stats().full_parses, 1u);
+  }
+}
+
+TEST(DiffDeserializer, TakeStatsDrainsCounters) {
+  DiffDeserializer deser;
+  const std::string doc = serialize(
+      soap::make_double_array_call(soap::doubles_with_serialized_length(5, 18, 52)));
+  ASSERT_TRUE(deser.parse(doc).ok());
+  ASSERT_TRUE(deser.parse(doc).ok());  // content hit
+
+  const DiffDeserializer::Stats drained = deser.take_stats();
+  EXPECT_EQ(drained.full_parses, 1u);
+  EXPECT_EQ(drained.content_hits, 1u);
+  EXPECT_EQ(deser.stats().full_parses, 0u);
+  EXPECT_EQ(deser.stats().content_hits, 0u);
+
+  ASSERT_TRUE(deser.parse(doc).ok());
+  EXPECT_EQ(deser.take_stats().content_hits, 1u);  // only the new delta
 }
 
 TEST(DiffServerIntegration, ContentHitsAcrossRequests) {

@@ -4,15 +4,22 @@
 // and HTTP error mapping (400 on unparseable head or body).
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/client.hpp"
 #include "http/connection.hpp"
 #include "net/tcp.hpp"
+#include "net/transport.hpp"
+#include "server/paced_transport.hpp"
 #include "server/server_runtime.hpp"
 #include "soap/soap_server.hpp"
 #include "soap/workload.hpp"
@@ -504,6 +511,86 @@ TEST(SoapHttpServerFacade, ExposesRuntimeStats) {
   EXPECT_EQ(stats.response_first_time, 1u);
   EXPECT_EQ(stats.response_content_match, 1u);
   server.value()->stop();
+}
+
+// --- PacedTransport slice-direct writes -------------------------------------
+
+TEST(PacedTransport, GatheredSendsDrainPartialWritesWithoutCopies) {
+  Result<std::pair<std::unique_ptr<net::Transport>,
+                   std::unique_ptr<net::Transport>>>
+      pair = net::make_socketpair_transports();
+  ASSERT_TRUE(pair.ok());
+  auto [writer_side, reader_side] = std::move(pair.value());
+
+  // Shrink the send buffer so a multi-megabyte gathered send cannot fit in
+  // one kernel round: the paced loop must hit EAGAIN, count a partial
+  // write, and resume from the advanced slice descriptors.
+  const int fd = writer_side->native_handle();
+  ASSERT_GE(fd, 0);
+  const int small = 4096;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &small, sizeof(small)), 0);
+
+  Timeouts timeouts;
+  timeouts.read = std::chrono::milliseconds(5000);
+  timeouts.slice = std::chrono::milliseconds(5);
+  std::atomic<std::uint64_t> partial_writes{0};
+  PacedTransport paced(std::move(writer_side), timeouts, nullptr,
+                       &partial_writes);
+  ASSERT_TRUE(paced.paced_io());
+
+  const std::string head(512, 'h');
+  const std::string body(2 * 1024 * 1024, 'b');
+  const std::string tail(64, 't');
+  std::string received;
+  std::thread reader([&] {
+    // Let the writer fill the buffer first so the partial round is certain.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    char chunk[16384];
+    for (;;) {
+      Result<std::size_t> got = reader_side->recv(chunk, sizeof(chunk));
+      if (!got.ok() || got.value() == 0) break;
+      received.append(chunk, got.value());
+      if (received.size() == head.size() + body.size() + tail.size()) break;
+    }
+  });
+
+  const net::ConstSlice slices[3] = {{head.data(), head.size()},
+                                     {body.data(), body.size()},
+                                     {tail.data(), tail.size()}};
+  const Status sent = paced.send_slices(std::span<const net::ConstSlice>(
+      slices, 3));
+  EXPECT_TRUE(sent.ok()) << sent.error().to_string();
+  reader.join();
+
+  EXPECT_GE(partial_writes.load(), 1u);
+  EXPECT_EQ(received, head + body + tail);
+}
+
+TEST(PacedTransport, StalledReaderHitsWriteTimeout) {
+  Result<std::pair<std::unique_ptr<net::Transport>,
+                   std::unique_ptr<net::Transport>>>
+      pair = net::make_socketpair_transports();
+  ASSERT_TRUE(pair.ok());
+  auto [writer_side, reader_side] = std::move(pair.value());
+  const int fd = writer_side->native_handle();
+  const int small = 4096;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &small, sizeof(small)), 0);
+
+  Timeouts timeouts;
+  timeouts.read = std::chrono::milliseconds(100);
+  timeouts.slice = std::chrono::milliseconds(5);
+  PacedTransport paced(std::move(writer_side), timeouts, nullptr, nullptr);
+  ASSERT_TRUE(paced.paced_io());
+
+  // Nobody reads: the response cannot drain, so the paced write gives up
+  // within the read-timeout budget instead of pinning the worker.
+  const std::string body(4 * 1024 * 1024, 'x');
+  const auto begin = std::chrono::steady_clock::now();
+  const Status sent = paced.send(body.data(), body.size());
+  ASSERT_FALSE(sent.ok());
+  EXPECT_EQ(sent.error().code, ErrorCode::kTimeout);
+  EXPECT_LT(std::chrono::steady_clock::now() - begin,
+            std::chrono::milliseconds(2000));
 }
 
 }  // namespace
